@@ -1,0 +1,104 @@
+//! The NCNN-style pipeline: ConvNet-only GPU support and essentially
+//! unfused execution (Table 7 lists NCNN's operator counts equal to the
+//! unoptimized graphs).
+
+use crate::common::{
+    assign_layouts_uniform, baseline_groups, finalize_utilization, has_transformer_ops, FusePolicy,
+    LayoutStyle,
+};
+use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
+use smartmem_ir::Graph;
+use smartmem_sim::DeviceConfig;
+
+/// NCNN (Tencent's mobile engine). The paper's evaluation: "NCNN and
+/// TFLite do not support Transformer models on mobile GPU as they
+/// either lack support for key operators and/or do not reduce the
+/// memory requirements sufficiently"; for the ConvNets it executes the
+/// graph with hand-written kernels of high quality but no graph-level
+/// optimization.
+#[derive(Clone, Debug, Default)]
+pub struct NcnnFramework;
+
+impl NcnnFramework {
+    /// Creates the pipeline.
+    pub fn new() -> Self {
+        NcnnFramework
+    }
+}
+
+impl Framework for NcnnFramework {
+    fn name(&self) -> &str {
+        "NCNN"
+    }
+
+    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
+        if has_transformer_ops(graph) {
+            return Err(Unsupported::new(
+                self.name(),
+                "transformer operators (MatMul/LayerNorm/Softmax/Gather) not supported on mobile GPU",
+            ));
+        }
+        if graph.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::InstanceNorm)) {
+            return Err(Unsupported::new(
+                self.name(),
+                "instance normalization not supported by the GPU backend",
+            ));
+        }
+        let mut groups = baseline_groups(graph, FusePolicy::none());
+        assign_layouts_uniform(graph, &mut groups, device, LayoutStyle::Nc4Hw4);
+        // Hand-tuned conv kernels: high per-kernel quality despite no
+        // graph optimization.
+        finalize_utilization(graph, &mut groups, 1.0, |op| {
+            if matches!(op, smartmem_ir::Op::Conv2d { .. }) {
+                1.0
+            } else {
+                0.8
+            }
+        });
+        let stats = OptStats {
+            source_ops: graph.op_count(),
+            kernel_count: groups.len(),
+            ..OptStats::default()
+        };
+        Ok(OptimizedGraph {
+            graph: graph.clone(),
+            groups,
+            stats,
+            mem_model: MemModel { pooled: false, workspace_factor: 1.6, im2col: true, dispatch_scale: 0.35 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::{DType, GraphBuilder, PoolKind, UnaryKind};
+
+    #[test]
+    fn rejects_transformers() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 4, 8], DType::F16);
+        let w = b.weight("w", &[8, 8], DType::F16);
+        let m = b.matmul(x, w);
+        b.output(m);
+        let g = b.finish();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let err = NcnnFramework::new().optimize(&g, &device).unwrap_err();
+        assert!(err.reason.contains("not supported"));
+    }
+
+    #[test]
+    fn runs_convnets_unfused() {
+        let mut b = GraphBuilder::new("c");
+        let x = b.input("x", &[1, 8, 8, 8], DType::F16);
+        let w = b.weight("w", &[8, 8, 3, 3], DType::F16);
+        let c = b.conv2d(x, w, (1, 1), (1, 1), 1);
+        let r = b.unary(c, UnaryKind::Relu);
+        let p = b.pool2d(r, PoolKind::Max, (2, 2), (2, 2), (0, 0));
+        b.output(p);
+        let g = b.finish();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let opt = NcnnFramework::new().optimize(&g, &device).unwrap();
+        assert_eq!(opt.stats.kernel_count, g.op_count(), "NCNN runs ops 1:1");
+    }
+}

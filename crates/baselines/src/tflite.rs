@@ -1,0 +1,93 @@
+//! The TFLite-GPU-delegate-style pipeline: fixed-pattern fusion,
+//! NHWC-flavoured relayouts at conv boundaries, and narrow operator
+//! support on the GPU delegate.
+
+use crate::common::{
+    assign_layouts_uniform, baseline_groups, finalize_utilization, has_selection_ops,
+    has_transformer_ops, insert_relayouts, FusePolicy, LayoutStyle, RelayoutRule,
+};
+use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
+use smartmem_ir::Graph;
+use smartmem_sim::DeviceConfig;
+
+/// TFLite with the mobile GPU delegate. Per Table 7, only the plain
+/// ConvNets (RegNet, ResNext) compile; transformer operators and the
+/// slice/split detection heads of YOLO are unsupported.
+#[derive(Clone, Debug, Default)]
+pub struct TfLiteFramework;
+
+impl TfLiteFramework {
+    /// Creates the pipeline.
+    pub fn new() -> Self {
+        TfLiteFramework
+    }
+}
+
+impl Framework for TfLiteFramework {
+    fn name(&self) -> &str {
+        "TFLite"
+    }
+
+    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
+        if has_transformer_ops(graph) {
+            return Err(Unsupported::new(self.name(), "transformer operators not supported by the GPU delegate"));
+        }
+        if has_selection_ops(graph) {
+            return Err(Unsupported::new(self.name(), "slice/split/depth-to-space heads not supported by the GPU delegate"));
+        }
+        let (rewritten, inserted) = insert_relayouts(graph, RelayoutRule::ConvBoundary);
+        let mut groups = baseline_groups(&rewritten, FusePolicy::fixed_patterns());
+        assign_layouts_uniform(&rewritten, &mut groups, device, LayoutStyle::RowMajor);
+        finalize_utilization(&rewritten, &mut groups, 0.6, |op| {
+            if op.is_layout_transform() {
+                0.3
+            } else {
+                1.0
+            }
+        });
+        let stats = OptStats {
+            source_ops: graph.op_count(),
+            kernel_count: groups.len(),
+            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
+            implicit_inserted: inserted,
+            ..OptStats::default()
+        };
+        Ok(OptimizedGraph {
+            graph: rewritten,
+            groups,
+            stats,
+            mem_model: MemModel { pooled: true, workspace_factor: 2.2, im2col: true, dispatch_scale: 1.0 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+
+    #[test]
+    fn rejects_selection_heads() {
+        let mut b = GraphBuilder::new("yolo-ish");
+        let x = b.input("x", &[1, 8, 4, 4], DType::F16);
+        let parts = b.split(x, 1, 2);
+        b.output(parts[0]);
+        let g = b.finish();
+        let device = DeviceConfig::snapdragon_8gen2();
+        assert!(TfLiteFramework::new().optimize(&g, &device).is_err());
+    }
+
+    #[test]
+    fn compiles_plain_convnets() {
+        let mut b = GraphBuilder::new("plain");
+        let x = b.input("x", &[1, 8, 8, 8], DType::F16);
+        let w = b.weight("w", &[8, 8, 3, 3], DType::F16);
+        let c = b.conv2d(x, w, (1, 1), (1, 1), 1);
+        let r = b.unary(c, UnaryKind::Relu);
+        b.output(r);
+        let g = b.finish();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let opt = TfLiteFramework::new().optimize(&g, &device).unwrap();
+        assert_eq!(opt.stats.kernel_count, 1, "conv+relu fuse");
+    }
+}

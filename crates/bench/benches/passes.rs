@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the SmartMem compiler passes and the
+//! simulator itself (wall-clock cost of this repository's own code, as
+//! opposed to the modeled device latencies printed by the table/figure
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartmem_core::{eliminate, fuse, Framework, SmartMemPipeline};
+use smartmem_index::IndexMap;
+use smartmem_models as models;
+use smartmem_sim::{CacheConfig, CacheSim, DeviceConfig};
+use std::hint::black_box;
+
+fn bench_index_engine(c: &mut Criterion) {
+    c.bench_function("index/compose+simplify fig3 chain", |b| {
+        b.iter(|| {
+            let r = IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]);
+            let t = IndexMap::transpose(&[16, 8, 4, 4], &[0, 2, 1, 3]);
+            black_box(r.then(&t).simplify())
+        })
+    });
+}
+
+fn bench_lte(c: &mut Criterion) {
+    let swin = models::swin_tiny(1);
+    c.bench_function("lte/eliminate swin", |b| {
+        b.iter(|| black_box(eliminate(&swin, true, true)))
+    });
+    let lte = eliminate(&swin, true, true);
+    c.bench_function("fusion/group swin", |b| b.iter(|| black_box(fuse(&swin, &lte, true))));
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let swin = models::swin_tiny(1);
+    let device = DeviceConfig::snapdragon_8gen2();
+    c.bench_function("pipeline/optimize swin", |b| {
+        b.iter(|| black_box(SmartMemPipeline::new().optimize(&swin, &device).unwrap()))
+    });
+    let opt = SmartMemPipeline::new().optimize(&swin, &device).unwrap();
+    c.bench_function("pipeline/estimate swin", |b| b.iter(|| black_box(opt.estimate(&device))));
+}
+
+fn bench_model_builders(c: &mut Criterion) {
+    c.bench_function("models/build swin", |b| b.iter(|| black_box(models::swin_tiny(1))));
+    c.bench_function("models/build cswin", |b| b.iter(|| black_box(models::cswin(1))));
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("sim/cache 64k accesses", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(CacheConfig { size_bytes: 1 << 20, line_bytes: 64, ways: 8 });
+            for i in 0..65536u64 {
+                cache.access(black_box(i % 4096));
+            }
+            black_box(cache.miss_ratio())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_engine, bench_lte, bench_pipeline, bench_model_builders, bench_cache_sim
+}
+criterion_main!(benches);

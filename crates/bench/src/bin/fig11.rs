@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 11**: portability — speedups over each baseline
+//! on the MediaTek Dimensity 700 (Mali-G57) and Snapdragon 835
+//! (Adreno 540). Paper shape: similar speedups despite fewer resources;
+//! some baselines fail on the 4 GB device (e.g. ConvNext under MNN/TVM).
+
+use smartmem_baselines::all_mobile_frameworks;
+use smartmem_bench::render_table;
+use smartmem_models::by_name;
+use smartmem_sim::DeviceConfig;
+
+fn main() {
+    let models = ["CSwin", "FlattenFormer", "SMTFormer", "Swin", "ViT", "ConvNext", "ResNext", "Yolo-V8"];
+    for device in [DeviceConfig::dimensity_700(), DeviceConfig::snapdragon_835()] {
+        let frameworks = all_mobile_frameworks();
+        let mut rows = Vec::new();
+        for name in models {
+            let graph = by_name(name).expect("model").graph();
+            let results: Vec<Option<f64>> = frameworks
+                .iter()
+                .map(|fw| fw.run(&graph, &device).ok().map(|r| r.latency_ms))
+                .collect();
+            let ours = results.last().copied().flatten();
+            let mut row = vec![name.to_string()];
+            for r in results.iter().take(frameworks.len() - 1) {
+                match (r, ours) {
+                    (Some(ms), Some(o)) => row.push(format!("{:.1}x", ms / o)),
+                    _ => row.push("–".into()),
+                }
+            }
+            row.push(match ours {
+                Some(o) => format!("{o:.0}ms"),
+                None => "–".into(),
+            });
+            rows.push(row);
+        }
+        print!(
+            "{}",
+            render_table(
+                &format!("Fig. 11: speedups over baselines on {}", device.name),
+                &["Model", "MNN", "NCNN", "TFLite", "TVM", "DNNF", "Ours"],
+                &rows,
+            )
+        );
+    }
+    println!("\n'–' = unsupported (missing operators or insufficient device memory).");
+}

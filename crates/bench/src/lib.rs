@@ -1,0 +1,101 @@
+//! # smartmem-bench
+//!
+//! The harness that regenerates every table and figure of the SmartMem
+//! paper's evaluation (see `DESIGN.md` for the experiment index). Each
+//! table/figure has a dedicated binary (`cargo run -p smartmem-bench
+//! --release --bin table8`), all built on the helpers here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smartmem_core::{Framework, ModelReport, Unsupported};
+use smartmem_ir::Graph;
+use smartmem_sim::DeviceConfig;
+
+/// Renders an ASCII table with right-aligned columns.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Result of running one framework on one model.
+pub type RunResult = Result<ModelReport, Unsupported>;
+
+/// Runs `framework` on `graph`, returning the report or the
+/// unsupported/OOM error.
+pub fn run_one(framework: &dyn Framework, graph: &Graph, device: &DeviceConfig) -> RunResult {
+    framework.run(graph, device)
+}
+
+/// Formats a latency cell ("–" for unsupported models, as in the
+/// paper's tables).
+pub fn latency_cell(r: &RunResult) -> String {
+    match r {
+        Ok(rep) => format!("{:.1}", rep.latency_ms),
+        Err(_) => "–".to_string(),
+    }
+}
+
+/// Formats a speed (GMACS) cell.
+pub fn speed_cell(r: &RunResult) -> String {
+    match r {
+        Ok(rep) => format!("{:.0}", rep.gmacs),
+        Err(_) => "–".to_string(),
+    }
+}
+
+/// Geometric mean of a list of ratios.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["model", "ms"],
+            &[vec!["Swin".into(), "30.6".into()], vec!["ViT".into(), "103".into()]],
+        );
+        assert!(t.contains("demo"));
+        assert!(t.contains("Swin"));
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,183 @@
+//! Pairwise producer→consumer combination rules (§3.2, Tables 5–6).
+
+use crate::classify::{OpClass, OutputKind};
+
+/// The action SmartMem takes for a producer→consumer operator pair
+/// (Table 5). Rows of the paper's table are the *first* (producer)
+/// operator, columns the *second* (consumer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CombineAction {
+    /// Both operators remain separate kernels (two ILD & Variable ops).
+    KeepBoth,
+    /// Attempt operator fusion (legality per DNNFusion's rules).
+    TryFuse,
+    /// The first (producer) operator is eliminated and replaced by index
+    /// computation in the consumer.
+    EliminateFirst,
+    /// The second (consumer) operator is eliminated; the producer writes
+    /// directly in the transformed layout.
+    EliminateSecond,
+    /// Both operators are layout transformations: both are eliminated
+    /// (their index maps compose).
+    EliminateBoth,
+}
+
+/// Layout-search obligation after combining (Table 6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SearchPolicy {
+    /// Search input and output layouts of both operators.
+    SearchBoth,
+    /// Search layouts for the fused operator.
+    SearchFused,
+    /// Search layouts for the surviving first operator.
+    SearchFirst,
+    /// Search layouts for the surviving second operator.
+    SearchSecond,
+    /// No layout search needed.
+    NoSearch,
+}
+
+/// Table 5: the action for a `(first, second)` class pair.
+pub fn combine_action(first: OpClass, second: OpClass) -> CombineAction {
+    use OutputKind::*;
+    match (first.output, second.output) {
+        // Both Fixed: compose and eliminate both.
+        (Fixed, Fixed) => CombineAction::EliminateBoth,
+        // Fixed producer feeding a computing consumer: fold the
+        // transformation into the consumer's reads.
+        (Fixed, Variable) => CombineAction::EliminateFirst,
+        // Computing producer feeding a Fixed consumer: fold the
+        // transformation into the producer's writes.
+        (Variable, Fixed) => CombineAction::EliminateSecond,
+        // Both Variable: two ILD ops stay separate; anything involving
+        // an ILI op tries to fuse.
+        (Variable, Variable) => {
+            if first == OpClass::ILD_VARIABLE && second == OpClass::ILD_VARIABLE {
+                CombineAction::KeepBoth
+            } else {
+                CombineAction::TryFuse
+            }
+        }
+    }
+}
+
+/// Table 6 (upper entry per cell): the class of the resulting
+/// fused/preserved operator — the operand with the higher
+/// "optimization complexity" wins.
+pub fn result_class(first: OpClass, second: OpClass) -> OpClass {
+    if first.complexity() >= second.complexity() {
+        first
+    } else {
+        second
+    }
+}
+
+/// Table 6 (lower entry per cell): the layout-search policy. Searching
+/// only ever happens for pairs that involve an `ILD & Variable`
+/// operator.
+pub fn search_policy(first: OpClass, second: OpClass) -> SearchPolicy {
+    use CombineAction::*;
+    let ild_var_first = first == OpClass::ILD_VARIABLE;
+    let ild_var_second = second == OpClass::ILD_VARIABLE;
+    match combine_action(first, second) {
+        KeepBoth => SearchPolicy::SearchBoth,
+        TryFuse => {
+            if ild_var_first || ild_var_second {
+                SearchPolicy::SearchFused
+            } else {
+                SearchPolicy::NoSearch
+            }
+        }
+        EliminateSecond => {
+            if ild_var_first {
+                SearchPolicy::SearchFirst
+            } else {
+                SearchPolicy::NoSearch
+            }
+        }
+        EliminateFirst => {
+            if ild_var_second {
+                SearchPolicy::SearchSecond
+            } else {
+                SearchPolicy::NoSearch
+            }
+        }
+        EliminateBoth => SearchPolicy::NoSearch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::OpClass as C;
+
+    #[test]
+    fn table5_row_ild_variable() {
+        assert_eq!(combine_action(C::ILD_VARIABLE, C::ILD_VARIABLE), CombineAction::KeepBoth);
+        assert_eq!(combine_action(C::ILD_VARIABLE, C::ILI_VARIABLE), CombineAction::TryFuse);
+        assert_eq!(combine_action(C::ILD_VARIABLE, C::ILD_FIXED), CombineAction::EliminateSecond);
+        assert_eq!(combine_action(C::ILD_VARIABLE, C::ILI_FIXED), CombineAction::EliminateSecond);
+    }
+
+    #[test]
+    fn table5_row_ili_variable() {
+        assert_eq!(combine_action(C::ILI_VARIABLE, C::ILD_VARIABLE), CombineAction::TryFuse);
+        assert_eq!(combine_action(C::ILI_VARIABLE, C::ILI_VARIABLE), CombineAction::TryFuse);
+        assert_eq!(combine_action(C::ILI_VARIABLE, C::ILD_FIXED), CombineAction::EliminateSecond);
+        assert_eq!(combine_action(C::ILI_VARIABLE, C::ILI_FIXED), CombineAction::EliminateSecond);
+    }
+
+    #[test]
+    fn table5_rows_fixed() {
+        for first in [C::ILD_FIXED, C::ILI_FIXED] {
+            assert_eq!(combine_action(first, C::ILD_VARIABLE), CombineAction::EliminateFirst);
+            assert_eq!(combine_action(first, C::ILI_VARIABLE), CombineAction::EliminateFirst);
+            assert_eq!(combine_action(first, C::ILD_FIXED), CombineAction::EliminateBoth);
+            assert_eq!(combine_action(first, C::ILI_FIXED), CombineAction::EliminateBoth);
+        }
+    }
+
+    #[test]
+    fn conv_reshape_example() {
+        // §3.2: Conv (ILD&Var) + Reshape (ILD&Fixed): Reshape eliminated,
+        // surviving operator still ILD&Var, search its layout.
+        let (conv, reshape) = (C::ILD_VARIABLE, C::ILD_FIXED);
+        assert_eq!(combine_action(conv, reshape), CombineAction::EliminateSecond);
+        assert_eq!(result_class(conv, reshape), C::ILD_VARIABLE);
+        assert_eq!(search_policy(conv, reshape), SearchPolicy::SearchFirst);
+    }
+
+    #[test]
+    fn table6_result_class_follows_complexity() {
+        assert_eq!(result_class(C::ILI_VARIABLE, C::ILD_VARIABLE), C::ILD_VARIABLE);
+        assert_eq!(result_class(C::ILD_FIXED, C::ILI_VARIABLE), C::ILI_VARIABLE);
+        assert_eq!(result_class(C::ILI_FIXED, C::ILI_FIXED), C::ILI_FIXED);
+    }
+
+    #[test]
+    fn table6_search_policies() {
+        assert_eq!(search_policy(C::ILD_VARIABLE, C::ILD_VARIABLE), SearchPolicy::SearchBoth);
+        assert_eq!(search_policy(C::ILI_VARIABLE, C::ILD_VARIABLE), SearchPolicy::SearchFused);
+        assert_eq!(search_policy(C::ILI_VARIABLE, C::ILI_VARIABLE), SearchPolicy::NoSearch);
+        assert_eq!(search_policy(C::ILD_FIXED, C::ILD_VARIABLE), SearchPolicy::SearchSecond);
+        assert_eq!(search_policy(C::ILD_FIXED, C::ILI_VARIABLE), SearchPolicy::NoSearch);
+        assert_eq!(search_policy(C::ILD_FIXED, C::ILI_FIXED), SearchPolicy::NoSearch);
+        assert_eq!(search_policy(C::ILI_VARIABLE, C::ILD_FIXED), SearchPolicy::NoSearch);
+        assert_eq!(search_policy(C::ILD_VARIABLE, C::ILD_FIXED), SearchPolicy::SearchFirst);
+    }
+
+    #[test]
+    fn layout_search_only_for_ild_variable_pairs() {
+        // Exhaustive: any pair without an ILD&Variable member must not
+        // require a search.
+        let classes = [C::ILD_VARIABLE, C::ILI_VARIABLE, C::ILD_FIXED, C::ILI_FIXED];
+        for &a in &classes {
+            for &b in &classes {
+                let has_ild_var = a == C::ILD_VARIABLE || b == C::ILD_VARIABLE;
+                if !has_ild_var {
+                    assert_eq!(search_policy(a, b), SearchPolicy::NoSearch, "{a} x {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Reduction-dimension-based layout selection (§3.2.2, Fig. 4).
+//!
+//! Local step: the producer of each edge writes in the layout preferred
+//! by the consumer's reduction dimension ("sub-optimally writing results
+//! turns out to be better than sub-optimally reading input data").
+//! Global step: a producer with several consumers combines the first
+//! *k* distinct reduction-dimension requirements (k = 2 on 2.5D texture
+//! memory, where both texture axes are directly addressable); further
+//! requirements are served by *redundant copies* of the tensor (§4.6).
+
+use crate::pipeline::{EdgeRead, KernelGroup};
+use crate::reduction::reduction_dims;
+use crate::texture::{fits_texture, place_buffer, place_texture};
+use smartmem_ir::{Graph, Layout, TensorId, TensorKind};
+use smartmem_sim::DeviceConfig;
+use std::collections::HashMap;
+
+/// How layouts are chosen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SelectionLevel {
+    /// Framework default: texture with the last logical dim on X (when
+    /// the device has texture memory), otherwise row-major buffers.
+    /// This is the DNNFusion baseline's behaviour.
+    Default,
+    /// Reduction-dimension selection with `k = 1`: the primary
+    /// requirement goes innermost; conflicting requirements need copies.
+    ReductionK1,
+    /// Full SmartMem: combine up to two requirements per tensor on the
+    /// texture's two axes (`k = 2`), vec4-pack the primary reduction dim.
+    ReductionK2,
+}
+
+/// Redundant-copy statistics (§4.6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RedundancyStats {
+    /// Activation tensors that needed at least one extra copy.
+    pub tensors: usize,
+    /// Largest single redundant copy in bytes.
+    pub max_bytes: u64,
+    /// Total extra bytes across all copies.
+    pub total_extra_bytes: u64,
+}
+
+/// Reduction-dimension requirement of one read, expressed as dimensions
+/// of the *materialized source* tensor.
+pub fn required_dims(graph: &Graph, read: &EdgeRead) -> Vec<usize> {
+    let member = graph.node(read.member);
+    let decl_shape = &graph.tensor(read.logical).shape;
+    let rdims = reduction_dims(&member.op, read.operand_idx, decl_shape);
+    if rdims.is_empty() {
+        return Vec::new();
+    }
+    match &read.map {
+        None => rdims,
+        Some(m) => {
+            // The contiguity requirement lands on the source dim that
+            // tracks the reduction variable with unit stride (an
+            // identity component). Source dims that merely *mention* a
+            // reduction variable inside a split/merge expression do not
+            // need to be contiguous — flagging them too would fabricate
+            // conflicting requirements (and redundant copies) that the
+            // paper reports as rare (§4.6).
+            let mut identity = Vec::new();
+            let mut touched = Vec::new();
+            for (j, e) in m.exprs().iter().enumerate() {
+                let vars = e.vars();
+                if vars.iter().any(|v| rdims.contains(v)) {
+                    touched.push(j);
+                    if matches!(e, smartmem_index::IndexExpr::Var(v) if rdims.contains(v)) {
+                        identity.push(j);
+                    }
+                }
+            }
+            if !identity.is_empty() {
+                identity
+            } else {
+                touched.truncate(1);
+                touched
+            }
+        }
+    }
+}
+
+fn layout_for(dims: &[usize], reqs: &[usize], device: &DeviceConfig, level: SelectionLevel) -> Layout {
+    let rank = dims.len();
+    if rank == 0 {
+        return Layout::row_major(0);
+    }
+    let make = |r0: usize, r1: Option<usize>| -> Layout {
+        if device.has_texture {
+            let l = place_texture(dims, r0, r1, true);
+            if fits_texture(&l, &smartmem_ir::Shape::new(dims.to_vec())) {
+                l
+            } else {
+                place_buffer(dims, Some(r0))
+            }
+        } else {
+            place_buffer(dims, Some(r0))
+        }
+    };
+    match level {
+        SelectionLevel::Default => {
+            // Baseline frameworks only place conv-shaped (rank-4)
+            // tensors in texture memory (TVM's texture schedules and
+            // MNN's OpenCL images are conv-centric); transformer
+            // activations stay in 1D buffers.
+            if device.has_texture && rank == 4 {
+                let l = Layout::texture_default(rank);
+                if fits_texture(&l, &smartmem_ir::Shape::new(dims.to_vec())) {
+                    l
+                } else {
+                    Layout::row_major(rank)
+                }
+            } else {
+                Layout::row_major(rank)
+            }
+        }
+        SelectionLevel::ReductionK1 => make(reqs.first().copied().unwrap_or(rank - 1), None),
+        SelectionLevel::ReductionK2 => {
+            make(reqs.first().copied().unwrap_or(rank - 1), reqs.get(1).copied())
+        }
+    }
+}
+
+/// Number of requirement slots a single layout can satisfy at `level`.
+fn k_of(level: SelectionLevel) -> usize {
+    match level {
+        SelectionLevel::Default => usize::MAX, // no requirements honoured anyway
+        SelectionLevel::ReductionK1 => 1,
+        SelectionLevel::ReductionK2 => 2,
+    }
+}
+
+/// Chooses layouts for every read and every group output; returns the
+/// redundant-copy statistics.
+pub fn select_layouts(
+    graph: &Graph,
+    groups: &mut [KernelGroup],
+    device: &DeviceConfig,
+    level: SelectionLevel,
+) -> RedundancyStats {
+    // 1. Collect ordered, distinct requirements per materialized tensor.
+    let mut reqs_of: HashMap<TensorId, Vec<usize>> = HashMap::new();
+    for g in groups.iter() {
+        for r in &g.reads {
+            let req = required_dims(graph, r);
+            let entry = reqs_of.entry(r.source).or_default();
+            for d in req {
+                if !entry.contains(&d) {
+                    entry.push(d);
+                }
+            }
+        }
+    }
+
+    // 2. Primary layout per tensor; extra copies for requirements
+    //    beyond the first k (weights are pre-packed offline and never
+    //    need runtime copies).
+    let elem = device.dtype.size_bytes();
+    let mut primary: HashMap<TensorId, Layout> = HashMap::new();
+    let mut copies: HashMap<TensorId, Vec<(usize, Layout)>> = HashMap::new(); // (req dim, layout)
+    let mut stats = RedundancyStats::default();
+    let producer_of: HashMap<TensorId, usize> =
+        groups.iter().enumerate().map(|(i, g)| (g.output, i)).collect();
+
+    let all_tensors: Vec<TensorId> = {
+        let mut v: Vec<TensorId> = groups.iter().map(|g| g.output).collect();
+        v.extend(groups.iter().flat_map(|g| g.reads.iter().map(|r| r.source)));
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    for &t in &all_tensors {
+        let info = graph.tensor(t);
+        let dims = info.shape.dims().to_vec();
+        let reqs = reqs_of.get(&t).cloned().unwrap_or_default();
+        primary.insert(t, layout_for(&dims, &reqs, device, level));
+        let k = k_of(level);
+        if info.kind == TensorKind::Weight {
+            // Offline pre-packing: each consumer can have its own layout
+            // at zero runtime cost; model as per-read layouts below.
+            continue;
+        }
+        if reqs.len() > k && level != SelectionLevel::Default {
+            let extra: Vec<(usize, Layout)> = reqs[k..]
+                .iter()
+                .map(|&d| (d, layout_for(&dims, &[d], device, level)))
+                .collect();
+            let bytes = info.shape.numel() * elem;
+            stats.tensors += 1;
+            stats.max_bytes = stats.max_bytes.max(bytes);
+            stats.total_extra_bytes += bytes * extra.len() as u64;
+            if let Some(&gi) = producer_of.get(&t) {
+                groups[gi].extra_copies = extra.len();
+            }
+            copies.insert(t, extra);
+        }
+    }
+
+    // 3. Point every read at the copy satisfying its requirement and set
+    //    output layouts.
+    for g in groups.iter_mut() {
+        g.output_layout = primary.get(&g.output).cloned().unwrap_or_else(|| {
+            layout_for(graph.tensor(g.output).shape.dims(), &[], device, level)
+        });
+        // Avoid borrowing issues: compute requirements first.
+        let reqs: Vec<Vec<usize>> = g.reads.iter().map(|r| required_dims(graph, r)).collect();
+        for (r, req) in g.reads.iter_mut().zip(reqs) {
+            let info = graph.tensor(r.source);
+            let dims = info.shape.dims().to_vec();
+            if info.kind == TensorKind::Weight && level != SelectionLevel::Default {
+                // Pre-packed per consumer.
+                r.layout = layout_for(&dims, &req, device, level);
+                continue;
+            }
+            let prim = primary.get(&r.source).cloned().unwrap_or_else(|| Layout::row_major(dims.len()));
+            let mut chosen = prim.clone();
+            if let (Some(&want), Some(extra)) = (req.first(), copies.get(&r.source)) {
+                let satisfied_by_primary = {
+                    let all = reqs_of.get(&r.source).cloned().unwrap_or_default();
+                    let k = k_of(level);
+                    all.iter().take(k).any(|&d| d == want)
+                };
+                if !satisfied_by_primary {
+                    if let Some((_, l)) = extra.iter().find(|(d, _)| *d == want) {
+                        chosen = l.clone();
+                    }
+                }
+            }
+            r.layout = chosen;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fuse;
+    use crate::lte::eliminate;
+    use crate::pipeline::assemble_groups;
+    use smartmem_ir::{DType, GraphBuilder, MemoryClass, ReduceKind};
+
+    /// Fig. 4-style graph: one MatMul feeding consumers with different
+    /// reduction dimensions.
+    fn fig4_graph() -> Graph {
+        let mut b = GraphBuilder::new("fig4");
+        let x = b.input("x", &[64, 96], DType::F16);
+        let w = b.weight("w", &[96, 128], DType::F16);
+        let mm = b.matmul(x, w); // [64, 128]
+        let r0 = b.reduce(mm, ReduceKind::Sum, vec![0], false); // reduction dim 0
+        let r1 = b.reduce(mm, ReduceKind::Sum, vec![1], false); // reduction dim 1
+        b.output(r0);
+        b.output(r1);
+        b.finish()
+    }
+
+    fn build_groups(g: &Graph) -> Vec<KernelGroup> {
+        let lte = eliminate(g, true, true);
+        let drafts = fuse(g, &lte, true);
+        assemble_groups(g, &lte, &drafts)
+    }
+
+    #[test]
+    fn k2_combines_two_requirements_without_copies() {
+        let g = fig4_graph();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let mut groups = build_groups(&g);
+        let stats = select_layouts(&g, &mut groups, &device, SelectionLevel::ReductionK2);
+        assert_eq!(stats.tensors, 0, "two requirements fit k=2 on 2.5D memory");
+        // The matmul output should be a texture with dim 0 on X and dim 1
+        // innermost on Y (or vice versa).
+        let mm_group = &groups[0];
+        assert_eq!(mm_group.output_layout.memory_class(), MemoryClass::Texture2p5D);
+    }
+
+    #[test]
+    fn k1_needs_a_redundant_copy() {
+        let g = fig4_graph();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let mut groups = build_groups(&g);
+        let stats = select_layouts(&g, &mut groups, &device, SelectionLevel::ReductionK1);
+        assert_eq!(stats.tensors, 1, "conflicting requirements at k=1 need a copy");
+        assert_eq!(stats.max_bytes, 64 * 128 * 2);
+        assert_eq!(groups[0].extra_copies, 1);
+    }
+
+    #[test]
+    fn default_level_ignores_requirements() {
+        let g = fig4_graph();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let mut groups = build_groups(&g);
+        let stats = select_layouts(&g, &mut groups, &device, SelectionLevel::Default);
+        assert_eq!(stats, RedundancyStats::default());
+    }
+
+    #[test]
+    fn buffer_device_gets_buffer_layouts() {
+        let g = fig4_graph();
+        let device = DeviceConfig::tesla_v100();
+        let mut groups = build_groups(&g);
+        select_layouts(&g, &mut groups, &device, SelectionLevel::ReductionK2);
+        for gr in &groups {
+            assert_eq!(gr.output_layout.memory_class(), MemoryClass::Buffer1D);
+            for r in &gr.reads {
+                assert_eq!(r.layout.memory_class(), MemoryClass::Buffer1D);
+            }
+        }
+    }
+
+    #[test]
+    fn requirements_propagate_through_eliminated_maps() {
+        // matmul -> transpose (eliminated) -> softmax(axis=1):
+        // softmax's reduction axis maps back through the transpose to
+        // dim 0 of the matmul output.
+        let mut b = GraphBuilder::new("through-map");
+        let x = b.input("x", &[32, 48], DType::F16);
+        let w = b.weight("w", &[48, 64], DType::F16);
+        let mm = b.matmul(x, w); // [32, 64]
+        let t = b.transpose(mm, &[1, 0]); // [64, 32]
+        let sm = b.softmax(t, 1); // reduces over dim 1 of the transposed view
+        b.output(sm);
+        let g = b.finish();
+        let groups = {
+            let lte = eliminate(&g, true, true);
+            let drafts = fuse(&g, &lte, true);
+            assemble_groups(&g, &lte, &drafts)
+        };
+        let softmax_read = groups
+            .iter()
+            .flat_map(|gr| gr.reads.iter())
+            .find(|r| r.map.is_some())
+            .expect("softmax reads through the eliminated transpose");
+        // Softmax axis 1 of [64, 32] corresponds to dim 0 of [32, 64].
+        assert_eq!(required_dims(&g, softmax_read), vec![0]);
+    }
+
+    #[test]
+    fn weights_never_count_as_redundant() {
+        let mut b = GraphBuilder::new("w");
+        let x = b.input("x", &[16, 32], DType::F16);
+        let w = b.weight("w", &[32, 32], DType::F16);
+        let m1 = b.matmul(x, w);
+        let m2 = b.matmul_t(x, w, false, true);
+        b.output(m1);
+        b.output(m2);
+        let g = b.finish();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let mut groups = build_groups(&g);
+        let stats = select_layouts(&g, &mut groups, &device, SelectionLevel::ReductionK1);
+        // w is required along dim 0 by m1 and dim 1 by m2, but weights
+        // are pre-packed offline.
+        assert_eq!(stats.tensors, 0);
+    }
+}

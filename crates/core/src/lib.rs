@@ -1,0 +1,79 @@
+//! # smartmem-core
+//!
+//! The SmartMem optimizer — the primary contribution of the paper
+//! (*SmartMem: Layout Transformation Elimination and Adaptation for
+//! Efficient DNN Execution on Mobile*, ASPLOS'24) — implemented over the
+//! `smartmem-ir` graph representation and the `smartmem-sim` device
+//! model:
+//!
+//! 1. **Operator classification** ([`classify`], Tables 3–4): every
+//!    operator lands in one of four quadrants of (input-layout
+//!    dependence × output-layout customizability).
+//! 2. **Combination rules** ([`combine_action`], Tables 5–6): pairwise
+//!    producer→consumer actions — keep both, try fuse, eliminate
+//!    first/second/both — plus the resulting class and layout-search
+//!    policy.
+//! 3. **Layout Transformation Elimination** ([`eliminate`], §3.2.1):
+//!    `Reshape`/`Transpose`/`DepthToSpace`/`SpaceToDepth`/`Slice`/
+//!    `Split` chains become composed, strength-reduced index maps on the
+//!    surviving edges.
+//! 4. **Fusion** ([`fuse`]): DNNFusion-style grouping, which after
+//!    elimination finds strictly more opportunities (Table 7).
+//! 5. **Reduction-dimension layout selection** ([`select_layouts`],
+//!    §3.2.2) with redundant-copy accounting (§4.6).
+//! 6. **2.5D texture mapping** ([`place_texture`], §3.3, Fig. 5) and
+//!    **GA auto-tuning** ([`GaTuner`]).
+//! 7. A shared [`OptimizedGraph`] + [`estimate`](OptimizedGraph::estimate)
+//!    pipeline output consumed by the baseline frameworks as well, so
+//!    all Table 7/8 comparisons run through identical machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use smartmem_core::{Framework, SmartMemPipeline};
+//! use smartmem_ir::{DType, GraphBuilder};
+//! use smartmem_sim::DeviceConfig;
+//!
+//! let mut b = GraphBuilder::new("toy");
+//! let x = b.input("x", &[1, 16, 32], DType::F16);
+//! let w = b.weight("w", &[32, 32], DType::F16);
+//! let mm = b.matmul(x, w);
+//! let t = b.transpose(mm, &[0, 2, 1]);
+//! let out = b.softmax(t, 2);
+//! b.output(out);
+//! let graph = b.finish();
+//!
+//! let device = DeviceConfig::snapdragon_8gen2();
+//! let optimized = SmartMemPipeline::new().optimize(&graph, &device).unwrap();
+//! assert!(optimized.stats.eliminated_ops >= 1); // the transpose is gone
+//! let report = optimized.estimate(&device);
+//! assert!(report.latency_ms > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod combine;
+mod estimate;
+mod fusion;
+mod layout_select;
+mod lte;
+mod pipeline;
+mod reduction;
+mod texture;
+mod tune;
+
+pub use classify::{classify, InputDep, OpClass, OutputKind};
+pub use combine::{combine_action, result_class, search_policy, CombineAction, SearchPolicy};
+pub use estimate::{GroupReport, ModelReport};
+pub use fusion::{fuse, GroupDraft};
+pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
+pub use lte::{eliminate, is_eliminable, op_pullback, EdgeSource, LteResult};
+pub use pipeline::{
+    assemble_groups, group_class, iteration_mn, EdgeRead, Framework, KernelGroup, MemModel,
+    OptStats, OptimizedGraph, SmartMemConfig, SmartMemPipeline, Unsupported,
+};
+pub use reduction::reduction_dims;
+pub use texture::{fits_texture, place_buffer, place_texture, MAX_TEXTURE_EXTENT};
+pub use tune::{base_utilization, utilization, ExecConfig, GaTuner};

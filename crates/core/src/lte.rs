@@ -1,0 +1,234 @@
+//! Layout Transformation Elimination (§3.2.1).
+//!
+//! Walks the graph in topological order and *eliminates* every
+//! Fixed-output operator whose effect can be expressed as a static
+//! coordinate mapping (`Reshape`, `Transpose`, `DepthToSpace`,
+//! `SpaceToDepth`, `Slice`, `Split`). Chains of such operators compose
+//! into a single [`IndexMap`] attached to the surviving edge, exactly as
+//! in Fig. 3 of the paper; consumers then read the producer's tensor
+//! through the (strength-reduced) map instead of materializing the
+//! intermediate.
+//!
+//! `Gather` is Fixed-output in the paper's taxonomy but its mapping is
+//! data-dependent (runtime indices), so it is kept as a kernel here —
+//! the paper's evaluated graphs treat token-selection gathers the same
+//! way.
+
+use smartmem_index::IndexMap;
+use smartmem_ir::{Graph, Op, OpId, TensorId};
+use std::collections::HashMap;
+
+/// Resolution of one tensor after elimination: the materialized source
+/// tensor plus the composed pull-back map (`None` = identity).
+#[derive(Clone, Debug)]
+pub struct EdgeSource {
+    /// Materialized tensor that physically holds the data.
+    pub source: TensorId,
+    /// Composed coordinate map from the logical tensor's coordinates to
+    /// `source`'s coordinates, if any transformation was eliminated.
+    pub map: Option<IndexMap>,
+}
+
+/// Result of the elimination pass.
+#[derive(Clone, Debug)]
+pub struct LteResult {
+    /// Operators that remain after elimination, in topological order.
+    pub kept: Vec<OpId>,
+    /// Eliminated operators.
+    pub eliminated: Vec<OpId>,
+    /// Resolution for every tensor in the graph.
+    pub source_of: HashMap<TensorId, EdgeSource>,
+}
+
+impl LteResult {
+    /// Resolves a tensor to its materialized source and composed map.
+    pub fn resolve(&self, t: TensorId) -> EdgeSource {
+        self.source_of
+            .get(&t)
+            .cloned()
+            .unwrap_or(EdgeSource { source: t, map: None })
+    }
+}
+
+/// Whether an operator can be eliminated into a static index map.
+pub fn is_eliminable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Reshape { .. }
+            | Op::Transpose { .. }
+            | Op::DepthToSpace { .. }
+            | Op::SpaceToDepth { .. }
+            | Op::Slice { .. }
+            | Op::Split { .. }
+    )
+}
+
+/// The pull-back map of one eliminable operator (output coords → input
+/// coords).
+///
+/// # Panics
+///
+/// Panics if called on a non-eliminable operator.
+pub fn op_pullback(op: &Op, in_extents: &[usize], out_extents: &[usize], output_idx: usize) -> IndexMap {
+    match op {
+        Op::Reshape { .. } => IndexMap::reshape(in_extents, out_extents),
+        Op::Transpose { perm } => IndexMap::transpose(in_extents, perm),
+        Op::DepthToSpace { block } => IndexMap::depth_to_space(in_extents, *block),
+        Op::SpaceToDepth { block } => IndexMap::space_to_depth(in_extents, *block),
+        Op::Slice { axis, start, len } => IndexMap::slice(in_extents, *axis, *start, *len),
+        Op::Split { axis, parts } => IndexMap::split_part(in_extents, *axis, *parts, output_idx),
+        other => panic!("{} is not an eliminable layout operator", other.mnemonic()),
+    }
+}
+
+/// Runs elimination over `graph`.
+///
+/// * `enabled = false` keeps every operator (the DNNFusion baseline).
+/// * `simplify_maps` applies index comprehension (strength reduction) to
+///   the composed maps; disabling it isolates the contribution of index
+///   simplification (Fig. 8's analysis).
+///
+/// Operators whose outputs are graph outputs are kept (their result must
+/// be materialized).
+pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult {
+    let mut source_of: HashMap<TensorId, EdgeSource> = HashMap::new();
+    let mut kept = Vec::new();
+    let mut eliminated = Vec::new();
+
+    if !enabled {
+        return LteResult { kept: graph.nodes().iter().map(|n| n.id).collect(), eliminated, source_of };
+    }
+
+    for node in graph.nodes() {
+        let feeds_graph_output = node.outputs.iter().any(|t| graph.outputs().contains(t));
+        if !is_eliminable(&node.op) || feeds_graph_output {
+            kept.push(node.id);
+            continue;
+        }
+        // Resolve the input through already-eliminated predecessors.
+        let input = node.inputs[0];
+        let upstream = source_of
+            .get(&input)
+            .cloned()
+            .unwrap_or(EdgeSource { source: input, map: None });
+        let in_shape = graph.tensor(input).shape.dims().to_vec();
+        for (output_idx, &out) in node.outputs.iter().enumerate() {
+            let out_shape = graph.tensor(out).shape.dims().to_vec();
+            let own = op_pullback(&node.op, &in_shape, &out_shape, output_idx);
+            let composed = match &upstream.map {
+                None => own,
+                Some(m) => m.then(&own),
+            };
+            let composed = if simplify_maps { composed.simplify() } else { composed };
+            source_of.insert(out, EdgeSource { source: upstream.source, map: Some(composed) });
+        }
+        eliminated.push(node.id);
+    }
+    LteResult { kept, eliminated, source_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+
+    fn chain_graph() -> Graph {
+        // conv -> reshape -> transpose -> gelu -> output
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input("x", &[1, 16, 8, 8], DType::F16);
+        let w = b.weight("w", &[32, 16, 3, 3], DType::F16);
+        let c = b.conv2d(x, w, (1, 1), (1, 1), 1);
+        let r = b.reshape(c, &[1, 32, 64]);
+        let t = b.transpose(r, &[0, 2, 1]);
+        let g = b.unary(t, UnaryKind::Gelu);
+        b.output(g);
+        b.finish()
+    }
+
+    #[test]
+    fn eliminates_reshape_transpose_chain() {
+        let g = chain_graph();
+        let r = eliminate(&g, true, true);
+        assert_eq!(r.eliminated.len(), 2);
+        assert_eq!(r.kept.len(), 2); // conv + gelu
+        // gelu's input resolves to conv's output with a composed map.
+        let gelu = g.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
+        let src = r.resolve(gelu.inputs[0]);
+        let conv = g.nodes().iter().find(|n| n.op.mnemonic() == "Conv2d").unwrap();
+        assert_eq!(src.source, conv.outputs[0]);
+        let map = src.map.expect("composed map");
+        assert_eq!(map.out_extents(), &[1, 64, 32]);
+        assert_eq!(map.in_extents(), &[1, 32, 8, 8]);
+    }
+
+    #[test]
+    fn composed_map_is_correct() {
+        let g = chain_graph();
+        let r = eliminate(&g, true, true);
+        let gelu = g.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
+        let map = r.resolve(gelu.inputs[0]).map.unwrap();
+        // transpose [0,2,1] of reshape [1,32,64]: element (0, j, i) of the
+        // transposed view = conv output element (0, i, (j / 8), (j % 8)).
+        assert_eq!(map.eval(&[0, 9, 5]), vec![0, 5, 1, 1]);
+        assert_eq!(map.eval(&[0, 0, 31]), vec![0, 31, 0, 0]);
+    }
+
+    #[test]
+    fn disabled_keeps_everything() {
+        let g = chain_graph();
+        let r = eliminate(&g, false, true);
+        assert_eq!(r.kept.len(), g.op_count());
+        assert!(r.eliminated.is_empty());
+    }
+
+    #[test]
+    fn graph_output_transform_is_kept() {
+        let mut b = GraphBuilder::new("out");
+        let x = b.input("x", &[4, 4], DType::F16);
+        let y = b.unary(x, UnaryKind::Relu);
+        let t = b.transpose(y, &[1, 0]);
+        b.output(t);
+        let g = b.finish();
+        let r = eliminate(&g, true, true);
+        assert!(r.eliminated.is_empty(), "output-feeding transpose must stay");
+        assert_eq!(r.kept.len(), 2);
+    }
+
+    #[test]
+    fn split_parts_resolve_independently() {
+        let mut b = GraphBuilder::new("split");
+        let x = b.input("x", &[2, 12], DType::F16);
+        let y = b.unary(x, UnaryKind::Relu);
+        let parts = b.split(y, 1, 3);
+        let s0 = b.unary(parts[0], UnaryKind::Gelu);
+        let s2 = b.unary(parts[2], UnaryKind::Gelu);
+        b.output(s0);
+        b.output(s2);
+        let g = b.finish();
+        let r = eliminate(&g, true, true);
+        assert_eq!(r.eliminated.len(), 1); // the split
+        let relu_out = g.nodes()[0].outputs[0];
+        let p0 = r.resolve(parts[0]);
+        let p2 = r.resolve(parts[2]);
+        assert_eq!(p0.source, relu_out);
+        assert_eq!(p0.map.unwrap().eval(&[1, 3]), vec![1, 3]);
+        assert_eq!(p2.map.unwrap().eval(&[1, 3]), vec![1, 11]);
+    }
+
+    #[test]
+    fn gather_is_not_eliminable() {
+        assert!(!is_eliminable(&Op::Gather { axis: 0 }));
+        assert!(is_eliminable(&Op::Reshape { shape: vec![1] }));
+    }
+
+    #[test]
+    fn unsimplified_maps_cost_more() {
+        let g = chain_graph();
+        let simplified = eliminate(&g, true, true);
+        let raw = eliminate(&g, true, false);
+        let gelu = g.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
+        let cs = simplified.resolve(gelu.inputs[0]).map.unwrap().cost().weighted();
+        let cr = raw.resolve(gelu.inputs[0]).map.unwrap().cost().weighted();
+        assert!(cs < cr, "index comprehension must reduce cost ({cs} vs {cr})");
+    }
+}

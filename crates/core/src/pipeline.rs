@@ -1,0 +1,459 @@
+//! The optimized-graph representation shared by SmartMem and the
+//! baseline pipelines, plus the [`Framework`] abstraction and the
+//! [`SmartMemPipeline`] itself.
+
+use crate::fusion::{fuse, GroupDraft};
+use crate::layout_select::{select_layouts, SelectionLevel};
+use crate::lte::{eliminate, LteResult};
+use crate::tune::{utilization, ExecConfig, GaTuner};
+use smartmem_index::IndexMap;
+use smartmem_ir::{Graph, Layout, Op, OpId, OpOrigin, TensorId, UnaryKind};
+use smartmem_sim::{DeviceConfig, LatencyClass};
+use std::error::Error;
+use std::fmt;
+
+/// One external tensor read of a kernel group.
+#[derive(Clone, Debug)]
+pub struct EdgeRead {
+    /// Tensor the member operator reads in the source graph (defines the
+    /// declared coordinate space of [`EdgeRead::map`]).
+    pub logical: TensorId,
+    /// Materialized tensor physically holding the data (after LTE).
+    pub source: TensorId,
+    /// Composed pull-back map from `logical` coordinates to `source`
+    /// coordinates (`None` = identity).
+    pub map: Option<IndexMap>,
+    /// The member operator performing the read.
+    pub member: OpId,
+    /// Operand position on the member.
+    pub operand_idx: usize,
+    /// Physical layout the read uses (set by layout selection).
+    pub layout: Layout,
+}
+
+/// One fused kernel.
+#[derive(Clone, Debug)]
+pub struct KernelGroup {
+    /// Anchor operator (defines the kernel's iteration space).
+    pub anchor: OpId,
+    /// All member operators (anchor first, epilogues after).
+    pub members: Vec<OpId>,
+    /// External reads.
+    pub reads: Vec<EdgeRead>,
+    /// Materialized output tensor.
+    pub output: TensorId,
+    /// Physical layout of the output.
+    pub output_layout: Layout,
+    /// Latency attribution bucket (Table 1: compute vs explicit vs
+    /// implicit transformation).
+    pub class: LatencyClass,
+    /// Execution configuration (tiling, workgroup, unrolling).
+    pub config: ExecConfig,
+    /// Achieved fraction of peak compute throughput.
+    pub utilization: f64,
+    /// Number of extra layout copies of the output kept for consumers
+    /// with conflicting reduction-dimension requirements (§4.6).
+    pub extra_copies: usize,
+}
+
+/// Optimization statistics (Table 7's operator counts and §4.6's
+/// redundant-copy data).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OptStats {
+    /// Operators in the unoptimized source graph.
+    pub source_ops: usize,
+    /// Kernels after optimization (the paper's "#Operators with
+    /// optimizations").
+    pub kernel_count: usize,
+    /// Layout-transformation operators eliminated by LTE.
+    pub eliminated_ops: usize,
+    /// Operators folded into other kernels by fusion.
+    pub fused_ops: usize,
+    /// Relayout operators inserted by the framework (implicit
+    /// transformations; zero for SmartMem).
+    pub implicit_inserted: usize,
+    /// Tensors that needed redundant layout copies.
+    pub redundant_tensors: usize,
+    /// Largest single redundant copy in bytes.
+    pub redundant_bytes_max: u64,
+}
+
+/// How a framework's runtime consumes memory (drives the OOM behaviour
+/// of Figs. 10–11).
+#[derive(Clone, Copy, Debug)]
+pub struct MemModel {
+    /// Whether intermediate tensors are recycled through a memory pool
+    /// (§4.6: SmartMem and TVM pool; naive runtimes keep every
+    /// intermediate live).
+    pub pooled: bool,
+    /// Multiplier on activation memory for runtime workspaces/staging.
+    pub workspace_factor: f64,
+    /// Whether convolutions allocate an im2col workspace.
+    pub im2col: bool,
+    /// Multiplier on per-kernel dispatch overhead (NCNN batches Vulkan
+    /// command buffers and pays far less per kernel than OpenCL
+    /// runtimes).
+    pub dispatch_scale: f64,
+}
+
+impl Default for MemModel {
+    fn default() -> Self {
+        MemModel { pooled: true, workspace_factor: 1.2, im2col: false, dispatch_scale: 1.0 }
+    }
+}
+
+/// A fully optimized model ready for latency estimation.
+#[derive(Clone, Debug)]
+pub struct OptimizedGraph {
+    /// The source graph (owned copy).
+    pub graph: Graph,
+    /// Kernels in execution (topological) order.
+    pub groups: Vec<KernelGroup>,
+    /// Optimization statistics.
+    pub stats: OptStats,
+    /// Runtime memory model.
+    pub mem_model: MemModel,
+}
+
+/// Error returned when a framework cannot execute a model (missing
+/// operator support or insufficient device memory) — the "–" entries of
+/// Tables 7–8 and the empty bars of Figs. 10–11.
+#[derive(Clone, Debug)]
+pub struct Unsupported {
+    /// Framework name.
+    pub framework: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl Unsupported {
+    /// Creates an unsupported-model error.
+    pub fn new(framework: impl Into<String>, reason: impl Into<String>) -> Self {
+        Unsupported { framework: framework.into(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: model not supported ({})", self.framework, self.reason)
+    }
+}
+
+impl Error for Unsupported {}
+
+/// A DNN execution framework: optimizes a graph for a device and
+/// estimates its execution.
+pub trait Framework {
+    /// Framework display name.
+    fn name(&self) -> &str;
+
+    /// Optimizes `graph` for `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] when the framework cannot compile the
+    /// model (operator support gaps).
+    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported>;
+
+    /// Optimizes and estimates, failing when the model does not fit
+    /// device memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] for operator-support gaps or
+    /// out-of-memory conditions.
+    fn run(&self, graph: &Graph, device: &DeviceConfig) -> Result<crate::estimate::ModelReport, Unsupported> {
+        let optimized = self.optimize(graph, device)?;
+        let report = optimized.estimate(device);
+        // Roughly half of unified memory is usable for one app's tensors.
+        let usable = (device.memory_bytes() as f64 * 0.5) as u64;
+        if report.peak_memory_bytes > usable {
+            return Err(Unsupported::new(
+                self.name(),
+                format!(
+                    "insufficient memory: needs {:.1} MB, usable {:.1} MB",
+                    report.peak_memory_bytes as f64 / 1e6,
+                    usable as f64 / 1e6
+                ),
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Ablation switches of the SmartMem pipeline (Fig. 8's incremental
+/// levels on top of the DNNFusion baseline).
+#[derive(Clone, Copy, Debug)]
+pub struct SmartMemConfig {
+    /// Layout Transformation Elimination (§3.2.1).
+    pub lte: bool,
+    /// Index comprehension (strength reduction of eliminated maps).
+    pub index_comprehension: bool,
+    /// Reduction-dimension-based layout selection (§3.2.2).
+    pub layout_selection: bool,
+    /// 2.5D texture mapping (Fig. 5) and GA auto-tuning ("Other opt").
+    pub texture_and_tuning: bool,
+}
+
+impl SmartMemConfig {
+    /// The full SmartMem system.
+    pub fn full() -> Self {
+        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: true, texture_and_tuning: true }
+    }
+
+    /// DNNFusion-equivalent level (fusion only).
+    pub fn dnnfusion_level() -> Self {
+        SmartMemConfig {
+            lte: false,
+            index_comprehension: false,
+            layout_selection: false,
+            texture_and_tuning: false,
+        }
+    }
+
+    /// DNNFusion + LTE (Fig. 8's "LTE" bar).
+    pub fn lte_level() -> Self {
+        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: false, texture_and_tuning: false }
+    }
+
+    /// DNNFusion + LTE + layout selection (Fig. 8's "Layout Selecting").
+    pub fn layout_level() -> Self {
+        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: true, texture_and_tuning: false }
+    }
+}
+
+impl Default for SmartMemConfig {
+    fn default() -> Self {
+        SmartMemConfig::full()
+    }
+}
+
+/// The SmartMem optimizing pipeline (the paper's contribution).
+#[derive(Clone, Debug, Default)]
+pub struct SmartMemPipeline {
+    config: SmartMemConfig,
+    tuner: GaTuner,
+}
+
+impl SmartMemPipeline {
+    /// Full-featured pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pipeline with explicit ablation switches.
+    pub fn with_config(config: SmartMemConfig) -> Self {
+        SmartMemPipeline { config, tuner: GaTuner::default() }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> SmartMemConfig {
+        self.config
+    }
+}
+
+impl Framework for SmartMemPipeline {
+    fn name(&self) -> &str {
+        "SmartMem"
+    }
+
+    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
+        let cfg = self.config;
+        let lte = eliminate(graph, cfg.lte, cfg.index_comprehension);
+        let drafts = fuse(graph, &lte, true);
+        let mut groups = assemble_groups(graph, &lte, &drafts);
+        let level = if !cfg.layout_selection {
+            SelectionLevel::Default
+        } else if cfg.texture_and_tuning {
+            SelectionLevel::ReductionK2
+        } else {
+            SelectionLevel::ReductionK1
+        };
+        let redundancy = select_layouts(graph, &mut groups, device, level);
+        // Tuning: GA when enabled, detuned defaults otherwise.
+        for g in &mut groups {
+            let node = graph.node(g.anchor);
+            let out_shape = &graph.tensor(node.outputs[0]).shape;
+            let (m, n) = iteration_mn(out_shape.dims());
+            if cfg.texture_and_tuning {
+                let (config, util) = self.tuner.tune(&node.op, m, n);
+                g.config = config;
+                g.utilization = util;
+            } else {
+                g.config = ExecConfig::default();
+                // Untuned (DNNFusion-era) kernels; its transform kernels
+                // in particular were not layout-aware.
+                let transform_penalty = if node.op.is_layout_transform() { 0.6 } else { 1.0 };
+                g.utilization = utilization(&node.op, m, n, &g.config) * 0.7 * transform_penalty;
+            }
+        }
+        let stats = OptStats {
+            source_ops: graph.op_count(),
+            kernel_count: groups.len(),
+            eliminated_ops: lte.eliminated.len(),
+            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
+            implicit_inserted: 0,
+            redundant_tensors: redundancy.tensors,
+            redundant_bytes_max: redundancy.max_bytes,
+        };
+        Ok(OptimizedGraph { graph: graph.clone(), groups, stats, mem_model: MemModel::default() })
+    }
+}
+
+/// Last-two iteration extents of a shape (1 when absent).
+pub fn iteration_mn(dims: &[usize]) -> (usize, usize) {
+    match dims.len() {
+        0 => (1, 1),
+        1 => (1, dims[0]),
+        n => (dims[n - 2], dims[n - 1]),
+    }
+}
+
+/// Latency class of a kernel anchored at `node` (Table 1 attribution).
+pub fn group_class(op: &Op, origin: OpOrigin) -> LatencyClass {
+    if op.is_layout_transform() {
+        match origin {
+            OpOrigin::Model => LatencyClass::ExplicitTransform,
+            OpOrigin::Framework => LatencyClass::ImplicitTransform,
+        }
+    } else if matches!(op, Op::Unary { kind: UnaryKind::Identity }) && origin == OpOrigin::Framework {
+        // Framework-inserted relayout copies.
+        LatencyClass::ImplicitTransform
+    } else {
+        LatencyClass::Compute
+    }
+}
+
+/// Builds [`KernelGroup`]s (with placeholder layouts/configs) from
+/// fusion drafts, resolving reads through the elimination result.
+///
+/// Shared by SmartMem and the baseline pipelines.
+pub fn assemble_groups(graph: &Graph, lte: &LteResult, drafts: &[GroupDraft]) -> Vec<KernelGroup> {
+    drafts
+        .iter()
+        .map(|draft| {
+            let internal: Vec<TensorId> =
+                draft.members.iter().flat_map(|&m| graph.node(m).outputs.clone()).collect();
+            let mut reads = Vec::new();
+            for &member in &draft.members {
+                let node = graph.node(member);
+                for (operand_idx, &input) in node.inputs.iter().enumerate() {
+                    let resolved = lte.resolve(input);
+                    if internal.contains(&resolved.source) || internal.contains(&input) {
+                        continue; // produced inside the kernel
+                    }
+                    let rank = graph.tensor(resolved.source).shape.rank();
+                    reads.push(EdgeRead {
+                        logical: input,
+                        source: resolved.source,
+                        map: resolved.map,
+                        member,
+                        operand_idx,
+                        layout: Layout::row_major(rank),
+                    });
+                }
+            }
+            let anchor_node = graph.node(draft.anchor);
+            let output = draft.output(graph);
+            let out_rank = graph.tensor(output).shape.rank();
+            KernelGroup {
+                anchor: draft.anchor,
+                members: draft.members.clone(),
+                reads,
+                output,
+                output_layout: Layout::row_major(out_rank),
+                class: group_class(&anchor_node.op, anchor_node.origin),
+                config: ExecConfig::default(),
+                utilization: 0.4,
+                extra_copies: 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::{DType, GraphBuilder};
+
+    fn swinish_block() -> Graph {
+        // A window-attention-like snippet with reshape/transpose chains.
+        let mut b = GraphBuilder::new("block");
+        let x = b.input("x", &[1, 64, 96], DType::F16);
+        let wq = b.weight("wq", &[96, 96], DType::F16);
+        let n = b.layer_norm(x, vec![2]);
+        let q = b.matmul(n, wq);
+        let r = b.reshape(q, &[1, 64, 3, 32]);
+        let t = b.transpose(r, &[0, 2, 1, 3]);
+        let r2 = b.reshape(t, &[3, 64, 32]);
+        let att = b.matmul_t(r2, r2, false, true);
+        let sm = b.softmax(att, 2);
+        let out = b.matmul(sm, r2);
+        b.output(out);
+        b.finish()
+    }
+
+    #[test]
+    fn pipeline_reduces_operator_count() {
+        let g = swinish_block();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let full = SmartMemPipeline::new().optimize(&g, &device).unwrap();
+        let base = SmartMemPipeline::with_config(SmartMemConfig::dnnfusion_level())
+            .optimize(&g, &device)
+            .unwrap();
+        assert!(full.stats.kernel_count < base.stats.kernel_count);
+        assert_eq!(full.stats.eliminated_ops, 3); // 2 reshapes + 1 transpose
+        assert_eq!(full.stats.source_ops, g.op_count());
+    }
+
+    #[test]
+    fn reads_resolve_through_eliminated_chain() {
+        let g = swinish_block();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let opt = SmartMemPipeline::new().optimize(&g, &device).unwrap();
+        // The attention matmul reads the (eliminated) reshaped Q through a map.
+        let mapped_reads: usize =
+            opt.groups.iter().flat_map(|gr| gr.reads.iter()).filter(|r| r.map.is_some()).count();
+        assert!(mapped_reads >= 2, "expected mapped reads, found {mapped_reads}");
+    }
+
+    #[test]
+    fn group_classes_for_transforms() {
+        assert_eq!(
+            group_class(&Op::Transpose { perm: vec![1, 0] }, OpOrigin::Model),
+            LatencyClass::ExplicitTransform
+        );
+        assert_eq!(
+            group_class(&Op::Reshape { shape: vec![4] }, OpOrigin::Framework),
+            LatencyClass::ImplicitTransform
+        );
+        assert_eq!(
+            group_class(&Op::Unary { kind: UnaryKind::Identity }, OpOrigin::Framework),
+            LatencyClass::ImplicitTransform
+        );
+        assert_eq!(
+            group_class(&Op::MatMul { trans_a: false, trans_b: false }, OpOrigin::Model),
+            LatencyClass::Compute
+        );
+    }
+
+    #[test]
+    fn tuning_improves_utilization() {
+        let g = swinish_block();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let full = SmartMemPipeline::new().optimize(&g, &device).unwrap();
+        let untuned = SmartMemPipeline::with_config(SmartMemConfig::layout_level())
+            .optimize(&g, &device)
+            .unwrap();
+        let avg = |o: &OptimizedGraph| {
+            o.groups.iter().map(|g| g.utilization).sum::<f64>() / o.groups.len() as f64
+        };
+        assert!(avg(&full) > avg(&untuned));
+    }
+
+    #[test]
+    fn unsupported_error_renders() {
+        let e = Unsupported::new("NCNN", "no transformer ops");
+        assert!(e.to_string().contains("NCNN"));
+    }
+}

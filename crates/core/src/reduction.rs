@@ -1,0 +1,108 @@
+//! Reduction-dimension analysis (§3.2.2).
+//!
+//! The *reduction dimension(s)* of an operand are the dimensions along
+//! which elements are aggregated (e.g. `k` for both operands of a
+//! `MatMul`). SmartMem's layout-selection heuristic stores data
+//! contiguously along the consumer's reduction dimension, enabling
+//! SIMD loads and good locality for the aggregation loop.
+
+use smartmem_ir::{Op, Shape};
+
+/// Reduction dimensions of operand `operand_idx` of `op`, expressed as
+/// logical dimension indices of that operand (`operand_shape`).
+///
+/// Operators without aggregation (element-wise, layout transforms,
+/// selection) have no reduction dimensions; their layout preference is
+/// dictated by their consumers instead (Fig. 4: `L1`/`L2`).
+pub fn reduction_dims(op: &Op, operand_idx: usize, operand_shape: &Shape) -> Vec<usize> {
+    let rank = operand_shape.rank();
+    match op {
+        Op::MatMul { trans_a, trans_b } => {
+            if rank < 2 {
+                return Vec::new();
+            }
+            match operand_idx {
+                // A: K is the last dim (or rank-2 when transposed).
+                0 => vec![if *trans_a { rank - 2 } else { rank - 1 }],
+                // B: K is rank-2 (or last when transposed).
+                1 => vec![if *trans_b { rank - 1 } else { rank - 2 }],
+                _ => Vec::new(),
+            }
+        }
+        Op::Conv2d { .. } => match operand_idx {
+            // x [N, C, H, W]: input channels are aggregated (the kernel
+            // window also aggregates but C is the long SIMD-friendly one).
+            0 => vec![1],
+            // w [O, C/g, KH, KW]: input-channel dim.
+            1 => vec![1],
+            _ => Vec::new(),
+        },
+        Op::LayerNorm { axes } => axes.clone(),
+        Op::InstanceNorm => {
+            if rank == 4 {
+                vec![2, 3]
+            } else {
+                Vec::new()
+            }
+        }
+        Op::Softmax { axis } => vec![*axis],
+        Op::Reduce { axes, .. } => axes.clone(),
+        Op::Pool2d { .. } => {
+            if rank == 4 {
+                vec![2, 3]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::ReduceKind;
+
+    #[test]
+    fn matmul_reduces_over_k() {
+        let op = Op::MatMul { trans_a: false, trans_b: false };
+        let a = Shape::new(vec![8, 64, 32]);
+        let b = Shape::new(vec![8, 32, 16]);
+        assert_eq!(reduction_dims(&op, 0, &a), vec![2]); // K = last of A
+        assert_eq!(reduction_dims(&op, 1, &b), vec![1]); // K = rank-2 of B
+    }
+
+    #[test]
+    fn matmul_transposed_operands() {
+        let op = Op::MatMul { trans_a: true, trans_b: true };
+        let a = Shape::new(vec![32, 64]); // K x M
+        let b = Shape::new(vec![16, 32]); // N x K
+        assert_eq!(reduction_dims(&op, 0, &a), vec![0]);
+        assert_eq!(reduction_dims(&op, 1, &b), vec![1]);
+    }
+
+    #[test]
+    fn conv_reduces_over_channels() {
+        let op = Op::Conv2d { stride: (1, 1), padding: (0, 0), groups: 1 };
+        let x = Shape::new(vec![1, 64, 56, 56]);
+        assert_eq!(reduction_dims(&op, 0, &x), vec![1]);
+    }
+
+    #[test]
+    fn norms_and_reductions() {
+        let x = Shape::new(vec![1, 196, 768]);
+        assert_eq!(reduction_dims(&Op::LayerNorm { axes: vec![2] }, 0, &x), vec![2]);
+        assert_eq!(reduction_dims(&Op::Softmax { axis: 1 }, 0, &x), vec![1]);
+        assert_eq!(
+            reduction_dims(&Op::Reduce { kind: ReduceKind::Mean, axes: vec![0, 2], keep_dims: false }, 0, &x),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn elementwise_has_none() {
+        let x = Shape::new(vec![4, 4]);
+        assert!(reduction_dims(&Op::Unary { kind: smartmem_ir::UnaryKind::Relu }, 0, &x).is_empty());
+        assert!(reduction_dims(&Op::Reshape { shape: vec![16] }, 0, &x).is_empty());
+    }
+}

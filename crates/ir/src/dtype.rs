@@ -1,0 +1,80 @@
+//! Element data types.
+
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The paper evaluates mobile GPUs with FP16 and the desktop GPU with
+/// FP32 (§4.1); integer types appear in embedding/gather indices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DType {
+    /// 16-bit IEEE floating point (mobile GPU default in the paper).
+    #[default]
+    F16,
+    /// 32-bit IEEE floating point (desktop GPU evaluation).
+    F32,
+    /// 32-bit signed integer (indices).
+    I32,
+    /// 8-bit signed integer (quantized paths; unused by the paper's
+    /// main evaluation but supported by the IR).
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use smartmem_ir::DType;
+    /// assert_eq!(DType::F16.size_bytes(), 2);
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// ```
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+            DType::I32 => 4,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Whether the type is floating point.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+            DType::I8 => "i8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn float_predicate() {
+        assert!(DType::F16.is_float());
+        assert!(!DType::I32.is_float());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F16.to_string(), "f16");
+    }
+}

@@ -1,0 +1,86 @@
+//! IR construction and validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a computational graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A reshape target shape does not preserve the element count.
+    ReshapeNumelMismatch {
+        /// Elements in the input shape.
+        from: u64,
+        /// Elements in the requested output shape.
+        to: u64,
+    },
+    /// A permutation is not a bijection over `0..rank`.
+    InvalidPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+        /// The expected rank.
+        rank: usize,
+    },
+    /// Two operand shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left shape rendered as text.
+        lhs: String,
+        /// Right shape rendered as text.
+        rhs: String,
+    },
+    /// An axis index is out of range for the operand rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The operand rank.
+        rank: usize,
+    },
+    /// Generic shape error with a human-readable explanation.
+    Shape(String),
+    /// Reference to a tensor that does not exist in the graph.
+    UnknownTensor(u32),
+    /// The graph contains a cycle (should be impossible via the builder).
+    Cyclic,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ReshapeNumelMismatch { from, to } => {
+                write!(f, "reshape changes element count from {from} to {to}")
+            }
+            IrError::InvalidPermutation { perm, rank } => {
+                write!(f, "permutation {perm:?} is not a bijection over 0..{rank}")
+            }
+            IrError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs} and {rhs} cannot be broadcast together")
+            }
+            IrError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            IrError::Shape(msg) => write!(f, "shape error: {msg}"),
+            IrError::UnknownTensor(id) => write!(f, "unknown tensor id {id}"),
+            IrError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IrError::ReshapeNumelMismatch { from: 8, to: 9 };
+        assert!(e.to_string().contains("8"));
+        let e = IrError::AxisOutOfRange { axis: 5, rank: 3 };
+        assert!(e.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_e: E) {}
+        takes_err(IrError::Cyclic);
+    }
+}

@@ -1,0 +1,471 @@
+//! Physical tensor layouts for 1D buffer memory and 2.5D texture memory.
+//!
+//! A [`Layout`] maps a logical coordinate (indices per logical dimension)
+//! to a [`PhysicalAddress`]: either a linear element offset (1D buffer
+//! memory) or a `(x, y, lane)` texel coordinate (2.5D texture memory,
+//! §2.3 of the paper — the texture is a 2-D grid of `vec4` texels, hence
+//! "2.5D": width × height × 0.5D vector).
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// The memory class a tensor is physically placed in (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemoryClass {
+    /// Contiguous, pointer-addressed 1D buffer (global memory).
+    Buffer1D,
+    /// Coordinate-addressed 2D texture of `vec4` texels with a dedicated
+    /// read-only cache ("2.5D" memory).
+    Texture2p5D,
+}
+
+impl fmt::Display for MemoryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryClass::Buffer1D => f.write_str("1D buffer"),
+            MemoryClass::Texture2p5D => f.write_str("2.5D texture"),
+        }
+    }
+}
+
+/// Placement of a logical tensor into 2.5D texture memory.
+///
+/// Logical dimensions are partitioned between the texture's height (Y)
+/// and width (X) axes; within each axis, listed dimensions fold
+/// outer-to-inner. Optionally one dimension is *vectorized*: packed four
+/// elements to a texel lane (the "0.5D"), which is how SmartMem maps a
+/// reduction dimension for SIMD loads (Fig. 5).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TexturePlacement {
+    /// Logical dims folded into the texture Y axis, outer→inner.
+    pub height_dims: Vec<usize>,
+    /// Logical dims folded into the texture X axis, outer→inner.
+    pub width_dims: Vec<usize>,
+    /// Logical dim packed into the 4 texel lanes (must appear in one of
+    /// the axis lists; its folded extent becomes `ceil(extent/4)`).
+    pub vector_dim: Option<usize>,
+}
+
+/// Physical address of one element under a [`Layout`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PhysicalAddress {
+    /// Element offset into a linear buffer.
+    Linear(u64),
+    /// Texel coordinate plus lane within the `vec4`.
+    Texel {
+        /// Texel column.
+        x: u64,
+        /// Texel row.
+        y: u64,
+        /// Lane within the texel (0..4).
+        lane: u8,
+    },
+}
+
+/// A physical layout for a tensor of some rank.
+///
+/// # Example
+///
+/// ```
+/// use smartmem_ir::{Layout, Shape};
+/// let shape = Shape::new(vec![2, 3, 4]);
+/// let l = Layout::row_major(3);
+/// // row-major: last dim contiguous
+/// assert_eq!(l.contiguous_dims(&shape), vec![2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Layout {
+    /// Linear buffer with physical dimension order `perm` (outer→inner)
+    /// and optional vec4 packing of one logical dim (e.g. MNN's NC4HW4
+    /// packs the channel dim).
+    Buffer {
+        /// Physical order of logical dims, outermost first. `perm[last]`
+        /// is contiguous in memory.
+        perm: Vec<usize>,
+        /// Logical dim packed 4-wide as the innermost unit.
+        vector_dim: Option<usize>,
+    },
+    /// 2.5D texture placement.
+    Texture(TexturePlacement),
+}
+
+impl Layout {
+    /// Row-major buffer layout for `rank` dims (the default layout every
+    /// framework starts from).
+    pub fn row_major(rank: usize) -> Self {
+        Layout::Buffer { perm: (0..rank).collect(), vector_dim: None }
+    }
+
+    /// Buffer layout with an explicit physical dimension order.
+    pub fn permuted(perm: Vec<usize>) -> Self {
+        Layout::Buffer { perm, vector_dim: None }
+    }
+
+    /// MNN-style `NC/4 H W 4` buffer layout for rank-4 `[N, C, H, W]`
+    /// tensors: channels packed 4-wide innermost.
+    pub fn nc4hw4() -> Self {
+        Layout::Buffer { perm: vec![0, 1, 2, 3], vector_dim: Some(1) }
+    }
+
+    /// Texture layout from a placement.
+    pub fn texture(placement: TexturePlacement) -> Self {
+        Layout::Texture(placement)
+    }
+
+    /// Default texture placement for a tensor of `rank` dims.
+    ///
+    /// Rank-4 `[N, C, H, W]` tensors use the standard OpenCL image
+    /// layout for CNNs (as in MNN's GPU backend / CoDL): texel =
+    /// 4 channels, X = `(C/4)·W`, Y = `N·H`. Other ranks put the
+    /// trailing dim on X (vectorized) and fold the rest into Y.
+    pub fn texture_default(rank: usize) -> Self {
+        assert!(rank >= 1, "texture placement needs rank >= 1");
+        if rank == 4 {
+            Layout::Texture(TexturePlacement {
+                height_dims: vec![0, 2],
+                width_dims: vec![1, 3],
+                vector_dim: Some(1),
+            })
+        } else {
+            Layout::Texture(TexturePlacement {
+                height_dims: (0..rank - 1).collect(),
+                width_dims: vec![rank - 1],
+                vector_dim: Some(rank - 1),
+            })
+        }
+    }
+
+    /// The memory class of the layout.
+    pub fn memory_class(&self) -> MemoryClass {
+        match self {
+            Layout::Buffer { .. } => MemoryClass::Buffer1D,
+            Layout::Texture(_) => MemoryClass::Texture2p5D,
+        }
+    }
+
+    /// Checks internal consistency against a tensor rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant:
+    /// `perm` must be a permutation of `0..rank`; texture axis lists must
+    /// partition `0..rank`; `vector_dim` must reference a listed dim.
+    pub fn validate(&self, rank: usize) -> Result<(), String> {
+        match self {
+            Layout::Buffer { perm, vector_dim } => {
+                if !crate::ops::is_permutation(perm, rank) {
+                    return Err(format!("perm {perm:?} is not a permutation of 0..{rank}"));
+                }
+                if let Some(v) = vector_dim {
+                    if *v >= rank {
+                        return Err(format!("vector_dim {v} out of range for rank {rank}"));
+                    }
+                }
+                Ok(())
+            }
+            Layout::Texture(p) => {
+                let mut seen = vec![false; rank];
+                for &d in p.height_dims.iter().chain(p.width_dims.iter()) {
+                    if d >= rank {
+                        return Err(format!("texture dim {d} out of range for rank {rank}"));
+                    }
+                    if seen[d] {
+                        return Err(format!("texture dim {d} listed twice"));
+                    }
+                    seen[d] = true;
+                }
+                if seen.iter().any(|s| !s) {
+                    return Err("texture placement does not cover all dims".to_string());
+                }
+                if let Some(v) = p.vector_dim {
+                    if v >= rank {
+                        return Err(format!("vector_dim {v} out of range for rank {rank}"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Physical address of the element at `coord` in a tensor of `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` rank differs from `shape` rank or the layout is
+    /// invalid for the shape's rank.
+    pub fn address(&self, shape: &Shape, coord: &[usize]) -> PhysicalAddress {
+        assert_eq!(coord.len(), shape.rank(), "coordinate rank mismatch");
+        match self {
+            Layout::Buffer { perm, vector_dim } => {
+                let mut offset: u64 = 0;
+                match vector_dim {
+                    None => {
+                        for &d in perm {
+                            offset = offset * shape.dim(d) as u64 + coord[d] as u64;
+                        }
+                        PhysicalAddress::Linear(offset)
+                    }
+                    Some(v) => {
+                        // Packed dim folds at ceil(extent/4) granularity;
+                        // its low 2 bits become the innermost unit.
+                        for &d in perm {
+                            if d == *v {
+                                let blocks = shape.dim(d).div_ceil(4) as u64;
+                                offset = offset * blocks + (coord[d] / 4) as u64;
+                            } else {
+                                offset = offset * shape.dim(d) as u64 + coord[d] as u64;
+                            }
+                        }
+                        PhysicalAddress::Linear(offset * 4 + (coord[*v] % 4) as u64)
+                    }
+                }
+            }
+            Layout::Texture(p) => {
+                let fold = |dims: &[usize]| -> u64 {
+                    let mut idx: u64 = 0;
+                    for &d in dims {
+                        let (extent, c) = match p.vector_dim {
+                            Some(v) if v == d => (shape.dim(d).div_ceil(4) as u64, (coord[d] / 4) as u64),
+                            _ => (shape.dim(d) as u64, coord[d] as u64),
+                        };
+                        idx = idx * extent + c;
+                    }
+                    idx
+                };
+                let lane = p.vector_dim.map(|v| (coord[v] % 4) as u8).unwrap_or(0);
+                PhysicalAddress::Texel { x: fold(&p.width_dims), y: fold(&p.height_dims), lane }
+            }
+        }
+    }
+
+    /// Texture extent `(width_texels, height_rows)` for a tensor of
+    /// `shape`, or `None` for buffer layouts.
+    pub fn texture_extent(&self, shape: &Shape) -> Option<(u64, u64)> {
+        match self {
+            Layout::Buffer { .. } => None,
+            Layout::Texture(p) => {
+                let fold = |dims: &[usize]| -> u64 {
+                    dims.iter()
+                        .map(|&d| match p.vector_dim {
+                            Some(v) if v == d => shape.dim(d).div_ceil(4) as u64,
+                            _ => shape.dim(d) as u64,
+                        })
+                        .product::<u64>()
+                        .max(1)
+                };
+                Some((fold(&p.width_dims), fold(&p.height_dims)))
+            }
+        }
+    }
+
+    /// Logical dims that can be traversed with unit physical stride and
+    /// no index linearization.
+    ///
+    /// For a buffer this is the single innermost dim (`k = 1`); for a
+    /// texture it is the innermost dim of each axis (`k = 2` — the paper's
+    /// justification for combining up to two reduction-dimension
+    /// requirements on 2.5D memory, §3.2.2).
+    pub fn contiguous_dims(&self, shape: &Shape) -> Vec<usize> {
+        let _ = shape;
+        match self {
+            Layout::Buffer { perm, vector_dim } => {
+                let mut v = Vec::new();
+                if let Some(d) = vector_dim {
+                    v.push(*d);
+                }
+                if let Some(&last) = perm.last() {
+                    if !v.contains(&last) {
+                        v.push(last);
+                    }
+                }
+                v.truncate(1);
+                v
+            }
+            Layout::Texture(p) => {
+                let mut v = Vec::new();
+                if let Some(&wx) = p.width_dims.last() {
+                    v.push(wx);
+                }
+                if let Some(&hy) = p.height_dims.last() {
+                    if !v.contains(&hy) {
+                        v.push(hy);
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// Number of dims addressable without linearization (`k` in §3.2.2).
+    pub fn direct_dims(&self) -> usize {
+        match self {
+            Layout::Buffer { .. } => 1,
+            Layout::Texture(_) => 2,
+        }
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::row_major(0)
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Buffer { perm, vector_dim: None } => write!(f, "buf{perm:?}"),
+            Layout::Buffer { perm, vector_dim: Some(v) } => write!(f, "buf{perm:?}/v{v}"),
+            Layout::Texture(p) => {
+                write!(f, "tex[h:{:?} w:{:?}", p.height_dims, p.width_dims)?;
+                if let Some(v) = p.vector_dim {
+                    write!(f, " v{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_addresses_are_dense() {
+        let shape = Shape::new(vec![2, 3, 4]);
+        let l = Layout::row_major(3);
+        let mut seen = vec![false; 24];
+        for off in 0..24u64 {
+            let c = shape.delinearize(off);
+            match l.address(&shape, &c) {
+                PhysicalAddress::Linear(a) => {
+                    assert_eq!(a, off);
+                    seen[a as usize] = true;
+                }
+                _ => panic!("buffer layout must give linear addresses"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permuted_layout_transposes_strides() {
+        let shape = Shape::new(vec![2, 3]);
+        let l = Layout::permuted(vec![1, 0]); // column-major
+        let a00 = l.address(&shape, &[0, 0]);
+        let a10 = l.address(&shape, &[1, 0]);
+        let a01 = l.address(&shape, &[0, 1]);
+        assert_eq!(a00, PhysicalAddress::Linear(0));
+        assert_eq!(a10, PhysicalAddress::Linear(1)); // dim0 is contiguous
+        assert_eq!(a01, PhysicalAddress::Linear(2));
+    }
+
+    #[test]
+    fn nc4hw4_packs_channels() {
+        let shape = Shape::new(vec![1, 8, 2, 2]);
+        let l = Layout::nc4hw4();
+        // channel 0..4 of the same pixel are adjacent lanes
+        let a0 = l.address(&shape, &[0, 0, 0, 0]);
+        let a1 = l.address(&shape, &[0, 1, 0, 0]);
+        let a4 = l.address(&shape, &[0, 4, 0, 0]);
+        match (a0, a1, a4) {
+            (PhysicalAddress::Linear(x0), PhysicalAddress::Linear(x1), PhysicalAddress::Linear(x4)) => {
+                assert_eq!(x1, x0 + 1);
+                // channel 4 starts a new C/4 block: distance = H*W*4
+                assert_eq!(x4, x0 + 2 * 2 * 4);
+            }
+            _ => panic!("expected linear addresses"),
+        }
+    }
+
+    #[test]
+    fn buffer_addresses_are_unique_with_vectorization() {
+        let shape = Shape::new(vec![2, 6, 3]);
+        let l = Layout::Buffer { perm: vec![0, 1, 2], vector_dim: Some(1) };
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..2 {
+            for c in 0..6 {
+                for h in 0..3 {
+                    let a = l.address(&shape, &[n, c, h]);
+                    assert!(seen.insert(a), "duplicate address {a:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn texture_default_places_last_dim_on_x() {
+        let shape = Shape::new(vec![4, 8, 16]);
+        let l = Layout::texture_default(3);
+        let (w, h) = l.texture_extent(&shape).unwrap();
+        assert_eq!(w, 4); // 16 / 4 lanes
+        assert_eq!(h, 32); // 4 * 8
+        match l.address(&shape, &[0, 0, 5]) {
+            PhysicalAddress::Texel { x, y, lane } => {
+                assert_eq!((x, y, lane), (1, 0, 1));
+            }
+            _ => panic!("expected texel"),
+        }
+    }
+
+    #[test]
+    fn texture_addresses_unique() {
+        let shape = Shape::new(vec![3, 5, 7]);
+        let l = Layout::Texture(TexturePlacement {
+            height_dims: vec![1],
+            width_dims: vec![0, 2],
+            vector_dim: Some(2),
+        });
+        assert!(l.validate(3).is_ok());
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..3 {
+            for b in 0..5 {
+                for c in 0..7 {
+                    let addr = l.address(&shape, &[a, b, c]);
+                    assert!(seen.insert(addr), "duplicate {addr:?}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 3 * 5 * 7);
+    }
+
+    #[test]
+    fn validate_rejects_bad_layouts() {
+        assert!(Layout::permuted(vec![0, 0]).validate(2).is_err());
+        assert!(Layout::permuted(vec![0]).validate(2).is_err());
+        let missing = Layout::Texture(TexturePlacement {
+            height_dims: vec![0],
+            width_dims: vec![],
+            vector_dim: None,
+        });
+        assert!(missing.validate(2).is_err());
+        let dup = Layout::Texture(TexturePlacement {
+            height_dims: vec![0, 1],
+            width_dims: vec![1],
+            vector_dim: None,
+        });
+        assert!(dup.validate(2).is_err());
+    }
+
+    #[test]
+    fn contiguous_dims_k() {
+        let shape = Shape::new(vec![4, 8, 16]);
+        let buf = Layout::row_major(3);
+        assert_eq!(buf.contiguous_dims(&shape), vec![2]);
+        assert_eq!(buf.direct_dims(), 1);
+        let tex = Layout::Texture(TexturePlacement {
+            height_dims: vec![0, 1],
+            width_dims: vec![2],
+            vector_dim: Some(2),
+        });
+        assert_eq!(tex.contiguous_dims(&shape), vec![2, 1]);
+        assert_eq!(tex.direct_dims(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Layout::row_major(2).to_string(), "buf[0, 1]");
+        assert_eq!(Layout::nc4hw4().to_string(), "buf[0, 1, 2, 3]/v1");
+    }
+}

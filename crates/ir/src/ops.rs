@@ -1,0 +1,380 @@
+//! Operator definitions.
+//!
+//! The operator set covers everything needed to express the 20 models of
+//! the paper's evaluation (Tables 1 and 7) from primitives, including the
+//! explicit layout-transformation operators (`Reshape`, `Transpose`, …)
+//! that SmartMem eliminates.
+
+use crate::shape::Shape;
+
+/// Element-wise unary function kinds ("Unary" row of Table 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (Transformer MLPs).
+    Gelu,
+    /// Sigmoid-weighted linear unit (YOLO, ConvNext variants).
+    Silu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Exponential (softmax building block).
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal.
+    Recip,
+    /// Negation.
+    Neg,
+    /// Identity / copy (used for framework-inserted relayout stubs).
+    Identity,
+}
+
+/// Element-wise binary function kinds (broadcast semantics like `Add` in
+/// Table 3; Fig. 4 notes "Add broadcasts its input shapes to match the
+/// shape of the largest one").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinaryKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (Hadamard).
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+}
+
+/// Reduction kinds for [`Op::Reduce`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReduceKind {
+    /// Sum over the reduction axes.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+/// Pooling kinds for [`Op::Pool2d`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// A DNN operator.
+///
+/// Attribute-only representation: operand tensors live on the graph
+/// ([`crate::Node::inputs`]), so `Op` values are cheap to clone and
+/// compare.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// 2-D convolution. Inputs: `x [N, C, H, W]`, `w [O, C/groups, KH, KW]`,
+    /// optional bias `[O]`. Output: `[N, O, H', W']`.
+    Conv2d {
+        /// Spatial stride `(sh, sw)`.
+        stride: (usize, usize),
+        /// Zero padding `(ph, pw)` applied on both sides.
+        padding: (usize, usize),
+        /// Channel groups (`groups == C` gives depthwise convolution).
+        groups: usize,
+    },
+    /// (Batched) matrix multiplication. Inputs `[.., M, K]` and
+    /// `[.., K, N]` (modulo the transpose flags); output `[.., M, N]`.
+    MatMul {
+        /// Interpret the first operand as transposed (`[.., K, M]`).
+        trans_a: bool,
+        /// Interpret the second operand as transposed (`[.., N, K]`).
+        trans_b: bool,
+    },
+    /// Layer normalization over the trailing `axes` (Transformer norm).
+    LayerNorm {
+        /// Axes (logical dims) that are normalized over.
+        axes: Vec<usize>,
+    },
+    /// Instance normalization over spatial dims of `[N, C, H, W]`.
+    InstanceNorm,
+    /// Softmax along `axis`.
+    Softmax {
+        /// The normalized axis.
+        axis: usize,
+    },
+    /// Reduction over `axes`.
+    Reduce {
+        /// What to compute.
+        kind: ReduceKind,
+        /// Axes reduced over.
+        axes: Vec<usize>,
+        /// Whether reduced axes are kept with extent 1.
+        keep_dims: bool,
+    },
+    /// 2-D spatial pooling on `[N, C, H, W]`.
+    Pool2d {
+        /// Max or average.
+        kind: PoolKind,
+        /// Kernel size `(kh, kw)`.
+        kernel: (usize, usize),
+        /// Stride `(sh, sw)`.
+        stride: (usize, usize),
+        /// Padding `(ph, pw)`.
+        padding: (usize, usize),
+    },
+    /// Element-wise unary function.
+    Unary {
+        /// The function.
+        kind: UnaryKind,
+    },
+    /// Element-wise binary function with broadcasting.
+    Binary {
+        /// The function.
+        kind: BinaryKind,
+    },
+    /// Concatenation along `axis`.
+    Concat {
+        /// Concatenated axis.
+        axis: usize,
+    },
+    /// Shape reinterpretation (element order preserved). ILD & Fixed.
+    Reshape {
+        /// Target shape.
+        shape: Vec<usize>,
+    },
+    /// Dimension permutation. ILD & Fixed.
+    Transpose {
+        /// `out[i0,..] = in[perm[0]-th coord, ..]`; `perm[i]` is the input
+        /// dim that becomes output dim `i`.
+        perm: Vec<usize>,
+    },
+    /// Rearranges channel blocks into spatial blocks (`block²·C' = C`).
+    /// ILD & Fixed.
+    DepthToSpace {
+        /// Spatial block size.
+        block: usize,
+    },
+    /// Rearranges spatial blocks into channels. ILD & Fixed.
+    SpaceToDepth {
+        /// Spatial block size.
+        block: usize,
+    },
+    /// Index lookup along `axis`. Inputs: data, indices. ILI & Fixed.
+    Gather {
+        /// Gathered axis.
+        axis: usize,
+    },
+    /// Contiguous sub-range selection along one axis. ILI & Fixed.
+    Slice {
+        /// Sliced axis.
+        axis: usize,
+        /// First kept index.
+        start: usize,
+        /// Number of kept indices.
+        len: usize,
+    },
+    /// Even split along one axis into `parts` outputs. ILI & Fixed.
+    Split {
+        /// Split axis.
+        axis: usize,
+        /// Number of equal parts.
+        parts: usize,
+    },
+}
+
+/// Broad operator category used for reporting and latency attribution
+/// (Table 1 separates layout-transformation time from computation time).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpCategory {
+    /// Real computation (convolutions, matmuls, norms, element-wise, …).
+    Compute,
+    /// Pure layout transformation (`Reshape`, `Transpose`, `DepthToSpace`,
+    /// `SpaceToDepth`): moves/reinterprets data without computing.
+    LayoutTransform,
+    /// Data selection / movement (`Gather`, `Slice`, `Split`, `Concat`).
+    DataMovement,
+}
+
+impl Op {
+    /// Short operator mnemonic (stable across the workspace; used in
+    /// reports and tests).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Conv2d { .. } => "Conv2d",
+            Op::MatMul { .. } => "MatMul",
+            Op::LayerNorm { .. } => "LayerNorm",
+            Op::InstanceNorm => "InstanceNorm",
+            Op::Softmax { .. } => "Softmax",
+            Op::Reduce { .. } => "Reduce",
+            Op::Pool2d { .. } => "Pool2d",
+            Op::Unary { .. } => "Unary",
+            Op::Binary { .. } => "Binary",
+            Op::Concat { .. } => "Concat",
+            Op::Reshape { .. } => "Reshape",
+            Op::Transpose { .. } => "Transpose",
+            Op::DepthToSpace { .. } => "DepthToSpace",
+            Op::SpaceToDepth { .. } => "SpaceToDepth",
+            Op::Gather { .. } => "Gather",
+            Op::Slice { .. } => "Slice",
+            Op::Split { .. } => "Split",
+        }
+    }
+
+    /// The broad category of the operator.
+    pub fn category(&self) -> OpCategory {
+        match self {
+            Op::Reshape { .. } | Op::Transpose { .. } | Op::DepthToSpace { .. } | Op::SpaceToDepth { .. } => {
+                OpCategory::LayoutTransform
+            }
+            Op::Gather { .. } | Op::Slice { .. } | Op::Split { .. } | Op::Concat { .. } => OpCategory::DataMovement,
+            _ => OpCategory::Compute,
+        }
+    }
+
+    /// Whether this is a pure layout transformation (the operators that
+    /// SmartMem's LTE pass targets for elimination).
+    pub fn is_layout_transform(&self) -> bool {
+        self.category() == OpCategory::LayoutTransform
+    }
+
+    /// Multiply-accumulate count given operand/result shapes
+    /// (`input_shapes` in operand order, `output_shape` of the first
+    /// output). Only compute-dense operators contribute MACs — this
+    /// matches how the paper reports `#MACs (G)` per model.
+    pub fn mac_count(&self, input_shapes: &[&Shape], output_shape: &Shape) -> u64 {
+        match self {
+            Op::Conv2d { groups, .. } => {
+                // N * O * H' * W' * (C/g) * KH * KW
+                let w = input_shapes[1];
+                let cpg = w.dim(1) as u64; // already C/groups
+                let khw = (w.dim(2) * w.dim(3)) as u64;
+                let _ = groups;
+                output_shape.numel() * cpg * khw
+            }
+            Op::MatMul { trans_a, .. } => {
+                let a = input_shapes[0];
+                let k = if *trans_a { a.dim(a.rank() - 2) } else { a.dim(a.rank() - 1) } as u64;
+                output_shape.numel() * k
+            }
+            // Norms and reductions do O(numel) multiply-adds; the paper's
+            // MAC figures are dominated by Conv/MatMul so we count these
+            // at one MAC per element.
+            Op::LayerNorm { .. } | Op::InstanceNorm | Op::Softmax { .. } | Op::Reduce { .. } => {
+                input_shapes[0].numel()
+            }
+            Op::Pool2d { kernel, .. } => output_shape.numel() * (kernel.0 * kernel.1) as u64,
+            // Element-wise, movement and layout ops perform no MACs.
+            _ => 0,
+        }
+    }
+
+    /// Arithmetic operations per output element (used by the cost model
+    /// for low-intensity operators).
+    pub fn ops_per_element(&self) -> f64 {
+        match self {
+            Op::Unary { kind } => match kind {
+                UnaryKind::Relu | UnaryKind::Neg | UnaryKind::Identity => 1.0,
+                UnaryKind::Sigmoid | UnaryKind::Exp | UnaryKind::Sqrt | UnaryKind::Recip => 4.0,
+                UnaryKind::Gelu | UnaryKind::Silu | UnaryKind::Tanh => 8.0,
+            },
+            Op::Binary { .. } => 1.0,
+            Op::LayerNorm { .. } | Op::InstanceNorm => 6.0,
+            Op::Softmax { .. } => 8.0,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Checks that `perm` is a bijection over `0..rank`.
+pub(crate) fn is_permutation(perm: &[usize], rank: usize) -> bool {
+    if perm.len() != rank {
+        return false;
+    }
+    let mut seen = vec![false; rank];
+    for &p in perm {
+        if p >= rank || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(Op::Reshape { shape: vec![4] }.category(), OpCategory::LayoutTransform);
+        assert_eq!(Op::Transpose { perm: vec![1, 0] }.category(), OpCategory::LayoutTransform);
+        assert_eq!(Op::Gather { axis: 0 }.category(), OpCategory::DataMovement);
+        assert_eq!(
+            Op::Conv2d { stride: (1, 1), padding: (0, 0), groups: 1 }.category(),
+            OpCategory::Compute
+        );
+    }
+
+    #[test]
+    fn conv_macs() {
+        // 1x64x56x56 conv 3x3 -> 128 channels, stride 1, pad 1
+        let x = Shape::new(vec![1, 64, 56, 56]);
+        let w = Shape::new(vec![128, 64, 3, 3]);
+        let out = Shape::new(vec![1, 128, 56, 56]);
+        let op = Op::Conv2d { stride: (1, 1), padding: (1, 1), groups: 1 };
+        let macs = op.mac_count(&[&x, &w], &out);
+        assert_eq!(macs, 128 * 56 * 56 * 64 * 9);
+    }
+
+    #[test]
+    fn grouped_conv_macs_scale_down() {
+        let x = Shape::new(vec![1, 64, 56, 56]);
+        let w_full = Shape::new(vec![64, 64, 3, 3]);
+        let w_grouped = Shape::new(vec![64, 16, 3, 3]); // groups = 4
+        let out = Shape::new(vec![1, 64, 56, 56]);
+        let full = Op::Conv2d { stride: (1, 1), padding: (1, 1), groups: 1 };
+        let grouped = Op::Conv2d { stride: (1, 1), padding: (1, 1), groups: 4 };
+        assert_eq!(
+            grouped.mac_count(&[&x, &w_grouped], &out) * 4,
+            full.mac_count(&[&x, &w_full], &out)
+        );
+    }
+
+    #[test]
+    fn matmul_macs() {
+        let a = Shape::new(vec![8, 64, 32]);
+        let b = Shape::new(vec![8, 32, 128]);
+        let out = Shape::new(vec![8, 64, 128]);
+        let op = Op::MatMul { trans_a: false, trans_b: false };
+        assert_eq!(op.mac_count(&[&a, &b], &out), 8 * 64 * 128 * 32);
+    }
+
+    #[test]
+    fn matmul_macs_transposed_a() {
+        let a = Shape::new(vec![32, 64]); // K x M
+        let b = Shape::new(vec![32, 128]);
+        let out = Shape::new(vec![64, 128]);
+        let op = Op::MatMul { trans_a: true, trans_b: false };
+        assert_eq!(op.mac_count(&[&a, &b], &out), 64 * 128 * 32);
+    }
+
+    #[test]
+    fn layout_ops_have_zero_macs() {
+        let s = Shape::new(vec![16, 16]);
+        assert_eq!(Op::Transpose { perm: vec![1, 0] }.mac_count(&[&s], &Shape::new(vec![16, 16])), 0);
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0, 1], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 3, 1], 3));
+    }
+}

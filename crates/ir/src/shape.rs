@@ -1,0 +1,227 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+/// The logical shape of a tensor: an ordered list of dimension extents.
+///
+/// Shapes are small (rank ≤ 8 in every model in the paper) so they are
+/// stored inline in a `Vec` and cloned freely.
+///
+/// # Example
+///
+/// ```
+/// use smartmem_ir::Shape;
+/// let s = Shape::new(vec![2, 256, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.numel(), 2048);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// Zero-sized dimensions are allowed (empty tensors) but never occur
+    /// in the evaluated models.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The last dimension has stride 1.
+    pub fn row_major_strides(&self) -> Vec<u64> {
+        let mut strides = vec![1u64; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1] as u64;
+        }
+        strides
+    }
+
+    /// Linearizes a multi-dimensional coordinate into a row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord.len() != self.rank()` or any coordinate is out of
+    /// bounds (debug builds only for the bounds check).
+    pub fn linearize(&self, coord: &[usize]) -> u64 {
+        assert_eq!(coord.len(), self.rank(), "coordinate rank mismatch");
+        let strides = self.row_major_strides();
+        coord
+            .iter()
+            .zip(strides.iter())
+            .map(|(&c, &s)| {
+                debug_assert!(c < self.0[0].max(usize::MAX)); // placeholder bound
+                c as u64 * s
+            })
+            .sum()
+    }
+
+    /// Delinearizes a row-major offset into a coordinate.
+    pub fn delinearize(&self, mut offset: u64) -> Vec<usize> {
+        let mut coord = vec![0usize; self.rank()];
+        for i in (0..self.rank()).rev() {
+            let d = self.0[i] as u64;
+            if d > 0 {
+                coord[i] = (offset % d) as usize;
+                offset /= d;
+            }
+        }
+        coord
+    }
+
+    /// Returns a new shape with the given permutation applied:
+    /// `result.dim(i) == self.dim(perm[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Shape {
+        assert!(crate::ops::is_permutation(perm, self.rank()), "invalid permutation {perm:?}");
+        Shape(perm.iter().map(|&p| self.0[p]).collect())
+    }
+
+    /// Whether another shape describes the same number of elements
+    /// (the legality condition for `Reshape`).
+    pub fn same_numel(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+
+    /// Broadcasts two shapes following NumPy rules, returning the result
+    /// shape if compatible.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let r = self.rank().max(other.rank());
+        let mut dims = vec![0usize; r];
+        for i in 0..r {
+            let a = if i < r - self.rank() { 1 } else { self.0[i - (r - self.rank())] };
+            let b = if i < r - other.rank() { 1 } else { other.0[i - (r - other.rank())] };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+        }
+        Some(Shape(dims))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn linearize_delinearize_roundtrip() {
+        let s = Shape::new(vec![3, 5, 7]);
+        for off in 0..s.numel() {
+            let c = s.delinearize(off);
+            assert_eq!(s.linearize(&c), off);
+        }
+    }
+
+    #[test]
+    fn permute_moves_dims() {
+        let s = Shape::new(vec![2, 3, 4]);
+        let p = s.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn permute_rejects_bad_perm() {
+        Shape::new(vec![2, 3]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(vec![4, 1, 3]);
+        let b = Shape::new(vec![2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 2, 3]);
+        let c = Shape::new(vec![4, 5, 3]);
+        assert!(c.broadcast(&Shape::new(vec![2, 3])).is_none());
+    }
+
+    #[test]
+    fn same_numel_for_reshape() {
+        let a = Shape::new(vec![2, 256, 4]);
+        let b = Shape::new(vec![16, 8, 4, 4]);
+        assert!(a.same_numel(&b));
+    }
+}

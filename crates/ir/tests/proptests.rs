@@ -1,0 +1,115 @@
+//! Property-based tests for shapes and layouts: address maps must be
+//! bijections, shape algebra must roundtrip.
+
+use proptest::prelude::*;
+use smartmem_ir::{Layout, PhysicalAddress, Shape, TexturePlacement};
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..7, 1..5)
+}
+
+fn enumerate(dims: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for &d in dims {
+        let mut next = Vec::new();
+        for c in &out {
+            for v in 0..d {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn linearize_delinearize_roundtrip(dims in arb_dims()) {
+        let s = Shape::new(dims);
+        for off in 0..s.numel().min(512) {
+            let c = s.delinearize(off);
+            prop_assert_eq!(s.linearize(&c), off);
+        }
+    }
+
+    /// Every buffer layout (any dimension permutation, any vectorized
+    /// dim) must map distinct coordinates to distinct addresses.
+    #[test]
+    fn buffer_layouts_are_injective(dims in arb_dims(), seed in 0u64..100, vec_choice in 0usize..5) {
+        let rank = dims.len();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        let mut s = seed;
+        for i in (1..rank).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let vector_dim = if vec_choice < rank { Some(vec_choice) } else { None };
+        let layout = Layout::Buffer { perm, vector_dim };
+        prop_assert!(layout.validate(rank).is_ok());
+        let shape = Shape::new(dims.clone());
+        let mut seen = std::collections::HashSet::new();
+        for c in enumerate(&dims) {
+            let a = layout.address(&shape, &c);
+            prop_assert!(seen.insert(a), "duplicate address {:?} at {:?}", a, c);
+        }
+    }
+
+    /// Texture placements partitioning the dims are injective as well.
+    #[test]
+    fn texture_layouts_are_injective(dims in arb_dims(), split in 0usize..4, vec_choice in 0usize..5) {
+        let rank = dims.len();
+        let split = split.min(rank);
+        let height: Vec<usize> = (0..split).collect();
+        let width: Vec<usize> = (split..rank).collect();
+        if width.is_empty() {
+            return Ok(());
+        }
+        let vector_dim = if vec_choice < rank { Some(vec_choice) } else { None };
+        let layout = Layout::Texture(TexturePlacement {
+            height_dims: height,
+            width_dims: width,
+            vector_dim,
+        });
+        prop_assert!(layout.validate(rank).is_ok());
+        let shape = Shape::new(dims.clone());
+        let mut seen = std::collections::HashSet::new();
+        for c in enumerate(&dims) {
+            let a = layout.address(&shape, &c);
+            prop_assert!(seen.insert(a), "duplicate {:?} at {:?}", a, c);
+        }
+    }
+
+    /// Texture extents bound every texel coordinate produced.
+    #[test]
+    fn texture_extent_bounds_addresses(dims in arb_dims()) {
+        let rank = dims.len();
+        let layout = Layout::texture_default(rank);
+        if layout.validate(rank).is_err() {
+            return Ok(());
+        }
+        let shape = Shape::new(dims.clone());
+        let (w, h) = layout.texture_extent(&shape).unwrap();
+        for c in enumerate(&dims) {
+            if let PhysicalAddress::Texel { x, y, lane } = layout.address(&shape, &c) {
+                prop_assert!(x < w, "x {x} >= width {w}");
+                prop_assert!(y < h, "y {y} >= height {h}");
+                prop_assert!(lane < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_commutative(a in arb_dims(), b in arb_dims()) {
+        let (sa, sb) = (Shape::new(a), Shape::new(b));
+        let ab = sa.broadcast(&sb);
+        let ba = sb.broadcast(&sa);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(x), Some(y)) = (ab, ba) {
+            prop_assert_eq!(x.dims(), y.dims());
+        }
+    }
+}

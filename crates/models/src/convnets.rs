@@ -1,0 +1,343 @@
+//! ConvNet models: ResNet50, ResNext, RegNet, ConvNext, YOLO-V8 and the
+//! style-transfer network (FST) of Table 1.
+
+use crate::blocks::{conv_bn_act, linear};
+use smartmem_ir::{BinaryKind, DType, Graph, GraphBuilder, PoolKind, ReduceKind, TensorId, UnaryKind};
+
+/// ConvNet classification head in the form mobile exporters emit for
+/// NCNN/TFLite: global average pool + 1x1 convolution + flatten (no
+/// MatMul, which those GPU backends lack).
+fn conv_head(b: &mut GraphBuilder, x: TensorId, cin: usize, batch: usize, name: &str) -> TensorId {
+    let pooled = b.reduce(x, ReduceKind::Mean, vec![2, 3], true);
+    let w = b.weight(format!("{name}.w"), &[1000, cin, 1, 1], DType::F16);
+    let c = b.conv2d(pooled, w, (1, 1), (0, 0), 1);
+    b.reshape(c, &[batch, 1000])
+}
+
+/// Bottleneck residual block (1x1 → 3x3(groups) → 1x1 + skip).
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    cin: usize,
+    cmid: usize,
+    cout: usize,
+    stride: usize,
+    groups: usize,
+    name: &str,
+) -> TensorId {
+    let c1 = conv_bn_act(b, x, cin, cmid, 1, 1, 1, Some(UnaryKind::Relu), &format!("{name}.c1"));
+    let c2 = conv_bn_act(b, c1, cmid, cmid, 3, stride, groups, Some(UnaryKind::Relu), &format!("{name}.c2"));
+    let c3 = conv_bn_act(b, c2, cmid, cout, 1, 1, 1, None, &format!("{name}.c3"));
+    let skip = if cin != cout || stride != 1 {
+        conv_bn_act(b, x, cin, cout, 1, stride, 1, None, &format!("{name}.down"))
+    } else {
+        x
+    };
+    let s = b.add(c3, skip);
+    b.unary(s, UnaryKind::Relu)
+}
+
+fn resnet_like(name: &str, batch: usize, groups: usize, width_factor: usize) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let stem = conv_bn_act(&mut b, x, 3, 64, 7, 2, 1, Some(UnaryKind::Relu), "stem");
+    let mut cur = b.pool2d(stem, PoolKind::Max, (3, 3), (2, 2), (1, 1));
+    let mut cin = 64;
+    let depths = [3usize, 4, 6, 3];
+    for (si, &depth) in depths.iter().enumerate() {
+        let cout = 256 << si;
+        let cmid = (64 << si) * width_factor;
+        for d in 0..depth {
+            let stride = if d == 0 && si > 0 { 2 } else { 1 };
+            cur = bottleneck(&mut b, cur, cin, cmid, cout, stride, groups, &format!("s{si}.b{d}"));
+            cin = cout;
+        }
+    }
+    let logits = conv_head(&mut b, cur, cin, batch, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// ResNet50 (He et al.) — the Table 1 motivation ConvNet.
+pub fn resnet50(batch: usize) -> Graph {
+    resnet_like("resnet50", batch, 1, 1)
+}
+
+/// ResNext50-32x4d (Xie et al.): bottlenecks with 32-way grouped 3x3s.
+pub fn resnext50(batch: usize) -> Graph {
+    resnet_like("resnext", batch, 32, 2)
+}
+
+/// RegNetY-3.2GF-style network: four stages of grouped bottlenecks with
+/// squeeze-excitation.
+pub fn regnet(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("regnet");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let mut cur = conv_bn_act(&mut b, x, 3, 32, 3, 2, 1, Some(UnaryKind::Relu), "stem");
+    let mut cin = 32;
+    let widths = [96usize, 192, 432, 1008];
+    let depths = [2usize, 5, 13, 1];
+    for (si, (&w, &depth)) in widths.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            let stride = if d == 0 { 2 } else { 1 };
+            let name = format!("s{si}.b{d}");
+            let groups = (w / 48).max(1);
+            let c1 = conv_bn_act(&mut b, cur, cin, w, 1, 1, 1, Some(UnaryKind::Relu), &format!("{name}.c1"));
+            let c2 =
+                conv_bn_act(&mut b, c1, w, w, 3, stride, groups, Some(UnaryKind::Relu), &format!("{name}.c2"));
+            // Squeeze-excitation.
+            let se = b.reduce(c2, ReduceKind::Mean, vec![2, 3], true);
+            let sw1 = b.weight(format!("{name}.se1"), &[w / 4, w, 1, 1], DType::F16);
+            let se1 = b.conv2d(se, sw1, (1, 1), (0, 0), 1);
+            let se1a = b.unary(se1, UnaryKind::Relu);
+            let sw2 = b.weight(format!("{name}.se2"), &[w, w / 4, 1, 1], DType::F16);
+            let se2 = b.conv2d(se1a, sw2, (1, 1), (0, 0), 1);
+            let gate = b.unary(se2, UnaryKind::Sigmoid);
+            let scaled = b.binary(c2, gate, BinaryKind::Mul);
+            let c3 = conv_bn_act(&mut b, scaled, w, w, 1, 1, 1, None, &format!("{name}.c3"));
+            let skip = if cin != w || stride != 1 {
+                conv_bn_act(&mut b, cur, cin, w, 1, stride, 1, None, &format!("{name}.down"))
+            } else {
+                cur
+            };
+            let s = b.add(c3, skip);
+            cur = b.unary(s, UnaryKind::Relu);
+            cin = w;
+        }
+    }
+    let logits = conv_head(&mut b, cur, cin, batch, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// ConvNext-T (Liu et al.): depthwise 7x7 blocks in channels-last form,
+/// full of explicit permutes around the LayerNorms — the ConvNet where
+/// SmartMem still wins 3.3x over DNNFusion.
+pub fn convnext(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("convnext");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [96usize, 192, 384, 768];
+    let depths = [3usize, 3, 9, 3];
+    // Patchify stem: 4x4 stride-4 conv + channels-last LN.
+    let mut cur = conv_bn_act(&mut b, x, 3, dims[0], 4, 4, 1, None, "stem");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        if si > 0 {
+            // Downsample: channels-last LN + 2x2 stride-2 conv.
+            let t = b.transpose(cur, &[0, 2, 3, 1]);
+            let n = b.layer_norm(t, vec![3]);
+            let back = b.transpose(n, &[0, 3, 1, 2]);
+            cur = conv_bn_act(&mut b, back, dims[si - 1], dim, 2, 2, 1, None, &format!("down{si}"));
+            res /= 2;
+        }
+        for d in 0..depth {
+            let name = format!("s{si}.b{d}");
+            let dw = conv_bn_act(&mut b, cur, dim, dim, 7, 1, dim, None, &format!("{name}.dw"));
+            // channels-last: permute, LN, pointwise MLP, permute back.
+            let t = b.transpose(dw, &[0, 2, 3, 1]);
+            let n = b.layer_norm(t, vec![3]);
+            let f = b.reshape(n, &[batch * res * res, dim]);
+            let h = linear(&mut b, f, dim, 4 * dim, &format!("{name}.p1"));
+            let a = b.unary(h, UnaryKind::Gelu);
+            let o = linear(&mut b, a, 4 * dim, dim, &format!("{name}.p2"));
+            let gamma = b.weight(format!("{name}.gamma"), &[dim], DType::F16);
+            let scaled = b.binary(o, gamma, BinaryKind::Mul);
+            let r = b.reshape(scaled, &[batch, res, res, dim]);
+            let back = b.transpose(r, &[0, 3, 1, 2]);
+            cur = b.add(cur, back);
+        }
+    }
+    let pooled = b.reduce(cur, ReduceKind::Mean, vec![2, 3], false);
+    let n = b.layer_norm(pooled, vec![1]);
+    let logits = linear(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// YOLO-V8n-style detector at 640x640: CSP-like stages with split/concat
+/// blocks, SPPF, and a multi-scale detection head.
+pub fn yolo_v8(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("yolo-v8");
+    let x = b.input("image", &[batch, 3, 640, 640], DType::F16);
+
+    fn c2f(b: &mut GraphBuilder, x: TensorId, cin: usize, cout: usize, n: usize, name: &str) -> TensorId {
+        let pre = conv_bn_act(b, x, cin, cout, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.pre"));
+        let parts = b.split(pre, 1, 2);
+        let mut feats = vec![parts[0], parts[1]];
+        let mut cur = parts[1];
+        for i in 0..n {
+            let h =
+                conv_bn_act(b, cur, cout / 2, cout / 2, 3, 1, 1, Some(UnaryKind::Silu), &format!("{name}.m{i}a"));
+            let h2 =
+                conv_bn_act(b, h, cout / 2, cout / 2, 3, 1, 1, Some(UnaryKind::Silu), &format!("{name}.m{i}b"));
+            cur = b.add(cur, h2);
+            feats.push(cur);
+        }
+        let cat = b.concat(&feats, 1);
+        let total = cout / 2 * (2 + n);
+        conv_bn_act(b, cat, total, cout, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.post"))
+    }
+
+    let widths = [16usize, 32, 64, 128, 256];
+    let mut cur = conv_bn_act(&mut b, x, 3, widths[0], 3, 2, 1, Some(UnaryKind::Silu), "stem");
+    let mut feats = Vec::new();
+    for (si, win) in widths.windows(2).enumerate() {
+        let (cin, cout) = (win[0], win[1]);
+        cur = conv_bn_act(&mut b, cur, cin, cout, 3, 2, 1, Some(UnaryKind::Silu), &format!("down{si}"));
+        let n = if si == 1 || si == 2 { 2 } else { 1 };
+        cur = c2f(&mut b, cur, cout, cout, n, &format!("c2f{si}"));
+        if si >= 1 {
+            feats.push(cur);
+        }
+    }
+    // SPPF on the last feature.
+    let sp = conv_bn_act(&mut b, cur, widths[4], widths[4] / 2, 1, 1, 1, Some(UnaryKind::Silu), "sppf.pre");
+    let p1 = b.pool2d(sp, PoolKind::Max, (5, 5), (1, 1), (2, 2));
+    let p2 = b.pool2d(p1, PoolKind::Max, (5, 5), (1, 1), (2, 2));
+    let p3 = b.pool2d(p2, PoolKind::Max, (5, 5), (1, 1), (2, 2));
+    let cat = b.concat(&[sp, p1, p2, p3], 1);
+    let neck = conv_bn_act(&mut b, cat, widths[4] * 2, widths[4], 1, 1, 1, Some(UnaryKind::Silu), "sppf.post");
+
+    // PAN neck: top-down upsampling path then bottom-up aggregation.
+    feats.pop();
+    feats.push(neck); // feats = [P3 (64@80²), P4 (128@40²), P5 (256@20²)]
+    let p5 = feats[2];
+    let up5 = conv_bn_act(&mut b, p5, 256, 512, 1, 1, 1, Some(UnaryKind::Silu), "neck.up5");
+    let u5 = b.depth_to_space(up5, 2); // 128@40²
+    let cat4 = b.concat(&[u5, feats[1]], 1); // 256@40²
+    let n4 = c2f(&mut b, cat4, 256, 128, 1, "neck.c2f4");
+    let up4 = conv_bn_act(&mut b, n4, 128, 256, 1, 1, 1, Some(UnaryKind::Silu), "neck.up4");
+    let u4 = b.depth_to_space(up4, 2); // 64@80²
+    let cat3 = b.concat(&[u4, feats[0]], 1); // 128@80²
+    let n3 = c2f(&mut b, cat3, 128, 64, 1, "neck.c2f3");
+    let d3 = conv_bn_act(&mut b, n3, 64, 64, 3, 2, 1, Some(UnaryKind::Silu), "neck.d3");
+    let cat4b = b.concat(&[d3, n4], 1); // 192@40²
+    let n4b = c2f(&mut b, cat4b, 192, 128, 1, "neck.c2f4b");
+    let d4 = conv_bn_act(&mut b, n4b, 128, 128, 3, 2, 1, Some(UnaryKind::Silu), "neck.d4");
+    let cat5b = b.concat(&[d4, p5], 1); // 384@20²
+    let n5b = c2f(&mut b, cat5b, 384, 256, 1, "neck.c2f5b");
+
+    // Decoupled detection heads at three scales.
+    let head_feats = [(n3, 64usize), (n4b, 128usize), (n5b, 256usize)];
+    let mut outputs = Vec::new();
+    for (i, &(f, c)) in head_feats.iter().enumerate() {
+        let b1 = conv_bn_act(&mut b, f, c, 64, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.box1"));
+        let b2 = conv_bn_act(&mut b, b1, 64, 64, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.box2"));
+        let box_conv = conv_bn_act(&mut b, b2, 64, 64, 1, 1, 1, None, &format!("head{i}.box3"));
+        let c1 = conv_bn_act(&mut b, f, c, 80, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.cls1"));
+        let c2 = conv_bn_act(&mut b, c1, 80, 80, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.cls2"));
+        let cls_conv = conv_bn_act(&mut b, c2, 80, 80, 1, 1, 1, None, &format!("head{i}.cls3"));
+        let catd = b.concat(&[box_conv, cls_conv], 1);
+        let res = 640 / (8 << i);
+        let flat = b.reshape(catd, &[batch, 144, res * res]);
+        outputs.push(flat);
+    }
+    let all = b.concat(&outputs, 2);
+    let sig = b.unary(all, UnaryKind::Sigmoid);
+    b.output(sig);
+    b.finish()
+}
+
+/// Fast-style-transfer network (Johnson et al.) at 1024x1024 — the
+/// Table 1 model whose InstanceNorms trigger massive implicit
+/// transformations in MNN (Fig. 1b).
+pub fn fst(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("fst");
+    let x = b.input("image", &[batch, 3, 1024, 1024], DType::F16);
+    let c1 = conv_bn_act(&mut b, x, 3, 32, 9, 1, 1, None, "c1");
+    let n1 = b.instance_norm(c1);
+    let a1 = b.unary(n1, UnaryKind::Relu);
+    let c2 = conv_bn_act(&mut b, a1, 32, 64, 3, 2, 1, None, "c2");
+    let n2 = b.instance_norm(c2);
+    let a2 = b.unary(n2, UnaryKind::Relu);
+    let c3 = conv_bn_act(&mut b, a2, 64, 128, 3, 2, 1, None, "c3");
+    let n3 = b.instance_norm(c3);
+    let mut cur = b.unary(n3, UnaryKind::Relu);
+    for i in 0..5 {
+        let r1 = conv_bn_act(&mut b, cur, 128, 128, 3, 1, 1, None, &format!("res{i}.a"));
+        let rn1 = b.instance_norm(r1);
+        let ra = b.unary(rn1, UnaryKind::Relu);
+        let r2 = conv_bn_act(&mut b, ra, 128, 128, 3, 1, 1, None, &format!("res{i}.b"));
+        let rn2 = b.instance_norm(r2);
+        cur = b.add(cur, rn2);
+    }
+    // Upsampling via conv + depth-to-space (the explicit transforms of
+    // Table 1's "32 layout transform" count).
+    let u1 = conv_bn_act(&mut b, cur, 128, 256, 3, 1, 1, None, "up1");
+    let d1 = b.depth_to_space(u1, 2);
+    let un1 = b.instance_norm(d1);
+    let ua1 = b.unary(un1, UnaryKind::Relu);
+    let u2 = conv_bn_act(&mut b, ua1, 64, 128, 3, 1, 1, None, "up2");
+    let d2 = b.depth_to_space(u2, 2);
+    let un2 = b.instance_norm(d2);
+    let ua2 = b.unary(un2, UnaryKind::Relu);
+    let out = conv_bn_act(&mut b, ua2, 32, 3, 9, 1, 1, Some(UnaryKind::Tanh), "out");
+    b.output(out);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmacs(g: &Graph) -> f64 {
+        g.total_macs() as f64 / 1e9
+    }
+    fn mparams(g: &Graph) -> f64 {
+        g.param_count() as f64 / 1e6
+    }
+
+    #[test]
+    fn resnet50_macs_match_paper() {
+        let g = resnet50(1);
+        assert!((3.0..5.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.1G
+        assert!((20.0..32.0).contains(&mparams(&g)), "got {}", mparams(&g));
+        assert!(g.layout_transform_count() <= 5); // Table 1: 3 transforms
+    }
+
+    #[test]
+    fn resnext_macs() {
+        let g = resnext50(1);
+        assert!((3.4..6.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.3G
+        assert!((80..210).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 122
+    }
+
+    #[test]
+    fn regnet_shape_and_macs() {
+        let g = regnet(1);
+        assert!((2.2..4.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 3.2G
+        assert!((180..380).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 282
+    }
+
+    #[test]
+    fn convnext_has_many_transforms() {
+        let g = convnext(1);
+        assert!((3.2..6.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.5G
+        assert!(g.layout_transform_count() > 30, "channels-last permutes expected");
+        assert!((200..400).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 292
+    }
+
+    #[test]
+    fn yolo_structure() {
+        let g = yolo_v8(1);
+        assert!((2.8..6.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.4G
+        assert!((150..320).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 233
+        assert!((2.0..6.0).contains(&mparams(&g)), "got {}", mparams(&g)); // paper: 3.2M
+    }
+
+    #[test]
+    fn fst_is_transform_heavy_and_huge() {
+        let g = fst(1);
+        assert!((100.0..220.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 162G
+        assert!(g.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::DepthToSpace { .. })));
+        assert!(g.nodes().iter().filter(|n| matches!(n.op, smartmem_ir::Op::InstanceNorm)).count() >= 10);
+    }
+
+    #[test]
+    fn batch_scales_macs_linearly() {
+        let g1 = resnet50(1);
+        let g4 = resnet50(4);
+        assert_eq!(g4.total_macs(), 4 * g1.total_macs());
+    }
+}

@@ -1,0 +1,393 @@
+//! Hybrid and generative models: EfficientVit, Conformer, the three
+//! Stable Diffusion pipelines (text encoder, UNet, VAE decoder) and the
+//! Pythia decoder-only LLM.
+
+use crate::blocks::{cls_head, conv_bn_act, linear, mha, mlp, transformer_block};
+use smartmem_ir::{BinaryKind, DType, Graph, GraphBuilder, ReduceKind, TensorId, UnaryKind};
+
+/// EfficientViT (Cai et al.): conv stem, MBConv stages, and lite
+/// multi-scale linear attention in the late stages.
+pub fn efficientvit(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("efficientvit");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+
+    fn mbconv(b: &mut GraphBuilder, x: TensorId, cin: usize, cout: usize, stride: usize, name: &str) -> TensorId {
+        let mid = cin * 6;
+        let e = conv_bn_act(b, x, cin, mid, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.expand"));
+        let d = conv_bn_act(b, e, mid, mid, 3, stride, mid, Some(UnaryKind::Silu), &format!("{name}.dw"));
+        let p = conv_bn_act(b, d, mid, cout, 1, 1, 1, None, &format!("{name}.project"));
+        if cin == cout && stride == 1 {
+            b.add(x, p)
+        } else {
+            p
+        }
+    }
+
+    let mut cur = conv_bn_act(&mut b, x, 3, 32, 3, 2, 1, Some(UnaryKind::Silu), "stem");
+    cur = mbconv(&mut b, cur, 32, 32, 1, "stem.mb");
+    let widths = [64usize, 128, 256, 512];
+    let depths = [3usize, 4, 6, 6];
+    let mut cin = 32;
+    let mut res = 112usize;
+    for (si, (&w, &depth)) in widths.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            let stride = if d == 0 { 2 } else { 1 };
+            if stride == 2 {
+                res /= 2;
+            }
+            cur = mbconv(&mut b, cur, cin, w, stride, &format!("s{si}.mb{d}"));
+            cin = w;
+            if si >= 2 && d == depth - 1 {
+                // Lite linear attention: relu-kernel q/k, global kv.
+                let name = format!("s{si}.attn");
+                let flat = b.reshape(cur, &[batch, w, res * res]);
+                let tokens = b.transpose(flat, &[0, 2, 1]);
+                let qkv = linear(&mut b, tokens, w, 3 * w, &format!("{name}.qkv"));
+                let parts = b.split(qkv, 2, 3);
+                let q = b.unary(parts[0], UnaryKind::Relu);
+                let k = b.unary(parts[1], UnaryKind::Relu);
+                let kv = b.matmul_t(k, parts[2], true, false);
+                let o = b.matmul(q, kv);
+                let proj = linear(&mut b, o, w, w, &format!("{name}.proj"));
+                let t = b.transpose(proj, &[0, 2, 1]);
+                let back = b.reshape(t, &[batch, w, res, res]);
+                cur = b.add(cur, back);
+            }
+        }
+    }
+    let pooled = b.reduce(cur, ReduceKind::Mean, vec![2, 3], false);
+    let logits = linear(&mut b, pooled, cin, 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// Conformer (Gulati et al.) for speech: conv subsampling then 16
+/// blocks of FFN–MHSA–ConvModule–FFN, full of layout flips between the
+/// `[B, T, C]` attention form and the `[B, C, 1, T]` convolution form.
+pub fn conformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("conformer");
+    let x = b.input("mel", &[batch, 1, 80, 1000], DType::F16);
+    let dim = 256;
+    // Conv subsampling (x4 in time).
+    let c1 = conv_bn_act(&mut b, x, 1, dim, 3, 2, 1, Some(UnaryKind::Relu), "sub1");
+    let c2 = conv_bn_act(&mut b, c1, dim, dim, 3, 2, 1, Some(UnaryKind::Relu), "sub2");
+    let t_len = 250;
+    let f_len = 20;
+    let r = b.reshape(c2, &[batch, dim * f_len, t_len]);
+    let t = b.transpose(r, &[0, 2, 1]);
+    let mut cur = linear(&mut b, t, dim * f_len, dim, "sub.proj");
+    for blk in 0..16 {
+        let name = format!("blk{blk}");
+        // Half-step FFN.
+        let n1 = b.layer_norm(cur, vec![2]);
+        let f1 = mlp(&mut b, n1, dim, 4 * dim, &format!("{name}.ffn1"));
+        let half = b.weight(format!("{name}.half1"), &[1], DType::F16);
+        let f1s = b.binary(f1, half, BinaryKind::Mul);
+        cur = b.add(cur, f1s);
+        // MHSA.
+        let n2 = b.layer_norm(cur, vec![2]);
+        let a = mha(&mut b, n2, batch, t_len, dim, 4, &format!("{name}.mhsa"));
+        cur = b.add(cur, a);
+        // Conv module: pointwise GLU, depthwise conv along time,
+        // pointwise projection — with explicit layout flips.
+        let n3 = b.layer_norm(cur, vec![2]);
+        let pw1 = linear(&mut b, n3, dim, 2 * dim, &format!("{name}.pw1"));
+        let gates = b.split(pw1, 2, 2);
+        let sg = b.unary(gates[1], UnaryKind::Sigmoid);
+        let glu = b.mul(gates[0], sg);
+        let tc = b.transpose(glu, &[0, 2, 1]);
+        let chw = b.reshape(tc, &[batch, dim, 1, t_len]);
+        let wdw = b.weight(format!("{name}.dw"), &[dim, 1, 1, 31], DType::F16);
+        let dw = b.conv2d(chw, wdw, (1, 1), (0, 15), dim);
+        let act = b.unary(dw, UnaryKind::Silu);
+        let back = b.reshape(act, &[batch, dim, t_len]);
+        let tb = b.transpose(back, &[0, 2, 1]);
+        let pw2 = linear(&mut b, tb, dim, dim, &format!("{name}.pw2"));
+        cur = b.add(cur, pw2);
+        // Half-step FFN.
+        let n4 = b.layer_norm(cur, vec![2]);
+        let f2 = mlp(&mut b, n4, dim, 4 * dim, &format!("{name}.ffn2"));
+        let half2 = b.weight(format!("{name}.half2"), &[1], DType::F16);
+        let f2s = b.binary(f2, half2, BinaryKind::Mul);
+        cur = b.add(cur, f2s);
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = linear(&mut b, n, dim, 5000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// Stable Diffusion text encoder (CLIP ViT-L/14 text tower): token
+/// embedding gather + 12 causal transformer blocks at sequence 77.
+pub fn sd_text_encoder(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("sd-textencoder");
+    let ids = b.input("token_ids", &[batch, 77], DType::I32);
+    let table = b.weight("embeddings", &[49408, 768], DType::F16);
+    let emb = b.gather(table, ids, 0);
+    let pos = b.weight("pos", &[77, 768], DType::F16);
+    let mut cur = b.add(emb, pos);
+    for d in 0..12 {
+        cur = transformer_block(&mut b, cur, batch, 77, 768, 12, 4, &format!("blk{d}"));
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    b.output(n);
+    b.finish()
+}
+
+/// Residual block of the diffusion UNet/VAE (two 3x3 convs with
+/// normalization and SiLU).
+fn res_block(b: &mut GraphBuilder, x: TensorId, cin: usize, cout: usize, name: &str) -> TensorId {
+    let n1 = b.instance_norm(x);
+    let a1 = b.unary(n1, UnaryKind::Silu);
+    let c1 = conv_bn_act(b, a1, cin, cout, 3, 1, 1, None, &format!("{name}.c1"));
+    let n2 = b.instance_norm(c1);
+    let a2 = b.unary(n2, UnaryKind::Silu);
+    let c2 = conv_bn_act(b, a2, cout, cout, 3, 1, 1, None, &format!("{name}.c2"));
+    let skip = if cin != cout {
+        conv_bn_act(b, x, cin, cout, 1, 1, 1, None, &format!("{name}.skip"))
+    } else {
+        x
+    };
+    b.add(c2, skip)
+}
+
+/// Spatial transformer block of the SD UNet: self-attention +
+/// cross-attention to the 77-token text context + feed-forward, wrapped
+/// in the NCHW↔tokens reshapes.
+#[allow(clippy::too_many_arguments)]
+fn spatial_transformer(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    ctx: TensorId,
+    batch: usize,
+    c: usize,
+    res: usize,
+    heads: usize,
+    name: &str,
+) -> TensorId {
+    let seq = res * res;
+    let flat = b.reshape(x, &[batch, c, seq]);
+    let tokens = b.transpose(flat, &[0, 2, 1]);
+    let n1 = b.layer_norm(tokens, vec![2]);
+    let sa = mha(b, n1, batch, seq, c, heads, &format!("{name}.self"));
+    let r1 = b.add(tokens, sa);
+    // Cross-attention: q from image tokens, k/v from the text context.
+    let n2 = b.layer_norm(r1, vec![2]);
+    let q = linear(b, n2, c, c, &format!("{name}.xq"));
+    let k = linear(b, ctx, 768, c, &format!("{name}.xk"));
+    let v = linear(b, ctx, 768, c, &format!("{name}.xv"));
+    let attn = b.matmul_t(q, k, false, true); // [B, seq, 77]
+    let p = b.softmax(attn, 2);
+    let o = b.matmul(p, v);
+    let xproj = linear(b, o, c, c, &format!("{name}.xproj"));
+    let r2 = b.add(r1, xproj);
+    let n3 = b.layer_norm(r2, vec![2]);
+    let m = mlp(b, n3, c, 4 * c, &format!("{name}.ff"));
+    let r3 = b.add(r2, m);
+    let tb = b.transpose(r3, &[0, 2, 1]);
+    b.reshape(tb, &[batch, c, res, res])
+}
+
+/// Stable Diffusion UNet (one denoising step at 64x64 latents, with
+/// text conditioning).
+pub fn sd_unet(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("sd-unet");
+    let latents = b.input("latents", &[batch, 4, 64, 64], DType::F16);
+    let ctx = b.input("text_context", &[batch, 77, 768], DType::F16);
+    let chans = [256usize, 512, 1024];
+    let mut cur = conv_bn_act(&mut b, latents, 4, chans[0], 3, 1, 1, None, "stem");
+    let mut res = 64usize;
+    let mut skips: Vec<(TensorId, usize, usize)> = Vec::new();
+    // Down path.
+    for (si, &c) in chans.iter().enumerate() {
+        let cin = if si == 0 { chans[0] } else { chans[si - 1] };
+        cur = res_block(&mut b, cur, cin, c, &format!("down{si}.res0"));
+        if si > 0 {
+            cur = spatial_transformer(&mut b, cur, ctx, batch, c, res, 8, &format!("down{si}.attn0"));
+        }
+        cur = res_block(&mut b, cur, c, c, &format!("down{si}.res1"));
+        skips.push((cur, c, res));
+        if si < chans.len() - 1 {
+            cur = conv_bn_act(&mut b, cur, c, c, 3, 2, 1, None, &format!("down{si}.pool"));
+            res /= 2;
+        }
+    }
+    // Mid block.
+    cur = res_block(&mut b, cur, chans[2], chans[2], "mid.res0");
+    cur = spatial_transformer(&mut b, cur, ctx, batch, chans[2], res, 8, "mid.attn");
+    cur = res_block(&mut b, cur, chans[2], chans[2], "mid.res1");
+    // Up path.
+    for (si, &c) in chans.iter().enumerate().rev() {
+        let (skip, sc, sres) = skips.pop().expect("skip per stage");
+        if sres != res {
+            // Upsample: 1x1 expand + depth-to-space.
+            let e = conv_bn_act(&mut b, cur, chans[(si + 1).min(2)], c * 4, 1, 1, 1, None, &format!("up{si}.exp"));
+            cur = b.depth_to_space(e, 2);
+            res *= 2;
+        }
+        let cat = b.concat(&[cur, skip], 1);
+        cur = res_block(&mut b, cat, c + sc, c, &format!("up{si}.res0"));
+        if si > 0 {
+            cur = spatial_transformer(&mut b, cur, ctx, batch, c, res, 8, &format!("up{si}.attn0"));
+        }
+        cur = res_block(&mut b, cur, c, c, &format!("up{si}.res1"));
+    }
+    let n = b.instance_norm(cur);
+    let a = b.unary(n, UnaryKind::Silu);
+    let out = conv_bn_act(&mut b, a, chans[0], 4, 3, 1, 1, None, "out");
+    b.output(out);
+    b.finish()
+}
+
+/// Stable Diffusion VAE decoder: 64x64x4 latents to a 512x512 image —
+/// the most MAC-heavy pipeline (312G), dominated by high-resolution
+/// convolutions.
+pub fn sd_vae_decoder(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("sd-vaedecoder");
+    let z = b.input("latents", &[batch, 4, 64, 64], DType::F16);
+    let mut cur = conv_bn_act(&mut b, z, 4, 512, 3, 1, 1, None, "stem");
+    cur = res_block(&mut b, cur, 512, 512, "mid.res0");
+    cur = res_block(&mut b, cur, 512, 512, "mid.res1");
+    let chans = [512usize, 256, 128, 64];
+    let mut res = 64usize;
+    for (si, &c) in chans.iter().enumerate() {
+        let cin = if si == 0 { 512 } else { chans[si - 1] };
+        cur = res_block(&mut b, cur, cin, c, &format!("up{si}.res0"));
+        cur = res_block(&mut b, cur, c, c, &format!("up{si}.res1"));
+        cur = res_block(&mut b, cur, c, c, &format!("up{si}.res2"));
+        if si < chans.len() - 1 {
+            let e = conv_bn_act(&mut b, cur, c, c * 4, 1, 1, 1, None, &format!("up{si}.exp"));
+            cur = b.depth_to_space(e, 2);
+            res *= 2;
+        }
+    }
+    let _ = res;
+    let n = b.instance_norm(cur);
+    let a = b.unary(n, UnaryKind::Silu);
+    let img = conv_bn_act(&mut b, a, chans[3], 3, 3, 1, 1, None, "out");
+    b.output(img);
+    b.finish()
+}
+
+/// Pythia-1B (Biderman et al.): 16 decoder blocks, hidden 2048, with
+/// rotary position embeddings — evaluated as a 128-token prefill.
+pub fn pythia(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("pythia-1b");
+    let seq = 128usize;
+    let dim = 2048usize;
+    let heads = 8usize;
+    let hd = dim / heads;
+    let ids = b.input("token_ids", &[batch, seq], DType::I32);
+    let table = b.weight("embeddings", &[50304, dim], DType::F16);
+    let mut cur = b.gather(table, ids, 0);
+    for blk in 0..16 {
+        let name = format!("blk{blk}");
+        let n1 = b.layer_norm(cur, vec![2]);
+        // Fused QKV with rotary embedding on q and k.
+        let qkv = linear(&mut b, n1, dim, 3 * dim, &format!("{name}.qkv"));
+        let r = b.reshape(qkv, &[batch, seq, 3, heads, hd]);
+        let t = b.transpose(r, &[2, 0, 3, 1, 4]);
+        let parts = b.split(t, 0, 3);
+        let q = b.reshape(parts[0], &[batch * heads, seq, hd]);
+        let k = b.reshape(parts[1], &[batch * heads, seq, hd]);
+        let v = b.reshape(parts[2], &[batch * heads, seq, hd]);
+        // RoPE: rotate_half via slice/concat + two elementwise muls.
+        let rope = |b: &mut GraphBuilder, x: TensorId, name: &str| -> TensorId {
+            let first = b.slice(x, 2, 0, hd / 2);
+            let second = b.slice(x, 2, hd / 2, hd / 2);
+            let neg = b.unary(second, UnaryKind::Neg);
+            let rotated = b.concat(&[neg, first], 2);
+            let cos = b.weight(format!("{name}.cos"), &[seq, hd], DType::F16);
+            let sin = b.weight(format!("{name}.sin"), &[seq, hd], DType::F16);
+            let xc = b.binary(x, cos, BinaryKind::Mul);
+            let xs = b.binary(rotated, sin, BinaryKind::Mul);
+            b.add(xc, xs)
+        };
+        let qr = rope(&mut b, q, &format!("{name}.ropeq"));
+        let kr = rope(&mut b, k, &format!("{name}.ropek"));
+        let attn = b.matmul_t(qr, kr, false, true);
+        let mask = b.weight(format!("{name}.mask"), &[seq, seq], DType::F16);
+        let masked = b.add(attn, mask);
+        let p = b.softmax(masked, 2);
+        let o = b.matmul(p, v);
+        let r2 = b.reshape(o, &[batch, heads, seq, hd]);
+        let t2 = b.transpose(r2, &[0, 2, 1, 3]);
+        let r3 = b.reshape(t2, &[batch, seq, dim]);
+        let proj = linear(&mut b, r3, dim, dim, &format!("{name}.dense"));
+        // Pythia uses parallel attention + MLP.
+        let n2 = b.layer_norm(cur, vec![2]);
+        let m = mlp(&mut b, n2, dim, 4 * dim, &format!("{name}.mlp"));
+        let s = b.add(proj, m);
+        cur = b.add(cur, s);
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = linear(&mut b, n, dim, 50304, "lm_head");
+    b.output(logits);
+    b.finish()
+}
+
+/// ViT-style classification head re-export used by hybrid models.
+#[allow(unused)]
+fn _keep_cls_head_linked() {
+    let _ = cls_head;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmacs(g: &Graph) -> f64 {
+        g.total_macs() as f64 / 1e9
+    }
+
+    #[test]
+    fn efficientvit_scale() {
+        let g = efficientvit(1);
+        assert!((2.0..8.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 5.2G
+        assert!((150..650).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 536
+    }
+
+    #[test]
+    fn conformer_scale() {
+        let g = conformer(1);
+        assert!((6.0..18.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 12G
+        assert!((450..900).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 665
+    }
+
+    #[test]
+    fn sd_text_encoder_scale() {
+        let g = sd_text_encoder(1);
+        assert!((4.0..10.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 6.7G
+        assert!((300..550).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 674
+        assert!((100.0..160.0).contains(&(g.param_count() as f64 / 1e6))); // paper: 123M
+    }
+
+    #[test]
+    fn sd_unet_scale() {
+        let g = sd_unet(1);
+        assert!((55.0..130.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 90G
+        assert!((300..900).contains(&g.op_count()), "got {}", g.op_count()); // structure-level
+    }
+
+    #[test]
+    fn sd_vae_scale() {
+        let g = sd_vae_decoder(1);
+        assert!((180.0..420.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 312G
+        assert!((120..320).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 287
+    }
+
+    #[test]
+    fn pythia_scale() {
+        let g = pythia(1);
+        assert!((80.0..160.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 119G
+        assert!((800.0..1400.0).contains(&(g.param_count() as f64 / 1e6)), "got {}M", g.param_count() / 1_000_000); // paper: 1121M
+        assert!((500..1200).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 1853
+    }
+
+    #[test]
+    fn all_validate() {
+        for g in [efficientvit(1), sd_text_encoder(1), pythia(1)] {
+            assert!(g.validate().is_ok());
+        }
+    }
+}

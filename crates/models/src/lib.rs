@@ -1,0 +1,193 @@
+//! # smartmem-models
+//!
+//! Programmatic computational-graph builders for the 20 DNNs of the
+//! SmartMem paper's evaluation: the 18 models of Tables 7–8 plus
+//! ResNet50 and the style-transfer network (FST) from the Table 1
+//! motivation study.
+//!
+//! Each builder reproduces the published architecture's operator-level
+//! structure — including every explicit `Reshape`/`Transpose` chain that
+//! window attention, head splitting, channels-last blocks and RoPE
+//! produce — with parameter and MAC counts close to the paper's Table 7
+//! characterization. All builders take the batch size as a parameter
+//! (Fig. 10 sweeps Swin over batches 1–16).
+//!
+//! # Example
+//!
+//! ```
+//! use smartmem_models as models;
+//!
+//! let swin = models::swin_tiny(1);
+//! assert!(swin.layout_transform_count() > 100); // Table 1: 242
+//! let entry = models::all_models().into_iter().find(|m| m.name == "Swin").unwrap();
+//! assert_eq!(entry.family, models::Family::Transformer);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod convnets;
+mod hybrid;
+mod transformers;
+
+pub use blocks::{
+    cls_head, conv_bn_act, linear, mha, mlp, patch_embed, patch_merging, roll, stripe_partition,
+    stripe_reverse, transformer_block, window_partition, window_reverse,
+};
+pub use convnets::{convnext, fst, regnet, resnet50, resnext50, yolo_v8};
+pub use hybrid::{conformer, efficientvit, pythia, sd_text_encoder, sd_unet, sd_vae_decoder};
+pub use transformers::{
+    autoformer, biformer, crossformer, cswin, flattenformer, smtformer, swin_tiny, vit,
+};
+
+use smartmem_ir::Graph;
+
+/// Model family (Table 7's "Model Type" column).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Pure transformer.
+    Transformer,
+    /// Pure convolutional network.
+    ConvNet,
+    /// Combined transformer + ConvNet structure.
+    Hybrid,
+}
+
+/// Attention mechanism (Table 7's "Attention" column).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Attention {
+    /// Windowed / local attention.
+    Local,
+    /// Full global attention.
+    Global,
+    /// Causal decoder attention.
+    Decoder,
+    /// No attention.
+    None,
+}
+
+/// One evaluated model: metadata plus its graph builder.
+pub struct ModelEntry {
+    /// Display name (matches the paper's tables).
+    pub name: &'static str,
+    /// Model family.
+    pub family: Family,
+    /// Attention mechanism.
+    pub attention: Attention,
+    /// Builder (parameterized by batch size).
+    pub build: fn(usize) -> Graph,
+    /// The paper's reported `#MACs (G)` (Table 7), for reference.
+    pub paper_gmacs: f64,
+    /// The paper's reported unoptimized operator count (Table 7).
+    pub paper_ops: usize,
+}
+
+impl ModelEntry {
+    /// Builds the graph at batch size 1.
+    pub fn graph(&self) -> Graph {
+        (self.build)(1)
+    }
+}
+
+/// The 18 models of the paper's main evaluation (Tables 7–8), in table
+/// order.
+pub fn all_models() -> Vec<ModelEntry> {
+    vec![
+        ModelEntry { name: "AutoFormer", family: Family::Transformer, attention: Attention::Local, build: autoformer, paper_gmacs: 4.7, paper_ops: 546 },
+        ModelEntry { name: "BiFormer", family: Family::Hybrid, attention: Attention::Local, build: biformer, paper_gmacs: 4.5, paper_ops: 2042 },
+        ModelEntry { name: "CrossFormer", family: Family::Transformer, attention: Attention::Local, build: crossformer, paper_gmacs: 5.0, paper_ops: 505 },
+        ModelEntry { name: "CSwin", family: Family::Hybrid, attention: Attention::Local, build: cswin, paper_gmacs: 6.9, paper_ops: 3863 },
+        ModelEntry { name: "EfficientVit", family: Family::Hybrid, attention: Attention::Local, build: efficientvit, paper_gmacs: 5.2, paper_ops: 536 },
+        ModelEntry { name: "FlattenFormer", family: Family::Hybrid, attention: Attention::Local, build: flattenformer, paper_gmacs: 7.2, paper_ops: 2016 },
+        ModelEntry { name: "SMTFormer", family: Family::Hybrid, attention: Attention::Local, build: smtformer, paper_gmacs: 4.9, paper_ops: 1406 },
+        ModelEntry { name: "Swin", family: Family::Transformer, attention: Attention::Local, build: swin_tiny, paper_gmacs: 4.6, paper_ops: 765 },
+        ModelEntry { name: "ViT", family: Family::Transformer, attention: Attention::Global, build: vit, paper_gmacs: 21.0, paper_ops: 444 },
+        ModelEntry { name: "Conformer", family: Family::Hybrid, attention: Attention::Global, build: conformer, paper_gmacs: 12.0, paper_ops: 665 },
+        ModelEntry { name: "SD-TextEncoder", family: Family::Transformer, attention: Attention::Global, build: sd_text_encoder, paper_gmacs: 6.7, paper_ops: 674 },
+        ModelEntry { name: "SD-UNet", family: Family::Hybrid, attention: Attention::Global, build: sd_unet, paper_gmacs: 90.0, paper_ops: 1962 },
+        ModelEntry { name: "SD-VAEDecoder", family: Family::Hybrid, attention: Attention::Global, build: sd_vae_decoder, paper_gmacs: 312.0, paper_ops: 287 },
+        ModelEntry { name: "Pythia", family: Family::Transformer, attention: Attention::Decoder, build: pythia, paper_gmacs: 119.0, paper_ops: 1853 },
+        ModelEntry { name: "ConvNext", family: Family::ConvNet, attention: Attention::None, build: convnext, paper_gmacs: 4.5, paper_ops: 292 },
+        ModelEntry { name: "RegNet", family: Family::ConvNet, attention: Attention::None, build: regnet, paper_gmacs: 3.2, paper_ops: 282 },
+        ModelEntry { name: "ResNext", family: Family::ConvNet, attention: Attention::None, build: resnext50, paper_gmacs: 4.3, paper_ops: 122 },
+        ModelEntry { name: "Yolo-V8", family: Family::ConvNet, attention: Attention::None, build: yolo_v8, paper_gmacs: 4.4, paper_ops: 233 },
+    ]
+}
+
+/// The Table 1 motivation set (adds ResNet50 and FST to a subset of the
+/// main models).
+pub fn table1_models() -> Vec<ModelEntry> {
+    let mut v = vec![
+        ModelEntry { name: "ResNet50", family: Family::ConvNet, attention: Attention::None, build: resnet50, paper_gmacs: 4.1, paper_ops: 126 },
+        ModelEntry { name: "FST", family: Family::ConvNet, attention: Attention::None, build: fst, paper_gmacs: 162.0, paper_ops: 63 },
+        ModelEntry { name: "RegNet", family: Family::ConvNet, attention: Attention::None, build: regnet, paper_gmacs: 3.2, paper_ops: 282 },
+    ];
+    let keep = ["CrossFormer", "Swin", "AutoFormer", "CSwin", "SD-TextEncoder", "SD-UNet", "Pythia"];
+    v.extend(all_models().into_iter().filter(|m| keep.contains(&m.name)));
+    v
+}
+
+/// Looks a model up by its table name.
+pub fn by_name(name: &str) -> Option<ModelEntry> {
+    all_models()
+        .into_iter()
+        .chain(table1_models())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table7() {
+        let models = all_models();
+        assert_eq!(models.len(), 18);
+        let transformers = models.iter().filter(|m| m.family == Family::Transformer).count();
+        let convnets = models.iter().filter(|m| m.family == Family::ConvNet).count();
+        let hybrids = models.iter().filter(|m| m.family == Family::Hybrid).count();
+        assert_eq!((transformers, convnets, hybrids), (6, 4, 8));
+    }
+
+    #[test]
+    fn every_model_builds_and_validates() {
+        for m in all_models() {
+            let g = m.graph();
+            assert!(g.validate().is_ok(), "{} invalid", m.name);
+            assert!(g.op_count() > 50, "{} suspiciously small", m.name);
+        }
+    }
+
+    #[test]
+    fn transformer_models_are_transform_heavy() {
+        // The paper's core observation (Table 1): transformer graphs
+        // contain 1-2 orders of magnitude more explicit layout
+        // transformations than ConvNets.
+        let swin = swin_tiny(1);
+        let resnet = resnet50(1);
+        assert!(swin.layout_transform_count() > 20 * resnet.layout_transform_count());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("swin").is_some());
+        assert!(by_name("ResNet50").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn macs_within_2x_of_paper() {
+        for m in all_models() {
+            let g = m.graph();
+            let gmacs = g.total_macs() as f64 / 1e9;
+            let ratio = gmacs / m.paper_gmacs;
+            assert!(
+                (0.45..2.2).contains(&ratio),
+                "{}: built {gmacs:.1}G vs paper {:.1}G",
+                m.name,
+                m.paper_gmacs
+            );
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Transformer models: Swin, ViT, CSwin, CrossFormer, AutoFormer,
+//! FlattenFormer, SMTFormer and BiFormer.
+//!
+//! Architectural hyper-parameters follow the published variants the
+//! paper evaluates (Swin-T, ViT-B/16, CSwin-S, CrossFormer-S, …); the
+//! builders reproduce the operator-level structure, including every
+//! explicit reshape/transpose the exported graphs contain.
+
+use crate::blocks::{
+    cls_head, linear, mha, mlp, patch_embed, patch_merging, roll, stripe_partition, stripe_reverse,
+    transformer_block, window_partition, window_reverse,
+};
+use smartmem_ir::{BinaryKind, DType, Graph, GraphBuilder, ReduceKind, TensorId, UnaryKind};
+
+/// One Swin block: LN → (shift) → window partition → W-MSA → reverse →
+/// (unshift) → +res → LN → MLP → +res.
+#[allow(clippy::too_many_arguments)]
+fn swin_block(
+    b: &mut GraphBuilder,
+    x: TensorId, // [B, H*W, C]
+    batch: usize,
+    h: usize,
+    w: usize,
+    c: usize,
+    heads: usize,
+    win: usize,
+    shift: bool,
+    name: &str,
+) -> TensorId {
+    let n1 = b.layer_norm(x, vec![2]);
+    let spatial = b.reshape(n1, &[batch, h, w, c]);
+    let shifted = if shift {
+        let r1 = roll(b, spatial, 1, h, win / 2);
+        roll(b, r1, 2, w, win / 2)
+    } else {
+        spatial
+    };
+    let wins = window_partition(b, shifted, batch, h, w, c, win);
+    let nw = (h / win) * (w / win);
+    let a = mha(b, wins, batch * nw, win * win, c, heads, &format!("{name}.wmsa"));
+    let back = window_reverse(b, a, batch, h, w, c, win);
+    let unshifted = if shift {
+        let r1 = roll(b, back, 1, h, h - win / 2);
+        roll(b, r1, 2, w, w - win / 2)
+    } else {
+        back
+    };
+    let flat = b.reshape(unshifted, &[batch, h * w, c]);
+    let r1 = b.add(x, flat);
+    let n2 = b.layer_norm(r1, vec![2]);
+    let m = mlp(b, n2, c, 4 * c, &format!("{name}.mlp"));
+    b.add(r1, m)
+}
+
+/// Swin-T (Liu et al.): dims 96/192/384/768, depths 2/2/6/2, window 7.
+pub fn swin_tiny(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("swin-t");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [96usize, 192, 384, 768];
+    let depths = [2usize, 2, 6, 2];
+    let heads = [3usize, 6, 12, 24];
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 4, dims[0], "embed");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            cur = swin_block(
+                &mut b,
+                cur,
+                batch,
+                res,
+                res,
+                dim,
+                heads[si],
+                7,
+                d % 2 == 1,
+                &format!("s{si}.b{d}"),
+            );
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// ViT-B/16 (Dosovitskiy et al.): 12 global-attention blocks, dim 768.
+pub fn vit(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("vit");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dim = 768;
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 16, dim, "embed");
+    let pos = b.weight("pos", &[196, dim], DType::F16);
+    cur = b.add(cur, pos);
+    for d in 0..12 {
+        cur = transformer_block(&mut b, cur, batch, 196, dim, 12, 4, &format!("blk{d}"));
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dim, 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// One CSwin block: parallel horizontal/vertical stripe attention on
+/// half the channels each, with a depthwise LePE convolution per branch.
+#[allow(clippy::too_many_arguments)]
+fn cswin_block(
+    b: &mut GraphBuilder,
+    x: TensorId, // [B, H*W, C]
+    batch: usize,
+    h: usize,
+    w: usize,
+    c: usize,
+    heads: usize,
+    split: usize,
+    name: &str,
+) -> TensorId {
+    let n1 = b.layer_norm(x, vec![2]);
+    let qkv = linear(b, n1, c, 3 * c, &format!("{name}.qkv"));
+    let spatial = b.reshape(qkv, &[batch, h, w, 3 * c]);
+    let halves = b.split(spatial, 3, 2); // two branches of 3*C/2
+    let c2 = c / 2;
+    let mut outs = Vec::new();
+    for (bi, &half) in halves.iter().enumerate() {
+        let (sh, sw) = if bi == 0 { (split.min(h), w) } else { (h, split.min(w)) };
+        let stripes = stripe_partition(b, half, batch, h, w, 3 * c2, sh, sw);
+        let seq = sh * sw;
+        let nst = (h / sh) * (w / sw);
+        let qkv3 = b.reshape(stripes, &[batch * nst, seq, 3, c2]);
+        let t = b.transpose(qkv3, &[2, 0, 1, 3]);
+        let parts = b.split(t, 0, 3);
+        let q = b.reshape(parts[0], &[batch * nst, seq, c2]);
+        let k = b.reshape(parts[1], &[batch * nst, seq, c2]);
+        let v = b.reshape(parts[2], &[batch * nst, seq, c2]);
+        let attn = b.matmul_t(q, k, false, true);
+        let p = b.softmax(attn, 2);
+        let o = b.matmul(p, v);
+        // LePE: depthwise 3x3 on V in spatial form, added to the output.
+        let vsp = stripe_reverse(b, v, batch, h, w, c2, sh, sw);
+        let vchw = b.transpose(vsp, &[0, 3, 1, 2]);
+        let wdw = b.weight(format!("{name}.lepe{bi}"), &[c2, 1, 3, 3], DType::F16);
+        let lepe = b.conv2d(vchw, wdw, (1, 1), (1, 1), c2);
+        let lhwc = b.transpose(lepe, &[0, 2, 3, 1]);
+        let lstripes = stripe_partition(b, lhwc, batch, h, w, c2, sh, sw);
+        let sum = b.add(o, lstripes);
+        let back = stripe_reverse(b, sum, batch, h, w, c2, sh, sw);
+        outs.push(back);
+        let _ = heads;
+    }
+    let cat = b.concat(&outs, 3);
+    let flat = b.reshape(cat, &[batch, h * w, c]);
+    let proj = linear(b, flat, c, c, &format!("{name}.proj"));
+    let r1 = b.add(x, proj);
+    let n2 = b.layer_norm(r1, vec![2]);
+    let m = mlp(b, n2, c, 4 * c, &format!("{name}.mlp"));
+    b.add(r1, m)
+}
+
+/// CSwin-S (Dong et al.): dim 64, depths 2/4/32/2, cross-shaped stripe
+/// attention — the most operator-heavy model of Table 7.
+pub fn cswin(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("cswin");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [64usize, 128, 256, 512];
+    let depths = [2usize, 4, 32, 2];
+    let heads = [2usize, 4, 8, 16];
+    let splits = [1usize, 2, 7, 7];
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 4, dims[0], "embed");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            cur = cswin_block(
+                &mut b,
+                cur,
+                batch,
+                res,
+                res,
+                dim,
+                heads[si],
+                if si == 3 { res } else { splits[si] },
+                &format!("s{si}.b{d}"),
+            );
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// CrossFormer-S (Wang et al.): cross-scale patch embeddings (parallel
+/// convs of different kernel sizes concatenated) and alternating
+/// short-/long-distance window attention.
+pub fn crossformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("crossformer");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [96usize, 192, 384, 768];
+    let depths = [2usize, 2, 6, 2];
+    let heads = [3usize, 6, 12, 24];
+    // Cross-scale embedding: 4 convs (4/8/16/32 kernels) concatenated.
+    let mut embeds = Vec::new();
+    for (i, k) in [4usize, 8, 16, 32].iter().enumerate() {
+        let cdim = dims[0] / 4;
+        let w = b.weight(format!("cel{i}.w"), &[cdim, 3, *k, *k], DType::F16);
+        let pad = (*k - 4) / 2;
+        let c = b.conv2d(x, w, (4, 4), (pad, pad), 1);
+        embeds.push(c);
+    }
+    let cat = b.concat(&embeds, 1);
+    let r = b.reshape(cat, &[batch, dims[0], 56 * 56]);
+    let t = b.transpose(r, &[0, 2, 1]);
+    let mut cur = b.layer_norm(t, vec![2]);
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            let name = format!("s{si}.b{d}");
+            let n1 = b.layer_norm(cur, vec![2]);
+            let spatial = b.reshape(n1, &[batch, res, res, dim]);
+            let g = 7usize.min(res);
+            // SDA: contiguous windows; LDA: dilated groups, which the
+            // exporter lowers as an extra transpose pair.
+            let wins = if d % 2 == 0 {
+                window_partition(&mut b, spatial, batch, res, res, dim, g)
+            } else {
+                let rr = b.reshape(spatial, &[batch, g, res / g, g, res / g, dim]);
+                let tt = b.transpose(rr, &[0, 2, 4, 1, 3, 5]);
+                b.reshape(tt, &[batch * (res / g) * (res / g), g * g, dim])
+            };
+            let nw = (res / g) * (res / g);
+            let a = mha(&mut b, wins, batch * nw, g * g, dim, heads[si], &format!("{name}.attn"));
+            let back = if d % 2 == 0 {
+                window_reverse(&mut b, a, batch, res, res, dim, g)
+            } else {
+                let rr = b.reshape(a, &[batch, res / g, res / g, g, g, dim]);
+                let tt = b.transpose(rr, &[0, 3, 1, 4, 2, 5]);
+                b.reshape(tt, &[batch, res, res, dim])
+            };
+            let flat = b.reshape(back, &[batch, res * res, dim]);
+            let r1 = b.add(cur, flat);
+            let n2 = b.layer_norm(r1, vec![2]);
+            let m = mlp(&mut b, n2, dim, 4 * dim, &format!("{name}.mlp"));
+            cur = b.add(r1, m);
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// AutoFormer (searched ViT supernet, small config): 13 plain blocks
+/// with searched dims.
+pub fn autoformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("autoformer");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dim = 448;
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 16, dim, "embed");
+    let pos = b.weight("pos", &[196, dim], DType::F16);
+    cur = b.add(cur, pos);
+    for d in 0..13 {
+        // Searched mlp ratios alternate between 3 and 4.
+        let ratio = if d % 2 == 0 { 3 } else { 4 };
+        cur = transformer_block(&mut b, cur, batch, 196, dim, 7, ratio, &format!("blk{d}"));
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dim, 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// FLatten-Swin-S (Han et al., "FlattenFormer"): Swin-S layout with
+/// focused linear attention (kernelized q/k, attention computed as
+/// `q·(kᵀv)` plus a depthwise rank-restore convolution).
+pub fn flattenformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("flattenformer");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [96usize, 192, 384, 768];
+    let depths = [2usize, 2, 18, 2];
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 4, dims[0], "embed");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            let name = format!("s{si}.b{d}");
+            let n1 = b.layer_norm(cur, vec![2]);
+            let spatial = b.reshape(n1, &[batch, res, res, dim]);
+            let win = 7usize.min(res);
+            let wins = window_partition(&mut b, spatial, batch, res, res, dim, win);
+            let nw = (res / win) * (res / win);
+            let seq = win * win;
+            // Focused linear attention.
+            let qkv = linear(&mut b, wins, dim, 3 * dim, &format!("{name}.qkv"));
+            let parts = b.split(qkv, 2, 3);
+            let q = b.unary(parts[0], UnaryKind::Relu);
+            let k = b.unary(parts[1], UnaryKind::Relu);
+            let kv = b.matmul_t(k, parts[2], true, false); // [B', dim, dim]
+            let o = b.matmul(q, kv); // [B', seq, dim]
+            let norm = b.reduce(k, ReduceKind::Sum, vec![1], true);
+            let qn = b.matmul_t(q, norm, false, true);
+            let scaled = b.binary(o, qn, BinaryKind::Div);
+            // Depthwise rank restoration on V.
+            let vsp = stripe_reverse(&mut b, parts[2], batch, res, res, dim, win, win);
+            let vchw = b.transpose(vsp, &[0, 3, 1, 2]);
+            let wdw = b.weight(format!("{name}.dwc"), &[dim, 1, 3, 3], DType::F16);
+            let dwc = b.conv2d(vchw, wdw, (1, 1), (1, 1), dim);
+            let dhwc = b.transpose(dwc, &[0, 2, 3, 1]);
+            let dwin = stripe_partition(&mut b, dhwc, batch, res, res, dim, win, win);
+            let sum = b.add(scaled, dwin);
+            let proj = linear(&mut b, sum, dim, dim, &format!("{name}.proj"));
+            let back = window_reverse(&mut b, proj, batch, res, res, dim, win);
+            let flat = b.reshape(back, &[batch, res * res, dim]);
+            let r1 = b.add(cur, flat);
+            let n2 = b.layer_norm(r1, vec![2]);
+            let m = mlp(&mut b, n2, dim, 4 * dim, &format!("{name}.mlp"));
+            cur = b.add(r1, m);
+            let _ = (nw, seq);
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// SMT-S (Lin et al., "SMTFormer"): scale-aware modulation convolutions
+/// in the early stages, standard attention in the late stages.
+pub fn smtformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("smtformer");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [64usize, 128, 256, 512];
+    let depths = [3usize, 4, 18, 2];
+    let heads = [2usize, 4, 8, 16];
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 4, dims[0], "embed");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        for d in 0..depth {
+            let name = format!("s{si}.b{d}");
+            if si < 2 {
+                // Scale-aware modulation: multi-scale depthwise convs,
+                // aggregated and gated.
+                let n1 = b.layer_norm(cur, vec![2]);
+                let spatial = b.reshape(n1, &[batch, res, res, dim]);
+                let chw = b.transpose(spatial, &[0, 3, 1, 2]);
+                let mut scales = Vec::new();
+                let parts = b.split(chw, 1, 2);
+                for (pi, &part) in parts.iter().enumerate() {
+                    let k = 3 + 2 * pi;
+                    let wdw = b.weight(format!("{name}.dw{pi}"), &[dim / 2, 1, k, k], DType::F16);
+                    let c = b.conv2d(part, wdw, (1, 1), (k / 2, k / 2), dim / 2);
+                    scales.push(c);
+                }
+                let cat = b.concat(&scales, 1);
+                let wpw = b.weight(format!("{name}.pw"), &[dim, dim, 1, 1], DType::F16);
+                let mixed = b.conv2d(cat, wpw, (1, 1), (0, 0), 1);
+                let gate = b.unary(mixed, UnaryKind::Gelu);
+                let modulated = b.mul(chw, gate);
+                let hwc = b.transpose(modulated, &[0, 2, 3, 1]);
+                let flat = b.reshape(hwc, &[batch, res * res, dim]);
+                let proj = linear(&mut b, flat, dim, dim, &format!("{name}.proj"));
+                let r1 = b.add(cur, proj);
+                let n2 = b.layer_norm(r1, vec![2]);
+                let m = mlp(&mut b, n2, dim, 4 * dim, &format!("{name}.mlp"));
+                cur = b.add(r1, m);
+            } else {
+                cur = transformer_block(&mut b, cur, batch, res * res, dim, heads[si], 4, &name);
+            }
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+/// BiFormer-S (Zhu et al.): bi-level routing attention — region-level
+/// routing (pool + matmul + gather of the top-k regions) followed by
+/// token attention within gathered regions, plus a depthwise LCE path.
+pub fn biformer(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new("biformer");
+    let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
+    let dims = [64usize, 128, 256, 512];
+    let depths = [4usize, 4, 18, 4];
+    let mut cur = patch_embed(&mut b, x, batch, 3, 224, 4, dims[0], "embed");
+    let mut res = 56usize;
+    for (si, (&dim, &depth)) in dims.iter().zip(depths.iter()).enumerate() {
+        let regions = 7usize; // S^2 = 49 regions
+        for d in 0..depth {
+            let name = format!("s{si}.b{d}");
+            let n1 = b.layer_norm(cur, vec![2]);
+            let spatial = b.reshape(n1, &[batch, res, res, dim]);
+            let rwins = stripe_partition(&mut b, spatial, batch, res, res, dim, res / regions, res / regions);
+            let nreg = regions * regions;
+            let rtok = (res / regions) * (res / regions);
+            // qkv per token.
+            let qkv = linear(&mut b, rwins, dim, 3 * dim, &format!("{name}.qkv"));
+            let parts = b.split(qkv, 2, 3);
+            // Region-level routing: mean-pool q,k per region.
+            let qr = b.reshape(parts[0], &[batch, nreg, rtok, dim]);
+            let qm = b.reduce(qr, ReduceKind::Mean, vec![2], false); // [B, nreg, dim]
+            let kr = b.reshape(parts[1], &[batch, nreg, rtok, dim]);
+            let km = b.reduce(kr, ReduceKind::Mean, vec![2], false);
+            let adj = b.matmul_t(qm, km, false, true); // [B, nreg, nreg]
+            let routes = b.softmax(adj, 2);
+            // Top-k routing (k = 4): keep the strongest 4 regions per
+            // query region, then gather their k/v tokens
+            // (token-selection gathers are what makes BiFormer so
+            // transformation-heavy in MNN).
+            let topk = b.slice(routes, 2, 0, 4);
+            let kflat = b.reshape(parts[1], &[batch * nreg, rtok * dim]);
+            let vflat = b.reshape(parts[2], &[batch * nreg, rtok * dim]);
+            let gk = b.gather(kflat, topk, 0);
+            let gv = b.gather(vflat, topk, 0);
+            let gk2 = b.reshape(gk, &[batch * nreg, 4, rtok * dim]);
+            let gv2 = b.reshape(gv, &[batch * nreg, 4, rtok * dim]);
+            let gk3 = b.reduce(gk2, ReduceKind::Mean, vec![1], false);
+            let gv3 = b.reduce(gv2, ReduceKind::Mean, vec![1], false);
+            let gk4 = b.reshape(gk3, &[batch * nreg, rtok, dim]);
+            let gv4 = b.reshape(gv3, &[batch * nreg, rtok, dim]);
+            let q = b.reshape(parts[0], &[batch * nreg, rtok, dim]);
+            let attn = b.matmul_t(q, gk4, false, true);
+            let p = b.softmax(attn, 2);
+            let o = b.matmul(p, gv4);
+            // LCE depthwise path on V.
+            let vsp = stripe_reverse(&mut b, parts[2], batch, res, res, dim, res / regions, res / regions);
+            let vchw = b.transpose(vsp, &[0, 3, 1, 2]);
+            let wdw = b.weight(format!("{name}.lce"), &[dim, 1, 5, 5], DType::F16);
+            let lce = b.conv2d(vchw, wdw, (1, 1), (2, 2), dim);
+            let lhwc = b.transpose(lce, &[0, 2, 3, 1]);
+            let lwin = stripe_partition(&mut b, lhwc, batch, res, res, dim, res / regions, res / regions);
+            let sum = b.add(o, lwin);
+            let proj = linear(&mut b, sum, dim, dim, &format!("{name}.proj"));
+            let back = stripe_reverse(&mut b, proj, batch, res, res, dim, res / regions, res / regions);
+            let flat = b.reshape(back, &[batch, res * res, dim]);
+            let r1 = b.add(cur, flat);
+            let n2 = b.layer_norm(r1, vec![2]);
+            let m = mlp(&mut b, n2, dim, 3 * dim, &format!("{name}.mlp"));
+            cur = b.add(r1, m);
+        }
+        if si < 3 {
+            let spatial = b.reshape(cur, &[batch, res, res, dim]);
+            cur = patch_merging(&mut b, spatial, batch, res, res, dim, &format!("merge{si}"));
+            res /= 2;
+        }
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = cls_head(&mut b, n, dims[3], 1000, "head");
+    b.output(logits);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmacs(g: &Graph) -> f64 {
+        g.total_macs() as f64 / 1e9
+    }
+
+    #[test]
+    fn swin_matches_paper_scale() {
+        let g = swin_tiny(1);
+        assert!((3.2..6.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.6G
+        assert!((450..900).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 765
+        assert!(g.layout_transform_count() > 150, "got {}", g.layout_transform_count()); // Table 1: 242
+    }
+
+    #[test]
+    fn vit_matches_paper_scale() {
+        let g = vit(1);
+        assert!((14.0..24.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 21G
+        assert!((280..460).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 444
+    }
+
+    #[test]
+    fn cswin_is_most_operator_heavy() {
+        let g = cswin(1);
+        assert!((4.5..9.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 6.9G
+        let swin_ops = swin_tiny(1).op_count();
+        assert!(g.op_count() > 2 * swin_ops, "cswin {} vs swin {}", g.op_count(), swin_ops);
+    }
+
+    #[test]
+    fn crossformer_scale() {
+        let g = crossformer(1);
+        assert!((3.4..7.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 5.0G
+        assert!((350..700).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 505
+    }
+
+    #[test]
+    fn autoformer_scale() {
+        let g = autoformer(1);
+        assert!((3.2..7.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.7G
+        assert!((250..600).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 546
+    }
+
+    #[test]
+    fn flattenformer_scale() {
+        let g = flattenformer(1);
+        assert!((4.2..10.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 7.2G
+        assert!((900..2400).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 2016
+    }
+
+    #[test]
+    fn smtformer_scale() {
+        let g = smtformer(1);
+        assert!((3.0..7.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.9G
+        assert!((700..1700).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 1406
+    }
+
+    #[test]
+    fn biformer_scale() {
+        let g = biformer(1);
+        assert!((3.0..8.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.5G
+        assert!((1100..2600).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 2042
+        // Token-selection gathers present.
+        assert!(g.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::Gather { .. })));
+    }
+
+    #[test]
+    fn all_graphs_validate() {
+        for g in [swin_tiny(1), vit(1), autoformer(1)] {
+            assert!(g.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Device configurations for the platforms evaluated in the paper.
+
+use crate::cache::CacheConfig;
+use crate::memory::TextureTiling;
+use smartmem_ir::DType;
+
+/// Performance-relevant constants of one execution platform.
+///
+/// The mobile presets reproduce the published characteristics the paper
+/// relies on (§4.1 and the §4.6 roofline: 55 GB/s global bandwidth,
+/// 511 GB/s texture bandwidth and 2.0 TMACs/s peak on the Snapdragon
+/// 8 Gen 2); the older SoCs are scaled from their public spec sheets.
+/// Desktop GPUs expose no performance-relevant texture path in this
+/// model (the paper's TorchInductor comparison explicitly excludes the
+/// 2.5D-memory optimization).
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Peak multiply-accumulate throughput in tera-MACs/s at the
+    /// evaluation precision.
+    pub peak_tmacs: f64,
+    /// Global (1D buffer) memory bandwidth in GB/s.
+    pub global_bw_gbps: f64,
+    /// Texture (2.5D) memory bandwidth in GB/s.
+    pub texture_bw_gbps: f64,
+    /// Whether kernels may place tensors in texture memory.
+    pub has_texture: bool,
+    /// Fixed per-kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Unified/device memory capacity in GiB (OOM threshold for Fig. 11).
+    pub memory_gb: f64,
+    /// Geometry of the (L2) data cache in front of global memory.
+    pub buffer_cache: CacheConfig,
+    /// Geometry of the dedicated texture cache.
+    pub texture_cache: CacheConfig,
+    /// 2-D tile shape of one texture-cache line.
+    pub texture_tiling: TextureTiling,
+    /// Effective throughput for scalar index arithmetic, in weighted
+    /// index-ops per second (see `smartmem_index::ExprCost::weighted`).
+    pub index_ops_per_sec: f64,
+    /// Evaluation element type (`F16` on mobile, `F32` on desktop —
+    /// §4.1).
+    pub dtype: DType,
+}
+
+impl DeviceConfig {
+    /// Snapdragon 8 Gen 2 (Adreno 740) — the paper's primary platform.
+    pub fn snapdragon_8gen2() -> Self {
+        DeviceConfig {
+            name: "Snapdragon 8 Gen 2 (Adreno 740)".to_string(),
+            peak_tmacs: 2.0,
+            global_bw_gbps: 55.0,
+            texture_bw_gbps: 511.0,
+            has_texture: true,
+            kernel_launch_us: 100.0,
+            memory_gb: 16.0,
+            buffer_cache: CacheConfig { size_bytes: 1 << 20, line_bytes: 64, ways: 8 },
+            texture_cache: CacheConfig { size_bytes: 128 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 2.5e11,
+            dtype: DType::F16,
+        }
+    }
+
+    /// Snapdragon 835 (Adreno 540) — older flagship used for the
+    /// portability study (Fig. 11b).
+    pub fn snapdragon_835() -> Self {
+        DeviceConfig {
+            name: "Snapdragon 835 (Adreno 540)".to_string(),
+            peak_tmacs: 0.4,
+            global_bw_gbps: 29.0,
+            texture_bw_gbps: 190.0,
+            has_texture: true,
+            kernel_launch_us: 130.0,
+            memory_gb: 6.0,
+            buffer_cache: CacheConfig { size_bytes: 512 << 10, line_bytes: 64, ways: 8 },
+            texture_cache: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 0.8e11,
+            dtype: DType::F16,
+        }
+    }
+
+    /// MediaTek Dimensity 700 (Mali-G57) — the resource-constrained
+    /// platform of Fig. 11a (4 GB unified memory).
+    pub fn dimensity_700() -> Self {
+        DeviceConfig {
+            name: "Dimensity 700 (Mali-G57)".to_string(),
+            peak_tmacs: 0.25,
+            global_bw_gbps: 17.0,
+            texture_bw_gbps: 100.0,
+            has_texture: true,
+            kernel_launch_us: 160.0,
+            memory_gb: 4.0,
+            buffer_cache: CacheConfig { size_bytes: 512 << 10, line_bytes: 64, ways: 4 },
+            texture_cache: CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 0.5e11,
+            dtype: DType::F16,
+        }
+    }
+
+    /// NVIDIA Tesla V100 in FP32 — the desktop comparison of Table 9.
+    /// Texture memory is not used (the paper ports SmartMem to
+    /// TorchInductor *excluding* the 2.5D layout optimization).
+    pub fn tesla_v100() -> Self {
+        DeviceConfig {
+            name: "Tesla V100 (FP32)".to_string(),
+            peak_tmacs: 7.0,
+            global_bw_gbps: 900.0,
+            texture_bw_gbps: 900.0,
+            has_texture: false,
+            kernel_launch_us: 5.0,
+            memory_gb: 16.0,
+            buffer_cache: CacheConfig { size_bytes: 6 << 20, line_bytes: 128, ways: 16 },
+            texture_cache: CacheConfig { size_bytes: 128 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 2.0e12,
+            dtype: DType::F32,
+        }
+    }
+
+    /// Peak MACs per nanosecond.
+    pub fn macs_per_ns(&self) -> f64 {
+        self.peak_tmacs * 1e3
+    }
+
+    /// Bandwidth of the given memory class in bytes per nanosecond.
+    pub fn bw_bytes_per_ns(&self, texture: bool) -> f64 {
+        if texture {
+            self.texture_bw_gbps
+        } else {
+            self.global_bw_gbps
+        }
+    }
+
+    /// Memory capacity in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gb * (1u64 << 30) as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_published_constants() {
+        let d = DeviceConfig::snapdragon_8gen2();
+        assert_eq!(d.global_bw_gbps, 55.0);
+        assert_eq!(d.texture_bw_gbps, 511.0);
+        assert_eq!(d.peak_tmacs, 2.0);
+        assert!(d.has_texture);
+        assert_eq!(d.dtype, DType::F16);
+    }
+
+    #[test]
+    fn desktop_uses_fp32_without_texture() {
+        let d = DeviceConfig::tesla_v100();
+        assert!(!d.has_texture);
+        assert_eq!(d.dtype, DType::F32);
+    }
+
+    #[test]
+    fn derived_units() {
+        let d = DeviceConfig::snapdragon_8gen2();
+        assert!((d.macs_per_ns() - 2000.0).abs() < 1e-9);
+        assert!((d.bw_bytes_per_ns(false) - 55.0).abs() < 1e-9);
+        assert!((d.bw_bytes_per_ns(true) - 511.0).abs() < 1e-9);
+        assert_eq!(d.memory_bytes(), 16 * (1u64 << 30));
+    }
+
+    #[test]
+    fn older_socs_are_strictly_weaker() {
+        let new = DeviceConfig::snapdragon_8gen2();
+        for old in [DeviceConfig::snapdragon_835(), DeviceConfig::dimensity_700()] {
+            assert!(old.peak_tmacs < new.peak_tmacs);
+            assert!(old.global_bw_gbps < new.global_bw_gbps);
+            assert!(old.memory_gb < new.memory_gb);
+        }
+    }
+}

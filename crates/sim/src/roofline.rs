@@ -1,0 +1,71 @@
+//! Roofline analysis helpers (Fig. 12 of the paper).
+
+use crate::device::DeviceConfig;
+
+/// One model's point on the roofline plot.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RooflinePoint {
+    /// Average computational intensity in MACs per byte.
+    pub intensity: f64,
+    /// Achieved performance in GMACs/s.
+    pub achieved_gmacs: f64,
+    /// Roof at this intensity assuming all data comes from texture
+    /// memory, in GMACs/s.
+    pub texture_roof_gmacs: f64,
+    /// Roof assuming all data comes from global memory, in GMACs/s.
+    pub global_roof_gmacs: f64,
+}
+
+impl RooflinePoint {
+    /// Fraction of the texture-memory roof achieved (the paper reports
+    /// 24–35% for Swin/ViT/ResNext/SD-VAEDecoder).
+    pub fn texture_roof_fraction(&self) -> f64 {
+        if self.texture_roof_gmacs == 0.0 {
+            0.0
+        } else {
+            self.achieved_gmacs / self.texture_roof_gmacs
+        }
+    }
+}
+
+/// Roofline performance bound in GMACs/s for a given computational
+/// intensity (MACs/byte) when data is served from the chosen memory
+/// class: `min(peak, bandwidth × intensity)`.
+pub fn roofline_gmacs(device: &DeviceConfig, intensity_macs_per_byte: f64, texture: bool) -> f64 {
+    let peak_gmacs = device.peak_tmacs * 1e3;
+    let bw = device.bw_bytes_per_ns(texture); // GB/s == bytes/ns
+    peak_gmacs.min(bw * intensity_macs_per_byte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_region_scales_with_bandwidth() {
+        let d = DeviceConfig::snapdragon_8gen2();
+        // At 1 MAC/byte: global roof = 55 GMACS, texture roof = 511 GMACS.
+        assert!((roofline_gmacs(&d, 1.0, false) - 55.0).abs() < 1e-9);
+        assert!((roofline_gmacs(&d, 1.0, true) - 511.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_region_caps_at_peak() {
+        let d = DeviceConfig::snapdragon_8gen2();
+        assert!((roofline_gmacs(&d, 1e6, true) - 2000.0).abs() < 1e-9);
+        // Crossover (ridge point) for texture: 2000/511 ≈ 3.9 MACs/byte.
+        assert!(roofline_gmacs(&d, 3.0, true) < 2000.0);
+        assert!((roofline_gmacs(&d, 4.0, true) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roof_fraction() {
+        let p = RooflinePoint {
+            intensity: 2.0,
+            achieved_gmacs: 149.0,
+            texture_roof_gmacs: 511.0 * 2.0 / 2.0, // illustrative
+            global_roof_gmacs: 55.0,
+        };
+        assert!(p.texture_roof_fraction() > 0.0 && p.texture_roof_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Custom device study: define your own SoC configuration and see how
+//! SmartMem's advantage shifts with bandwidth, texture support and
+//! kernel-launch overhead (the Fig. 11 portability story, generalized).
+//!
+//! Run with: `cargo run --release --example custom_device`
+
+use smartmem::baselines::DnnFusionFramework;
+use smartmem::core::{Framework, SmartMemPipeline};
+use smartmem::models;
+use smartmem::sim::DeviceConfig;
+
+fn main() {
+    let graph = models::swin_tiny(1);
+    let dnnf = DnnFusionFramework::new();
+    let ours = SmartMemPipeline::new();
+
+    // A hypothetical mid-range SoC: less bandwidth, slower dispatch,
+    // smaller texture cache than the 8 Gen 2.
+    let mut custom = DeviceConfig::snapdragon_8gen2();
+    custom.name = "Custom mid-range SoC".into();
+    custom.peak_tmacs = 0.8;
+    custom.global_bw_gbps = 30.0;
+    custom.texture_bw_gbps = 220.0;
+    custom.kernel_launch_us = 140.0;
+    custom.memory_gb = 6.0;
+
+    for device in [
+        DeviceConfig::snapdragon_8gen2(),
+        DeviceConfig::snapdragon_835(),
+        DeviceConfig::dimensity_700(),
+        custom,
+    ] {
+        let d = dnnf.run(&graph, &device);
+        let o = ours.run(&graph, &device);
+        match (d, o) {
+            (Ok(d), Ok(o)) => println!(
+                "{:<36} DNNF {:>7.1} ms   SmartMem {:>7.1} ms   speedup {:.1}x",
+                device.name,
+                d.latency_ms,
+                o.latency_ms,
+                d.latency_ms / o.latency_ms
+            ),
+            (d, o) => println!(
+                "{:<36} DNNF {}   SmartMem {}",
+                device.name,
+                d.map(|r| format!("{:.1} ms", r.latency_ms)).unwrap_or_else(|e| e.reason),
+                o.map(|r| format!("{:.1} ms", r.latency_ms)).unwrap_or_else(|e| e.reason),
+            ),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! End-to-end Swin Transformer inference study: the paper's flagship
+//! workload, compared across all six frameworks with the Table 1-style
+//! latency attribution.
+//!
+//! Run with: `cargo run --release --example swin_inference`
+
+use smartmem::baselines::all_mobile_frameworks;
+use smartmem::models;
+use smartmem::sim::DeviceConfig;
+
+fn main() {
+    let graph = models::swin_tiny(1);
+    let device = DeviceConfig::snapdragon_8gen2();
+    println!(
+        "Swin-T: {} operators, {} layout transforms, {:.1} GMACs, {:.1}M params\n",
+        graph.op_count(),
+        graph.layout_transform_count(),
+        graph.total_macs() as f64 / 1e9,
+        graph.param_count() as f64 / 1e6
+    );
+    println!("{:<12} {:>8} {:>9} {:>8} {:>8} {:>8} {:>9}",
+        "framework", "kernels", "lat(ms)", "comp%", "expl%", "impl%", "GMACS");
+    for fw in all_mobile_frameworks() {
+        match fw.run(&graph, &device) {
+            Ok(r) => println!(
+                "{:<12} {:>8} {:>9.1} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.0}",
+                fw.name(),
+                r.kernel_count,
+                r.latency_ms,
+                100.0 * r.compute_ms / r.latency_ms,
+                100.0 * r.explicit_ms / r.latency_ms,
+                100.0 * r.implicit_ms / r.latency_ms,
+                r.gmacs
+            ),
+            Err(e) => println!("{:<12} {}", fw.name(), e.reason),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # smartmem
+//!
+//! Facade crate for the SmartMem reproduction (ASPLOS'24: *SmartMem:
+//! Layout Transformation Elimination and Adaptation for Efficient DNN
+//! Execution on Mobile*). Re-exports the workspace crates under stable
+//! module names:
+//!
+//! * [`ir`] — tensor shapes, layouts, operators, computational graphs.
+//! * [`index`] — symbolic index expressions and strength reduction
+//!   ("index comprehension").
+//! * [`sim`] — the trace-driven mobile-GPU simulator (1D buffer + 2.5D
+//!   texture memory) and device configurations.
+//! * [`core`] — the SmartMem optimizer: classification, layout
+//!   transformation elimination, reduction-dimension layout selection,
+//!   texture mapping and auto-tuning.
+//! * [`baselines`] — MNN/NCNN/TFLite/TVM/DNNFusion-style pipelines.
+//! * [`models`] — the 20-model zoo of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smartmem::core::{Framework, SmartMemPipeline};
+//! use smartmem::models;
+//! use smartmem::sim::DeviceConfig;
+//!
+//! let graph = models::swin_tiny(1);
+//! let device = DeviceConfig::snapdragon_8gen2();
+//! let optimized = SmartMemPipeline::new().optimize(&graph, &device).unwrap();
+//! let report = optimized.estimate(&device);
+//! assert!(report.latency_ms > 0.0);
+//! ```
+
+pub use smartmem_baselines as baselines;
+pub use smartmem_core as core;
+pub use smartmem_index as index;
+pub use smartmem_ir as ir;
+pub use smartmem_models as models;
+pub use smartmem_sim as sim;
