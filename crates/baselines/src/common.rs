@@ -31,17 +31,35 @@ pub struct FusePolicy {
 impl FusePolicy {
     /// No fusion at all (NCNN executes the graph as-is on GPU).
     pub fn none() -> Self {
-        FusePolicy { fuse_unary: false, fuse_binary: false, fuse_reshape: false, anchors_only: true, max_group: 1 }
+        FusePolicy {
+            fuse_unary: false,
+            fuse_binary: false,
+            fuse_reshape: false,
+            anchors_only: true,
+            max_group: 1,
+        }
     }
 
     /// Fixed patterns: `Conv/MatMul (+bias) (+activation)`.
     pub fn fixed_patterns() -> Self {
-        FusePolicy { fuse_unary: true, fuse_binary: true, fuse_reshape: false, anchors_only: true, max_group: 3 }
+        FusePolicy {
+            fuse_unary: true,
+            fuse_binary: true,
+            fuse_reshape: false,
+            anchors_only: true,
+            max_group: 3,
+        }
     }
 
     /// TVM-style rule-based fusion of injective epilogues.
     pub fn injective() -> Self {
-        FusePolicy { fuse_unary: true, fuse_binary: false, fuse_reshape: true, anchors_only: false, max_group: 6 }
+        FusePolicy {
+            fuse_unary: true,
+            fuse_binary: false,
+            fuse_reshape: true,
+            anchors_only: false,
+            max_group: 6,
+        }
     }
 }
 
@@ -122,7 +140,14 @@ pub enum RelayoutRule {
 }
 
 fn conv_family(op: &Op) -> bool {
-    matches!(op, Op::Conv2d { .. } | Op::Pool2d { .. } | Op::InstanceNorm | Op::Binary { .. } | Op::Unary { .. })
+    matches!(
+        op,
+        Op::Conv2d { .. }
+            | Op::Pool2d { .. }
+            | Op::InstanceNorm
+            | Op::Binary { .. }
+            | Op::Unary { .. }
+    )
 }
 
 /// Rebuilds `graph` inserting framework-origin `Identity` relayout
@@ -173,9 +198,8 @@ pub fn insert_relayouts(graph: &Graph, rule: RelayoutRule) -> (Graph, usize) {
             }
             inputs.push(mapped);
         }
-        let outs = b
-            .try_push(node.op.clone(), &inputs)
-            .expect("rebuilding a valid graph cannot fail");
+        let outs =
+            b.try_push(node.op.clone(), &inputs).expect("rebuilding a valid graph cannot fail");
         for (o, &new) in node.outputs.iter().zip(outs.iter()) {
             remap.insert(*o, new);
         }
@@ -200,7 +224,12 @@ pub enum LayoutStyle {
 }
 
 /// Applies a uniform layout style to every read and output of `groups`.
-pub fn assign_layouts_uniform(graph: &Graph, groups: &mut [KernelGroup], device: &DeviceConfig, style: LayoutStyle) {
+pub fn assign_layouts_uniform(
+    graph: &Graph,
+    groups: &mut [KernelGroup],
+    device: &DeviceConfig,
+    style: LayoutStyle,
+) {
     let layout_of = |t: TensorId| -> Layout {
         let shape = &graph.tensor(t).shape;
         let rank = shape.rank();

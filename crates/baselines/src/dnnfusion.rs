@@ -3,11 +3,7 @@
 //! but no layout-transformation elimination and no reduction-dimension
 //! layout selection.
 
-use smartmem_core::{
-    Framework, MemModel, OptimizedGraph, SmartMemConfig, SmartMemPipeline, Unsupported,
-};
-use smartmem_ir::Graph;
-use smartmem_sim::DeviceConfig;
+use smartmem_core::{Framework, MemModel, PassManager, SmartMemConfig, SmartMemPipeline};
 
 /// DNNFusion (PLDI'21). Shares SmartMem's fusion machinery with every
 /// SmartMem-specific optimization disabled: explicit `Reshape`/
@@ -21,7 +17,9 @@ pub struct DnnFusionFramework {
 impl DnnFusionFramework {
     /// Creates the pipeline.
     pub fn new() -> Self {
-        DnnFusionFramework { inner: SmartMemPipeline::with_config(SmartMemConfig::dnnfusion_level()) }
+        DnnFusionFramework {
+            inner: SmartMemPipeline::with_config(SmartMemConfig::dnnfusion_level()),
+        }
     }
 }
 
@@ -30,17 +28,24 @@ impl Framework for DnnFusionFramework {
         "DNNFusion"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        let mut opt = self.inner.optimize(graph, device)?;
-        opt.mem_model = MemModel { pooled: true, workspace_factor: 1.45, im2col: false, dispatch_scale: 1.0 };
-        Ok(opt)
+    fn passes(&self) -> PassManager {
+        // SmartMem's sequence with every SmartMem-specific optimization
+        // disabled, renamed and given DNNFusion's memory model.
+        self.inner.passes().named("DNNFusion").with_mem_model(MemModel {
+            pooled: true,
+            workspace_factor: 1.45,
+            im2col: false,
+            dispatch_scale: 1.0,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartmem_ir::Graph;
     use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+    use smartmem_sim::DeviceConfig;
 
     fn transformer_snippet() -> Graph {
         let mut b = GraphBuilder::new("t");

@@ -2,12 +2,10 @@
 //! (Table 9): strong element-wise fusion and pre-assigned row-major
 //! layouts, no layout-transformation elimination.
 
-use crate::common::{
-    assign_layouts_uniform, baseline_groups, finalize_utilization, FusePolicy, LayoutStyle,
-};
-use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
-use smartmem_ir::Graph;
-use smartmem_sim::DeviceConfig;
+use crate::common::{FusePolicy, LayoutStyle};
+use crate::passes::{PolicyFusionPass, UniformLayoutPass, UtilizationPass};
+use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_ir::Op;
 
 /// TorchInductor as characterized in §5: "relies on pre-assigned layouts
 /// of specific operators or satisfies layout constraints from library
@@ -23,38 +21,46 @@ impl TorchInductorFramework {
     }
 }
 
+/// Triton/TensorRT kernels are close to hand-tuned.
+fn inductor_adjust(_op: &Op) -> f64 {
+    1.0
+}
+
 impl Framework for TorchInductorFramework {
     fn name(&self) -> &str {
         "TorchInductor"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        let mut groups = baseline_groups(
-            graph,
-            FusePolicy { fuse_unary: true, fuse_binary: true, fuse_reshape: true, anchors_only: false, max_group: 16 },
-        );
-        assign_layouts_uniform(graph, &mut groups, device, LayoutStyle::RowMajor);
-        // Triton/TensorRT kernels are close to hand-tuned.
-        finalize_utilization(graph, &mut groups, 1.0, |_| 1.0);
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
-            ..OptStats::default()
-        };
-        Ok(OptimizedGraph {
-            graph: graph.clone(),
-            groups,
-            stats,
-            mem_model: MemModel { pooled: true, workspace_factor: 1.3, im2col: false, dispatch_scale: 1.0 },
-        })
+    fn passes(&self) -> PassManager {
+        PassManager::new("TorchInductor")
+            .with_mem_model(MemModel {
+                pooled: true,
+                workspace_factor: 1.3,
+                im2col: false,
+                dispatch_scale: 1.0,
+            })
+            .then(LtePass::disabled())
+            .then(PolicyFusionPass {
+                policy: FusePolicy {
+                    fuse_unary: true,
+                    fuse_binary: true,
+                    fuse_reshape: true,
+                    anchors_only: false,
+                    max_group: 16,
+                },
+            })
+            .then(AssembleGroupsPass)
+            .then(UniformLayoutPass { style: LayoutStyle::RowMajor })
+            .then(UtilizationPass { tag: "inductor", scale: 1.0, adjust: inductor_adjust })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+    use smartmem_sim::DeviceConfig;
 
     #[test]
     fn inductor_fuses_elementwise_chains() {

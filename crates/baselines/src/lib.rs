@@ -21,6 +21,11 @@
 //! TFLite reject transformer operators; TFLite additionally rejects the
 //! slice/split detection heads of YOLO.
 //!
+//! Each framework is a declarative pass sequence through
+//! [`smartmem_core::PassManager`]: an operator-support gate, optional
+//! relayout insertion, policy fusion, a uniform layout style, and a
+//! kernel-quality finalization (see the pass types re-exported below).
+//!
 //! # Example
 //!
 //! ```
@@ -39,17 +44,20 @@ mod dnnfusion;
 mod inductor;
 mod mnn;
 mod ncnn;
+mod passes;
 mod tflite;
 mod tvm;
 
 pub use common::{
     assign_layouts_uniform, baseline_groups, finalize_utilization, fuse_with_policy,
-    has_selection_ops, has_transformer_ops, insert_relayouts, FusePolicy, LayoutStyle, RelayoutRule,
+    has_selection_ops, has_transformer_ops, insert_relayouts, FusePolicy, LayoutStyle,
+    RelayoutRule,
 };
 pub use dnnfusion::DnnFusionFramework;
 pub use inductor::TorchInductorFramework;
 pub use mnn::MnnFramework;
 pub use ncnn::NcnnFramework;
+pub use passes::{PolicyFusionPass, RelayoutPass, SupportPass, UniformLayoutPass, UtilizationPass};
 pub use tflite::TfLiteFramework;
 pub use tvm::TvmFramework;
 

@@ -2,13 +2,10 @@
 //! layouts with implicit conversions at conv/generic boundaries, and a
 //! memory pool with substantial per-op workspaces.
 
-use crate::common::{
-    assign_layouts_uniform, baseline_groups, finalize_utilization, insert_relayouts, FusePolicy,
-    LayoutStyle, RelayoutRule,
-};
-use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
-use smartmem_ir::Graph;
-use smartmem_sim::DeviceConfig;
+use crate::common::{FusePolicy, LayoutStyle, RelayoutRule};
+use crate::passes::{PolicyFusionPass, RelayoutPass, UniformLayoutPass, UtilizationPass};
+use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_ir::Op;
 
 /// MNN (Alibaba's mobile inference engine) as characterized in the
 /// paper: supports all evaluated models, employs fixed-pattern fusion
@@ -25,53 +22,51 @@ impl MnnFramework {
     }
 }
 
+/// MNN's convolution kernels are excellent (Table 1: ResNet50 at 293
+/// GMACS); its transformer and transform/movement kernels are not (Swin
+/// at 15 GMACS, 54% of time in explicit transforms).
+fn mnn_adjust(op: &Op) -> f64 {
+    if op.is_layout_transform() || matches!(op.category(), smartmem_ir::OpCategory::DataMovement) {
+        0.06
+    } else {
+        match op {
+            Op::Conv2d { .. } | Op::Pool2d { .. } => 1.0,
+            Op::MatMul { .. } | Op::LayerNorm { .. } | Op::Softmax { .. } | Op::InstanceNorm => {
+                0.18
+            }
+            _ => 0.4,
+        }
+    }
+}
+
 impl Framework for MnnFramework {
     fn name(&self) -> &str {
         "MNN"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        let (rewritten, inserted) = insert_relayouts(graph, RelayoutRule::ConvBoundary);
-        let mut groups = baseline_groups(&rewritten, FusePolicy::fixed_patterns());
-        assign_layouts_uniform(&rewritten, &mut groups, device, LayoutStyle::Nc4Hw4);
-        finalize_utilization(&rewritten, &mut groups, 0.85, |op| {
-            use smartmem_ir::Op;
-            // MNN's convolution kernels are excellent (Table 1: ResNet50
-            // at 293 GMACS); its transformer and transform/movement
-            // kernels are not (Swin at 15 GMACS, 54% of time in
-            // explicit transforms).
-            if op.is_layout_transform() || matches!(op.category(), smartmem_ir::OpCategory::DataMovement) {
-                0.06
-            } else {
-                match op {
-                    Op::Conv2d { .. } | Op::Pool2d { .. } => 1.0,
-                    Op::MatMul { .. } | Op::LayerNorm { .. } | Op::Softmax { .. } | Op::InstanceNorm => 0.18,
-                    _ => 0.4,
-                }
-            }
-        });
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            eliminated_ops: 0,
-            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
-            implicit_inserted: inserted,
-            redundant_tensors: 0,
-            redundant_bytes_max: 0,
-        };
-        Ok(OptimizedGraph {
-            graph: rewritten,
-            groups,
-            stats,
-            mem_model: MemModel { pooled: true, workspace_factor: 2.6, im2col: true, dispatch_scale: 1.0 },
-        })
+    fn passes(&self) -> PassManager {
+        PassManager::new("MNN")
+            .with_mem_model(MemModel {
+                pooled: true,
+                workspace_factor: 2.6,
+                im2col: true,
+                dispatch_scale: 1.0,
+            })
+            .then(RelayoutPass { rule: RelayoutRule::ConvBoundary })
+            .then(LtePass::disabled())
+            .then(PolicyFusionPass { policy: FusePolicy::fixed_patterns() })
+            .then(AssembleGroupsPass)
+            .then(UniformLayoutPass { style: LayoutStyle::Nc4Hw4 })
+            .then(UtilizationPass { tag: "mnn", scale: 0.85, adjust: mnn_adjust })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartmem_ir::Graph;
     use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+    use smartmem_sim::DeviceConfig;
 
     fn model() -> Graph {
         let mut b = GraphBuilder::new("m");

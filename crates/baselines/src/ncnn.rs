@@ -2,13 +2,10 @@
 //! unfused execution (Table 7 lists NCNN's operator counts equal to the
 //! unoptimized graphs).
 
-use crate::common::{
-    assign_layouts_uniform, baseline_groups, finalize_utilization, has_transformer_ops, FusePolicy,
-    LayoutStyle,
-};
-use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
-use smartmem_ir::Graph;
-use smartmem_sim::DeviceConfig;
+use crate::common::{has_transformer_ops, FusePolicy, LayoutStyle};
+use crate::passes::{PolicyFusionPass, SupportPass, UniformLayoutPass, UtilizationPass};
+use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_ir::{Graph, Op};
 
 /// NCNN (Tencent's mobile engine). The paper's evaluation: "NCNN and
 /// TFLite do not support Transformer models on mobile GPU as they
@@ -26,53 +23,57 @@ impl NcnnFramework {
     }
 }
 
+fn ncnn_unsupported(graph: &Graph) -> Option<String> {
+    if has_transformer_ops(graph) {
+        return Some(
+            "transformer operators (MatMul/LayerNorm/Softmax/Gather) not supported on mobile GPU"
+                .into(),
+        );
+    }
+    if graph.nodes().iter().any(|n| matches!(n.op, Op::InstanceNorm)) {
+        return Some("instance normalization not supported by the GPU backend".into());
+    }
+    None
+}
+
+/// Hand-tuned conv kernels: high per-kernel quality despite no graph
+/// optimization.
+fn ncnn_adjust(op: &Op) -> f64 {
+    if matches!(op, Op::Conv2d { .. }) {
+        1.0
+    } else {
+        0.8
+    }
+}
+
 impl Framework for NcnnFramework {
     fn name(&self) -> &str {
         "NCNN"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        if has_transformer_ops(graph) {
-            return Err(Unsupported::new(
-                self.name(),
-                "transformer operators (MatMul/LayerNorm/Softmax/Gather) not supported on mobile GPU",
-            ));
-        }
-        if graph.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::InstanceNorm)) {
-            return Err(Unsupported::new(
-                self.name(),
-                "instance normalization not supported by the GPU backend",
-            ));
-        }
-        let mut groups = baseline_groups(graph, FusePolicy::none());
-        assign_layouts_uniform(graph, &mut groups, device, LayoutStyle::Nc4Hw4);
-        // Hand-tuned conv kernels: high per-kernel quality despite no
-        // graph optimization.
-        finalize_utilization(graph, &mut groups, 1.0, |op| {
-            if matches!(op, smartmem_ir::Op::Conv2d { .. }) {
-                1.0
-            } else {
-                0.8
-            }
-        });
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            ..OptStats::default()
-        };
-        Ok(OptimizedGraph {
-            graph: graph.clone(),
-            groups,
-            stats,
-            mem_model: MemModel { pooled: false, workspace_factor: 1.6, im2col: true, dispatch_scale: 0.35 },
-        })
+    fn passes(&self) -> PassManager {
+        PassManager::new("NCNN")
+            .with_mem_model(MemModel {
+                pooled: false,
+                workspace_factor: 1.6,
+                im2col: true,
+                dispatch_scale: 0.35,
+            })
+            .then(SupportPass { tag: "ncnn", check: ncnn_unsupported })
+            .then(LtePass::disabled())
+            .then(PolicyFusionPass { policy: FusePolicy::none() })
+            .then(AssembleGroupsPass)
+            .then(UniformLayoutPass { style: LayoutStyle::Nc4Hw4 })
+            .then(UtilizationPass { tag: "ncnn", scale: 1.0, adjust: ncnn_adjust })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use smartmem_ir::{DType, GraphBuilder, PoolKind, UnaryKind};
+    use smartmem_sim::DeviceConfig;
 
     #[test]
     fn rejects_transformers() {

@@ -3,12 +3,13 @@
 //! support on the GPU delegate.
 
 use crate::common::{
-    assign_layouts_uniform, baseline_groups, finalize_utilization, has_selection_ops,
-    has_transformer_ops, insert_relayouts, FusePolicy, LayoutStyle, RelayoutRule,
+    has_selection_ops, has_transformer_ops, FusePolicy, LayoutStyle, RelayoutRule,
 };
-use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
-use smartmem_ir::Graph;
-use smartmem_sim::DeviceConfig;
+use crate::passes::{
+    PolicyFusionPass, RelayoutPass, SupportPass, UniformLayoutPass, UtilizationPass,
+};
+use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_ir::{Graph, Op};
 
 /// TFLite with the mobile GPU delegate. Per Table 7, only the plain
 /// ConvNets (RegNet, ResNext) compile; transformer operators and the
@@ -23,48 +24,53 @@ impl TfLiteFramework {
     }
 }
 
+fn tflite_unsupported(graph: &Graph) -> Option<String> {
+    if has_transformer_ops(graph) {
+        return Some("transformer operators not supported by the GPU delegate".into());
+    }
+    if has_selection_ops(graph) {
+        return Some("slice/split/depth-to-space heads not supported by the GPU delegate".into());
+    }
+    None
+}
+
+fn tflite_adjust(op: &Op) -> f64 {
+    if op.is_layout_transform() {
+        0.3
+    } else {
+        1.0
+    }
+}
+
 impl Framework for TfLiteFramework {
     fn name(&self) -> &str {
         "TFLite"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        if has_transformer_ops(graph) {
-            return Err(Unsupported::new(self.name(), "transformer operators not supported by the GPU delegate"));
-        }
-        if has_selection_ops(graph) {
-            return Err(Unsupported::new(self.name(), "slice/split/depth-to-space heads not supported by the GPU delegate"));
-        }
-        let (rewritten, inserted) = insert_relayouts(graph, RelayoutRule::ConvBoundary);
-        let mut groups = baseline_groups(&rewritten, FusePolicy::fixed_patterns());
-        assign_layouts_uniform(&rewritten, &mut groups, device, LayoutStyle::RowMajor);
-        finalize_utilization(&rewritten, &mut groups, 0.6, |op| {
-            if op.is_layout_transform() {
-                0.3
-            } else {
-                1.0
-            }
-        });
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
-            implicit_inserted: inserted,
-            ..OptStats::default()
-        };
-        Ok(OptimizedGraph {
-            graph: rewritten,
-            groups,
-            stats,
-            mem_model: MemModel { pooled: true, workspace_factor: 2.2, im2col: true, dispatch_scale: 1.0 },
-        })
+    fn passes(&self) -> PassManager {
+        PassManager::new("TFLite")
+            .with_mem_model(MemModel {
+                pooled: true,
+                workspace_factor: 2.2,
+                im2col: true,
+                dispatch_scale: 1.0,
+            })
+            .then(SupportPass { tag: "tflite", check: tflite_unsupported })
+            .then(RelayoutPass { rule: RelayoutRule::ConvBoundary })
+            .then(LtePass::disabled())
+            .then(PolicyFusionPass { policy: FusePolicy::fixed_patterns() })
+            .then(AssembleGroupsPass)
+            .then(UniformLayoutPass { style: LayoutStyle::RowMajor })
+            .then(UtilizationPass { tag: "tflite", scale: 0.6, adjust: tflite_adjust })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+    use smartmem_sim::DeviceConfig;
 
     #[test]
     fn rejects_selection_heads() {

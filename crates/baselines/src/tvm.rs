@@ -4,13 +4,10 @@
 //! for the 166× ConvNext gap: "TVM lacking an efficient layout design
 //! for a reduction operator GroupConvolution").
 
-use crate::common::{
-    assign_layouts_uniform, baseline_groups, finalize_utilization, insert_relayouts, FusePolicy,
-    LayoutStyle, RelayoutRule,
-};
-use smartmem_core::{Framework, MemModel, OptStats, OptimizedGraph, Unsupported};
-use smartmem_ir::{Graph, Op};
-use smartmem_sim::DeviceConfig;
+use crate::common::{FusePolicy, LayoutStyle, RelayoutRule};
+use crate::passes::{PolicyFusionPass, RelayoutPass, UniformLayoutPass, UtilizationPass};
+use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_ir::Op;
 
 /// TVM with auto-tuning enabled (the paper runs TVM's tuner for the
 /// comparisons).
@@ -43,39 +40,43 @@ impl Framework for TvmFramework {
         "TVM"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
-        let (rewritten, inserted) = insert_relayouts(graph, RelayoutRule::ConvBoundary);
-        let mut groups = baseline_groups(
-            &rewritten,
+    fn passes(&self) -> PassManager {
+        PassManager::new("TVM")
+            .with_mem_model(MemModel {
+                pooled: true,
+                workspace_factor: 2.1,
+                im2col: true,
+                dispatch_scale: 1.0,
+            })
+            .then(RelayoutPass { rule: RelayoutRule::ConvBoundary })
+            .then(LtePass::disabled())
             // TVM's bijective fusion is frequently blocked on the mobile
             // GPU path: ConvertLayout staging materializes the reshape
             // chain (hence Table 7's higher operator counts).
-            FusePolicy { fuse_unary: true, fuse_binary: false, fuse_reshape: false, anchors_only: false, max_group: 6 },
-        );
-        // TVM on Adreno uses texture memory for conv workloads via its
-        // `texture` schedules; the generic default placement models that.
-        assign_layouts_uniform(&rewritten, &mut groups, device, LayoutStyle::TextureDefault);
-        finalize_utilization(&rewritten, &mut groups, 0.5, tvm_adjust);
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
-            implicit_inserted: inserted,
-            ..OptStats::default()
-        };
-        Ok(OptimizedGraph {
-            graph: rewritten,
-            groups,
-            stats,
-            mem_model: MemModel { pooled: true, workspace_factor: 2.1, im2col: true, dispatch_scale: 1.0 },
-        })
+            .then(PolicyFusionPass {
+                policy: FusePolicy {
+                    fuse_unary: true,
+                    fuse_binary: false,
+                    fuse_reshape: false,
+                    anchors_only: false,
+                    max_group: 6,
+                },
+            })
+            .then(AssembleGroupsPass)
+            // TVM on Adreno uses texture memory for conv workloads via
+            // its `texture` schedules; the generic default placement
+            // models that.
+            .then(UniformLayoutPass { style: LayoutStyle::TextureDefault })
+            .then(UtilizationPass { tag: "tvm", scale: 0.5, adjust: tvm_adjust })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use smartmem_ir::{DType, GraphBuilder};
+    use smartmem_sim::DeviceConfig;
 
     #[test]
     fn depthwise_conv_is_penalized() {

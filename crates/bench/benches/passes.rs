@@ -1,64 +1,111 @@
-//! Criterion benchmarks of the SmartMem compiler passes and the
-//! simulator itself (wall-clock cost of this repository's own code, as
-//! opposed to the modeled device latencies printed by the table/figure
-//! binaries).
+//! Benchmarks of the SmartMem compiler passes and the simulator itself
+//! (wall-clock cost of this repository's own code, as opposed to the
+//! modeled device latencies printed by the table/figure binaries).
+//!
+//! The container has no criterion crate, so this is a `harness = false`
+//! bench with a small median-of-N timing loop. Run with
+//! `cargo bench -p smartmem-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use smartmem_core::{eliminate, fuse, Framework, SmartMemPipeline};
+use smartmem_core::{eliminate, fuse, CompileSession, Framework, SmartMemPipeline};
 use smartmem_index::IndexMap;
 use smartmem_models as models;
 use smartmem_sim::{CacheConfig, CacheSim, DeviceConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_index_engine(c: &mut Criterion) {
-    c.bench_function("index/compose+simplify fig3 chain", |b| {
-        b.iter(|| {
-            let r = IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]);
-            let t = IndexMap::transpose(&[16, 8, 4, 4], &[0, 2, 1, 3]);
-            black_box(r.then(&t).simplify())
-        })
+/// Runs `f` repeatedly and prints the median per-iteration time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up, then size the batch so one sample takes ~1 ms.
+    f();
+    let probe = Instant::now();
+    f();
+    let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((1e-3 / per_iter) as usize).clamp(1, 10_000);
+    let samples = 10;
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        times.push(start.elapsed().as_secs_f64() / batch as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[samples / 2];
+    println!("{name:<40} {:>12.2} us/iter", median * 1e6);
+}
+
+fn bench_index_engine() {
+    bench("index/compose+simplify fig3 chain", || {
+        let r = IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]);
+        let t = IndexMap::transpose(&[16, 8, 4, 4], &[0, 2, 1, 3]);
+        black_box(r.then(&t).simplify());
     });
 }
 
-fn bench_lte(c: &mut Criterion) {
+fn bench_lte() {
     let swin = models::swin_tiny(1);
-    c.bench_function("lte/eliminate swin", |b| {
-        b.iter(|| black_box(eliminate(&swin, true, true)))
+    bench("lte/eliminate swin", || {
+        black_box(eliminate(&swin, true, true));
     });
     let lte = eliminate(&swin, true, true);
-    c.bench_function("fusion/group swin", |b| b.iter(|| black_box(fuse(&swin, &lte, true))));
+    bench("fusion/group swin", || {
+        black_box(fuse(&swin, &lte, true));
+    });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let swin = models::swin_tiny(1);
     let device = DeviceConfig::snapdragon_8gen2();
-    c.bench_function("pipeline/optimize swin", |b| {
-        b.iter(|| black_box(SmartMemPipeline::new().optimize(&swin, &device).unwrap()))
+    bench("pipeline/optimize swin", || {
+        black_box(SmartMemPipeline::new().optimize(&swin, &device).unwrap());
     });
     let opt = SmartMemPipeline::new().optimize(&swin, &device).unwrap();
-    c.bench_function("pipeline/estimate swin", |b| b.iter(|| black_box(opt.estimate(&device))));
-}
-
-fn bench_model_builders(c: &mut Criterion) {
-    c.bench_function("models/build swin", |b| b.iter(|| black_box(models::swin_tiny(1))));
-    c.bench_function("models/build cswin", |b| b.iter(|| black_box(models::cswin(1))));
-}
-
-fn bench_cache_sim(c: &mut Criterion) {
-    c.bench_function("sim/cache 64k accesses", |b| {
-        b.iter(|| {
-            let mut cache = CacheSim::new(CacheConfig { size_bytes: 1 << 20, line_bytes: 64, ways: 8 });
-            for i in 0..65536u64 {
-                cache.access(black_box(i % 4096));
-            }
-            black_box(cache.miss_ratio())
-        })
+    bench("pipeline/estimate swin", || {
+        black_box(opt.estimate(&device));
+    });
+    // Per-pass breakdown of one compilation, from the pass manager.
+    let timed = SmartMemPipeline::new().optimize_timed(&swin, &device).unwrap();
+    for t in &timed.timings {
+        println!(
+            "  pass/{:<36} {:>12.2} us (kernels {})",
+            t.pass,
+            t.duration.as_secs_f64() * 1e6,
+            t.stats.kernel_count
+        );
+    }
+    // Cached recompiles through a session.
+    let session = CompileSession::new();
+    let fw = SmartMemPipeline::new();
+    session.compile(&fw, &swin, &device).unwrap();
+    bench("session/compile swin (warm cache)", || {
+        black_box(session.compile(&fw, &swin, &device).unwrap());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_index_engine, bench_lte, bench_pipeline, bench_model_builders, bench_cache_sim
+fn bench_model_builders() {
+    bench("models/build swin", || {
+        black_box(models::swin_tiny(1));
+    });
+    bench("models/build cswin", || {
+        black_box(models::cswin(1));
+    });
 }
-criterion_main!(benches);
+
+fn bench_cache_sim() {
+    bench("sim/cache 64k accesses", || {
+        let mut cache = CacheSim::new(CacheConfig { size_bytes: 1 << 20, line_bytes: 64, ways: 8 });
+        for i in 0..65536u64 {
+            cache.access(black_box(i % 4096));
+        }
+        black_box(cache.miss_ratio());
+    });
+}
+
+fn main() {
+    bench_index_engine();
+    bench_lte();
+    bench_pipeline();
+    bench_model_builders();
+    bench_cache_sim();
+}

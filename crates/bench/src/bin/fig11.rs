@@ -9,7 +9,8 @@ use smartmem_models::by_name;
 use smartmem_sim::DeviceConfig;
 
 fn main() {
-    let models = ["CSwin", "FlattenFormer", "SMTFormer", "Swin", "ViT", "ConvNext", "ResNext", "Yolo-V8"];
+    let models =
+        ["CSwin", "FlattenFormer", "SMTFormer", "Swin", "ViT", "ConvNext", "ResNext", "Yolo-V8"];
     for device in [DeviceConfig::dimensity_700(), DeviceConfig::snapdragon_835()] {
         let frameworks = all_mobile_frameworks();
         let mut rows = Vec::new();

@@ -34,9 +34,18 @@ fn main() {
         "{}",
         render_table(
             "Fig. 12: roofline on Snapdragon 8 Gen 2",
-            &["Model", "MACs/byte", "Achieved GMACS", "Global roof", "Texture roof", "% of texture roof"],
+            &[
+                "Model",
+                "MACs/byte",
+                "Achieved GMACS",
+                "Global roof",
+                "Texture roof",
+                "% of texture roof"
+            ],
             &rows,
         )
     );
-    println!("\npaper: 149/204/271/360 GMACS at 24-35% of the texture roof, increasing with intensity.");
+    println!(
+        "\npaper: 149/204/271/360 GMACS at 24-35% of the texture roof, increasing with intensity."
+    );
 }

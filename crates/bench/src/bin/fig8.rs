@@ -15,7 +15,8 @@ use smartmem_sim::DeviceConfig;
 
 fn main() {
     let device = DeviceConfig::snapdragon_8gen2();
-    let models = ["AutoFormer", "BiFormer", "EfficientVit", "CSwin", "ViT", "ConvNext", "RegNet", "ResNext"];
+    let models =
+        ["AutoFormer", "BiFormer", "EfficientVit", "CSwin", "ViT", "ConvNext", "RegNet", "ResNext"];
     let mut rows = Vec::new();
     for name in models {
         let graph = by_name(name).expect("model").graph();

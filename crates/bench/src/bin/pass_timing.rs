@@ -1,0 +1,71 @@
+//! Observability binary for the pass-manager architecture: per-pass
+//! wall-clock timing of every framework, parallel compilation of the
+//! full model zoo through a [`smartmem_core::CompileSession`], and the
+//! compilation cache's hit behaviour on a warm recompile.
+//!
+//! ```text
+//! cargo run -p smartmem-bench --release --bin pass_timing
+//! ```
+
+use smartmem_baselines::all_mobile_frameworks;
+use smartmem_bench::{render_pass_timings, render_table};
+use smartmem_core::CompileSession;
+use smartmem_models::all_models;
+use smartmem_sim::DeviceConfig;
+use std::time::Instant;
+
+fn main() {
+    let device = DeviceConfig::snapdragon_8gen2();
+    let frameworks = all_mobile_frameworks();
+
+    // 1. Per-pass timing of every framework on Swin-Tiny.
+    let swin = smartmem_models::swin_tiny(1);
+    for fw in &frameworks {
+        match fw.optimize_timed(&swin, &device) {
+            Ok(out) => print!("{}", render_pass_timings(fw.name(), "Swin-T", &out)),
+            Err(e) => println!("\n== {} on Swin-T: {e} ==", fw.name()),
+        }
+    }
+
+    // 2. Parallel cold compile of the whole zoo across all frameworks.
+    let session = CompileSession::new();
+    let entries = all_models();
+    let graphs: Vec<_> = entries.iter().map(|m| m.graph()).collect();
+    let cold_start = Instant::now();
+    let results = session.compile_batch(&frameworks, &graphs, &device, 0);
+    let cold = cold_start.elapsed();
+
+    let mut rows = Vec::new();
+    for (entry, row) in entries.iter().zip(&results) {
+        let mut cells = vec![entry.name.to_string()];
+        for res in row {
+            cells.push(match res {
+                Ok(out) => format!("{:.1}", out.total_duration().as_secs_f64() * 1e3),
+                Err(_) => "–".into(),
+            });
+        }
+        rows.push(cells);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Compilation wall-clock per framework (ms, parallel cold compile)",
+            &["Model", "MNN", "NCNN", "TFLite", "TVM", "DNNF", "Ours"],
+            &rows,
+        )
+    );
+
+    // 3. Warm recompile: everything must come from the cache.
+    let warm_start = Instant::now();
+    let _ = session.compile_batch(&frameworks, &graphs, &device, 0);
+    let warm = warm_start.elapsed();
+    let stats = session.stats();
+    println!(
+        "\nzoo x frameworks: cold {:.0} ms, warm {:.1} ms ({} cached compilations, {} hits / {} misses)",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        session.len(),
+        stats.hits,
+        stats.misses,
+    );
+}

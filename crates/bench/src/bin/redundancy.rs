@@ -25,7 +25,10 @@ fn main() {
             o.stats.redundant_tensors.to_string(),
             format!("{:.1} MB", o.stats.redundant_bytes_max as f64 / 1e6),
             format!("{} -> {}", b.stats.kernel_count, o.stats.kernel_count),
-            format!("{:+.0}%", 100.0 * (o.stats.kernel_count as f64 / b.stats.kernel_count as f64 - 1.0)),
+            format!(
+                "{:+.0}%",
+                100.0 * (o.stats.kernel_count as f64 / b.stats.kernel_count as f64 - 1.0)
+            ),
             format!("{:+.0}%", 100.0 * (o_mem as f64 / b_mem as f64 - 1.0)),
         ]);
     }
@@ -33,7 +36,14 @@ fn main() {
         "{}",
         render_table(
             "§4.6: redundant copies and memory vs DNNFusion",
-            &["Model", "#Tensors w/ copies", "Max copy", "Kernels DNNF->Ours", "Op reduction", "Memory reduction"],
+            &[
+                "Model",
+                "#Tensors w/ copies",
+                "Max copy",
+                "Kernels DNNF->Ours",
+                "Op reduction",
+                "Memory reduction"
+            ],
             &rows,
         )
     );

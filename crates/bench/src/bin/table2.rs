@@ -20,7 +20,14 @@ fn main() {
         vec!["Data locality".into(), "1D".into(), "2.5D".into()],
         vec!["Direct CPU access".into(), "Yes".into(), "No".into()],
     ];
-    print!("{}", render_table("Table 2: memory comparison on mobile GPUs", &["Characteristic", "1D buffer", "2.5D texture"], &rows));
+    print!(
+        "{}",
+        render_table(
+            "Table 2: memory comparison on mobile GPUs",
+            &["Characteristic", "1D buffer", "2.5D texture"],
+            &rows
+        )
+    );
 
     // Quantitative: column walks through a 2-D data set. 1-D lines only
     // help along rows; 2-D tiles help along both axes.
@@ -35,8 +42,12 @@ fn main() {
             tiled.access((y / 2) << 20 | (x / 4));
         }
     }
-    println!("\ncolumn-walk miss ratio: 1D lines {:.2}, 2.5D tiles {:.2} ({:.1}x fewer misses)",
-        linear.miss_ratio(), tiled.miss_ratio(), linear.miss_ratio() / tiled.miss_ratio());
+    println!(
+        "\ncolumn-walk miss ratio: 1D lines {:.2}, 2.5D tiles {:.2} ({:.1}x fewer misses)",
+        linear.miss_ratio(),
+        tiled.miss_ratio(),
+        linear.miss_ratio() / tiled.miss_ratio()
+    );
 
     // Conv latency from texture vs buffer (paper: ~3.5x).
     let device = DeviceConfig::snapdragon_8gen2();

@@ -4,16 +4,22 @@
 
 use smartmem_baselines::all_mobile_frameworks;
 use smartmem_bench::render_table;
+use smartmem_core::CompileSession;
 use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
 
 fn main() {
     let device = DeviceConfig::snapdragon_8gen2();
     let frameworks = all_mobile_frameworks();
+    // All framework x model compilations run in parallel through one
+    // cached compilation session.
+    let session = CompileSession::new();
+    let entries = all_models();
+    let graphs: Vec<_> = entries.iter().map(|m| m.graph()).collect();
+    let results = session.compile_batch(&frameworks, &graphs, &device, 0);
     let mut rows = Vec::new();
     let mut ours_vs_dnnf = Vec::new();
-    for m in all_models() {
-        let graph = m.graph();
+    for ((m, graph), row_results) in entries.iter().zip(&graphs).zip(&results) {
         let mut row = vec![
             m.name.to_string(),
             format!("{:?}", m.family),
@@ -22,11 +28,11 @@ fn main() {
             format!("{:.1}", graph.total_macs() as f64 / 1e9),
         ];
         let mut counts = Vec::new();
-        for fw in &frameworks {
-            match fw.optimize(&graph, &device) {
-                Ok(opt) => {
-                    row.push(opt.stats.kernel_count.to_string());
-                    counts.push(Some(opt.stats.kernel_count));
+        for res in row_results {
+            match res {
+                Ok(out) => {
+                    row.push(out.optimized.stats.kernel_count.to_string());
+                    counts.push(Some(out.optimized.stats.kernel_count));
                 }
                 Err(_) => {
                     row.push("–".into());
@@ -43,7 +49,19 @@ fn main() {
         "{}",
         render_table(
             "Table 7: #operators with optimizations",
-            &["Model", "Type", "#Ops", "Params(M)", "MACs(G)", "MNN", "NCNN", "TFLite", "TVM", "DNNF", "Ours"],
+            &[
+                "Model",
+                "Type",
+                "#Ops",
+                "Params(M)",
+                "MACs(G)",
+                "MNN",
+                "NCNN",
+                "TFLite",
+                "TVM",
+                "DNNF",
+                "Ours"
+            ],
             &rows,
         )
     );

@@ -49,14 +49,33 @@ fn main() {
     }
 
     let headers = [
-        "Model", "GMACs", "MNN ms", "NCNN ms", "TFLite ms", "TVM ms", "DNNF ms", "Ours ms",
-        "MNN G/s", "NCNN G/s", "TFLite G/s", "TVM G/s", "DNNF G/s", "Ours G/s", "vs DNNF",
+        "Model",
+        "GMACs",
+        "MNN ms",
+        "NCNN ms",
+        "TFLite ms",
+        "TVM ms",
+        "DNNF ms",
+        "Ours ms",
+        "MNN G/s",
+        "NCNN G/s",
+        "TFLite G/s",
+        "TVM G/s",
+        "DNNF G/s",
+        "Ours G/s",
+        "vs DNNF",
     ];
-    print!("{}", render_table("Table 8: end-to-end latency on Snapdragon 8 Gen 2", &headers, &rows));
+    print!(
+        "{}",
+        render_table("Table 8: end-to-end latency on Snapdragon 8 Gen 2", &headers, &rows)
+    );
 
     println!("\nGeo-mean speedup of SmartMem over:");
     for (i, fw) in frameworks.iter().enumerate().take(frameworks.len() - 1) {
-        println!("  {:>10}: {:.1}x   (paper: MNN 7.9x, NCNN 1.6x, TFLite 2.5x, TVM 6.9x, DNNF 2.8x)",
-            fw.name(), geo_mean(&speedups[i]));
+        println!(
+            "  {:>10}: {:.1}x   (paper: MNN 7.9x, NCNN 1.6x, TFLite 2.5x, TVM 6.9x, DNNF 2.8x)",
+            fw.name(),
+            geo_mean(&speedups[i])
+        );
     }
 }

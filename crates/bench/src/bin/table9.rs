@@ -14,10 +14,8 @@ fn main() {
     let inductor = TorchInductorFramework::new();
     let ours = SmartMemPipeline::new(); // no texture on this device
     let mut rows = Vec::new();
-    for (name, graph, paper) in [
-        ("Swin", swin_tiny(1), 1.23),
-        ("AutoFormer", autoformer(1), 1.11),
-    ] {
+    for (name, graph, paper) in [("Swin", swin_tiny(1), 1.23), ("AutoFormer", autoformer(1), 1.11)]
+    {
         let base = inductor.run(&graph, &device).expect("inductor");
         let opt = ours.run(&graph, &device).expect("smartmem");
         rows.push(vec![

@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use smartmem_core::{Framework, ModelReport, Unsupported};
+use smartmem_core::{CompileOutput, Framework, ModelReport, OptStats, Unsupported};
 use smartmem_ir::Graph;
 use smartmem_sim::DeviceConfig;
 
@@ -76,6 +76,39 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Renders the per-pass wall-clock timing and [`OptStats`] deltas of a
+/// pass-manager compilation as an ASCII table.
+pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput) -> String {
+    let mut rows = Vec::new();
+    let mut prev =
+        OptStats { source_ops: output.optimized.stats.source_ops, ..OptStats::default() };
+    for t in &output.timings {
+        let d_kernels = t.stats.kernel_count as i64 - prev.kernel_count as i64;
+        let d_elim = t.stats.eliminated_ops as i64 - prev.eliminated_ops as i64;
+        let d_implicit = t.stats.implicit_inserted as i64 - prev.implicit_inserted as i64;
+        rows.push(vec![
+            t.pass.clone(),
+            format!("{:.1}", t.duration.as_secs_f64() * 1e6),
+            format!("{:+}", d_kernels),
+            format!("{:+}", d_elim),
+            format!("{:+}", d_implicit),
+        ]);
+        prev = t.stats;
+    }
+    rows.push(vec![
+        "total".into(),
+        format!("{:.1}", output.total_duration().as_secs_f64() * 1e6),
+        format!("{}", output.optimized.stats.kernel_count),
+        format!("{}", output.optimized.stats.eliminated_ops),
+        format!("{}", output.optimized.stats.implicit_inserted),
+    ]);
+    render_table(
+        &format!("{framework} on {model}: per-pass timing"),
+        &["pass", "us", "Δkernels", "Δeliminated", "Δimplicit"],
+        &rows,
+    )
 }
 
 #[cfg(test)]

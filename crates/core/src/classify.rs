@@ -46,9 +46,11 @@ pub struct OpClass {
 
 impl OpClass {
     /// `ILD & Variable`.
-    pub const ILD_VARIABLE: OpClass = OpClass { input_dep: InputDep::Ild, output: OutputKind::Variable };
+    pub const ILD_VARIABLE: OpClass =
+        OpClass { input_dep: InputDep::Ild, output: OutputKind::Variable };
     /// `ILI & Variable`.
-    pub const ILI_VARIABLE: OpClass = OpClass { input_dep: InputDep::Ili, output: OutputKind::Variable };
+    pub const ILI_VARIABLE: OpClass =
+        OpClass { input_dep: InputDep::Ili, output: OutputKind::Variable };
     /// `ILD & Fixed`.
     pub const ILD_FIXED: OpClass = OpClass { input_dep: InputDep::Ild, output: OutputKind::Fixed };
     /// `ILI & Fixed`.
@@ -95,9 +97,10 @@ pub fn classify(op: &Op) -> OpClass {
         // ILI & Variable: single-touch element-wise, customizable output.
         Op::Unary { .. } | Op::Binary { .. } | Op::Concat { .. } => OpClass::ILI_VARIABLE,
         // ILD & Fixed: pure layout transformations.
-        Op::Reshape { .. } | Op::Transpose { .. } | Op::DepthToSpace { .. } | Op::SpaceToDepth { .. } => {
-            OpClass::ILD_FIXED
-        }
+        Op::Reshape { .. }
+        | Op::Transpose { .. }
+        | Op::DepthToSpace { .. }
+        | Op::SpaceToDepth { .. } => OpClass::ILD_FIXED,
         // ILI & Fixed: selection with layout-preserving output.
         Op::Gather { .. } | Op::Slice { .. } | Op::Split { .. } => OpClass::ILI_FIXED,
     }

@@ -145,9 +145,7 @@ impl OptimizedGraph {
             // --- Sampled trace (memoized) ----------------------------
             let trace = {
                 let key = group_signature(graph, group);
-                memo.entry(key)
-                    .or_insert_with(|| trace_group(graph, group, device, elem))
-                    .clone()
+                memo.entry(key).or_insert_with(|| trace_group(graph, group, device, elem)).clone()
             };
 
             // --- Per-operand DRAM traffic ----------------------------
@@ -198,7 +196,8 @@ impl OptimizedGraph {
                 let _ = accesses;
                 let mut map_cost = read.map.as_ref().map(|m| m.cost().weighted()).unwrap_or(0.0);
                 if is_anchor_read && is_eliminable(&anchor.op) {
-                    map_cost += own_pullback(graph, group).map(|m| m.cost().weighted()).unwrap_or(0.0);
+                    map_cost +=
+                        own_pullback(graph, group).map(|m| m.cost().weighted()).unwrap_or(0.0);
                 }
                 // Index expressions are evaluated once per *distinct*
                 // element: loop-invariant sub-expressions are hoisted out
@@ -215,8 +214,8 @@ impl OptimizedGraph {
 
             // Output write: streamed once per copy, dragged by the
             // write layout's locality in iteration order.
-            let write_bytes =
-                ((out_numel * elem) as f64 * trace.write.drag) as u64 * (1 + group.extra_copies as u64);
+            let write_bytes = ((out_numel * elem) as f64 * trace.write.drag) as u64
+                * (1 + group.extra_copies as u64);
             match group.output_layout.memory_class() {
                 MemoryClass::Buffer1D => {
                     dram_buffer += write_bytes;
@@ -321,7 +320,10 @@ impl OptimizedGraph {
             peak
         } else {
             // Every intermediate stays allocated.
-            self.groups.iter().map(|g| bytes_of(g.output) * (1 + g.extra_copies as u64)).sum::<u64>()
+            self.groups
+                .iter()
+                .map(|g| bytes_of(g.output) * (1 + g.extra_copies as u64))
+                .sum::<u64>()
                 + graph.inputs().iter().map(|&t| bytes_of(t)).sum::<u64>()
         };
 
@@ -334,10 +336,14 @@ impl OptimizedGraph {
                         Op::Conv2d { .. } => {
                             let w = &graph.tensor(n.inputs[1]).shape;
                             let out = &graph.tensor(n.outputs[0]).shape;
-                            Some(w.dim(1) as u64 * w.dim(2) as u64 * w.dim(3) as u64
-                                * out.dim(2) as u64
-                                * out.dim(3) as u64
-                                * elem)
+                            Some(
+                                w.dim(1) as u64
+                                    * w.dim(2) as u64
+                                    * w.dim(3) as u64
+                                    * out.dim(2) as u64
+                                    * out.dim(3) as u64
+                                    * elem,
+                            )
                         }
                         _ => None,
                     }
@@ -407,7 +413,7 @@ fn operand_passes(
                     // weights reused across the spatial domain.
                     let out = &graph.tensor(member.outputs[0]).shape;
                     let spatial = (out.dim(2) * out.dim(3)) as f64;
-                    (spatial / (eff_tile_m * eff_tile_n)).max(1.0).min(8.0)
+                    (spatial / (eff_tile_m * eff_tile_n)).clamp(1.0, 8.0)
                 }
                 _ => 1.0,
             }
@@ -447,12 +453,8 @@ fn per_point_reads(graph: &Graph, op: &Op, read: &EdgeRead, anchor_out: &Shape) 
             k as f64
         }
         Op::LayerNorm { .. } | Op::InstanceNorm | Op::Softmax { .. } => 2.0,
-        Op::Reduce { axes, .. } => {
-            if read.operand_idx == 0 {
-                axes.iter().map(|&a| decl.dim(a) as f64).product()
-            } else {
-                1.0
-            }
+        Op::Reduce { axes, .. } if read.operand_idx == 0 => {
+            axes.iter().map(|&a| decl.dim(a) as f64).product()
         }
         Op::Pool2d { kernel, .. } => (kernel.0 * kernel.1) as f64,
         Op::Concat { axis } => {
@@ -536,7 +538,15 @@ fn trace_group(graph: &Graph, group: &KernelGroup, device: &DeviceConfig, elem: 
         for coord in samples {
             scratch.clear();
             if is_anchor_read {
-                anchor_read_coords(graph, &anchor.op, read, coord, &decl_dims, own_map.as_ref(), &mut scratch);
+                anchor_read_coords(
+                    graph,
+                    &anchor.op,
+                    read,
+                    coord,
+                    &decl_dims,
+                    own_map.as_ref(),
+                    &mut scratch,
+                );
             } else {
                 scratch.push(clamp_broadcast(coord, &decl_dims));
             }
@@ -729,7 +739,11 @@ fn anchor_read_coords(
                     }
                     let ih = (oh * stride.0 + dh) as isize - padding.0 as isize;
                     let iw = (ow * stride.1 + dw) as isize - padding.1 as isize;
-                    if ih < 0 || iw < 0 || ih as usize >= decl_dims[2] || iw as usize >= decl_dims[3] {
+                    if ih < 0
+                        || iw < 0
+                        || ih as usize >= decl_dims[2]
+                        || iw as usize >= decl_dims[3]
+                    {
                         continue;
                     }
                     out.push(vec![n, c0, ih as usize, iw as usize]);
@@ -778,7 +792,12 @@ fn anchor_read_coords(
 /// Coordinates covering the reduction space of normalization/reduction
 /// operators: non-reduced dims come from the output coordinate, reduced
 /// dims iterate (sampled).
-fn reduction_space_coords(out_coord: &[usize], decl_dims: &[usize], axes: &[usize], out: &mut Vec<Vec<usize>>) {
+fn reduction_space_coords(
+    out_coord: &[usize],
+    decl_dims: &[usize],
+    axes: &[usize],
+    out: &mut Vec<Vec<usize>>,
+) {
     let keeps_rank = out_coord.len() == decl_dims.len();
     let mut template = vec![0usize; decl_dims.len()];
     if keeps_rank {

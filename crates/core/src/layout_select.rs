@@ -81,7 +81,12 @@ pub fn required_dims(graph: &Graph, read: &EdgeRead) -> Vec<usize> {
     }
 }
 
-fn layout_for(dims: &[usize], reqs: &[usize], device: &DeviceConfig, level: SelectionLevel) -> Layout {
+fn layout_for(
+    dims: &[usize],
+    reqs: &[usize],
+    device: &DeviceConfig,
+    level: SelectionLevel,
+) -> Layout {
     let rank = dims.len();
     if rank == 0 {
         return Layout::row_major(0);
@@ -183,10 +188,8 @@ pub fn select_layouts(
             continue;
         }
         if reqs.len() > k && level != SelectionLevel::Default {
-            let extra: Vec<(usize, Layout)> = reqs[k..]
-                .iter()
-                .map(|&d| (d, layout_for(&dims, &[d], device, level)))
-                .collect();
+            let extra: Vec<(usize, Layout)> =
+                reqs[k..].iter().map(|&d| (d, layout_for(&dims, &[d], device, level))).collect();
             let bytes = info.shape.numel() * elem;
             stats.tensors += 1;
             stats.max_bytes = stats.max_bytes.max(bytes);
@@ -201,9 +204,10 @@ pub fn select_layouts(
     // 3. Point every read at the copy satisfying its requirement and set
     //    output layouts.
     for g in groups.iter_mut() {
-        g.output_layout = primary.get(&g.output).cloned().unwrap_or_else(|| {
-            layout_for(graph.tensor(g.output).shape.dims(), &[], device, level)
-        });
+        g.output_layout = primary
+            .get(&g.output)
+            .cloned()
+            .unwrap_or_else(|| layout_for(graph.tensor(g.output).shape.dims(), &[], device, level));
         // Avoid borrowing issues: compute requirements first.
         let reqs: Vec<Vec<usize>> = g.reads.iter().map(|r| required_dims(graph, r)).collect();
         for (r, req) in g.reads.iter_mut().zip(reqs) {
@@ -214,7 +218,8 @@ pub fn select_layouts(
                 r.layout = layout_for(&dims, &req, device, level);
                 continue;
             }
-            let prim = primary.get(&r.source).cloned().unwrap_or_else(|| Layout::row_major(dims.len()));
+            let prim =
+                primary.get(&r.source).cloned().unwrap_or_else(|| Layout::row_major(dims.len()));
             let mut chosen = prim.clone();
             if let (Some(&want), Some(extra)) = (req.first(), copies.get(&r.source)) {
                 let satisfied_by_primary = {

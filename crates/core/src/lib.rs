@@ -27,6 +27,13 @@
 //!    pipeline output consumed by the baseline frameworks as well, so
 //!    all Table 7/8 comparisons run through identical machinery.
 //!
+//! The steps above are packaged as [`Pass`]es ([`LtePass`],
+//! [`FusionPass`], [`AssembleGroupsPass`], [`LayoutSelectPass`],
+//! [`TunePass`]) executed by the [`PassManager`]; a [`Framework`] is a
+//! name plus a declarative pass sequence. The [`CompileSession`] layer
+//! adds a content-hash compilation cache and parallel batch compilation
+//! on top.
+//!
 //! # Example
 //!
 //! ```
@@ -59,8 +66,10 @@ mod estimate;
 mod fusion;
 mod layout_select;
 mod lte;
+mod pass;
 mod pipeline;
 mod reduction;
+mod session;
 mod texture;
 mod tune;
 
@@ -70,10 +79,17 @@ pub use estimate::{GroupReport, ModelReport};
 pub use fusion::{fuse, GroupDraft};
 pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
 pub use lte::{eliminate, is_eliminable, op_pullback, EdgeSource, LteResult};
+pub use pass::{
+    AssembleGroupsPass, CompileCtx, CompileOutput, Diagnostic, FusionPass, LayoutSelectPass,
+    LtePass, Pass, PassManager, PassTiming, TunePass,
+};
 pub use pipeline::{
     assemble_groups, group_class, iteration_mn, EdgeRead, Framework, KernelGroup, MemModel,
     OptStats, OptimizedGraph, SmartMemConfig, SmartMemPipeline, Unsupported,
 };
 pub use reduction::reduction_dims;
+pub use session::{
+    device_fingerprint, graph_fingerprint, CacheStats, CompileResult, CompileSession,
+};
 pub use texture::{fits_texture, place_buffer, place_texture, MAX_TEXTURE_EXTENT};
 pub use tune::{base_utilization, utilization, ExecConfig, GaTuner};

@@ -43,10 +43,7 @@ pub struct LteResult {
 impl LteResult {
     /// Resolves a tensor to its materialized source and composed map.
     pub fn resolve(&self, t: TensorId) -> EdgeSource {
-        self.source_of
-            .get(&t)
-            .cloned()
-            .unwrap_or(EdgeSource { source: t, map: None })
+        self.source_of.get(&t).cloned().unwrap_or(EdgeSource { source: t, map: None })
     }
 }
 
@@ -69,7 +66,12 @@ pub fn is_eliminable(op: &Op) -> bool {
 /// # Panics
 ///
 /// Panics if called on a non-eliminable operator.
-pub fn op_pullback(op: &Op, in_extents: &[usize], out_extents: &[usize], output_idx: usize) -> IndexMap {
+pub fn op_pullback(
+    op: &Op,
+    in_extents: &[usize],
+    out_extents: &[usize],
+    output_idx: usize,
+) -> IndexMap {
     match op {
         Op::Reshape { .. } => IndexMap::reshape(in_extents, out_extents),
         Op::Transpose { perm } => IndexMap::transpose(in_extents, perm),
@@ -96,7 +98,11 @@ pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult
     let mut eliminated = Vec::new();
 
     if !enabled {
-        return LteResult { kept: graph.nodes().iter().map(|n| n.id).collect(), eliminated, source_of };
+        return LteResult {
+            kept: graph.nodes().iter().map(|n| n.id).collect(),
+            eliminated,
+            source_of,
+        };
     }
 
     for node in graph.nodes() {
@@ -107,10 +113,8 @@ pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult
         }
         // Resolve the input through already-eliminated predecessors.
         let input = node.inputs[0];
-        let upstream = source_of
-            .get(&input)
-            .cloned()
-            .unwrap_or(EdgeSource { source: input, map: None });
+        let upstream =
+            source_of.get(&input).cloned().unwrap_or(EdgeSource { source: input, map: None });
         let in_shape = graph.tensor(input).shape.dims().to_vec();
         for (output_idx, &out) in node.outputs.iter().enumerate() {
             let out_shape = graph.tensor(out).shape.dims().to_vec();
@@ -151,7 +155,7 @@ mod tests {
         let r = eliminate(&g, true, true);
         assert_eq!(r.eliminated.len(), 2);
         assert_eq!(r.kept.len(), 2); // conv + gelu
-        // gelu's input resolves to conv's output with a composed map.
+                                     // gelu's input resolves to conv's output with a composed map.
         let gelu = g.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
         let src = r.resolve(gelu.inputs[0]);
         let conv = g.nodes().iter().find(|n| n.op.mnemonic() == "Conv2d").unwrap();

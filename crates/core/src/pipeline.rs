@@ -2,10 +2,13 @@
 //! baseline pipelines, plus the [`Framework`] abstraction and the
 //! [`SmartMemPipeline`] itself.
 
-use crate::fusion::{fuse, GroupDraft};
-use crate::layout_select::{select_layouts, SelectionLevel};
-use crate::lte::{eliminate, LteResult};
-use crate::tune::{utilization, ExecConfig, GaTuner};
+use crate::fusion::GroupDraft;
+use crate::layout_select::SelectionLevel;
+use crate::lte::LteResult;
+use crate::pass::{
+    AssembleGroupsPass, CompileOutput, FusionPass, LayoutSelectPass, LtePass, PassManager, TunePass,
+};
+use crate::tune::{ExecConfig, GaTuner};
 use smartmem_index::IndexMap;
 use smartmem_ir::{Graph, Layout, Op, OpId, OpOrigin, TensorId, UnaryKind};
 use smartmem_sim::{DeviceConfig, LatencyClass};
@@ -141,11 +144,19 @@ impl fmt::Display for Unsupported {
 
 impl Error for Unsupported {}
 
-/// A DNN execution framework: optimizes a graph for a device and
-/// estimates its execution.
-pub trait Framework {
+/// A DNN execution framework: a named pass sequence that optimizes a
+/// graph for a device, plus latency estimation on the shared simulator.
+///
+/// Implementors only provide [`Framework::name`] and
+/// [`Framework::passes`]; optimization runs through the shared
+/// [`PassManager`], so per-pass timing ([`Framework::optimize_timed`])
+/// and the compilation cache work identically for every framework.
+pub trait Framework: Send + Sync {
     /// Framework display name.
     fn name(&self) -> &str;
+
+    /// The framework's declarative pass sequence.
+    fn passes(&self) -> PassManager;
 
     /// Optimizes `graph` for `device`.
     ///
@@ -153,7 +164,28 @@ pub trait Framework {
     ///
     /// Returns [`Unsupported`] when the framework cannot compile the
     /// model (operator support gaps).
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported>;
+    fn optimize(
+        &self,
+        graph: &Graph,
+        device: &DeviceConfig,
+    ) -> Result<OptimizedGraph, Unsupported> {
+        Ok(self.passes().run_on(graph, device)?.optimized)
+    }
+
+    /// Optimizes `graph`, additionally returning per-pass wall-clock
+    /// timing and diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] when the framework cannot compile the
+    /// model (operator support gaps).
+    fn optimize_timed(
+        &self,
+        graph: &Graph,
+        device: &DeviceConfig,
+    ) -> Result<CompileOutput, Unsupported> {
+        self.passes().run_on(graph, device)
+    }
 
     /// Optimizes and estimates, failing when the model does not fit
     /// device memory.
@@ -162,7 +194,11 @@ pub trait Framework {
     ///
     /// Returns [`Unsupported`] for operator-support gaps or
     /// out-of-memory conditions.
-    fn run(&self, graph: &Graph, device: &DeviceConfig) -> Result<crate::estimate::ModelReport, Unsupported> {
+    fn run(
+        &self,
+        graph: &Graph,
+        device: &DeviceConfig,
+    ) -> Result<crate::estimate::ModelReport, Unsupported> {
         let optimized = self.optimize(graph, device)?;
         let report = optimized.estimate(device);
         // Roughly half of unified memory is usable for one app's tensors.
@@ -198,7 +234,12 @@ pub struct SmartMemConfig {
 impl SmartMemConfig {
     /// The full SmartMem system.
     pub fn full() -> Self {
-        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: true, texture_and_tuning: true }
+        SmartMemConfig {
+            lte: true,
+            index_comprehension: true,
+            layout_selection: true,
+            texture_and_tuning: true,
+        }
     }
 
     /// DNNFusion-equivalent level (fusion only).
@@ -213,12 +254,22 @@ impl SmartMemConfig {
 
     /// DNNFusion + LTE (Fig. 8's "LTE" bar).
     pub fn lte_level() -> Self {
-        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: false, texture_and_tuning: false }
+        SmartMemConfig {
+            lte: true,
+            index_comprehension: true,
+            layout_selection: false,
+            texture_and_tuning: false,
+        }
     }
 
     /// DNNFusion + LTE + layout selection (Fig. 8's "Layout Selecting").
     pub fn layout_level() -> Self {
-        SmartMemConfig { lte: true, index_comprehension: true, layout_selection: true, texture_and_tuning: false }
+        SmartMemConfig {
+            lte: true,
+            index_comprehension: true,
+            layout_selection: true,
+            texture_and_tuning: false,
+        }
     }
 }
 
@@ -257,11 +308,8 @@ impl Framework for SmartMemPipeline {
         "SmartMem"
     }
 
-    fn optimize(&self, graph: &Graph, device: &DeviceConfig) -> Result<OptimizedGraph, Unsupported> {
+    fn passes(&self) -> PassManager {
         let cfg = self.config;
-        let lte = eliminate(graph, cfg.lte, cfg.index_comprehension);
-        let drafts = fuse(graph, &lte, true);
-        let mut groups = assemble_groups(graph, &lte, &drafts);
         let level = if !cfg.layout_selection {
             SelectionLevel::Default
         } else if cfg.texture_and_tuning {
@@ -269,34 +317,12 @@ impl Framework for SmartMemPipeline {
         } else {
             SelectionLevel::ReductionK1
         };
-        let redundancy = select_layouts(graph, &mut groups, device, level);
-        // Tuning: GA when enabled, detuned defaults otherwise.
-        for g in &mut groups {
-            let node = graph.node(g.anchor);
-            let out_shape = &graph.tensor(node.outputs[0]).shape;
-            let (m, n) = iteration_mn(out_shape.dims());
-            if cfg.texture_and_tuning {
-                let (config, util) = self.tuner.tune(&node.op, m, n);
-                g.config = config;
-                g.utilization = util;
-            } else {
-                g.config = ExecConfig::default();
-                // Untuned (DNNFusion-era) kernels; its transform kernels
-                // in particular were not layout-aware.
-                let transform_penalty = if node.op.is_layout_transform() { 0.6 } else { 1.0 };
-                g.utilization = utilization(&node.op, m, n, &g.config) * 0.7 * transform_penalty;
-            }
-        }
-        let stats = OptStats {
-            source_ops: graph.op_count(),
-            kernel_count: groups.len(),
-            eliminated_ops: lte.eliminated.len(),
-            fused_ops: groups.iter().map(|g| g.members.len() - 1).sum(),
-            implicit_inserted: 0,
-            redundant_tensors: redundancy.tensors,
-            redundant_bytes_max: redundancy.max_bytes,
-        };
-        Ok(OptimizedGraph { graph: graph.clone(), groups, stats, mem_model: MemModel::default() })
+        PassManager::new("SmartMem")
+            .then(LtePass { enabled: cfg.lte, index_comprehension: cfg.index_comprehension })
+            .then(FusionPass)
+            .then(AssembleGroupsPass)
+            .then(LayoutSelectPass { level })
+            .then(TunePass { tuned: cfg.texture_and_tuning, tuner: self.tuner.clone() })
     }
 }
 
@@ -316,7 +342,8 @@ pub fn group_class(op: &Op, origin: OpOrigin) -> LatencyClass {
             OpOrigin::Model => LatencyClass::ExplicitTransform,
             OpOrigin::Framework => LatencyClass::ImplicitTransform,
         }
-    } else if matches!(op, Op::Unary { kind: UnaryKind::Identity }) && origin == OpOrigin::Framework {
+    } else if matches!(op, Op::Unary { kind: UnaryKind::Identity }) && origin == OpOrigin::Framework
+    {
         // Framework-inserted relayout copies.
         LatencyClass::ImplicitTransform
     } else {

@@ -94,7 +94,11 @@ mod tests {
         assert_eq!(reduction_dims(&Op::LayerNorm { axes: vec![2] }, 0, &x), vec![2]);
         assert_eq!(reduction_dims(&Op::Softmax { axis: 1 }, 0, &x), vec![1]);
         assert_eq!(
-            reduction_dims(&Op::Reduce { kind: ReduceKind::Mean, axes: vec![0, 2], keep_dims: false }, 0, &x),
+            reduction_dims(
+                &Op::Reduce { kind: ReduceKind::Mean, axes: vec![0, 2], keep_dims: false },
+                0,
+                &x
+            ),
             vec![0, 2]
         );
     }

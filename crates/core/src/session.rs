@@ -1,0 +1,267 @@
+//! The compilation session layer: a content-hash compilation cache and
+//! parallel compilation of model batches.
+//!
+//! A [`CompileSession`] memoizes [`PassManager`] runs keyed by
+//! *(graph fingerprint, device fingerprint, pass-sequence id)*, so
+//! recompiling the same model for the same device through the same
+//! framework returns the cached [`CompileOutput`] (shared via `Arc`)
+//! instead of re-running the passes. Cache hits are observable through
+//! [`CompileSession::stats`], which the benchmark harness prints.
+//!
+//! [`CompileSession::compile_batch`] fans a framework×model job matrix
+//! out over `std::thread::scope` workers (the container has no rayon;
+//! a scoped work-stealing loop over an atomic cursor gives the same
+//! embarrassingly-parallel behaviour for the 20-model zoo).
+
+use crate::pass::CompileOutput;
+use crate::pipeline::{Framework, Unsupported};
+use smartmem_ir::Graph;
+use smartmem_sim::DeviceConfig;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Streams a value's Debug rendering straight into a hasher, avoiding
+/// the transient String a `format!`-then-hash would allocate (graphs
+/// render to hundreds of KB).
+fn debug_hash(value: &dyn fmt::Debug) -> u64 {
+    struct HashWriter<'a>(&'a mut DefaultHasher);
+    impl fmt::Write for HashWriter<'_> {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+    let mut h = DefaultHasher::new();
+    write!(HashWriter(&mut h), "{value:?}").expect("Debug formatting is infallible");
+    h.finish()
+}
+
+/// Content hash of a graph (structure, shapes, dtypes, operator
+/// attributes, origins). Two graphs with equal fingerprints optimize
+/// identically under every deterministic pass sequence.
+///
+/// The IR's Debug rendering covers every semantic field (tensors,
+/// shapes, dtypes, kinds, nodes, operator attributes, edges), which
+/// makes it a faithful — if unglamorous — content witness.
+pub fn graph_fingerprint(graph: &Graph) -> u64 {
+    debug_hash(graph)
+}
+
+/// Content hash of a device configuration.
+pub fn device_fingerprint(device: &DeviceConfig) -> u64 {
+    debug_hash(device)
+}
+
+/// Result of one compilation job (shared on cache hits).
+pub type CompileResult = Result<Arc<CompileOutput>, Unsupported>;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    graph: u64,
+    device: u64,
+    sequence: u64,
+}
+
+/// Hit/miss counters of a [`CompileSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compilations served from the cache.
+    pub hits: usize,
+    /// Compilations that ran the pass sequence.
+    pub misses: usize,
+}
+
+/// A compilation session: caches pass-manager runs and compiles model
+/// batches in parallel. Thread-safe; share by reference across worker
+/// threads.
+#[derive(Default)]
+pub struct CompileSession {
+    cache: Mutex<HashMap<CacheKey, Arc<CompileOutput>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CompileSession {
+    /// Empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `graph` for `device` through `framework`, returning the
+    /// cached output when an identical compilation already ran in this
+    /// session.
+    ///
+    /// Concurrent identical compilations may each run the pass sequence
+    /// (the lock is not held across the run); the first to finish wins
+    /// the cache slot and every caller receives that canonical `Arc`.
+    /// `misses` counts pass-sequence executions, so a racy duplicate is
+    /// visible in [`CompileSession::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] for operator-support gaps (errors are
+    /// not cached; they are cheap to recompute).
+    pub fn compile(
+        &self,
+        framework: &dyn Framework,
+        graph: &Graph,
+        device: &DeviceConfig,
+    ) -> CompileResult {
+        let manager = framework.passes();
+        let key = CacheKey {
+            graph: graph_fingerprint(graph),
+            device: device_fingerprint(device),
+            sequence: manager.sequence_id(),
+        };
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let output = Arc::new(manager.run_on(graph, device)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("cache lock");
+        let canonical = cache.entry(key).or_insert_with(|| Arc::clone(&output));
+        Ok(Arc::clone(canonical))
+    }
+
+    /// Compiles every (framework, graph) pair of the job matrix across
+    /// `threads` workers (`0` = one per available core), returning
+    /// results as `results[graph_idx][framework_idx]`.
+    ///
+    /// Work is distributed dynamically through an atomic cursor, so a
+    /// slow model (e.g. the SD UNet) does not serialize a whole worker's
+    /// share behind it.
+    pub fn compile_batch(
+        &self,
+        frameworks: &[Box<dyn Framework>],
+        graphs: &[Graph],
+        device: &DeviceConfig,
+        threads: usize,
+    ) -> Vec<Vec<CompileResult>> {
+        let jobs = frameworks.len() * graphs.len();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            threads
+        }
+        .clamp(1, jobs.max(1));
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CompileResult>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    if job >= jobs {
+                        break;
+                    }
+                    let (gi, fi) = (job / frameworks.len(), job % frameworks.len());
+                    let result = self.compile(frameworks[fi].as_ref(), &graphs[gi], device);
+                    *slots[job].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(graphs.len());
+        let mut slots = slots.into_iter();
+        for _ in 0..graphs.len() {
+            let mut row = Vec::with_capacity(frameworks.len());
+            for _ in 0..frameworks.len() {
+                let slot = slots.next().expect("slot per job");
+                row.push(slot.into_inner().expect("slot lock").expect("every job ran"));
+            }
+            results.push(row);
+        }
+        results
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached compilations.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{SmartMemConfig, SmartMemPipeline};
+    use smartmem_ir::{DType, GraphBuilder};
+
+    fn toy(tag: &str) -> Graph {
+        let mut b = GraphBuilder::new(tag.to_string());
+        let x = b.input("x", &[1, 16, 32], DType::F16);
+        let w = b.weight("w", &[32, 32], DType::F16);
+        let mm = b.matmul(x, w);
+        let t = b.transpose(mm, &[0, 2, 1]);
+        let out = b.softmax(t, 2);
+        b.output(out);
+        b.finish()
+    }
+
+    #[test]
+    fn cache_hits_on_identical_compiles() {
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let fw = SmartMemPipeline::new();
+        let g = toy("toy");
+        let cold = session.compile(&fw, &g, &device).unwrap();
+        let warm = session.compile(&fw, &g, &device).unwrap();
+        assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!(Arc::ptr_eq(&cold, &warm));
+    }
+
+    #[test]
+    fn cache_separates_configs_devices_and_graphs() {
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let g = toy("toy");
+        session.compile(&SmartMemPipeline::new(), &g, &device).unwrap();
+        session
+            .compile(&SmartMemPipeline::with_config(SmartMemConfig::dnnfusion_level()), &g, &device)
+            .unwrap();
+        session.compile(&SmartMemPipeline::new(), &g, &DeviceConfig::snapdragon_835()).unwrap();
+        // Same structure under a different graph name still hits: the
+        // name is part of the Debug rendering, so it does not — keep the
+        // expectation explicit.
+        session.compile(&SmartMemPipeline::new(), &toy("other"), &device).unwrap();
+        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(session.len(), 4);
+    }
+
+    #[test]
+    fn batch_compile_matches_direct() {
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let frameworks: Vec<Box<dyn Framework>> = vec![
+            Box::new(SmartMemPipeline::new()),
+            Box::new(SmartMemPipeline::with_config(SmartMemConfig::dnnfusion_level())),
+        ];
+        let graphs = vec![toy("a"), toy("b")];
+        let results = session.compile_batch(&frameworks, &graphs, &device, 0);
+        assert_eq!(results.len(), 2);
+        for (gi, row) in results.iter().enumerate() {
+            assert_eq!(row.len(), 2);
+            for (fi, res) in row.iter().enumerate() {
+                let direct = frameworks[fi].optimize(&graphs[gi], &device).unwrap();
+                let batched = res.as_ref().unwrap();
+                assert_eq!(direct.stats, batched.optimized.stats);
+            }
+        }
+    }
+}

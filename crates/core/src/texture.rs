@@ -57,11 +57,7 @@ pub fn place_texture(dims: &[usize], r0: usize, r1: Option<usize>, vectorize: bo
             break;
         }
     }
-    Layout::Texture(TexturePlacement {
-        height_dims: height,
-        width_dims: width,
-        vector_dim: vector,
-    })
+    Layout::Texture(TexturePlacement { height_dims: height, width_dims: width, vector_dim: vector })
 }
 
 /// Whether a texture layout fits the device's texture limits for the

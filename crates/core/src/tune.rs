@@ -79,15 +79,19 @@ pub fn utilization(op: &Op, m: usize, n: usize, cfg: &ExecConfig) -> f64 {
         _ => 0.97,
     };
     // Workgroup must also divide the tile grid reasonably.
-    let grid_fit = fit(m.div_ceil(cfg.tile.0).max(1), cfg.workgroup.0)
-        .max(0.7)
-        .min(1.0);
+    let grid_fit = fit(m.div_ceil(cfg.tile.0).max(1), cfg.workgroup.0).clamp(0.7, 1.0);
     // Memory reuse: small effective tiles re-stream operands once per
     // strip; reward output tiles up to 64x64.
     let eff_m = (cfg.tile.0 * cfg.workgroup.0).min(64).min(m.max(1));
     let eff_n = (cfg.tile.1 * cfg.workgroup.1).min(64).min(n.max(1));
     let reuse = (((eff_m * eff_n) as f64) / 4096.0).powf(0.3).clamp(0.35, 1.0);
-    (base_utilization(op) * fit(m, cfg.tile.0) * fit(n, cfg.tile.1) * occupancy * unroll_factor * grid_fit * reuse)
+    (base_utilization(op)
+        * fit(m, cfg.tile.0)
+        * fit(n, cfg.tile.1)
+        * occupancy
+        * unroll_factor
+        * grid_fit
+        * reuse)
         .clamp(0.02, 0.95)
 }
 
@@ -166,7 +170,22 @@ impl GaTuner {
     pub fn tune(&self, op: &Op, m: usize, n: usize) -> (ExecConfig, f64) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ ((m as u64) << 24) ^ (n as u64));
         let mut pop: Vec<Genome> = (0..self.population).map(|_| Genome::random(&mut rng)).collect();
-        let fitness = |g: &Genome| utilization(op, m, n, &g.to_config());
+        // Always include the untuned default so tuning can never lose to
+        // it (elitism keeps it alive while it stays best).
+        pop[0] = Genome { tile_m: 3, tile_n: 3, tile_k: 2, wg: 2, unroll: 0 };
+        debug_assert_eq!(pop[0].to_config(), ExecConfig::default());
+        let fitness = |g: &Genome| {
+            let cfg = g.to_config();
+            // Equal-utilization configurations can differ by up to 8x in
+            // operand re-streaming (`estimate::operand_passes` re-reads
+            // weights once per output strip when the effective tile does
+            // not cover the iteration space), so break ties toward full
+            // coverage. The bonus is far below any utilization step, so
+            // it never overrides a real utilization difference.
+            let eff = (cfg.tile.0 * cfg.workgroup.0) as f64 * (cfg.tile.1 * cfg.workgroup.1) as f64;
+            let coverage = (eff / (m.max(1) * n.max(1)) as f64).min(1.0);
+            utilization(op, m, n, &cfg) + 1e-6 * coverage
+        };
         let mut best = pop[0];
         let mut best_fit = fitness(&best);
         for _ in 0..self.generations {
@@ -190,7 +209,26 @@ impl GaTuner {
             }
             pop = next;
         }
-        (best.to_config(), best_fit)
+        let _ = best_fit;
+        // Deterministic polish over the (workgroup, tile) plane: the GA
+        // samples only a fraction of it, and ties there decide whether
+        // the effective tile covers the iteration space (the coverage
+        // bonus above). Keeps the GA's tile_k/unroll choices.
+        let mut best_score = fitness(&best);
+        for wg in 0..WORKGROUPS.len() {
+            for tile_m in 0..TILES.len() {
+                for tile_n in 0..TILES.len() {
+                    let cand = Genome { tile_m, tile_n, wg, ..best };
+                    let score = fitness(&cand);
+                    if score > best_score {
+                        best_score = score;
+                        best = cand;
+                    }
+                }
+            }
+        }
+        let cfg = best.to_config();
+        (cfg, utilization(op, m, n, &cfg))
     }
 }
 

@@ -22,12 +22,14 @@ fn build_chain(ops: &[u8]) -> (Graph, TensorId) {
     for &op in ops {
         match op % 4 {
             0 => {
-                // reshape: merge last two dims or split first.
+                // reshape: merge last two dims or split first (skipping
+                // the split when the extent is odd — slicing can leave
+                // odd extents that do not factor).
                 if dims.len() >= 2 {
                     let last = dims.pop().unwrap();
                     let prev = dims.pop().unwrap();
                     dims.push(prev * last);
-                } else {
+                } else if dims[0] % 2 == 0 {
                     dims = vec![2, dims[0] / 2];
                 }
                 cur = b.reshape(cur, &dims);
@@ -157,7 +159,12 @@ fn classification_is_total_over_op_kinds() {
         Op::InstanceNorm,
         Op::Softmax { axis: 0 },
         Op::Reduce { kind: smartmem_ir::ReduceKind::Sum, axes: vec![0], keep_dims: false },
-        Op::Pool2d { kind: smartmem_ir::PoolKind::Max, kernel: (2, 2), stride: (2, 2), padding: (0, 0) },
+        Op::Pool2d {
+            kind: smartmem_ir::PoolKind::Max,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+        },
         Op::Unary { kind: UnaryKind::Relu },
         Op::Binary { kind: smartmem_ir::BinaryKind::Add },
         Op::Concat { axis: 0 },

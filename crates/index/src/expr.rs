@@ -88,6 +88,9 @@ impl ExprCost {
     }
 }
 
+// Static two-argument constructors, not operator overloads (the
+// expression tree owns its children via `Box`).
+#[allow(clippy::should_implement_trait)]
 impl IndexExpr {
     /// Convenience constructor: `a + b`.
     pub fn add(a: IndexExpr, b: IndexExpr) -> IndexExpr {
@@ -152,7 +155,9 @@ impl IndexExpr {
             IndexExpr::Div(a, b) => {
                 let ra = a.range(extents);
                 match b.as_const() {
-                    Some(d) if d > 0 => Range { min: ra.min.div_euclid(d), max: ra.max.div_euclid(d) },
+                    Some(d) if d > 0 => {
+                        Range { min: ra.min.div_euclid(d), max: ra.max.div_euclid(d) }
+                    }
                     _ => Range { min: i64::MIN / 2, max: i64::MAX / 2 },
                 }
             }
@@ -209,7 +214,10 @@ impl IndexExpr {
         match self {
             IndexExpr::Var(i) => out.push(*i),
             IndexExpr::Const(_) => {}
-            IndexExpr::Add(a, b) | IndexExpr::Mul(a, b) | IndexExpr::Div(a, b) | IndexExpr::Mod(a, b) => {
+            IndexExpr::Add(a, b)
+            | IndexExpr::Mul(a, b)
+            | IndexExpr::Div(a, b)
+            | IndexExpr::Mod(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }

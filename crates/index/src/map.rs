@@ -39,7 +39,11 @@ impl IndexMap {
     /// # Panics
     ///
     /// Panics if `exprs.len() != in_extents.len()`.
-    pub fn from_parts(in_extents: Vec<usize>, out_extents: Vec<usize>, exprs: Vec<IndexExpr>) -> Self {
+    pub fn from_parts(
+        in_extents: Vec<usize>,
+        out_extents: Vec<usize>,
+        exprs: Vec<IndexExpr>,
+    ) -> Self {
         assert_eq!(exprs.len(), in_extents.len(), "one expression per input dim");
         IndexMap { in_extents, out_extents, exprs }
     }
@@ -61,8 +65,7 @@ impl IndexMap {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(from: &[usize], to: &[usize]) -> Self {
-        let numel =
-            |d: &[usize]| d.iter().map(|&x| x as u64).product::<u64>();
+        let numel = |d: &[usize]| d.iter().map(|&x| x as u64).product::<u64>();
         assert_eq!(numel(from), numel(to), "reshape must preserve element count");
         // L = sum(o_i * stride_to_i)
         let mut to_strides = vec![1i64; to.len()];

@@ -174,12 +174,7 @@ impl Term {
         if hi.scale != lo.scale * (hi.div / lo.div) {
             return None;
         }
-        Some(Term {
-            base: hi.base.clone(),
-            div: lo.div,
-            modulo: hi.modulo,
-            scale: lo.scale,
-        })
+        Some(Term { base: hi.base.clone(), div: lo.div, modulo: hi.modulo, scale: lo.scale })
     }
 }
 
@@ -274,9 +269,7 @@ fn rewrite_div(a: IndexExpr, b: IndexExpr, ext: &[usize]) -> IndexExpr {
         },
         // (p + q) / m with p divisible by m -> p/m + q/m (and symmetric).
         E::Add(p, q) => {
-            if p.divisible_by(m, ext) {
-                rewrite_add(rewrite_div(*p, E::Const(m), ext), rewrite_div(*q, E::Const(m), ext))
-            } else if q.divisible_by(m, ext) {
+            if p.divisible_by(m, ext) || q.divisible_by(m, ext) {
                 rewrite_add(rewrite_div(*p, E::Const(m), ext), rewrite_div(*q, E::Const(m), ext))
             } else {
                 E::div(E::Add(p, q), b)
@@ -431,10 +424,7 @@ mod tests {
     fn simplification_reduces_cost() {
         // Figure 3-style stacked reshape indices.
         let lin = E::add(
-            E::add(
-                E::mul(E::Var(0), E::Const(128)),
-                E::mul(E::Var(1), E::Const(16)),
-            ),
+            E::add(E::mul(E::Var(0), E::Const(128)), E::mul(E::Var(1), E::Const(16))),
             E::add(E::mul(E::Var(2), E::Const(4)), E::Var(3)),
         );
         let in2 = E::rem(lin.clone(), E::Const(4)); // -> i3

@@ -10,10 +10,8 @@ use smartmem_index::{IndexExpr, IndexMap};
 
 /// Random expression trees over 3 variables with extents from `ext()`.
 fn arb_expr(depth: u32) -> BoxedStrategy<IndexExpr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(IndexExpr::Var),
-        (0i64..64).prop_map(IndexExpr::Const),
-    ];
+    let leaf =
+        prop_oneof![(0usize..3).prop_map(IndexExpr::Var), (0i64..64).prop_map(IndexExpr::Const),];
     leaf.prop_recursive(depth, 64, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IndexExpr::add(a, b)),

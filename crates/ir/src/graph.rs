@@ -152,9 +152,9 @@ impl Graph {
     /// Iterator over producer→consumer edges `(producer, tensor, consumer)`.
     pub fn edges(&self) -> impl Iterator<Item = (OpId, TensorId, OpId)> + '_ {
         self.nodes.iter().flat_map(move |n| {
-            n.outputs.iter().flat_map(move |&t| {
-                self.consumers(t).iter().map(move |&c| (n.id, t, c))
-            })
+            n.outputs
+                .iter()
+                .flat_map(move |&t| self.consumers(t).iter().map(move |&c| (n.id, t, c)))
         })
     }
 
@@ -173,11 +173,7 @@ impl Graph {
 
     /// Number of trained parameters (elements of `Weight` tensors).
     pub fn param_count(&self) -> u64 {
-        self.tensors
-            .iter()
-            .filter(|t| t.kind == TensorKind::Weight)
-            .map(|t| t.shape.numel())
-            .sum()
+        self.tensors.iter().filter(|t| t.kind == TensorKind::Weight).map(|t| t.shape.numel()).sum()
     }
 
     /// Number of layout-transformation operators (`Reshape`, `Transpose`,
@@ -230,13 +226,16 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph {} ({} ops, {} tensors)", self.name, self.nodes.len(), self.tensors.len())?;
+        writeln!(
+            f,
+            "graph {} ({} ops, {} tensors)",
+            self.name,
+            self.nodes.len(),
+            self.tensors.len()
+        )?;
         for n in &self.nodes {
-            let outs: Vec<String> = n
-                .outputs
-                .iter()
-                .map(|&t| format!("%{}:{}", t.0, self.tensor(t).shape))
-                .collect();
+            let outs: Vec<String> =
+                n.outputs.iter().map(|&t| format!("%{}:{}", t.0, self.tensor(t).shape)).collect();
             let ins: Vec<String> = n.inputs.iter().map(|&t| format!("%{}", t.0)).collect();
             writeln!(f, "  {} = {}({})", outs.join(", "), n.op.mnemonic(), ins.join(", "))?;
         }
@@ -270,7 +269,9 @@ pub fn infer_output_shapes(op: &Op, inputs: &[&Shape]) -> Result<Vec<Shape>, IrE
                 )));
             }
             if w.dim(0) % groups != 0 {
-                return Err(IrError::Shape("conv2d output channels not divisible by groups".into()));
+                return Err(IrError::Shape(
+                    "conv2d output channels not divisible by groups".into(),
+                ));
             }
             let hout = (x.dim(2) + 2 * padding.0).checked_sub(w.dim(2)).map(|v| v / stride.0 + 1);
             let wout = (x.dim(3) + 2 * padding.1).checked_sub(w.dim(3)).map(|v| v / stride.1 + 1);
@@ -425,7 +426,10 @@ pub fn infer_output_shapes(op: &Op, inputs: &[&Shape]) -> Result<Vec<Shape>, IrE
             }
             let b2 = block * block;
             if x.dim(1) % b2 != 0 {
-                return Err(IrError::Shape(format!("channels {} not divisible by block^2 {b2}", x.dim(1))));
+                return Err(IrError::Shape(format!(
+                    "channels {} not divisible by block^2 {b2}",
+                    x.dim(1)
+                )));
             }
             one(Shape::new(vec![x.dim(0), x.dim(1) / b2, x.dim(2) * block, x.dim(3) * block]))
         }
@@ -517,9 +521,22 @@ impl GraphBuilder {
         self
     }
 
-    fn add_tensor(&mut self, name: String, shape: Shape, dtype: DType, kind: TensorKind) -> TensorId {
+    fn add_tensor(
+        &mut self,
+        name: String,
+        shape: Shape,
+        dtype: DType,
+        kind: TensorKind,
+    ) -> TensorId {
         let id = TensorId(self.graph.tensors.len() as u32);
-        self.graph.tensors.push(TensorInfo { name, shape, dtype, kind, producer: None, consumers: Vec::new() });
+        self.graph.tensors.push(TensorInfo {
+            name,
+            shape,
+            dtype,
+            kind,
+            producer: None,
+            consumers: Vec::new(),
+        });
         id
     }
 
@@ -546,7 +563,8 @@ impl GraphBuilder {
                 return Err(IrError::UnknownTensor(t.0));
             }
         }
-        let shapes: Vec<&Shape> = inputs.iter().map(|&t| &self.graph.tensors[t.0 as usize].shape).collect();
+        let shapes: Vec<&Shape> =
+            inputs.iter().map(|&t| &self.graph.tensors[t.0 as usize].shape).collect();
         let out_shapes = infer_output_shapes(&op, &shapes)?;
         let dtype = self.graph.tensors[inputs[0].0 as usize].dtype;
         let id = OpId(self.graph.nodes.len() as u32);
@@ -645,7 +663,13 @@ impl GraphBuilder {
     /// # Panics
     ///
     /// Panics if an axis is out of range.
-    pub fn reduce(&mut self, x: TensorId, kind: ReduceKind, axes: Vec<usize>, keep_dims: bool) -> TensorId {
+    pub fn reduce(
+        &mut self,
+        x: TensorId,
+        kind: ReduceKind,
+        axes: Vec<usize>,
+        keep_dims: bool,
+    ) -> TensorId {
         self.push1(Op::Reduce { kind, axes, keep_dims }, &[x])
     }
 

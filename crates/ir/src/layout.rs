@@ -225,7 +225,9 @@ impl Layout {
                     let mut idx: u64 = 0;
                     for &d in dims {
                         let (extent, c) = match p.vector_dim {
-                            Some(v) if v == d => (shape.dim(d).div_ceil(4) as u64, (coord[d] / 4) as u64),
+                            Some(v) if v == d => {
+                                (shape.dim(d).div_ceil(4) as u64, (coord[d] / 4) as u64)
+                            }
                             _ => (shape.dim(d) as u64, coord[d] as u64),
                         };
                         idx = idx * extent + c;
@@ -335,7 +337,7 @@ mod tests {
     fn row_major_addresses_are_dense() {
         let shape = Shape::new(vec![2, 3, 4]);
         let l = Layout::row_major(3);
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for off in 0..24u64 {
             let c = shape.delinearize(off);
             match l.address(&shape, &c) {
@@ -370,7 +372,11 @@ mod tests {
         let a1 = l.address(&shape, &[0, 1, 0, 0]);
         let a4 = l.address(&shape, &[0, 4, 0, 0]);
         match (a0, a1, a4) {
-            (PhysicalAddress::Linear(x0), PhysicalAddress::Linear(x1), PhysicalAddress::Linear(x4)) => {
+            (
+                PhysicalAddress::Linear(x0),
+                PhysicalAddress::Linear(x1),
+                PhysicalAddress::Linear(x4),
+            ) => {
                 assert_eq!(x1, x0 + 1);
                 // channel 4 starts a new C/4 block: distance = H*W*4
                 assert_eq!(x4, x0 + 2 * 2 * 4);

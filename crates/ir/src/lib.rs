@@ -43,7 +43,8 @@ mod shape;
 pub use dtype::DType;
 pub use error::IrError;
 pub use graph::{
-    infer_output_shapes, Graph, GraphBuilder, Node, OpId, OpOrigin, TensorId, TensorInfo, TensorKind,
+    infer_output_shapes, Graph, GraphBuilder, Node, OpId, OpOrigin, TensorId, TensorInfo,
+    TensorKind,
 };
 pub use layout::{Layout, MemoryClass, PhysicalAddress, TexturePlacement};
 pub use ops::{BinaryKind, Op, OpCategory, PoolKind, ReduceKind, UnaryKind};

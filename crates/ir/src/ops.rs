@@ -229,10 +229,13 @@ impl Op {
     /// The broad category of the operator.
     pub fn category(&self) -> OpCategory {
         match self {
-            Op::Reshape { .. } | Op::Transpose { .. } | Op::DepthToSpace { .. } | Op::SpaceToDepth { .. } => {
-                OpCategory::LayoutTransform
+            Op::Reshape { .. }
+            | Op::Transpose { .. }
+            | Op::DepthToSpace { .. }
+            | Op::SpaceToDepth { .. } => OpCategory::LayoutTransform,
+            Op::Gather { .. } | Op::Slice { .. } | Op::Split { .. } | Op::Concat { .. } => {
+                OpCategory::DataMovement
             }
-            Op::Gather { .. } | Op::Slice { .. } | Op::Split { .. } | Op::Concat { .. } => OpCategory::DataMovement,
             _ => OpCategory::Compute,
         }
     }
@@ -367,7 +370,10 @@ mod tests {
     #[test]
     fn layout_ops_have_zero_macs() {
         let s = Shape::new(vec![16, 16]);
-        assert_eq!(Op::Transpose { perm: vec![1, 0] }.mac_count(&[&s], &Shape::new(vec![16, 16])), 0);
+        assert_eq!(
+            Op::Transpose { perm: vec![1, 0] }.mac_count(&[&s], &Shape::new(vec![16, 16])),
+            0
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl Shape {
             .iter()
             .zip(strides.iter())
             .map(|(&c, &s)| {
-                debug_assert!(c < self.0[0].max(usize::MAX)); // placeholder bound
+                debug_assert!(c < usize::MAX); // placeholder bound
                 c as u64 * s
             })
             .sum()
@@ -121,10 +121,10 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
         let r = self.rank().max(other.rank());
         let mut dims = vec![0usize; r];
-        for i in 0..r {
+        for (i, d) in dims.iter_mut().enumerate() {
             let a = if i < r - self.rank() { 1 } else { self.0[i - (r - self.rank())] };
             let b = if i < r - other.rank() { 1 } else { other.0[i - (r - other.rank())] };
-            dims[i] = if a == b {
+            *d = if a == b {
                 a
             } else if a == 1 {
                 b

@@ -10,7 +10,13 @@
 use smartmem_ir::{BinaryKind, DType, GraphBuilder, TensorId, UnaryKind};
 
 /// Fully connected layer: `MatMul` + bias `Add` (2 operators).
-pub fn linear(b: &mut GraphBuilder, x: TensorId, in_f: usize, out_f: usize, name: &str) -> TensorId {
+pub fn linear(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    in_f: usize,
+    out_f: usize,
+    name: &str,
+) -> TensorId {
     let w = b.weight(format!("{name}.w"), &[in_f, out_f], DType::F16);
     let y = b.matmul(x, w);
     let bias = b.weight(format!("{name}.b"), &[out_f], DType::F16);
@@ -56,6 +62,7 @@ pub fn mha(
 
 /// Pre-norm transformer encoder block: `LN → MHA → +res → LN → MLP →
 /// +res` (≈26 operators).
+#[allow(clippy::too_many_arguments)]
 pub fn transformer_block(
     b: &mut GraphBuilder,
     x: TensorId,
@@ -141,7 +148,13 @@ pub fn window_reverse(
 /// Cyclic roll along one axis implemented as `Slice + Slice + Concat`
 /// (3 operators) — how exporters lower `torch.roll` for shifted-window
 /// attention.
-pub fn roll(b: &mut GraphBuilder, x: TensorId, axis: usize, extent: usize, shift: usize) -> TensorId {
+pub fn roll(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    axis: usize,
+    extent: usize,
+    shift: usize,
+) -> TensorId {
     let shift = shift % extent;
     if shift == 0 {
         return x;
@@ -180,6 +193,7 @@ pub fn conv_bn_act(
 
 /// ViT-style patch embedding: strided conv + flatten + transpose
 /// (4 operators), yielding `[B, (H/p)·(W/p), dim]`.
+#[allow(clippy::too_many_arguments)]
 pub fn patch_embed(
     b: &mut GraphBuilder,
     x: TensorId,
@@ -222,7 +236,13 @@ pub fn patch_merging(
 
 /// Classification head: global average pool over tokens + linear
 /// (4 operators).
-pub fn cls_head(b: &mut GraphBuilder, x: TensorId, dim: usize, classes: usize, name: &str) -> TensorId {
+pub fn cls_head(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    dim: usize,
+    classes: usize,
+    name: &str,
+) -> TensorId {
     let pooled = b.reduce(x, smartmem_ir::ReduceKind::Mean, vec![1], false);
     linear(b, pooled, dim, classes, name)
 }

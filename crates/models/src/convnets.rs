@@ -2,7 +2,9 @@
 //! style-transfer network (FST) of Table 1.
 
 use crate::blocks::{conv_bn_act, linear};
-use smartmem_ir::{BinaryKind, DType, Graph, GraphBuilder, PoolKind, ReduceKind, TensorId, UnaryKind};
+use smartmem_ir::{
+    BinaryKind, DType, Graph, GraphBuilder, PoolKind, ReduceKind, TensorId, UnaryKind,
+};
 
 /// ConvNet classification head in the form mobile exporters emit for
 /// NCNN/TFLite: global average pool + 1x1 convolution + flatten (no
@@ -27,7 +29,17 @@ fn bottleneck(
     name: &str,
 ) -> TensorId {
     let c1 = conv_bn_act(b, x, cin, cmid, 1, 1, 1, Some(UnaryKind::Relu), &format!("{name}.c1"));
-    let c2 = conv_bn_act(b, c1, cmid, cmid, 3, stride, groups, Some(UnaryKind::Relu), &format!("{name}.c2"));
+    let c2 = conv_bn_act(
+        b,
+        c1,
+        cmid,
+        cmid,
+        3,
+        stride,
+        groups,
+        Some(UnaryKind::Relu),
+        &format!("{name}.c2"),
+    );
     let c3 = conv_bn_act(b, c2, cmid, cout, 1, 1, 1, None, &format!("{name}.c3"));
     let skip = if cin != cout || stride != 1 {
         conv_bn_act(b, x, cin, cout, 1, stride, 1, None, &format!("{name}.down"))
@@ -83,9 +95,28 @@ pub fn regnet(batch: usize) -> Graph {
             let stride = if d == 0 { 2 } else { 1 };
             let name = format!("s{si}.b{d}");
             let groups = (w / 48).max(1);
-            let c1 = conv_bn_act(&mut b, cur, cin, w, 1, 1, 1, Some(UnaryKind::Relu), &format!("{name}.c1"));
-            let c2 =
-                conv_bn_act(&mut b, c1, w, w, 3, stride, groups, Some(UnaryKind::Relu), &format!("{name}.c2"));
+            let c1 = conv_bn_act(
+                &mut b,
+                cur,
+                cin,
+                w,
+                1,
+                1,
+                1,
+                Some(UnaryKind::Relu),
+                &format!("{name}.c1"),
+            );
+            let c2 = conv_bn_act(
+                &mut b,
+                c1,
+                w,
+                w,
+                3,
+                stride,
+                groups,
+                Some(UnaryKind::Relu),
+                &format!("{name}.c2"),
+            );
             // Squeeze-excitation.
             let se = b.reduce(c2, ReduceKind::Mean, vec![2, 3], true);
             let sw1 = b.weight(format!("{name}.se1"), &[w / 4, w, 1, 1], DType::F16);
@@ -161,16 +192,42 @@ pub fn yolo_v8(batch: usize) -> Graph {
     let mut b = GraphBuilder::new("yolo-v8");
     let x = b.input("image", &[batch, 3, 640, 640], DType::F16);
 
-    fn c2f(b: &mut GraphBuilder, x: TensorId, cin: usize, cout: usize, n: usize, name: &str) -> TensorId {
-        let pre = conv_bn_act(b, x, cin, cout, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.pre"));
+    fn c2f(
+        b: &mut GraphBuilder,
+        x: TensorId,
+        cin: usize,
+        cout: usize,
+        n: usize,
+        name: &str,
+    ) -> TensorId {
+        let pre =
+            conv_bn_act(b, x, cin, cout, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.pre"));
         let parts = b.split(pre, 1, 2);
         let mut feats = vec![parts[0], parts[1]];
         let mut cur = parts[1];
         for i in 0..n {
-            let h =
-                conv_bn_act(b, cur, cout / 2, cout / 2, 3, 1, 1, Some(UnaryKind::Silu), &format!("{name}.m{i}a"));
-            let h2 =
-                conv_bn_act(b, h, cout / 2, cout / 2, 3, 1, 1, Some(UnaryKind::Silu), &format!("{name}.m{i}b"));
+            let h = conv_bn_act(
+                b,
+                cur,
+                cout / 2,
+                cout / 2,
+                3,
+                1,
+                1,
+                Some(UnaryKind::Silu),
+                &format!("{name}.m{i}a"),
+            );
+            let h2 = conv_bn_act(
+                b,
+                h,
+                cout / 2,
+                cout / 2,
+                3,
+                1,
+                1,
+                Some(UnaryKind::Silu),
+                &format!("{name}.m{i}b"),
+            );
             cur = b.add(cur, h2);
             feats.push(cur);
         }
@@ -184,7 +241,17 @@ pub fn yolo_v8(batch: usize) -> Graph {
     let mut feats = Vec::new();
     for (si, win) in widths.windows(2).enumerate() {
         let (cin, cout) = (win[0], win[1]);
-        cur = conv_bn_act(&mut b, cur, cin, cout, 3, 2, 1, Some(UnaryKind::Silu), &format!("down{si}"));
+        cur = conv_bn_act(
+            &mut b,
+            cur,
+            cin,
+            cout,
+            3,
+            2,
+            1,
+            Some(UnaryKind::Silu),
+            &format!("down{si}"),
+        );
         let n = if si == 1 || si == 2 { 2 } else { 1 };
         cur = c2f(&mut b, cur, cout, cout, n, &format!("c2f{si}"));
         if si >= 1 {
@@ -192,12 +259,32 @@ pub fn yolo_v8(batch: usize) -> Graph {
         }
     }
     // SPPF on the last feature.
-    let sp = conv_bn_act(&mut b, cur, widths[4], widths[4] / 2, 1, 1, 1, Some(UnaryKind::Silu), "sppf.pre");
+    let sp = conv_bn_act(
+        &mut b,
+        cur,
+        widths[4],
+        widths[4] / 2,
+        1,
+        1,
+        1,
+        Some(UnaryKind::Silu),
+        "sppf.pre",
+    );
     let p1 = b.pool2d(sp, PoolKind::Max, (5, 5), (1, 1), (2, 2));
     let p2 = b.pool2d(p1, PoolKind::Max, (5, 5), (1, 1), (2, 2));
     let p3 = b.pool2d(p2, PoolKind::Max, (5, 5), (1, 1), (2, 2));
     let cat = b.concat(&[sp, p1, p2, p3], 1);
-    let neck = conv_bn_act(&mut b, cat, widths[4] * 2, widths[4], 1, 1, 1, Some(UnaryKind::Silu), "sppf.post");
+    let neck = conv_bn_act(
+        &mut b,
+        cat,
+        widths[4] * 2,
+        widths[4],
+        1,
+        1,
+        1,
+        Some(UnaryKind::Silu),
+        "sppf.post",
+    );
 
     // PAN neck: top-down upsampling path then bottom-up aggregation.
     feats.pop();
@@ -222,11 +309,33 @@ pub fn yolo_v8(batch: usize) -> Graph {
     let head_feats = [(n3, 64usize), (n4b, 128usize), (n5b, 256usize)];
     let mut outputs = Vec::new();
     for (i, &(f, c)) in head_feats.iter().enumerate() {
-        let b1 = conv_bn_act(&mut b, f, c, 64, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.box1"));
-        let b2 = conv_bn_act(&mut b, b1, 64, 64, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.box2"));
+        let b1 =
+            conv_bn_act(&mut b, f, c, 64, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.box1"));
+        let b2 = conv_bn_act(
+            &mut b,
+            b1,
+            64,
+            64,
+            3,
+            1,
+            1,
+            Some(UnaryKind::Silu),
+            &format!("head{i}.box2"),
+        );
         let box_conv = conv_bn_act(&mut b, b2, 64, 64, 1, 1, 1, None, &format!("head{i}.box3"));
-        let c1 = conv_bn_act(&mut b, f, c, 80, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.cls1"));
-        let c2 = conv_bn_act(&mut b, c1, 80, 80, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.cls2"));
+        let c1 =
+            conv_bn_act(&mut b, f, c, 80, 3, 1, 1, Some(UnaryKind::Silu), &format!("head{i}.cls1"));
+        let c2 = conv_bn_act(
+            &mut b,
+            c1,
+            80,
+            80,
+            3,
+            1,
+            1,
+            Some(UnaryKind::Silu),
+            &format!("head{i}.cls2"),
+        );
         let cls_conv = conv_bn_act(&mut b, c2, 80, 80, 1, 1, 1, None, &format!("head{i}.cls3"));
         let catd = b.concat(&[box_conv, cls_conv], 1);
         let res = 640 / (8 << i);
@@ -331,7 +440,10 @@ mod tests {
         let g = fst(1);
         assert!((100.0..220.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 162G
         assert!(g.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::DepthToSpace { .. })));
-        assert!(g.nodes().iter().filter(|n| matches!(n.op, smartmem_ir::Op::InstanceNorm)).count() >= 10);
+        assert!(
+            g.nodes().iter().filter(|n| matches!(n.op, smartmem_ir::Op::InstanceNorm)).count()
+                >= 10
+        );
     }
 
     #[test]

@@ -11,10 +11,28 @@ pub fn efficientvit(batch: usize) -> Graph {
     let mut b = GraphBuilder::new("efficientvit");
     let x = b.input("image", &[batch, 3, 224, 224], DType::F16);
 
-    fn mbconv(b: &mut GraphBuilder, x: TensorId, cin: usize, cout: usize, stride: usize, name: &str) -> TensorId {
+    fn mbconv(
+        b: &mut GraphBuilder,
+        x: TensorId,
+        cin: usize,
+        cout: usize,
+        stride: usize,
+        name: &str,
+    ) -> TensorId {
         let mid = cin * 6;
-        let e = conv_bn_act(b, x, cin, mid, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.expand"));
-        let d = conv_bn_act(b, e, mid, mid, 3, stride, mid, Some(UnaryKind::Silu), &format!("{name}.dw"));
+        let e =
+            conv_bn_act(b, x, cin, mid, 1, 1, 1, Some(UnaryKind::Silu), &format!("{name}.expand"));
+        let d = conv_bn_act(
+            b,
+            e,
+            mid,
+            mid,
+            3,
+            stride,
+            mid,
+            Some(UnaryKind::Silu),
+            &format!("{name}.dw"),
+        );
         let p = conv_bn_act(b, d, mid, cout, 1, 1, 1, None, &format!("{name}.project"));
         if cin == cout && stride == 1 {
             b.add(x, p)
@@ -203,7 +221,8 @@ pub fn sd_unet(batch: usize) -> Graph {
         let cin = if si == 0 { chans[0] } else { chans[si - 1] };
         cur = res_block(&mut b, cur, cin, c, &format!("down{si}.res0"));
         if si > 0 {
-            cur = spatial_transformer(&mut b, cur, ctx, batch, c, res, 8, &format!("down{si}.attn0"));
+            cur =
+                spatial_transformer(&mut b, cur, ctx, batch, c, res, 8, &format!("down{si}.attn0"));
         }
         cur = res_block(&mut b, cur, c, c, &format!("down{si}.res1"));
         skips.push((cur, c, res));
@@ -221,7 +240,17 @@ pub fn sd_unet(batch: usize) -> Graph {
         let (skip, sc, sres) = skips.pop().expect("skip per stage");
         if sres != res {
             // Upsample: 1x1 expand + depth-to-space.
-            let e = conv_bn_act(&mut b, cur, chans[(si + 1).min(2)], c * 4, 1, 1, 1, None, &format!("up{si}.exp"));
+            let e = conv_bn_act(
+                &mut b,
+                cur,
+                chans[(si + 1).min(2)],
+                c * 4,
+                1,
+                1,
+                1,
+                None,
+                &format!("up{si}.exp"),
+            );
             cur = b.depth_to_space(e, 2);
             res *= 2;
         }
@@ -380,7 +409,11 @@ mod tests {
     fn pythia_scale() {
         let g = pythia(1);
         assert!((80.0..160.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 119G
-        assert!((800.0..1400.0).contains(&(g.param_count() as f64 / 1e6)), "got {}M", g.param_count() / 1_000_000); // paper: 1121M
+        assert!(
+            (800.0..1400.0).contains(&(g.param_count() as f64 / 1e6)),
+            "got {}M",
+            g.param_count() / 1_000_000
+        ); // paper: 1121M
         assert!((500..1200).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 1853
     }
 

@@ -94,24 +94,150 @@ impl ModelEntry {
 /// order.
 pub fn all_models() -> Vec<ModelEntry> {
     vec![
-        ModelEntry { name: "AutoFormer", family: Family::Transformer, attention: Attention::Local, build: autoformer, paper_gmacs: 4.7, paper_ops: 546 },
-        ModelEntry { name: "BiFormer", family: Family::Hybrid, attention: Attention::Local, build: biformer, paper_gmacs: 4.5, paper_ops: 2042 },
-        ModelEntry { name: "CrossFormer", family: Family::Transformer, attention: Attention::Local, build: crossformer, paper_gmacs: 5.0, paper_ops: 505 },
-        ModelEntry { name: "CSwin", family: Family::Hybrid, attention: Attention::Local, build: cswin, paper_gmacs: 6.9, paper_ops: 3863 },
-        ModelEntry { name: "EfficientVit", family: Family::Hybrid, attention: Attention::Local, build: efficientvit, paper_gmacs: 5.2, paper_ops: 536 },
-        ModelEntry { name: "FlattenFormer", family: Family::Hybrid, attention: Attention::Local, build: flattenformer, paper_gmacs: 7.2, paper_ops: 2016 },
-        ModelEntry { name: "SMTFormer", family: Family::Hybrid, attention: Attention::Local, build: smtformer, paper_gmacs: 4.9, paper_ops: 1406 },
-        ModelEntry { name: "Swin", family: Family::Transformer, attention: Attention::Local, build: swin_tiny, paper_gmacs: 4.6, paper_ops: 765 },
-        ModelEntry { name: "ViT", family: Family::Transformer, attention: Attention::Global, build: vit, paper_gmacs: 21.0, paper_ops: 444 },
-        ModelEntry { name: "Conformer", family: Family::Hybrid, attention: Attention::Global, build: conformer, paper_gmacs: 12.0, paper_ops: 665 },
-        ModelEntry { name: "SD-TextEncoder", family: Family::Transformer, attention: Attention::Global, build: sd_text_encoder, paper_gmacs: 6.7, paper_ops: 674 },
-        ModelEntry { name: "SD-UNet", family: Family::Hybrid, attention: Attention::Global, build: sd_unet, paper_gmacs: 90.0, paper_ops: 1962 },
-        ModelEntry { name: "SD-VAEDecoder", family: Family::Hybrid, attention: Attention::Global, build: sd_vae_decoder, paper_gmacs: 312.0, paper_ops: 287 },
-        ModelEntry { name: "Pythia", family: Family::Transformer, attention: Attention::Decoder, build: pythia, paper_gmacs: 119.0, paper_ops: 1853 },
-        ModelEntry { name: "ConvNext", family: Family::ConvNet, attention: Attention::None, build: convnext, paper_gmacs: 4.5, paper_ops: 292 },
-        ModelEntry { name: "RegNet", family: Family::ConvNet, attention: Attention::None, build: regnet, paper_gmacs: 3.2, paper_ops: 282 },
-        ModelEntry { name: "ResNext", family: Family::ConvNet, attention: Attention::None, build: resnext50, paper_gmacs: 4.3, paper_ops: 122 },
-        ModelEntry { name: "Yolo-V8", family: Family::ConvNet, attention: Attention::None, build: yolo_v8, paper_gmacs: 4.4, paper_ops: 233 },
+        ModelEntry {
+            name: "AutoFormer",
+            family: Family::Transformer,
+            attention: Attention::Local,
+            build: autoformer,
+            paper_gmacs: 4.7,
+            paper_ops: 546,
+        },
+        ModelEntry {
+            name: "BiFormer",
+            family: Family::Hybrid,
+            attention: Attention::Local,
+            build: biformer,
+            paper_gmacs: 4.5,
+            paper_ops: 2042,
+        },
+        ModelEntry {
+            name: "CrossFormer",
+            family: Family::Transformer,
+            attention: Attention::Local,
+            build: crossformer,
+            paper_gmacs: 5.0,
+            paper_ops: 505,
+        },
+        ModelEntry {
+            name: "CSwin",
+            family: Family::Hybrid,
+            attention: Attention::Local,
+            build: cswin,
+            paper_gmacs: 6.9,
+            paper_ops: 3863,
+        },
+        ModelEntry {
+            name: "EfficientVit",
+            family: Family::Hybrid,
+            attention: Attention::Local,
+            build: efficientvit,
+            paper_gmacs: 5.2,
+            paper_ops: 536,
+        },
+        ModelEntry {
+            name: "FlattenFormer",
+            family: Family::Hybrid,
+            attention: Attention::Local,
+            build: flattenformer,
+            paper_gmacs: 7.2,
+            paper_ops: 2016,
+        },
+        ModelEntry {
+            name: "SMTFormer",
+            family: Family::Hybrid,
+            attention: Attention::Local,
+            build: smtformer,
+            paper_gmacs: 4.9,
+            paper_ops: 1406,
+        },
+        ModelEntry {
+            name: "Swin",
+            family: Family::Transformer,
+            attention: Attention::Local,
+            build: swin_tiny,
+            paper_gmacs: 4.6,
+            paper_ops: 765,
+        },
+        ModelEntry {
+            name: "ViT",
+            family: Family::Transformer,
+            attention: Attention::Global,
+            build: vit,
+            paper_gmacs: 21.0,
+            paper_ops: 444,
+        },
+        ModelEntry {
+            name: "Conformer",
+            family: Family::Hybrid,
+            attention: Attention::Global,
+            build: conformer,
+            paper_gmacs: 12.0,
+            paper_ops: 665,
+        },
+        ModelEntry {
+            name: "SD-TextEncoder",
+            family: Family::Transformer,
+            attention: Attention::Global,
+            build: sd_text_encoder,
+            paper_gmacs: 6.7,
+            paper_ops: 674,
+        },
+        ModelEntry {
+            name: "SD-UNet",
+            family: Family::Hybrid,
+            attention: Attention::Global,
+            build: sd_unet,
+            paper_gmacs: 90.0,
+            paper_ops: 1962,
+        },
+        ModelEntry {
+            name: "SD-VAEDecoder",
+            family: Family::Hybrid,
+            attention: Attention::Global,
+            build: sd_vae_decoder,
+            paper_gmacs: 312.0,
+            paper_ops: 287,
+        },
+        ModelEntry {
+            name: "Pythia",
+            family: Family::Transformer,
+            attention: Attention::Decoder,
+            build: pythia,
+            paper_gmacs: 119.0,
+            paper_ops: 1853,
+        },
+        ModelEntry {
+            name: "ConvNext",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: convnext,
+            paper_gmacs: 4.5,
+            paper_ops: 292,
+        },
+        ModelEntry {
+            name: "RegNet",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: regnet,
+            paper_gmacs: 3.2,
+            paper_ops: 282,
+        },
+        ModelEntry {
+            name: "ResNext",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: resnext50,
+            paper_gmacs: 4.3,
+            paper_ops: 122,
+        },
+        ModelEntry {
+            name: "Yolo-V8",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: yolo_v8,
+            paper_gmacs: 4.4,
+            paper_ops: 233,
+        },
     ]
 }
 
@@ -119,21 +245,40 @@ pub fn all_models() -> Vec<ModelEntry> {
 /// main models).
 pub fn table1_models() -> Vec<ModelEntry> {
     let mut v = vec![
-        ModelEntry { name: "ResNet50", family: Family::ConvNet, attention: Attention::None, build: resnet50, paper_gmacs: 4.1, paper_ops: 126 },
-        ModelEntry { name: "FST", family: Family::ConvNet, attention: Attention::None, build: fst, paper_gmacs: 162.0, paper_ops: 63 },
-        ModelEntry { name: "RegNet", family: Family::ConvNet, attention: Attention::None, build: regnet, paper_gmacs: 3.2, paper_ops: 282 },
+        ModelEntry {
+            name: "ResNet50",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: resnet50,
+            paper_gmacs: 4.1,
+            paper_ops: 126,
+        },
+        ModelEntry {
+            name: "FST",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: fst,
+            paper_gmacs: 162.0,
+            paper_ops: 63,
+        },
+        ModelEntry {
+            name: "RegNet",
+            family: Family::ConvNet,
+            attention: Attention::None,
+            build: regnet,
+            paper_gmacs: 3.2,
+            paper_ops: 282,
+        },
     ];
-    let keep = ["CrossFormer", "Swin", "AutoFormer", "CSwin", "SD-TextEncoder", "SD-UNet", "Pythia"];
+    let keep =
+        ["CrossFormer", "Swin", "AutoFormer", "CSwin", "SD-TextEncoder", "SD-UNet", "Pythia"];
     v.extend(all_models().into_iter().filter(|m| keep.contains(&m.name)));
     v
 }
 
 /// Looks a model up by its table name.
 pub fn by_name(name: &str) -> Option<ModelEntry> {
-    all_models()
-        .into_iter()
-        .chain(table1_models())
-        .find(|m| m.name.eq_ignore_ascii_case(name))
+    all_models().into_iter().chain(table1_models()).find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -411,7 +411,16 @@ pub fn biformer(batch: usize) -> Graph {
             let name = format!("s{si}.b{d}");
             let n1 = b.layer_norm(cur, vec![2]);
             let spatial = b.reshape(n1, &[batch, res, res, dim]);
-            let rwins = stripe_partition(&mut b, spatial, batch, res, res, dim, res / regions, res / regions);
+            let rwins = stripe_partition(
+                &mut b,
+                spatial,
+                batch,
+                res,
+                res,
+                dim,
+                res / regions,
+                res / regions,
+            );
             let nreg = regions * regions;
             let rtok = (res / regions) * (res / regions);
             // qkv per token.
@@ -444,15 +453,26 @@ pub fn biformer(batch: usize) -> Graph {
             let p = b.softmax(attn, 2);
             let o = b.matmul(p, gv4);
             // LCE depthwise path on V.
-            let vsp = stripe_reverse(&mut b, parts[2], batch, res, res, dim, res / regions, res / regions);
+            let vsp = stripe_reverse(
+                &mut b,
+                parts[2],
+                batch,
+                res,
+                res,
+                dim,
+                res / regions,
+                res / regions,
+            );
             let vchw = b.transpose(vsp, &[0, 3, 1, 2]);
             let wdw = b.weight(format!("{name}.lce"), &[dim, 1, 5, 5], DType::F16);
             let lce = b.conv2d(vchw, wdw, (1, 1), (2, 2), dim);
             let lhwc = b.transpose(lce, &[0, 2, 3, 1]);
-            let lwin = stripe_partition(&mut b, lhwc, batch, res, res, dim, res / regions, res / regions);
+            let lwin =
+                stripe_partition(&mut b, lhwc, batch, res, res, dim, res / regions, res / regions);
             let sum = b.add(o, lwin);
             let proj = linear(&mut b, sum, dim, dim, &format!("{name}.proj"));
-            let back = stripe_reverse(&mut b, proj, batch, res, res, dim, res / regions, res / regions);
+            let back =
+                stripe_reverse(&mut b, proj, batch, res, res, dim, res / regions, res / regions);
             let flat = b.reshape(back, &[batch, res * res, dim]);
             let r1 = b.add(cur, flat);
             let n2 = b.layer_norm(r1, vec![2]);
@@ -484,7 +504,8 @@ mod tests {
         let g = swin_tiny(1);
         assert!((3.2..6.5).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.6G
         assert!((450..900).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 765
-        assert!(g.layout_transform_count() > 150, "got {}", g.layout_transform_count()); // Table 1: 242
+        assert!(g.layout_transform_count() > 150, "got {}", g.layout_transform_count());
+        // Table 1: 242
     }
 
     #[test]
@@ -535,7 +556,7 @@ mod tests {
         let g = biformer(1);
         assert!((3.0..8.0).contains(&gmacs(&g)), "got {}", gmacs(&g)); // paper: 4.5G
         assert!((1100..2600).contains(&g.op_count()), "got {}", g.op_count()); // Table 7: 2042
-        // Token-selection gathers present.
+                                                                               // Token-selection gathers present.
         assert!(g.nodes().iter().any(|n| matches!(n.op, smartmem_ir::Op::Gather { .. })));
     }
 

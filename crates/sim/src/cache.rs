@@ -73,10 +73,7 @@ impl CacheSim {
             set.push((line_key, self.clock));
         } else {
             // Evict LRU.
-            let victim = set
-                .iter_mut()
-                .min_by_key(|(_, stamp)| *stamp)
-                .expect("non-empty set");
+            let victim = set.iter_mut().min_by_key(|(_, stamp)| *stamp).expect("non-empty set");
             *victim = (line_key, self.clock);
         }
         false

@@ -110,12 +110,7 @@ impl DeviceConfig {
         let memory_ns = (p.dram_bytes_buffer as f64 / self.bw_bytes_per_ns(false)
             + p.dram_bytes_texture as f64 / self.bw_bytes_per_ns(true))
             / mem_eff;
-        OpCost {
-            launch_ns: self.kernel_launch_us * 1e3,
-            compute_ns,
-            memory_ns,
-            index_ns,
-        }
+        OpCost { launch_ns: self.kernel_launch_us * 1e3, compute_ns, memory_ns, index_ns }
     }
 }
 
@@ -155,8 +150,10 @@ mod tests {
 
     #[test]
     fn poor_kernels_achieve_less_bandwidth() {
-        let good = KernelProfile { dram_bytes_buffer: 1 << 20, utilization: 0.9, ..Default::default() };
-        let bad = KernelProfile { dram_bytes_buffer: 1 << 20, utilization: 0.05, ..Default::default() };
+        let good =
+            KernelProfile { dram_bytes_buffer: 1 << 20, utilization: 0.9, ..Default::default() };
+        let bad =
+            KernelProfile { dram_bytes_buffer: 1 << 20, utilization: 0.05, ..Default::default() };
         let d = dev();
         let ratio = d.kernel_cost(&bad).memory_ns / d.kernel_cost(&good).memory_ns;
         // util 0.05 -> mem_eff 0.2; util 0.9 -> mem_eff 1.0.

@@ -221,8 +221,18 @@ mod tests {
 
     #[test]
     fn counters_combine() {
-        let a = MemCounters { buffer_accesses: 1, buffer_misses: 1, texture_accesses: 2, texture_misses: 0 };
-        let b = MemCounters { buffer_accesses: 3, buffer_misses: 0, texture_accesses: 1, texture_misses: 1 };
+        let a = MemCounters {
+            buffer_accesses: 1,
+            buffer_misses: 1,
+            texture_accesses: 2,
+            texture_misses: 0,
+        };
+        let b = MemCounters {
+            buffer_accesses: 3,
+            buffer_misses: 0,
+            texture_accesses: 1,
+            texture_misses: 1,
+        };
         let c = a.combine(b);
         assert_eq!(c.accesses(), 7);
         assert_eq!(c.misses(), 2);

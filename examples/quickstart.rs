@@ -27,8 +27,11 @@ fn main() {
     let o = b.matmul(p, v);
     b.output(o);
     let graph = b.finish();
-    println!("source graph: {} operators, {} explicit layout transforms",
-        graph.op_count(), graph.layout_transform_count());
+    println!(
+        "source graph: {} operators, {} explicit layout transforms",
+        graph.op_count(),
+        graph.layout_transform_count()
+    );
 
     // 2. Optimize for the paper's primary platform.
     let device = DeviceConfig::snapdragon_8gen2();
@@ -41,8 +44,15 @@ fn main() {
     // 3. Estimate execution and compare with DNNFusion.
     let ours = smartmem.estimate(&device);
     let dnnf = DnnFusionFramework::new().run(&graph, &device).expect("dnnf");
-    println!("DNNFusion: {:.3} ms   SmartMem: {:.3} ms   speedup {:.2}x",
-        dnnf.latency_ms, ours.latency_ms, dnnf.latency_ms / ours.latency_ms);
-    println!("transform time: DNNFusion {:.1}% -> SmartMem {:.1}%",
-        100.0 * dnnf.transform_fraction(), 100.0 * ours.transform_fraction());
+    println!(
+        "DNNFusion: {:.3} ms   SmartMem: {:.3} ms   speedup {:.2}x",
+        dnnf.latency_ms,
+        ours.latency_ms,
+        dnnf.latency_ms / ours.latency_ms
+    );
+    println!(
+        "transform time: DNNFusion {:.1}% -> SmartMem {:.1}%",
+        100.0 * dnnf.transform_fraction(),
+        100.0 * ours.transform_fraction()
+    );
 }

@@ -18,8 +18,10 @@ fn main() {
         graph.total_macs() as f64 / 1e9,
         graph.param_count() as f64 / 1e6
     );
-    println!("{:<12} {:>8} {:>9} {:>8} {:>8} {:>8} {:>9}",
-        "framework", "kernels", "lat(ms)", "comp%", "expl%", "impl%", "GMACS");
+    println!(
+        "{:<12} {:>8} {:>9} {:>8} {:>8} {:>8} {:>9}",
+        "framework", "kernels", "lat(ms)", "comp%", "expl%", "impl%", "GMACS"
+    );
     for fw in all_mobile_frameworks() {
         match fw.run(&graph, &device) {
             Ok(r) => println!(

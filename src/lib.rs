@@ -16,6 +16,44 @@
 //! * [`baselines`] — MNN/NCNN/TFLite/TVM/DNNFusion-style pipelines.
 //! * [`models`] — the 20-model zoo of the paper's evaluation.
 //!
+//! # Architecture: Pass / PassManager / CompileCtx
+//!
+//! Every framework — SmartMem and the six baselines alike — is a
+//! *declarative pass sequence* executed by one shared pass manager
+//! (the `transform.Sequential` idiom of TVM's pass infrastructure):
+//!
+//! ```text
+//!  Framework::passes() ──► PassManager ──► CompileOutput
+//!                            │   runs each Pass over a CompileCtx
+//!                            │   (graph, device, LTE result, fusion
+//!                            │    drafts, kernel groups, layouts)
+//!                            ├── per-pass wall-clock PassTiming
+//!                            ├── per-pass OptStats snapshots
+//!                            └── structured Diagnostics
+//! ```
+//!
+//! * A [`core::Pass`] is one named rewrite step over the shared
+//!   [`core::CompileCtx`]. The SmartMem sequence is `lte → fusion →
+//!   assemble-groups → layout-select → tune`; a baseline is the same
+//!   shape with its own passes swapped in (`support-check`,
+//!   `insert-relayouts`, `policy-fusion`, `uniform-layout`,
+//!   `finalize-utilization` from [`baselines`]).
+//! * The [`core::PassManager`] executes a sequence with per-pass
+//!   timing ([`core::PassTiming`]), [`core::OptStats`] snapshots after
+//!   every pass, and [`core::Diagnostic`]s, producing a
+//!   [`core::CompileOutput`].
+//! * A framework is just a display name plus a pass sequence
+//!   ([`core::Framework::passes`]); `optimize`/`optimize_timed`/`run`
+//!   are provided by the trait through the manager.
+//! * The session layer ([`core::CompileSession`]) memoizes compilations
+//!   by *(graph fingerprint, device fingerprint, pass-sequence id)* and
+//!   compiles framework×model batches across threads
+//!   ([`core::CompileSession::compile_batch`]).
+//!
+//! The bench harness observes all of this: `cargo run -p smartmem-bench
+//! --release --bin pass_timing` prints per-pass timing per framework,
+//! parallel zoo compile times, and cache hit rates.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -28,6 +66,19 @@
 //! let optimized = SmartMemPipeline::new().optimize(&graph, &device).unwrap();
 //! let report = optimized.estimate(&device);
 //! assert!(report.latency_ms > 0.0);
+//! ```
+//!
+//! Per-pass observability:
+//!
+//! ```
+//! use smartmem::core::{Framework, SmartMemPipeline};
+//! use smartmem::models;
+//! use smartmem::sim::DeviceConfig;
+//!
+//! let device = DeviceConfig::snapdragon_8gen2();
+//! let out = SmartMemPipeline::new().optimize_timed(&models::vit(1), &device).unwrap();
+//! let names: Vec<&str> = out.timings.iter().map(|t| t.pass.as_str()).collect();
+//! assert_eq!(names, ["lte", "fusion", "assemble-groups", "layout-select", "tune"]);
 //! ```
 
 pub use smartmem_baselines as baselines;

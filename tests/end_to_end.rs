@@ -39,7 +39,11 @@ fn table8_ordering_on_transformers() {
         let dnnf = DnnFusionFramework::new().run(&graph, &device).unwrap().latency_ms;
         let tvm = TvmFramework::new().run(&graph, &device).unwrap().latency_ms;
         let mnn = MnnFramework::new().run(&graph, &device).unwrap().latency_ms;
-        assert!(ours < dnnf && dnnf < tvm && tvm < mnn, "{}: {ours:.1} {dnnf:.1} {tvm:.1} {mnn:.1}", graph.name());
+        assert!(
+            ours < dnnf && dnnf < tvm && tvm < mnn,
+            "{}: {ours:.1} {dnnf:.1} {tvm:.1} {mnn:.1}",
+            graph.name()
+        );
     }
 }
 
@@ -85,7 +89,11 @@ fn ablation_levels_are_monotone_on_swin() {
     let graph = models::swin_tiny(1);
     let device = device();
     let run = |cfg: SmartMemConfig| {
-        SmartMemPipeline::with_config(cfg).optimize(&graph, &device).unwrap().estimate(&device).latency_ms
+        SmartMemPipeline::with_config(cfg)
+            .optimize(&graph, &device)
+            .unwrap()
+            .estimate(&device)
+            .latency_ms
     };
     let base = run(SmartMemConfig::dnnfusion_level());
     let lte = run(SmartMemConfig::lte_level());

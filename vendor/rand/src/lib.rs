@@ -1,0 +1,82 @@
+//! A minimal, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build container has no network access to crates.io, so this
+//! vendored shim implements the subset of rand 0.9's API the workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] methods `random_range` (over integer ranges) and
+//! `random_bool`. The generator is splitmix64 — deterministic per seed,
+//! which is all the GA tuner requires.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a [`Range`] by this shim.
+pub trait UniformSample: Copy {
+    /// Uniform draw from `range` using `next` as the entropy source.
+    fn sample(range: Range<Self>, next: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample(range: Range<Self>, next: u64) -> Self {
+                let span = (range.end as i128) - (range.start as i128);
+                assert!(span > 0, "cannot sample from empty range");
+                ((range.start as i128) + (next % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random-value methods over an entropy source.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value from an integer range.
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        let next = self.next_u64();
+        T::sample(range, next)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stands in for rand's
+    /// ChaCha-based `StdRng`; statistical quality is more than enough
+    /// for GA mutation/crossover decisions).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(seed)
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
