@@ -9,7 +9,7 @@
 
 use smartmem_baselines::all_mobile_frameworks;
 use smartmem_bench::{render_pass_timings, render_table};
-use smartmem_core::CompileSession;
+use smartmem_core::{eliminate_with_options, CompileSession};
 use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
 use std::time::Instant;
@@ -26,6 +26,24 @@ fn main() {
             Err(e) => println!("\n== {} on Swin-T: {e} ==", fw.name()),
         }
     }
+
+    // 1b. The LTE compile-time hot spot: composition + strength
+    // reduction, before/after the composition memo (results identical).
+    let mut rows = Vec::new();
+    for (label, memoize) in [("unmemoized", false), ("memoized", true)] {
+        let start = Instant::now();
+        let r = eliminate_with_options(&swin, true, true, memoize);
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        rows.push(vec![label.to_string(), format!("{us:.0}"), format!("{}", r.eliminated.len())]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "LTE composition memo on Swin-T (identical results)",
+            &["variant", "us", "eliminated"],
+            &rows,
+        )
+    );
 
     // 2. Parallel cold compile of the whole zoo across all frameworks.
     let session = CompileSession::new();

@@ -1,0 +1,304 @@
+//! Open-loop serving benchmark: replays a synthetic request trace over
+//! the model zoo through `smartmem-serve` and reports throughput,
+//! latency percentiles, the batch-size histogram, and the compilation
+//! cache's steady-state hit rate.
+//!
+//! ```text
+//! cargo run -p smartmem-bench --release --bin serve_bench            # full trace
+//! cargo run -p smartmem-bench --release --bin serve_bench -- --smoke # CI-sized
+//! ```
+//!
+//! Flags: `--smoke`, `--requests N`, `--rate RPS`, `--seed S`,
+//! `--scale F` (wall-clock throttle of simulated device time), and
+//! `--cold` (skip the warmup pass, so the replay measures cold-compile
+//! stalls instead of steady state).
+//!
+//! The trace is open-loop: arrivals follow exponential inter-arrival
+//! times at the configured rate and are submitted on schedule, whether
+//! or not the server has caught up — the standard way to expose
+//! queueing behaviour. Model popularity is Zipf-distributed, so hot
+//! models exercise batching while the tail exercises cache breadth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartmem_bench::render_table;
+use smartmem_serve::{InferenceRequest, InferenceResponse, ModelSpec, ServeConfig, Server};
+use smartmem_sim::DeviceConfig;
+use std::time::{Duration, Instant};
+
+struct BenchOpts {
+    smoke: bool,
+    cold: bool,
+    requests: usize,
+    rate_rps: f64,
+    seed: u64,
+    exec_time_scale: f64,
+}
+
+fn parse_args() -> BenchOpts {
+    let mut opts = BenchOpts {
+        smoke: false,
+        cold: false,
+        requests: 600,
+        rate_rps: 2000.0,
+        seed: 42,
+        exec_time_scale: 0.15,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> &String {
+            args.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--cold" => opts.cold = true,
+            "--requests" => opts.requests = value("--requests").parse().expect("integer"),
+            "--rate" => opts.rate_rps = value("--rate").parse().expect("number"),
+            "--seed" => opts.seed = value("--seed").parse().expect("integer"),
+            "--scale" => opts.exec_time_scale = value("--scale").parse().expect("number"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if opts.smoke {
+        opts.requests = opts.requests.min(60);
+        opts.rate_rps = 3000.0;
+        opts.exec_time_scale = 0.02;
+    }
+    opts
+}
+
+/// The served subset of the zoo: transformer-heavy and conv models of
+/// Table 7 that compile in milliseconds (the SD/Pythia giants are left
+/// to the figure binaries; a serving tier would shard them anyway).
+fn zoo(smoke: bool) -> Vec<ModelSpec> {
+    let names: &[&str] = if smoke {
+        &["ConvNext", "RegNet"]
+    } else {
+        &[
+            "AutoFormer",
+            "CrossFormer",
+            "EfficientVit",
+            "Swin",
+            "ViT",
+            "SD-TextEncoder",
+            "ConvNext",
+            "RegNet",
+            "ResNext",
+            "Yolo-V8",
+        ]
+    };
+    names
+        .iter()
+        .map(|n| {
+            let entry = smartmem_models::by_name(n).unwrap_or_else(|| panic!("no model {n}"));
+            ModelSpec::new(entry.name, entry.graph())
+        })
+        .collect()
+}
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![
+        DeviceConfig::snapdragon_8gen2(),
+        DeviceConfig::snapdragon_835(),
+        DeviceConfig::dimensity_700(),
+        DeviceConfig::apple_m1(),
+    ]
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_args();
+    let models = zoo(opts.smoke);
+    let model_count = models.len();
+    let server = Server::start(
+        models,
+        devices(),
+        ServeConfig {
+            // Big enough that the open loop never blocks on submit:
+            // arrivals stay on schedule whether or not the server has
+            // caught up.
+            queue_capacity: opts.requests + 64,
+            max_batch: 8,
+            max_delay: Duration::from_millis(3),
+            exec_time_scale: opts.exec_time_scale,
+        },
+    );
+
+    // Zipf popularity: model i drawn with weight 1/(i+1).
+    let weights: Vec<f64> = (0..model_count).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut pick_model = move || {
+        let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total_weight;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        model_count - 1
+    };
+    let mut arrival_rng = StdRng::seed_from_u64(opts.seed ^ 0x9e3779b97f4a7c15);
+    let mut next_gap_s = move || {
+        let u = (arrival_rng.next_u64().max(1)) as f64 / u64::MAX as f64;
+        -u.ln() / rate_nonzero(opts.rate_rps)
+    };
+
+    println!(
+        "serve_bench: {} requests over {} models on {} devices (open loop, {:.0} rps, seed {})",
+        opts.requests,
+        model_count,
+        server.pool().len(),
+        opts.rate_rps,
+        opts.seed,
+    );
+
+    // --- Warmup -------------------------------------------------------
+    // Compile-on-first-use happens here (one pinned request per
+    // (model, device) pair) so the replay below measures steady-state
+    // serving, not cold-compile stalls. `--cold` skips it.
+    let mut warmup_requests = 0u64;
+    if !opts.cold {
+        let warm_start = Instant::now();
+        let tickets: Vec<_> = (0..model_count)
+            .flat_map(|m| {
+                (0..server.pool().len()).map(move |d| InferenceRequest::new(m).on_device(d))
+            })
+            .map(|req| server.submit(req).expect("warmup submit"))
+            .collect();
+        warmup_requests = tickets.len() as u64;
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.error.is_none(), "warmup compile failed: {:?}", r.error);
+        }
+        println!(
+            "warmup: compiled {} (model, device) artifacts in {:.2}s",
+            warmup_requests,
+            warm_start.elapsed().as_secs_f64()
+        );
+    }
+    let warm_stats = server.stats();
+
+    // --- Replay -------------------------------------------------------
+    let replay_start = Instant::now();
+    let mut arrival = replay_start;
+    let mut tickets = Vec::with_capacity(opts.requests);
+    for _ in 0..opts.requests {
+        arrival += Duration::from_secs_f64(next_gap_s());
+        if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let model = pick_model();
+        tickets.push(server.submit(InferenceRequest::new(model)).expect("submit"));
+    }
+    let responses: Vec<InferenceResponse> = tickets.into_iter().map(|t| t.wait()).collect();
+    let wall_s = replay_start.elapsed().as_secs_f64();
+    let device_names: Vec<String> =
+        (0..server.pool().len()).map(|d| server.pool().device(d).name.clone()).collect();
+    let stats = server.shutdown();
+
+    // --- Report -------------------------------------------------------
+    let mut e2e: Vec<f64> = responses.iter().map(|r| r.e2e_ms()).collect();
+    e2e.sort_by(f64::total_cmp);
+    let mut queue: Vec<f64> = responses.iter().map(|r| r.queue_ms).collect();
+    queue.sort_by(f64::total_cmp);
+    let failed = responses.iter().filter(|r| r.error.is_some()).count();
+
+    // Trace-only batching statistics (warmup batches subtracted).
+    let trace_batches = stats.batches - warm_stats.batches;
+    let hist: Vec<u64> =
+        stats.batch_histogram.iter().zip(&warm_stats.batch_histogram).map(|(a, b)| a - b).collect();
+    let mean_batch = if trace_batches == 0 {
+        0.0
+    } else {
+        hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum::<u64>() as f64
+            / trace_batches as f64
+    };
+
+    let summary = vec![
+        vec!["completed".into(), format!("{}", responses.len())],
+        vec!["failed".into(), format!("{failed}")],
+        vec!["throughput (req/s)".into(), format!("{:.0}", responses.len() as f64 / wall_s)],
+        vec!["p50 e2e (sim ms)".into(), format!("{:.2}", percentile(&e2e, 50.0))],
+        vec!["p99 e2e (sim ms)".into(), format!("{:.2}", percentile(&e2e, 99.0))],
+        vec!["p50 queue (ms)".into(), format!("{:.2}", percentile(&queue, 50.0))],
+        vec!["p99 queue (ms)".into(), format!("{:.2}", percentile(&queue, 99.0))],
+        vec!["batches".into(), format!("{trace_batches}")],
+        vec!["mean batch size".into(), format!("{mean_batch:.2}")],
+        vec!["compiled artifacts".into(), format!("{}", stats.compiled)],
+        vec![
+            "cache hits / misses".into(),
+            format!("{} / {}", stats.cache.hits, stats.cache.misses),
+        ],
+        vec!["cache hit rate".into(), format!("{:.1}%", stats.cache_hit_rate() * 100.0)],
+        vec![
+            "steady-state hit rate".into(),
+            format!("{:.1}%", steady_hit_rate(&warm_stats, &stats) * 100.0),
+        ],
+    ];
+    print!("{}", render_table("serve_bench summary", &["metric", "value"], &summary));
+
+    let hist_rows: Vec<Vec<String>> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(i, &count)| {
+            let bar = "#".repeat(((count as usize) * 40 / trace_batches.max(1) as usize).max(1));
+            vec![format!("{}", i + 1), format!("{count}"), bar]
+        })
+        .collect();
+    print!("{}", render_table("batch-size histogram", &["size", "batches", ""], &hist_rows));
+
+    let device_rows: Vec<Vec<String>> = stats
+        .per_device_batches
+        .iter()
+        .zip(&warm_stats.per_device_batches)
+        .enumerate()
+        .map(|(d, (&all, &warm))| vec![device_names[d].clone(), format!("{}", all - warm)])
+        .collect();
+    print!("{}", render_table("batches per device", &["device", "batches"], &device_rows));
+
+    // Sanity gates so CI fails loudly if the serving path regresses.
+    assert_eq!(
+        stats.completed,
+        opts.requests as u64 + warmup_requests,
+        "every request must be answered"
+    );
+    assert_eq!(failed, 0, "no compilation failures expected on the served zoo");
+    // Under --cold the trace deliberately pays every cold compile, so
+    // the steady-state gate only applies to warmed runs.
+    if !opts.cold {
+        let steady_floor = if opts.smoke { 0.8 } else { 0.9 };
+        let steady = steady_hit_rate(&warm_stats, &stats);
+        assert!(
+            steady >= steady_floor,
+            "steady-state cache hit rate {steady:.3} below {steady_floor}"
+        );
+    }
+    println!("\nserve_bench OK ({wall_s:.2}s wall)");
+}
+
+/// Hit rate over the traced (post-warmup) requests only.
+fn steady_hit_rate(warm: &smartmem_serve::ServeStats, fin: &smartmem_serve::ServeStats) -> f64 {
+    let hits = fin.cache.hits - warm.cache.hits;
+    let misses = fin.cache.misses - warm.cache.misses;
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn rate_nonzero(rps: f64) -> f64 {
+    assert!(rps > 0.0, "--rate must be positive");
+    rps
+}

@@ -78,7 +78,9 @@ pub use combine::{combine_action, result_class, search_policy, CombineAction, Se
 pub use estimate::{GroupReport, ModelReport};
 pub use fusion::{fuse, GroupDraft};
 pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
-pub use lte::{eliminate, is_eliminable, op_pullback, EdgeSource, LteResult};
+pub use lte::{
+    eliminate, eliminate_with_options, is_eliminable, op_pullback, EdgeSource, LteResult,
+};
 pub use pass::{
     AssembleGroupsPass, CompileCtx, CompileOutput, Diagnostic, FusionPass, LayoutSelectPass,
     LtePass, Pass, PassManager, PassTiming, TunePass,

@@ -16,7 +16,9 @@
 
 use smartmem_index::IndexMap;
 use smartmem_ir::{Graph, Op, OpId, TensorId};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Resolution of one tensor after elimination: the materialized source
 /// tensor plus the composed pull-back map (`None` = identity).
@@ -83,19 +85,71 @@ pub fn op_pullback(
     }
 }
 
+/// Memoization fingerprint of one (upstream map, operator, shapes)
+/// composition.
+///
+/// Transformer graphs repeat structurally identical blocks dozens of
+/// times, so identical compositions recur with identical upstream maps;
+/// hashing the upstream map (structural hash of its expressions) is far
+/// cheaper than re-running composition + strength reduction. Everything
+/// streams into the hasher — no clones, no transient `String`s — so a
+/// memo probe costs one tree walk. Keying on the 64-bit digest accepts
+/// the same negligible collision odds as the session cache's graph
+/// fingerprints.
+fn compose_fingerprint(
+    upstream: Option<&IndexMap>,
+    op: &Op,
+    in_shape: &[usize],
+    out_shape: &[usize],
+    output_idx: usize,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    match upstream {
+        None => 0u8.hash(&mut h),
+        Some(m) => {
+            1u8.hash(&mut h);
+            m.hash(&mut h);
+        }
+    }
+    crate::session::hash_debug_into(&mut h, op);
+    in_shape.hash(&mut h);
+    out_shape.hash(&mut h);
+    output_idx.hash(&mut h);
+    h.finish()
+}
+
 /// Runs elimination over `graph`.
+///
+/// Composition + simplification of the per-edge index maps is memoized
+/// across structurally identical chains (the compile-time hot spot on
+/// repeated transformer blocks); use
+/// [`eliminate_with_options`] to disable the memo for A/B timing.
+pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult {
+    eliminate_with_options(graph, enabled, simplify_maps, true)
+}
+
+/// Runs elimination over `graph` with explicit switches.
 ///
 /// * `enabled = false` keeps every operator (the DNNFusion baseline).
 /// * `simplify_maps` applies index comprehension (strength reduction) to
 ///   the composed maps; disabling it isolates the contribution of index
 ///   simplification (Fig. 8's analysis).
+/// * `memoize` caches composition + simplification by (upstream map,
+///   operator, shapes); results are identical either way — the
+///   `pass_timing` binary reports the before/after wall-clock.
 ///
 /// Operators whose outputs are graph outputs are kept (their result must
 /// be materialized).
-pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult {
+pub fn eliminate_with_options(
+    graph: &Graph,
+    enabled: bool,
+    simplify_maps: bool,
+    memoize: bool,
+) -> LteResult {
     let mut source_of: HashMap<TensorId, EdgeSource> = HashMap::new();
     let mut kept = Vec::new();
     let mut eliminated = Vec::new();
+    let mut memo: HashMap<u64, IndexMap> = HashMap::new();
 
     if !enabled {
         return LteResult {
@@ -118,12 +172,30 @@ pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult
         let in_shape = graph.tensor(input).shape.dims().to_vec();
         for (output_idx, &out) in node.outputs.iter().enumerate() {
             let out_shape = graph.tensor(out).shape.dims().to_vec();
-            let own = op_pullback(&node.op, &in_shape, &out_shape, output_idx);
-            let composed = match &upstream.map {
-                None => own,
-                Some(m) => m.then(&own),
+            let compose = |upstream_map: &Option<IndexMap>| {
+                let own = op_pullback(&node.op, &in_shape, &out_shape, output_idx);
+                let composed = match upstream_map {
+                    None => own,
+                    Some(m) => m.then(&own),
+                };
+                if simplify_maps && !composed.is_identity() {
+                    composed.simplify()
+                } else {
+                    composed
+                }
             };
-            let composed = if simplify_maps { composed.simplify() } else { composed };
+            let composed = if memoize {
+                let key = compose_fingerprint(
+                    upstream.map.as_ref(),
+                    &node.op,
+                    &in_shape,
+                    &out_shape,
+                    output_idx,
+                );
+                memo.entry(key).or_insert_with(|| compose(&upstream.map)).clone()
+            } else {
+                compose(&upstream.map)
+            };
             source_of.insert(out, EdgeSource { source: upstream.source, map: Some(composed) });
         }
         eliminated.push(node.id);
@@ -217,6 +289,35 @@ mod tests {
         assert_eq!(p0.source, relu_out);
         assert_eq!(p0.map.unwrap().eval(&[1, 3]), vec![1, 3]);
         assert_eq!(p2.map.unwrap().eval(&[1, 3]), vec![1, 11]);
+    }
+
+    #[test]
+    fn memoized_elimination_matches_unmemoized() {
+        // Repeat the same reshape/transpose chain several times (as
+        // transformer blocks do) so the memo actually gets hits, then
+        // require bit-identical resolutions.
+        let mut b = GraphBuilder::new("blocks");
+        let mut cur = b.input("x", &[2, 64, 32], DType::F16);
+        for _ in 0..4 {
+            let r = b.reshape(cur, &[2, 8, 8, 32]);
+            let t = b.transpose(r, &[0, 2, 1, 3]);
+            let r2 = b.reshape(t, &[2, 64, 32]);
+            cur = b.unary(r2, UnaryKind::Gelu);
+        }
+        b.output(cur);
+        let g = b.finish();
+        for simplify in [true, false] {
+            let memo = eliminate_with_options(&g, true, simplify, true);
+            let plain = eliminate_with_options(&g, true, simplify, false);
+            assert_eq!(memo.kept, plain.kept);
+            assert_eq!(memo.eliminated, plain.eliminated);
+            assert_eq!(memo.source_of.len(), plain.source_of.len());
+            for (t, src) in &memo.source_of {
+                let p = &plain.source_of[t];
+                assert_eq!(src.source, p.source);
+                assert_eq!(src.map, p.map, "maps diverge for tensor {t:?}");
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! instead of re-running the passes. Cache hits are observable through
 //! [`CompileSession::stats`], which the benchmark harness prints.
 //!
+//! Cold compilations are *single-flight*: when several threads request
+//! the same cold key concurrently, exactly one runs the pass sequence
+//! and the rest block on a condvar until the canonical result lands —
+//! the behaviour a serving layer needs when a traffic burst hits an
+//! uncompiled model.
+//!
 //! [`CompileSession::compile_batch`] fans a framework×model job matrix
 //! out over `std::thread::scope` workers (the container has no rayon;
 //! a scoped work-stealing loop over an atomic cursor gives the same
@@ -22,12 +28,13 @@ use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Streams a value's Debug rendering straight into a hasher, avoiding
-/// the transient String a `format!`-then-hash would allocate (graphs
-/// render to hundreds of KB).
-fn debug_hash(value: &dyn fmt::Debug) -> u64 {
+/// Streams a value's Debug rendering straight into `h`, avoiding the
+/// transient String a `format!`-then-hash would allocate (graphs render
+/// to hundreds of KB). Shared by the session's content fingerprints and
+/// the LTE pass's composition memo.
+pub(crate) fn hash_debug_into(h: &mut DefaultHasher, value: &dyn fmt::Debug) {
     struct HashWriter<'a>(&'a mut DefaultHasher);
     impl fmt::Write for HashWriter<'_> {
         fn write_str(&mut self, s: &str) -> fmt::Result {
@@ -35,8 +42,13 @@ fn debug_hash(value: &dyn fmt::Debug) -> u64 {
             Ok(())
         }
     }
+    write!(HashWriter(h), "{value:?}").expect("Debug formatting is infallible");
+}
+
+/// 64-bit digest of a value's Debug rendering.
+fn debug_hash(value: &dyn fmt::Debug) -> u64 {
     let mut h = DefaultHasher::new();
-    write!(HashWriter(&mut h), "{value:?}").expect("Debug formatting is infallible");
+    hash_debug_into(&mut h, value);
     h.finish()
 }
 
@@ -75,12 +87,66 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+/// A pending cold compilation other threads can wait on.
+struct InFlight {
+    done: Mutex<Option<CompileResult>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight { done: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn wait(&self) -> CompileResult {
+        let mut done = self.done.lock().expect("in-flight lock");
+        while done.is_none() {
+            done = self.cv.wait(done).expect("in-flight wait");
+        }
+        done.as_ref().expect("filled above").clone()
+    }
+
+    fn fill(&self, result: CompileResult) {
+        *self.done.lock().expect("in-flight lock") = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// One cache slot: either a finished compilation or one in progress.
+enum Slot {
+    Ready(Arc<CompileOutput>),
+    InFlight(Arc<InFlight>),
+}
+
+/// Unwind guard for a cold compilation: while armed, dropping it (i.e.
+/// a panic inside the pass sequence) evicts the in-flight slot and
+/// delivers an error to every waiter instead of leaving them blocked.
+struct FlightGuard<'a> {
+    session: &'a CompileSession,
+    key: CacheKey,
+    flight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Never panic inside a panic: tolerate a poisoned cache lock.
+        if let Ok(mut cache) = self.session.cache.lock() {
+            cache.remove(&self.key);
+        }
+        self.flight.fill(Err(Unsupported::new("session", "compilation panicked")));
+    }
+}
+
 /// A compilation session: caches pass-manager runs and compiles model
-/// batches in parallel. Thread-safe; share by reference across worker
-/// threads.
+/// batches in parallel. Thread-safe; share by reference (or wrap in an
+/// `Arc` and clone the handle) across worker threads.
 #[derive(Default)]
 pub struct CompileSession {
-    cache: Mutex<HashMap<CacheKey, Arc<CompileOutput>>>,
+    cache: Mutex<HashMap<CacheKey, Slot>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -95,37 +161,95 @@ impl CompileSession {
     /// cached output when an identical compilation already ran in this
     /// session.
     ///
-    /// Concurrent identical compilations may each run the pass sequence
-    /// (the lock is not held across the run); the first to finish wins
-    /// the cache slot and every caller receives that canonical `Arc`.
-    /// `misses` counts pass-sequence executions, so a racy duplicate is
-    /// visible in [`CompileSession::stats`].
+    /// Concurrent identical cold compilations are deduplicated: one
+    /// caller runs the pass sequence, the rest block until the canonical
+    /// `Arc` is published. `misses` counts pass-sequence executions, so
+    /// a burst of N threads on one cold key records exactly 1 miss and
+    /// N-1 hits.
     ///
     /// # Errors
     ///
-    /// Returns [`Unsupported`] for operator-support gaps (errors are
-    /// not cached; they are cheap to recompute).
+    /// Returns [`Unsupported`] for operator-support gaps. Errors are not
+    /// cached (they are cheap to recompute); waiters of a failing
+    /// in-flight compilation receive the same error — counted in
+    /// neither `hits` nor `misses` — and later callers recompute.
     pub fn compile(
         &self,
         framework: &dyn Framework,
         graph: &Graph,
         device: &DeviceConfig,
     ) -> CompileResult {
+        self.compile_keyed(framework, graph, graph_fingerprint(graph), device).0
+    }
+
+    /// [`CompileSession::compile`] with a precomputed graph fingerprint,
+    /// additionally reporting whether the result was served from the
+    /// cache (including waiting on another thread's in-flight run).
+    ///
+    /// Serving layers call this once per request on large graphs;
+    /// precomputing the fingerprint at model-registration time removes
+    /// the dominant per-call hashing cost from the request path.
+    pub fn compile_keyed(
+        &self,
+        framework: &dyn Framework,
+        graph: &Graph,
+        graph_fp: u64,
+        device: &DeviceConfig,
+    ) -> (CompileResult, bool) {
         let manager = framework.passes();
         let key = CacheKey {
-            graph: graph_fingerprint(graph),
+            graph: graph_fp,
             device: device_fingerprint(device),
             sequence: manager.sequence_id(),
         };
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
-        let output = Arc::new(manager.run_on(graph, device)?);
+        let flight = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            match cache.get(&key) {
+                Some(Slot::Ready(hit)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(Arc::clone(hit)), true);
+                }
+                Some(Slot::InFlight(flight)) => {
+                    let flight = Arc::clone(flight);
+                    drop(cache);
+                    let result = flight.wait();
+                    // A failed in-flight run cached nothing, so its
+                    // waiters hit nothing: errors count in neither
+                    // `hits` (cache-served outputs) nor `misses`
+                    // (pass-sequence executions).
+                    let served = result.is_ok();
+                    if served {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return (result, served);
+                }
+                None => {
+                    let flight = Arc::new(InFlight::new());
+                    cache.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                    flight
+                }
+            }
+        };
+        // If the pass sequence panics, the guard removes the in-flight
+        // slot and fails the waiters on unwind — otherwise they (and
+        // every future caller of this key) would block forever.
+        let mut guard = FlightGuard { session: self, key, flight: &flight, armed: true };
+        let result = manager.run_on(graph, device).map(Arc::new);
+        guard.armed = false;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("cache lock");
-        let canonical = cache.entry(key).or_insert_with(|| Arc::clone(&output));
-        Ok(Arc::clone(canonical))
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            match &result {
+                Ok(output) => {
+                    cache.insert(key, Slot::Ready(Arc::clone(output)));
+                }
+                Err(_) => {
+                    cache.remove(&key);
+                }
+            }
+        }
+        flight.fill(result.clone());
+        (result, false)
     }
 
     /// Compiles every (framework, graph) pair of the job matrix across
@@ -186,9 +310,14 @@ impl CompileSession {
         }
     }
 
-    /// Number of cached compilations.
+    /// Number of cached compilations (in-flight entries excluded).
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
     }
 
     /// Whether the cache is empty.
@@ -242,6 +371,88 @@ mod tests {
         session.compile(&SmartMemPipeline::new(), &toy("other"), &device).unwrap();
         assert_eq!(session.stats(), CacheStats { hits: 0, misses: 4 });
         assert_eq!(session.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_cold_compiles_dedup_to_one_miss() {
+        // 8 threads hammer the same cold fingerprint; single-flight
+        // dedup must run the pass sequence exactly once.
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let g = toy("hammer");
+        let fp = graph_fingerprint(&g);
+        let outputs: Vec<Arc<CompileOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let fw = SmartMemPipeline::new();
+                        session.compile_keyed(&fw, &g, fp, &device).0.unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        assert_eq!(session.stats(), CacheStats { hits: 7, misses: 1 });
+        assert_eq!(session.len(), 1);
+        for o in &outputs[1..] {
+            assert!(Arc::ptr_eq(&outputs[0], o), "all callers share the canonical Arc");
+        }
+    }
+
+    #[test]
+    fn panicking_compile_does_not_wedge_the_key() {
+        use crate::pass::{CompileCtx, Pass, PassManager};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        struct PanicOncePass(Arc<AtomicBool>);
+        impl Pass for PanicOncePass {
+            fn name(&self) -> &'static str {
+                "panic-once"
+            }
+            fn run(&self, _ctx: &mut CompileCtx) -> Result<(), Unsupported> {
+                assert!(self.0.swap(true, Ordering::SeqCst), "first run panics");
+                Ok(())
+            }
+        }
+        struct PanicOnce(Arc<AtomicBool>);
+        impl Framework for PanicOnce {
+            fn name(&self) -> &str {
+                "PanicOnce"
+            }
+            fn passes(&self) -> PassManager {
+                PassManager::new("PanicOnce").then(PanicOncePass(Arc::clone(&self.0)))
+            }
+        }
+
+        let session = Arc::new(CompileSession::new());
+        let device = DeviceConfig::snapdragon_8gen2();
+        let fw = PanicOnce(Arc::new(AtomicBool::new(false)));
+        let g = toy("panic");
+        let fp = graph_fingerprint(&g);
+        let panicked = std::thread::scope(|scope| {
+            scope.spawn(|| session.compile_keyed(&fw, &g, fp, &device)).join()
+        });
+        assert!(panicked.is_err(), "the first compile must panic");
+        // The key must be clean again: this call runs the (now
+        // well-behaved) sequence instead of blocking on a dead flight.
+        let (result, hit) = session.compile_keyed(&fw, &g, fp, &device);
+        assert!(result.is_ok());
+        assert!(!hit);
+        assert_eq!(session.len(), 1);
+    }
+
+    #[test]
+    fn compile_keyed_reports_hits() {
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let fw = SmartMemPipeline::new();
+        let g = toy("keyed");
+        let fp = graph_fingerprint(&g);
+        let (cold, hit) = session.compile_keyed(&fw, &g, fp, &device);
+        assert!(!hit);
+        let (warm, hit) = session.compile_keyed(&fw, &g, fp, &device);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&cold.unwrap(), &warm.unwrap()));
     }
 
     #[test]

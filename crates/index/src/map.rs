@@ -25,7 +25,7 @@ pub enum DepKind {
 /// Maps compose with [`IndexMap::then`] along dataflow order, which is
 /// how SmartMem replaces an eliminated `Reshape`/`Transpose`/… chain by
 /// a single index computation attached to the surviving edge (§3.2.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct IndexMap {
     in_extents: Vec<usize>,
     out_extents: Vec<usize>,

@@ -1,0 +1,224 @@
+//! The per-(model, device) request coalescer.
+//!
+//! [`Batcher`] is a pure data structure (no threads, no channels): the
+//! server's batching thread drives it with wall-clock `Instant`s, and
+//! the tests drive it with synthetic ones. A batch for a key flushes
+//! when it reaches `max_batch` requests or when its oldest request has
+//! waited `max_delay` — the classic size-or-deadline policy. Within a
+//! key, requests stay in arrival (FIFO) order.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Coalescing key: one batch never mixes models or devices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BatchKey {
+    /// Model id.
+    pub model: usize,
+    /// Device id.
+    pub device: usize,
+}
+
+/// One flushed batch.
+#[derive(Debug)]
+pub struct Batch<T> {
+    /// Coalescing key.
+    pub key: BatchKey,
+    /// Requests in arrival order.
+    pub items: Vec<T>,
+    /// When the first request of the batch arrived.
+    pub opened_at: Instant,
+}
+
+struct PendingBatch<T> {
+    items: Vec<T>,
+    opened_at: Instant,
+    seq: u64,
+}
+
+/// Size-or-deadline batcher over (model, device) keys.
+pub struct Batcher<T> {
+    max_batch: usize,
+    max_delay: Duration,
+    pending: HashMap<BatchKey, PendingBatch<T>>,
+    next_seq: u64,
+}
+
+impl<T> Batcher<T> {
+    /// Batcher flushing at `max_batch` requests (≥ 1) or after
+    /// `max_delay` of waiting, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Batcher { max_batch, max_delay, pending: HashMap::new(), next_seq: 0 }
+    }
+
+    /// Batch-size flush threshold.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Deadline flush threshold.
+    pub fn max_delay(&self) -> Duration {
+        self.max_delay
+    }
+
+    /// Requests currently waiting across all keys.
+    pub fn pending(&self) -> usize {
+        self.pending.values().map(|b| b.items.len()).sum()
+    }
+
+    /// Adds a request to its key's open batch, returning the batch when
+    /// it reached `max_batch` (size flush).
+    pub fn push(&mut self, key: BatchKey, item: T, now: Instant) -> Option<Batch<T>> {
+        let seq = self.next_seq;
+        let entry = self.pending.entry(key).or_insert_with(|| {
+            self.next_seq += 1;
+            PendingBatch { items: Vec::new(), opened_at: now, seq }
+        });
+        entry.items.push(item);
+        if entry.items.len() >= self.max_batch {
+            let b = self.pending.remove(&key).expect("entry just inserted");
+            Some(Batch { key, items: b.items, opened_at: b.opened_at })
+        } else {
+            None
+        }
+    }
+
+    /// Flushes every batch whose oldest request has waited `max_delay`
+    /// by `now` (deadline flush), oldest first.
+    pub fn due(&mut self, now: Instant) -> Vec<Batch<T>> {
+        let due_keys: Vec<BatchKey> = self
+            .pending
+            .iter()
+            .filter(|(_, b)| now.saturating_duration_since(b.opened_at) >= self.max_delay)
+            .map(|(&k, _)| k)
+            .collect();
+        self.take_sorted(due_keys)
+    }
+
+    /// Time until the next deadline flush, or `None` when nothing is
+    /// pending. Zero when a batch is already overdue.
+    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        self.pending
+            .values()
+            .map(|b| (b.opened_at + self.max_delay).saturating_duration_since(now))
+            .min()
+    }
+
+    /// Flushes everything (server shutdown), oldest batch first.
+    pub fn drain(&mut self) -> Vec<Batch<T>> {
+        let keys: Vec<BatchKey> = self.pending.keys().copied().collect();
+        self.take_sorted(keys)
+    }
+
+    /// Removes the given keys, returning their batches ordered by batch
+    /// open sequence (deterministic despite HashMap iteration order).
+    fn take_sorted(&mut self, keys: Vec<BatchKey>) -> Vec<Batch<T>> {
+        let mut taken: Vec<(u64, Batch<T>)> = keys
+            .into_iter()
+            .filter_map(|k| {
+                self.pending
+                    .remove(&k)
+                    .map(|b| (b.seq, Batch { key: k, items: b.items, opened_at: b.opened_at }))
+            })
+            .collect();
+        taken.sort_by_key(|(seq, _)| *seq);
+        taken.into_iter().map(|(_, b)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELAY: Duration = Duration::from_millis(5);
+
+    fn key(model: usize, device: usize) -> BatchKey {
+        BatchKey { model, device }
+    }
+
+    #[test]
+    fn size_flush_at_max_batch() {
+        let mut b: Batcher<u32> = Batcher::new(3, DELAY);
+        let t0 = Instant::now();
+        assert!(b.push(key(0, 0), 1, t0).is_none());
+        assert!(b.push(key(0, 0), 2, t0).is_none());
+        let batch = b.push(key(0, 0), 3, t0).expect("third request flushes");
+        assert_eq!(batch.items, vec![1, 2, 3]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_flush_after_max_delay() {
+        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(0, 0), 1, t0);
+        b.push(key(0, 0), 2, t0);
+        assert!(b.due(t0).is_empty(), "not due yet");
+        assert!(b.due(t0 + DELAY / 2).is_empty(), "still inside the window");
+        let flushed = b.due(t0 + DELAY);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].items, vec![1, 2]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn keys_batch_independently() {
+        let mut b: Batcher<u32> = Batcher::new(2, DELAY);
+        let t0 = Instant::now();
+        assert!(b.push(key(0, 0), 1, t0).is_none());
+        assert!(b.push(key(1, 0), 2, t0).is_none());
+        assert!(b.push(key(0, 1), 3, t0).is_none());
+        // Same model on a different device is a different batch.
+        let batch = b.push(key(0, 0), 4, t0).expect("key (0,0) full");
+        assert_eq!(batch.items, vec![1, 4]);
+        assert_eq!(b.pending(), 2);
+    }
+
+    #[test]
+    fn next_deadline_tracks_oldest_batch() {
+        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        assert_eq!(b.next_deadline(t0), None);
+        b.push(key(0, 0), 1, t0);
+        b.push(key(1, 0), 2, t0 + Duration::from_millis(2));
+        assert_eq!(b.next_deadline(t0), Some(DELAY));
+        // Past the first deadline the wait clamps to zero.
+        assert_eq!(b.next_deadline(t0 + DELAY * 2), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn drain_flushes_everything_oldest_first() {
+        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(1, 0), 1, t0);
+        b.push(key(0, 1), 2, t0 + Duration::from_millis(1));
+        b.push(key(1, 0), 3, t0 + Duration::from_millis(2));
+        let all = b.drain();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].key, key(1, 0));
+        assert_eq!(all[0].items, vec![1, 3]);
+        assert_eq!(all[1].items, vec![2]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn fifo_order_within_key_across_flushes() {
+        let mut b: Batcher<u32> = Batcher::new(2, DELAY);
+        let t0 = Instant::now();
+        let mut seen = Vec::new();
+        for i in 0..7 {
+            if let Some(batch) = b.push(key(0, 0), i, t0) {
+                seen.extend(batch.items);
+            }
+        }
+        for batch in b.drain() {
+            seen.extend(batch.items);
+        }
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+}

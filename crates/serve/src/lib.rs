@@ -1,0 +1,85 @@
+//! # smartmem-serve
+//!
+//! A batched inference serving runtime on top of the SmartMem
+//! compilation stack — the "heavy traffic" layer of the ROADMAP.
+//! SmartMem's compile-time layout planning (LTE, layout selection,
+//! tuning) only pays off in serving when compiled artifacts are reused
+//! across many requests; this crate supplies exactly that reuse:
+//! requests are admitted through a bounded queue, coalesced into
+//! per-(model, device) batches, placed across a device pool by
+//! estimated latency, and executed against artifacts compiled once
+//! through a shared, single-flight [`CompileSession`].
+//!
+//! ```text
+//!  clients ──► submit / try_submit           (bounded queue, admission control)
+//!                   │
+//!                   ▼
+//!              ┌──────────┐   size-or-deadline coalescing,
+//!              │ Batcher  │   FIFO within each (model, device) key
+//!              └──────────┘
+//!                   │ Batch<Pending>
+//!                   ▼
+//!              ┌───────────┐  roofline-estimate placement at admission,
+//!              │ Scheduler │  outstanding-work accounting per device
+//!              └───────────┘
+//!               │    │    │        one worker thread per device
+//!               ▼    ▼    ▼
+//!            ┌────┐┌────┐┌────┐
+//!            │ w0 ││ w1 ││ w2 │ …  (8 Gen 2, 835, Dimensity, Apple M1, …)
+//!            └────┘└────┘└────┘
+//!               │    │    │
+//!               ▼    ▼    ▼
+//!         ┌─────────────────────┐  compile-on-first-use, cache-warm
+//!         │   CompileSession    │  steady state, in-flight dedup on
+//!         └─────────────────────┘  cold bursts (misses == 1)
+//! ```
+//!
+//! The runtime is std-only (`mpsc` channels + threads — the offline
+//! container has no tokio/rayon): a batching thread drives the pure
+//! [`Batcher`] state machine with `recv_timeout` deadlines, and one
+//! worker thread per device executes batches, estimating device time
+//! with the `smartmem-sim`-backed model reports.
+//!
+//! # Example
+//!
+//! ```
+//! use smartmem_serve::{InferenceRequest, ModelSpec, ServeConfig, Server};
+//! use smartmem_sim::DeviceConfig;
+//! use smartmem_ir::{DType, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new("toy");
+//! let x = b.input("x", &[1, 16, 32], DType::F16);
+//! let w = b.weight("w", &[32, 32], DType::F16);
+//! let mm = b.matmul(x, w);
+//! b.output(mm);
+//!
+//! let server = Server::start(
+//!     vec![ModelSpec::new("toy", b.finish())],
+//!     vec![DeviceConfig::snapdragon_8gen2(), DeviceConfig::apple_m1()],
+//!     ServeConfig::default(),
+//! );
+//! let tickets: Vec<_> =
+//!     (0..16).map(|_| server.submit(InferenceRequest::new(0)).unwrap()).collect();
+//! for t in tickets {
+//!     let r = t.wait();
+//!     assert!(r.error.is_none());
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 16);
+//! assert!(stats.cache_hit_rate() > 0.8); // compile once, reuse 15 times
+//! ```
+//!
+//! [`CompileSession`]: smartmem_core::CompileSession
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod request;
+mod scheduler;
+mod server;
+
+pub use batcher::{Batch, BatchKey, Batcher};
+pub use request::{InferenceRequest, InferenceResponse, ModelSpec, SubmitError, Ticket};
+pub use scheduler::{quick_estimate_ns, DevicePool};
+pub use server::{batch_exec_ms, ServeConfig, ServeStats, Server};

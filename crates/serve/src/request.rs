@@ -1,0 +1,147 @@
+//! The request/response surface of the serving runtime.
+
+use smartmem_core::graph_fingerprint;
+use smartmem_ir::Graph;
+use std::fmt;
+use std::sync::mpsc;
+
+/// A model registered with the server: the graph plus everything the
+/// request path needs precomputed (content fingerprint for the
+/// compilation cache, MAC/byte totals for the scheduler's roofline
+/// estimate). Computing these once at registration keeps the per-request
+/// cost to hash-map lookups and a few atomics.
+pub struct ModelSpec {
+    /// Display name (unique per server).
+    pub name: String,
+    /// The computational graph served for this model.
+    pub graph: Graph,
+    /// Content fingerprint of `graph` (compilation-cache key component).
+    pub fingerprint: u64,
+    /// Total multiply-accumulates of one inference.
+    pub macs: u64,
+    /// Total tensor bytes (weights + activations at F16) — the
+    /// denominator of the scheduler's computational-intensity estimate.
+    pub bytes: u64,
+    /// Rough post-fusion kernel count used to estimate launch overhead.
+    pub kernels_hint: usize,
+}
+
+impl ModelSpec {
+    /// Registers `graph` under `name`, precomputing the fingerprint and
+    /// the scheduler's work estimates.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        let fingerprint = graph_fingerprint(&graph);
+        let macs = graph.total_macs();
+        let bytes: u64 = graph.tensors().iter().map(|t| t.shape.numel() * 2).sum();
+        // Fusion + elimination typically collapse ~3 source operators
+        // into one kernel (Table 7's operator-count reductions).
+        let kernels_hint = (graph.op_count() / 3).max(1);
+        ModelSpec { name: name.into(), graph, fingerprint, macs, bytes, kernels_hint }
+    }
+}
+
+/// One inference request: which model to run, and optionally a pinned
+/// device (index into the server's device pool). Unpinned requests are
+/// placed by the scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct InferenceRequest {
+    /// Model id (index into the server's registered models).
+    pub model: usize,
+    /// Pinned device id, or `None` to let the scheduler place it.
+    pub device: Option<usize>,
+}
+
+impl InferenceRequest {
+    /// Request for `model`, scheduler-placed.
+    pub fn new(model: usize) -> Self {
+        InferenceRequest { model, device: None }
+    }
+
+    /// Pins the request to a device.
+    #[must_use]
+    pub fn on_device(mut self, device: usize) -> Self {
+        self.device = Some(device);
+        self
+    }
+}
+
+/// Completion record of one request.
+#[derive(Clone, Debug)]
+pub struct InferenceResponse {
+    /// Id assigned at submission (monotone per server).
+    pub request_id: u64,
+    /// Global completion sequence number (monotone in the order the
+    /// workers finished requests; FIFO within a (model, device) key).
+    pub completion_seq: u64,
+    /// Model name.
+    pub model: String,
+    /// Device the batch executed on.
+    pub device: String,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Wall-clock milliseconds from submission to batch execution start
+    /// (queueing + batching delay).
+    pub queue_ms: f64,
+    /// Simulated device-time milliseconds of the whole batch.
+    pub exec_ms: f64,
+    /// Wall-clock milliseconds from submission to response.
+    pub wall_ms: f64,
+    /// Whether the compiled artifact came from the session cache (or an
+    /// in-flight compilation this request waited on).
+    pub compile_cache_hit: bool,
+    /// Compilation failure, if any (`None` = served).
+    pub error: Option<String>,
+}
+
+impl InferenceResponse {
+    /// Simulated end-to-end latency: queueing (wall) + device time.
+    pub fn e2e_ms(&self) -> f64 {
+        self.queue_ms + self.exec_ms
+    }
+}
+
+/// Handle to a submitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<InferenceResponse>,
+}
+
+impl Ticket {
+    /// The request id this ticket redeems.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. Every accepted request is
+    /// answered (shutdown drains the queue), so this only fails if the
+    /// server was torn down abnormally.
+    pub fn wait(self) -> InferenceResponse {
+        self.rx.recv().expect("server dropped the response channel")
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full (shed load and retry).
+    QueueFull,
+    /// Unknown model id.
+    UnknownModel(usize),
+    /// Unknown device id.
+    UnknownDevice(usize),
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full"),
+            SubmitError::UnknownModel(m) => write!(f, "unknown model id {m}"),
+            SubmitError::UnknownDevice(d) => write!(f, "unknown device id {d}"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -1,0 +1,167 @@
+//! Latency-estimate-driven placement across the device pool.
+//!
+//! Placement must be cheap (it runs on the submission path, before the
+//! model is ever compiled), so it uses the simulator's *roofline* bound
+//! — `min(peak, bandwidth × intensity)` from `smartmem_sim` — rather
+//! than a full compile + trace estimate: enough signal to route a
+//! SD-UNet away from a Dimensity 700 while keeping the fast path to a
+//! few atomic reads. Each device carries an outstanding-work account in
+//! estimated nanoseconds; a request is placed on the device minimizing
+//! `outstanding + estimate(model, device)` and the account is settled
+//! when the request completes.
+
+use crate::request::ModelSpec;
+use smartmem_sim::{roofline_gmacs, DeviceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Conservative achieved fraction of the roofline bound (kernels do not
+/// run at peak; the tuner typically lands around half).
+const ACHIEVED_FRACTION: f64 = 0.5;
+
+/// Roofline-based latency estimate of one inference in nanoseconds —
+/// no compilation required.
+pub fn quick_estimate_ns(spec: &ModelSpec, device: &DeviceConfig) -> f64 {
+    let intensity = spec.macs as f64 / spec.bytes.max(1) as f64;
+    // GMACs/s ≡ MACs/ns, so time = MACs / roofline.
+    let roof = roofline_gmacs(device, intensity, device.has_texture).max(1e-6);
+    let work_ns = spec.macs as f64 / (roof * ACHIEVED_FRACTION);
+    let launch_ns = spec.kernels_hint as f64 * device.kernel_launch_us * 1e3;
+    work_ns + launch_ns
+}
+
+struct DeviceEntry {
+    config: DeviceConfig,
+    load_ns: AtomicU64,
+}
+
+/// The scheduler's device pool: configurations plus an outstanding-work
+/// account per device. Thread-safe.
+pub struct DevicePool {
+    entries: Vec<DeviceEntry>,
+}
+
+impl DevicePool {
+    /// Pool over the given device configurations.
+    pub fn new(devices: Vec<DeviceConfig>) -> Self {
+        DevicePool {
+            entries: devices
+                .into_iter()
+                .map(|config| DeviceEntry { config, load_ns: AtomicU64::new(0) })
+                .collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Device configuration by id.
+    pub fn device(&self, id: usize) -> &DeviceConfig {
+        &self.entries[id].config
+    }
+
+    /// Outstanding estimated work on a device, in nanoseconds.
+    pub fn load_ns(&self, id: usize) -> u64 {
+        self.entries[id].load_ns.load(Ordering::Relaxed)
+    }
+
+    /// Places one inference: picks the device minimizing estimated
+    /// completion time (outstanding work + this model's estimate) and
+    /// charges the estimate to its account. Returns `(device id,
+    /// charged estimate in ns)`; settle with [`DevicePool::discharge`]
+    /// when the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pool.
+    pub fn place(&self, estimates_ns: &[f64]) -> (usize, u64) {
+        assert_eq!(estimates_ns.len(), self.entries.len(), "one estimate per device");
+        let (best, est) = self
+            .entries
+            .iter()
+            .zip(estimates_ns)
+            .enumerate()
+            .map(|(i, (e, &est))| (i, est, e.load_ns.load(Ordering::Relaxed) as f64 + est))
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .map(|(i, est, _)| (i, est))
+            .expect("device pool must not be empty");
+        let charged = est.max(0.0) as u64;
+        self.charge(best, charged);
+        (best, charged)
+    }
+
+    /// Charges estimated work to a pinned device.
+    pub fn charge(&self, id: usize, est_ns: u64) {
+        self.entries[id].load_ns.fetch_add(est_ns, Ordering::Relaxed);
+    }
+
+    /// Settles a completed request's charge.
+    pub fn discharge(&self, id: usize, est_ns: u64) {
+        let _ =
+            self.entries[id].load_ns.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(est_ns))
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::{DType, GraphBuilder};
+
+    fn spec() -> ModelSpec {
+        let mut b = GraphBuilder::new("sched-toy");
+        let x = b.input("x", &[1, 64, 256], DType::F16);
+        let w = b.weight("w", &[256, 256], DType::F16);
+        let mm = b.matmul(x, w);
+        b.output(mm);
+        ModelSpec::new("toy", b.finish())
+    }
+
+    fn pool() -> DevicePool {
+        DevicePool::new(vec![
+            DeviceConfig::snapdragon_8gen2(),
+            DeviceConfig::snapdragon_835(),
+            DeviceConfig::apple_m1(),
+        ])
+    }
+
+    #[test]
+    fn faster_devices_get_lower_estimates() {
+        let s = spec();
+        let fast = quick_estimate_ns(&s, &DeviceConfig::snapdragon_8gen2());
+        let slow = quick_estimate_ns(&s, &DeviceConfig::snapdragon_835());
+        assert!(fast < slow, "8gen2 {fast} vs 835 {slow}");
+    }
+
+    #[test]
+    fn placement_prefers_idle_fast_device_then_balances() {
+        let p = pool();
+        let s = spec();
+        let ests: Vec<f64> = (0..p.len()).map(|d| quick_estimate_ns(&s, p.device(d))).collect();
+        let (first, charged) = p.place(&ests);
+        assert!(charged > 0);
+        assert_eq!(p.load_ns(first), charged);
+        // Pile enough work on the first choice and the scheduler must
+        // move on to another device.
+        p.charge(first, 10_000_000_000);
+        let (second, _) = p.place(&ests);
+        assert_ne!(first, second, "loaded device must be avoided");
+    }
+
+    #[test]
+    fn discharge_settles_and_saturates() {
+        let p = pool();
+        p.charge(0, 100);
+        p.discharge(0, 40);
+        assert_eq!(p.load_ns(0), 60);
+        p.discharge(0, 1_000);
+        assert_eq!(p.load_ns(0), 0, "accounts never underflow");
+    }
+}

@@ -1,0 +1,484 @@
+//! The serving runtime: bounded admission queue → batching thread →
+//! per-device workers over one shared [`CompileSession`].
+
+use crate::batcher::{Batch, BatchKey, Batcher};
+use crate::request::{InferenceRequest, InferenceResponse, ModelSpec, SubmitError, Ticket};
+use crate::scheduler::{quick_estimate_ns, DevicePool};
+use smartmem_core::{
+    CacheStats, CompileSession, Framework, ModelReport, SmartMemPipeline, Unsupported,
+};
+use smartmem_sim::DeviceConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Marginal device-time cost of each request after the first in a
+/// batch: batched execution amortizes kernel launches and re-uses the
+/// warmed caches, so a batch of `n` costs
+/// `latency × (1 + MARGINAL × (n − 1))` rather than `latency × n`.
+const BATCH_MARGINAL: f64 = 0.85;
+
+/// Simulated device time of a batch of `n` identical inferences, given
+/// the single-inference latency.
+pub fn batch_exec_ms(single_ms: f64, n: usize) -> f64 {
+    single_ms * (1.0 + BATCH_MARGINAL * n.saturating_sub(1) as f64)
+}
+
+/// Tunables of the serving runtime.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Capacity of the bounded submission queue (admission control:
+    /// `try_submit` sheds load beyond it, `submit` applies
+    /// backpressure).
+    pub queue_capacity: usize,
+    /// Batch-size flush threshold of the coalescer.
+    pub max_batch: usize,
+    /// Deadline flush threshold of the coalescer.
+    pub max_delay: Duration,
+    /// Wall-clock throttle: workers sleep `exec_ms × scale` per batch,
+    /// making queueing dynamics (and therefore batching) realistic.
+    /// `0.0` disables sleeping — batches drain as fast as the host can
+    /// estimate them (the right mode for tests).
+    pub exec_time_scale: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            exec_time_scale: 0.0,
+        }
+    }
+}
+
+/// Aggregate serving statistics (snapshot or final, from
+/// [`Server::stats`] / [`Server::shutdown`]).
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered (including compilation failures).
+    pub completed: u64,
+    /// Requests rejected by admission control (`try_submit` on a full
+    /// queue).
+    pub rejected: u64,
+    /// Requests answered with a compilation error.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `histogram[n-1]` = number of batches of size `n`.
+    pub batch_histogram: Vec<u64>,
+    /// Batches executed per device, by pool id.
+    pub per_device_batches: Vec<u64>,
+    /// Compilation-session counters (per-request granularity: steady
+    /// state is all hits).
+    pub cache: CacheStats,
+    /// Distinct compiled artifacts in the session cache.
+    pub compiled: usize,
+}
+
+impl ServeStats {
+    /// Session cache hit rate in `[0, 1]` (0 when nothing compiled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean executed batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            let total: u64 =
+                self.batch_histogram.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+            total as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One queued request riding through batcher and worker.
+struct Pending {
+    id: u64,
+    model: usize,
+    device: usize,
+    est_ns: u64,
+    submitted: Instant,
+    tx: Sender<InferenceResponse>,
+}
+
+struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batch_histogram: Vec<AtomicU64>,
+    per_device_batches: Vec<AtomicU64>,
+    completion_seq: AtomicU64,
+}
+
+/// State shared by the public handle, the batching thread and the
+/// device workers.
+struct Inner {
+    models: Vec<ModelSpec>,
+    pool: DevicePool,
+    session: CompileSession,
+    framework: Box<dyn Framework>,
+    /// Roofline placement estimates, `estimates[model][device]` in ns.
+    estimates: Vec<Vec<f64>>,
+    config: ServeConfig,
+    metrics: Metrics,
+}
+
+/// The serving runtime handle.
+///
+/// `start` spins up one batching thread plus one worker thread per
+/// device; `submit`/`try_submit` enqueue requests and return
+/// [`Ticket`]s; `shutdown` drains everything and returns the final
+/// statistics. The handle is `Sync`: submit from as many threads as
+/// you like.
+pub struct Server {
+    inner: Arc<Inner>,
+    submit_tx: SyncSender<Pending>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// Starts a server over the default SmartMem pipeline.
+    pub fn start(models: Vec<ModelSpec>, devices: Vec<DeviceConfig>, config: ServeConfig) -> Self {
+        Self::start_with_framework(models, devices, config, Box::new(SmartMemPipeline::new()))
+    }
+
+    /// Starts a server compiling through an explicit framework
+    /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `models` or `devices` is empty.
+    pub fn start_with_framework(
+        models: Vec<ModelSpec>,
+        devices: Vec<DeviceConfig>,
+        config: ServeConfig,
+        framework: Box<dyn Framework>,
+    ) -> Self {
+        assert!(!models.is_empty(), "register at least one model");
+        assert!(!devices.is_empty(), "provide at least one device");
+        let pool = DevicePool::new(devices);
+        let estimates = models
+            .iter()
+            .map(|m| (0..pool.len()).map(|d| quick_estimate_ns(m, pool.device(d))).collect())
+            .collect();
+        let metrics = Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_histogram: (0..config.max_batch).map(|_| AtomicU64::new(0)).collect(),
+            per_device_batches: (0..pool.len()).map(|_| AtomicU64::new(0)).collect(),
+            completion_seq: AtomicU64::new(0),
+        };
+        let inner = Arc::new(Inner {
+            models,
+            pool,
+            session: CompileSession::new(),
+            framework,
+            estimates,
+            config: config.clone(),
+            metrics,
+        });
+
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(config.queue_capacity);
+        let mut batch_txs = Vec::new();
+        let mut workers = Vec::new();
+        for device in 0..inner.pool.len() {
+            let (tx, rx) = mpsc::channel::<Batch<Pending>>();
+            batch_txs.push(tx);
+            let inner = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || worker_loop(&inner, device, rx)));
+        }
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || batcher_loop(&inner, submit_rx, batch_txs))
+        };
+        Server { inner, submit_tx, batcher: Some(batcher), workers, next_id: AtomicU64::new(0) }
+    }
+
+    /// Model id registered under `name`, if any.
+    pub fn model_id(&self, name: &str) -> Option<usize> {
+        self.inner.models.iter().position(|m| m.name == name)
+    }
+
+    /// Registered models.
+    pub fn models(&self) -> &[ModelSpec] {
+        &self.inner.models
+    }
+
+    /// Device pool.
+    pub fn pool(&self) -> &DevicePool {
+        &self.inner.pool
+    }
+
+    /// Submits with backpressure: blocks while the bounded queue is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] for unknown model/device ids or a
+    /// shutting-down server.
+    pub fn submit(&self, req: InferenceRequest) -> Result<Ticket, SubmitError> {
+        let (pending, ticket) = self.admit(req)?;
+        let device = pending.device;
+        let est = pending.est_ns;
+        self.submit_tx.send(pending).map_err(|_| {
+            self.inner.pool.discharge(device, est);
+            SubmitError::ShuttingDown
+        })?;
+        self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Submits without blocking, shedding load when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when admission control
+    /// rejects the request, or the same errors as [`Server::submit`].
+    pub fn try_submit(&self, req: InferenceRequest) -> Result<Ticket, SubmitError> {
+        let (pending, ticket) = self.admit(req)?;
+        let device = pending.device;
+        let est = pending.est_ns;
+        match self.submit_tx.try_send(pending) {
+            Ok(()) => {
+                self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(err) => {
+                self.inner.pool.discharge(device, est);
+                Err(match err {
+                    TrySendError::Full(_) => {
+                        self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                        SubmitError::QueueFull
+                    }
+                    TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Validates, places, and charges a request; builds its ticket.
+    fn admit(&self, req: InferenceRequest) -> Result<(Pending, Ticket), SubmitError> {
+        let inner = &self.inner;
+        if req.model >= inner.models.len() {
+            return Err(SubmitError::UnknownModel(req.model));
+        }
+        let (device, est_ns) = match req.device {
+            Some(d) => {
+                if d >= inner.pool.len() {
+                    return Err(SubmitError::UnknownDevice(d));
+                }
+                let est = inner.estimates[req.model][d].max(0.0) as u64;
+                inner.pool.charge(d, est);
+                (d, est)
+            }
+            None => inner.pool.place(&inner.estimates[req.model]),
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let pending =
+            Pending { id, model: req.model, device, est_ns, submitted: Instant::now(), tx };
+        Ok((pending, Ticket { id, rx }))
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let m = &self.inner.metrics;
+        ServeStats {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            failed: m.failed.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            batch_histogram: m.batch_histogram.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            per_device_batches: m
+                .per_device_batches
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cache: self.inner.session.stats(),
+            compiled: self.inner.session.len(),
+        }
+    }
+
+    /// Stops accepting requests, drains every queued batch, joins all
+    /// threads and returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        // Closing the submission channel unwinds the pipeline: the
+        // batching thread drains and exits, dropping the dispatch
+        // channels, which terminates the workers.
+        let (dead_tx, _) = mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.submit_tx, dead_tx));
+        if let Some(b) = self.batcher.take() {
+            b.join().expect("batching thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        self.stats()
+    }
+}
+
+fn batcher_loop(inner: &Inner, rx: Receiver<Pending>, batch_txs: Vec<Sender<Batch<Pending>>>) {
+    let mut batcher: Batcher<Pending> =
+        Batcher::new(inner.config.max_batch, inner.config.max_delay);
+    let dispatch = |batch: Batch<Pending>| {
+        // Workers only exit after this thread drops the senders, so
+        // dispatch cannot fail while we are running.
+        batch_txs[batch.key.device].send(batch).expect("worker exited before batcher");
+    };
+    loop {
+        // Block outright while nothing is pending (an idle server costs
+        // zero wakeups); arm a timeout only when an open batch has a
+        // deadline to meet.
+        let received = match batcher.next_deadline(Instant::now()) {
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(wait) => rx.recv_timeout(wait),
+        };
+        match received {
+            Ok(pending) => {
+                let now = Instant::now();
+                let key = BatchKey { model: pending.model, device: pending.device };
+                if let Some(batch) = batcher.push(key, pending, now) {
+                    dispatch(batch);
+                }
+                for batch in batcher.due(now) {
+                    dispatch(batch);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                for batch in batcher.due(Instant::now()) {
+                    dispatch(batch);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                for batch in batcher.drain() {
+                    dispatch(batch);
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, device_id: usize, rx: Receiver<Batch<Pending>>) {
+    let device = inner.pool.device(device_id).clone();
+    // Latency reports per model on this device. Only this worker ever
+    // touches (·, device_id) pairs, so the memo is thread-local.
+    let mut reports: HashMap<usize, ModelReport> = HashMap::new();
+    while let Ok(batch) = rx.recv() {
+        let exec_start = Instant::now();
+        let size = batch.items.len();
+        let model_id = batch.key.model;
+        let spec = &inner.models[model_id];
+
+        // Compile every request through the shared session:
+        // compile-on-first-use, cache-warm (and in-flight-deduplicated)
+        // thereafter. The fingerprint was precomputed at registration,
+        // so a warm call is a hash-map lookup. Accounting is deliberately
+        // per *request* — the hit rate answers "what fraction of traffic
+        // was served from a warm artifact", so the follow-up requests of
+        // a batch count as hits too.
+        // A panicking pass must fail this model's requests, not kill
+        // the device worker (which would strand every later batch
+        // routed here): the session's FlightGuard already unwedges
+        // concurrent waiters, and catching the unwind turns the panic
+        // into a per-request error response.
+        let compiled: Vec<_> = batch
+            .items
+            .iter()
+            .map(|_| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.session.compile_keyed(
+                        inner.framework.as_ref(),
+                        &spec.graph,
+                        spec.fingerprint,
+                        &device,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    (Err(Unsupported::new(inner.framework.name(), "compilation panicked")), false)
+                })
+            })
+            .collect();
+
+        // The sampled-trace latency estimate is much cheaper than
+        // compilation but still worth paying once per model, not per
+        // batch.
+        let exec_ms = compiled
+            .iter()
+            .find_map(|(res, _)| res.as_ref().ok())
+            .map(|output| {
+                reports.entry(model_id).or_insert_with(|| output.optimized.estimate(&device))
+            })
+            .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size));
+        if inner.config.exec_time_scale > 0.0 && exec_ms > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(
+                exec_ms * inner.config.exec_time_scale / 1e3,
+            ));
+        }
+
+        let m = &inner.metrics;
+        m.batches.fetch_add(1, Ordering::Relaxed);
+        m.per_device_batches[device_id].fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = m.batch_histogram.get(size.saturating_sub(1)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        for (item, (result, cache_hit)) in batch.items.into_iter().zip(compiled) {
+            inner.pool.discharge(device_id, item.est_ns);
+            let error = result.as_ref().err().map(|e| e.to_string());
+            if error.is_some() {
+                m.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            m.completed.fetch_add(1, Ordering::Relaxed);
+            let response = InferenceResponse {
+                request_id: item.id,
+                completion_seq: m.completion_seq.fetch_add(1, Ordering::Relaxed),
+                model: spec.name.clone(),
+                device: device.name.clone(),
+                batch_size: size,
+                queue_ms: exec_start.saturating_duration_since(item.submitted).as_secs_f64() * 1e3,
+                exec_ms,
+                wall_ms: item.submitted.elapsed().as_secs_f64() * 1e3,
+                compile_cache_hit: cache_hit,
+                error,
+            };
+            // A dropped ticket just means nobody is listening.
+            let _ = item.tx.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_exec_time_is_sublinear() {
+        let one = batch_exec_ms(10.0, 1);
+        let four = batch_exec_ms(10.0, 4);
+        assert_eq!(one, 10.0);
+        assert!(four < 40.0, "batching must amortize: {four}");
+        assert!(four > 10.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the batcher invariants (vendored proptest shim):
+//! whatever interleaving of pushes and time advances arrives, no
+//! request is lost, no batch exceeds `max_batch` or mixes keys, and
+//! FIFO order holds within every (model, device) key.
+
+use proptest::prelude::*;
+use smartmem_serve::{Batch, BatchKey, Batcher};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const DELAY_MS: u64 = 4;
+
+/// One scripted event: a request for (model, device) or a clock jump
+/// past the flush deadline.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Push { model: usize, device: usize },
+    Advance,
+}
+
+fn event(raw: u8) -> Event {
+    // 0..12 → push over a 3×4 key grid, 12.. → advance the clock.
+    if raw < 12 {
+        Event::Push { model: (raw % 3) as usize, device: (raw as usize / 3) % 4 }
+    } else {
+        Event::Advance
+    }
+}
+
+fn run_script(raw_events: &[u8], max_batch: usize) -> (usize, Vec<Batch<u64>>) {
+    let mut batcher: Batcher<u64> = Batcher::new(max_batch, Duration::from_millis(DELAY_MS));
+    let t0 = Instant::now();
+    let mut now = t0;
+    let mut pushed = 0u64;
+    let mut flushed = Vec::new();
+    for &raw in raw_events {
+        match event(raw) {
+            Event::Push { model, device } => {
+                let key = BatchKey { model, device };
+                if let Some(b) = batcher.push(key, pushed, now) {
+                    flushed.push(b);
+                }
+                pushed += 1;
+            }
+            Event::Advance => {
+                now += Duration::from_millis(DELAY_MS);
+                flushed.extend(batcher.due(now));
+            }
+        }
+    }
+    flushed.extend(batcher.drain());
+    (pushed as usize, flushed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No request is lost or duplicated across size flushes, deadline
+    /// flushes and the final drain.
+    #[test]
+    fn conservation(raw in prop::collection::vec(0u8..16, 0..120), max_batch in 1usize..7) {
+        let (pushed, flushed) = run_script(&raw, max_batch);
+        let total: usize = flushed.iter().map(|b| b.items.len()).sum();
+        prop_assert_eq!(total, pushed);
+        let mut seen: Vec<u64> = flushed.iter().flat_map(|b| b.items.iter().copied()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), pushed, "duplicate or missing request ids");
+    }
+
+    /// Batches never exceed the size threshold and never mix keys, and
+    /// a size-`max_batch` flush only happens through push.
+    #[test]
+    fn batch_bounds(raw in prop::collection::vec(0u8..16, 0..120), max_batch in 1usize..7) {
+        let (_, flushed) = run_script(&raw, max_batch);
+        for b in &flushed {
+            prop_assert!(!b.items.is_empty(), "empty batch flushed");
+            prop_assert!(b.items.len() <= max_batch, "oversized batch {}", b.items.len());
+        }
+    }
+
+    /// FIFO within a key: concatenating a key's batches in flush order
+    /// yields strictly increasing submission ids.
+    #[test]
+    fn fifo_within_key(raw in prop::collection::vec(0u8..16, 0..120), max_batch in 1usize..7) {
+        let (_, flushed) = run_script(&raw, max_batch);
+        let mut per_key: HashMap<BatchKey, Vec<u64>> = HashMap::new();
+        for b in &flushed {
+            per_key.entry(b.key).or_default().extend(b.items.iter().copied());
+        }
+        for (key, ids) in per_key {
+            for w in ids.windows(2) {
+                prop_assert!(w[0] < w[1], "key {key:?} reordered: {} after {}", w[1], w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end tests of the serving runtime: compile-on-first-use with
+//! cache-warm steady state, concurrent submission, FIFO completion
+//! within a key, deadline flushing of stragglers, and scheduler
+//! placement across the device pool.
+
+use smartmem_serve::{InferenceRequest, ModelSpec, ServeConfig, Server};
+use smartmem_sim::DeviceConfig;
+
+fn models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::new("ConvNext", smartmem_models::convnext(1)),
+        ModelSpec::new("RegNet", smartmem_models::regnet(1)),
+    ]
+}
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![DeviceConfig::snapdragon_8gen2(), DeviceConfig::snapdragon_835(), DeviceConfig::apple_m1()]
+}
+
+#[test]
+fn steady_state_is_cache_warm() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let n = 60;
+    let tickets: Vec<_> =
+        (0..n).map(|i| server.submit(InferenceRequest::new(i % 2)).expect("submit")).collect();
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.error.is_none(), "request failed: {:?}", r.error);
+        assert!(r.batch_size >= 1);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, n as u64);
+    assert_eq!(stats.failed, 0);
+    // At most one compilation per touched (model, device) pair; with
+    // 2 models x 3 devices that bounds misses at 6 of 60 requests.
+    assert!(stats.cache.misses <= 6, "misses {}", stats.cache.misses);
+    assert!(stats.cache_hit_rate() >= 0.9, "hit rate {}", stats.cache_hit_rate());
+    let hist_total: u64 = stats.batch_histogram.iter().sum();
+    assert_eq!(hist_total, stats.batches);
+}
+
+#[test]
+fn concurrent_submitters_all_complete() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let per_thread = 25;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    let tickets: Vec<_> = (0..per_thread)
+                        .map(|i| server.submit(InferenceRequest::new((t + i) % 2)).expect("submit"))
+                        .collect();
+                    tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for r in h.join().expect("submitter panicked") {
+                assert!(r.error.is_none());
+            }
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 4 * per_thread as u64);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn fifo_completion_within_pinned_key() {
+    // Pin one model to one device: completions must come back in
+    // submission order regardless of how the batches were cut.
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let tickets: Vec<_> = (0..30)
+        .map(|_| server.submit(InferenceRequest::new(0).on_device(1)).expect("submit"))
+        .collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    for pair in responses.windows(2) {
+        assert!(pair[0].request_id < pair[1].request_id);
+        assert!(
+            pair[0].completion_seq < pair[1].completion_seq,
+            "completions reordered within (model 0, device 1)"
+        );
+    }
+    assert!(responses.iter().all(|r| r.device.contains("835")));
+    server.shutdown();
+}
+
+#[test]
+fn deadline_flushes_a_lone_request() {
+    // A single request never reaches max_batch; only the deadline can
+    // flush it.
+    let config = ServeConfig { max_batch: 64, ..ServeConfig::default() };
+    let server = Server::start(models(), devices(), config);
+    let ticket = server.submit(InferenceRequest::new(0)).expect("submit");
+    let r = ticket.wait();
+    assert!(r.error.is_none());
+    assert_eq!(r.batch_size, 1);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.batches, 1);
+}
+
+#[test]
+fn scheduler_spreads_load_across_devices() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let tickets: Vec<_> =
+        (0..90).map(|_| server.submit(InferenceRequest::new(0)).expect("submit")).collect();
+    for t in tickets {
+        assert!(t.wait().error.is_none());
+    }
+    let stats = server.shutdown();
+    let used = stats.per_device_batches.iter().filter(|&&b| b > 0).count();
+    assert!(used >= 2, "expected load-aware placement to use several devices, got {used}");
+}
+
+#[test]
+fn panicking_model_fails_its_requests_without_killing_the_server() {
+    use smartmem_core::{CompileCtx, Framework, Pass, PassManager, Unsupported};
+
+    // Panics while compiling the graph named "bad"; compiles everything
+    // else into an (empty) optimized graph.
+    struct PanicIfBad;
+    impl Pass for PanicIfBad {
+        fn name(&self) -> &'static str {
+            "panic-if-bad"
+        }
+        fn run(&self, ctx: &mut CompileCtx) -> Result<(), Unsupported> {
+            assert!(ctx.graph.name() != "bad", "injected compiler bug");
+            Ok(())
+        }
+    }
+    struct Panicky;
+    impl Framework for Panicky {
+        fn name(&self) -> &str {
+            "Panicky"
+        }
+        fn passes(&self) -> PassManager {
+            PassManager::new("Panicky").then(PanicIfBad)
+        }
+    }
+
+    let mk = |name: &str| {
+        let mut b = smartmem_ir::GraphBuilder::new(name.to_string());
+        let x = b.input("x", &[1, 8, 16], smartmem_ir::DType::F16);
+        let w = b.weight("w", &[16, 16], smartmem_ir::DType::F16);
+        let mm = b.matmul(x, w);
+        b.output(mm);
+        ModelSpec::new(name, b.finish())
+    };
+    let server = Server::start_with_framework(
+        vec![mk("good"), mk("bad")],
+        devices(),
+        ServeConfig::default(),
+        Box::new(Panicky),
+    );
+    let bad: Vec<_> =
+        (0..6).map(|_| server.submit(InferenceRequest::new(1)).expect("submit")).collect();
+    for t in bad {
+        let r = t.wait();
+        assert!(r.error.is_some(), "panicked compile must surface as an error response");
+    }
+    // The workers survive: good-model requests still serve afterwards,
+    // including on whatever device handled the panicking batches.
+    let good: Vec<_> = (0..server.pool().len())
+        .map(|d| server.submit(InferenceRequest::new(0).on_device(d)).expect("submit"))
+        .collect();
+    for t in good {
+        assert!(t.wait().error.is_none());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 6);
+    assert_eq!(stats.completed, 6 + server_pool_len() as u64);
+}
+
+fn server_pool_len() -> usize {
+    devices().len()
+}
+
+#[test]
+fn unknown_ids_are_rejected_cleanly() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    assert!(server.submit(InferenceRequest::new(99)).is_err());
+    assert!(server.submit(InferenceRequest::new(0).on_device(99)).is_err());
+    assert!(server.model_id("ConvNext").is_some());
+    assert!(server.model_id("nope").is_none());
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 0);
+}

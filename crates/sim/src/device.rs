@@ -101,6 +101,30 @@ impl DeviceConfig {
         }
     }
 
+    /// Apple M1 (8-core GPU) — an Apple-class unified-memory platform.
+    ///
+    /// Metal exposes no performance-relevant 2.5D texture path for
+    /// compute (no `__read_only image2d_t` fast path as on Adreno/Mali),
+    /// so `has_texture` is false and both bandwidth figures collapse to
+    /// the unified-memory bandwidth (~68 GB/s on the base M1). Peak is
+    /// ~2.6 TFLOPs FP32, evaluated here as ~1.3 TMACs at F16.
+    pub fn apple_m1() -> Self {
+        DeviceConfig {
+            name: "Apple M1 (8-core GPU)".to_string(),
+            peak_tmacs: 1.3,
+            global_bw_gbps: 68.0,
+            texture_bw_gbps: 68.0,
+            has_texture: false,
+            kernel_launch_us: 30.0,
+            memory_gb: 16.0,
+            buffer_cache: CacheConfig { size_bytes: 8 << 20, line_bytes: 128, ways: 16 },
+            texture_cache: CacheConfig { size_bytes: 128 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 1.6e11,
+            dtype: DType::F16,
+        }
+    }
+
     /// NVIDIA Tesla V100 in FP32 — the desktop comparison of Table 9.
     /// Texture memory is not used (the paper ports SmartMem to
     /// TorchInductor *excluding* the 2.5D layout optimization).
@@ -169,6 +193,18 @@ mod tests {
         assert!((d.bw_bytes_per_ns(false) - 55.0).abs() < 1e-9);
         assert!((d.bw_bytes_per_ns(true) - 511.0).abs() < 1e-9);
         assert_eq!(d.memory_bytes(), 16 * (1u64 << 30));
+    }
+
+    #[test]
+    fn apple_is_unified_memory_without_texture_path() {
+        let d = DeviceConfig::apple_m1();
+        assert!(!d.has_texture, "Metal compute exposes no 2.5D texture fast path here");
+        assert_eq!(d.global_bw_gbps, d.texture_bw_gbps, "unified memory: one bandwidth");
+        assert_eq!(d.dtype, DType::F16);
+        // Mobile-class peak, desktop-class launch overhead ordering.
+        let snap = DeviceConfig::snapdragon_8gen2();
+        assert!(d.kernel_launch_us < snap.kernel_launch_us);
+        assert!(d.global_bw_gbps > snap.global_bw_gbps);
     }
 
     #[test]

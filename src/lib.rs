@@ -15,6 +15,9 @@
 //!   texture mapping and auto-tuning.
 //! * [`baselines`] — MNN/NCNN/TFLite/TVM/DNNFusion-style pipelines.
 //! * [`models`] — the 20-model zoo of the paper's evaluation.
+//! * [`serve`] — the batched inference serving runtime (bounded queue
+//!   → per-(model, device) batcher → latency-estimate scheduler → one
+//!   shared, single-flight [`core::CompileSession`]).
 //!
 //! # Architecture: Pass / PassManager / CompileCtx
 //!
@@ -46,9 +49,17 @@
 //!   ([`core::Framework::passes`]); `optimize`/`optimize_timed`/`run`
 //!   are provided by the trait through the manager.
 //! * The session layer ([`core::CompileSession`]) memoizes compilations
-//!   by *(graph fingerprint, device fingerprint, pass-sequence id)* and
+//!   by *(graph fingerprint, device fingerprint, pass-sequence id)*,
+//!   deduplicates concurrent cold compiles (single-flight), and
 //!   compiles framework×model batches across threads
 //!   ([`core::CompileSession::compile_batch`]).
+//! * The serving layer ([`serve::Server`]) turns that into a runtime:
+//!   requests coalesce into per-(model, device) batches, a roofline
+//!   scheduler places them across the device pool, and artifacts are
+//!   compiled once and reused cache-warm. `cargo run -p smartmem-bench
+//!   --release --bin serve_bench` replays an open-loop trace over the
+//!   zoo and reports throughput, p50/p99 latency, the batch-size
+//!   histogram, and the cache hit rate.
 //!
 //! The bench harness observes all of this: `cargo run -p smartmem-bench
 //! --release --bin pass_timing` prints per-pass timing per framework,
@@ -86,4 +97,5 @@ pub use smartmem_core as core;
 pub use smartmem_index as index;
 pub use smartmem_ir as ir;
 pub use smartmem_models as models;
+pub use smartmem_serve as serve;
 pub use smartmem_sim as sim;
