@@ -9,9 +9,13 @@
 //! ```
 //!
 //! Flags: `--smoke`, `--requests N`, `--rate RPS`, `--seed S`,
-//! `--scale F` (wall-clock throttle of simulated device time), and
+//! `--scale F` (wall-clock throttle of simulated device time),
 //! `--cold` (skip the warmup pass, so the replay measures cold-compile
-//! stalls instead of steady state).
+//! stalls instead of steady state), `--cache-dir DIR` (persistent
+//! artifact cache: cold compiles write through, rerunning against the
+//! same directory warm-starts from disk), and `--expect-warm` (assert
+//! the run performed *zero* cold compiles — pair it with a second run
+//! over an already-populated `--cache-dir`).
 //!
 //! The trace is open-loop: arrivals follow exponential inter-arrival
 //! times at the configured rate and are submitted on schedule, whether
@@ -24,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use smartmem_bench::render_table;
 use smartmem_serve::{InferenceRequest, InferenceResponse, ModelSpec, ServeConfig, Server};
 use smartmem_sim::DeviceConfig;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 struct BenchOpts {
@@ -33,6 +38,8 @@ struct BenchOpts {
     rate_rps: f64,
     seed: u64,
     exec_time_scale: f64,
+    cache_dir: Option<PathBuf>,
+    expect_warm: bool,
 }
 
 fn parse_args() -> BenchOpts {
@@ -43,6 +50,8 @@ fn parse_args() -> BenchOpts {
         rate_rps: 2000.0,
         seed: 42,
         exec_time_scale: 0.15,
+        cache_dir: None,
+        expect_warm: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter();
@@ -57,9 +66,15 @@ fn parse_args() -> BenchOpts {
             "--rate" => opts.rate_rps = value("--rate").parse().expect("number"),
             "--seed" => opts.seed = value("--seed").parse().expect("integer"),
             "--scale" => opts.exec_time_scale = value("--scale").parse().expect("number"),
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--expect-warm" => opts.expect_warm = true,
             other => panic!("unknown flag {other}"),
         }
     }
+    assert!(
+        !opts.expect_warm || opts.cache_dir.is_some(),
+        "--expect-warm requires --cache-dir (a warm start needs persisted artifacts)"
+    );
     if opts.smoke {
         opts.requests = opts.requests.min(60);
         opts.rate_rps = 3000.0;
@@ -130,6 +145,7 @@ fn main() {
             max_batch: 8,
             max_delay: Duration::from_millis(3),
             exec_time_scale: opts.exec_time_scale,
+            cache_dir: opts.cache_dir.clone(),
         },
     );
 
@@ -239,6 +255,7 @@ fn main() {
             "cache hits / misses".into(),
             format!("{} / {}", stats.cache.hits, stats.cache.misses),
         ],
+        vec!["disk hits".into(), format!("{}", stats.cache.disk_hits)],
         vec!["cache hit rate".into(), format!("{:.1}%", stats.cache_hit_rate() * 100.0)],
         vec![
             "steady-state hit rate".into(),
@@ -282,6 +299,26 @@ fn main() {
         assert!(
             steady >= steady_floor,
             "steady-state cache hit rate {steady:.3} below {steady_floor}"
+        );
+    }
+    // A warm start against a populated --cache-dir must never run a
+    // pass sequence: every request — the very first included — decodes
+    // a persisted artifact or hits the promoted in-memory entry.
+    if opts.expect_warm {
+        assert_eq!(
+            stats.cache.misses, 0,
+            "warm start performed {} cold compiles (disk artifacts missing or stale)",
+            stats.cache.misses
+        );
+        assert!(stats.cache.disk_hits > 0, "warm start never touched the disk cache");
+        assert!(
+            (stats.cache_hit_rate() - 1.0).abs() < f64::EPSILON,
+            "warm start must be a 100% hit rate from the first request, got {:.3}",
+            stats.cache_hit_rate()
+        );
+        println!(
+            "\nwarm start OK: zero cold compiles, {} disk hits over {} requests",
+            stats.cache.disk_hits, stats.completed
         );
     }
     println!("\nserve_bench OK ({wall_s:.2}s wall)");

@@ -1,6 +1,10 @@
 //! Regenerates **Table 7**: operator counts after optimization for all
 //! six frameworks on the 18 evaluated models, plus SmartMem's fusion
 //! ratio over DNNFusion (paper: 1.1–1.7x for Transformer/Hybrid).
+//!
+//! Pass `--cache-dir DIR` to back the compilation session with the
+//! persistent artifact cache: a rerun against the same directory
+//! regenerates the table without a single cold compile.
 
 use smartmem_baselines::all_mobile_frameworks;
 use smartmem_bench::render_table;
@@ -9,11 +13,15 @@ use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
 
 fn main() {
+    let cache_dir = smartmem_bench::parse_cache_dir_arg();
     let device = DeviceConfig::snapdragon_8gen2();
     let frameworks = all_mobile_frameworks();
     // All framework x model compilations run in parallel through one
-    // cached compilation session.
-    let session = CompileSession::new();
+    // cached compilation session (disk-backed under --cache-dir).
+    let session = match &cache_dir {
+        Some(dir) => CompileSession::with_cache_dir(dir).expect("open cache dir"),
+        None => CompileSession::new(),
+    };
     let entries = all_models();
     let graphs: Vec<_> = entries.iter().map(|m| m.graph()).collect();
     let results = session.compile_batch(&frameworks, &graphs, &device, 0);
@@ -68,5 +76,14 @@ fn main() {
     println!("\nSmartMem fusion ratio over DNNFusion (paper: up to 1.7x):");
     for (name, r) in ours_vs_dnnf {
         println!("  {name:>16}: {r:.2}x");
+    }
+    if session.cache_dir().is_some() {
+        let stats = session.stats();
+        println!(
+            "\npersistent cache: {} cold compiles, {} disk hits ({} artifacts on disk)",
+            stats.misses,
+            stats.disk_hits,
+            session.disk_len(),
+        );
     }
 }

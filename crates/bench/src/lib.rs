@@ -111,6 +111,29 @@ pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput)
     )
 }
 
+/// Parses a command line that accepts only `--cache-dir DIR` (the
+/// shared flag of the table/figure binaries; `serve_bench` has its own
+/// richer parser), panicking on anything else.
+///
+/// # Panics
+///
+/// Panics on an unknown flag or a missing value — the right behaviour
+/// for a bench binary, where a typo should fail loudly.
+pub fn parse_cache_dir_arg() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter();
+    let mut cache_dir = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(args.next().expect("--cache-dir needs a value").into());
+            }
+            other => panic!("unknown flag {other} (this binary only takes --cache-dir DIR)"),
+        }
+    }
+    cache_dir
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

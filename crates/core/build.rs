@@ -1,0 +1,53 @@
+//! Emits `SMARTMEM_BUILD_FINGERPRINT`: an FNV-1a digest of every source
+//! file whose logic shapes a compiled artifact (this crate plus the ir /
+//! index / sim / baselines sources it optimizes with).
+//!
+//! The persistent compilation cache folds this fingerprint into every
+//! artifact header. Cache keys only cover pass *names and parameters*
+//! (`PassManager::sequence_id`), so without it a rebuilt binary with
+//! changed pass logic would silently serve artifacts computed by the old
+//! code; with it, any optimizer source edit invalidates the whole cache
+//! and everything recompiles cold (fails open, never wrong).
+
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // sibling crate missing (e.g. vendored build): skip
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
+    let roots = ["src", "../ir/src", "../index/src", "../sim/src", "../baselines/src"];
+    let mut files = Vec::new();
+    for root in roots {
+        collect(&manifest.join(root), &mut files);
+    }
+    files.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for file in &files {
+        println!("cargo:rerun-if-changed={}", file.display());
+        if let Some(name) = file.file_name().and_then(|n| n.to_str()) {
+            fnv(name.as_bytes());
+        }
+        if let Ok(contents) = std::fs::read(file) {
+            fnv(&contents);
+        }
+    }
+    println!("cargo:rustc-env=SMARTMEM_BUILD_FINGERPRINT={hash:016x}");
+}

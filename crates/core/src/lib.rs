@@ -67,6 +67,7 @@ mod fusion;
 mod layout_select;
 mod lte;
 mod pass;
+mod persist;
 mod pipeline;
 mod reduction;
 mod session;
@@ -79,7 +80,8 @@ pub use estimate::{GroupReport, ModelReport};
 pub use fusion::{fuse, GroupDraft};
 pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
 pub use lte::{
-    eliminate, eliminate_with_options, is_eliminable, op_pullback, EdgeSource, LteResult,
+    eliminate, eliminate_with_options, is_eliminable, lte_memo_len, op_pullback, EdgeSource,
+    LteResult,
 };
 pub use pass::{
     AssembleGroupsPass, CompileCtx, CompileOutput, Diagnostic, FusionPass, LayoutSelectPass,

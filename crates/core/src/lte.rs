@@ -19,6 +19,7 @@ use smartmem_ir::{Graph, Op, OpId, TensorId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
 
 /// Resolution of one tensor after elimination: the materialized source
 /// tensor plus the composed pull-back map (`None` = identity).
@@ -102,6 +103,7 @@ fn compose_fingerprint(
     in_shape: &[usize],
     out_shape: &[usize],
     output_idx: usize,
+    simplify: bool,
 ) -> u64 {
     let mut h = DefaultHasher::new();
     match upstream {
@@ -115,7 +117,42 @@ fn compose_fingerprint(
     in_shape.hash(&mut h);
     out_shape.hash(&mut h);
     output_idx.hash(&mut h);
+    // The memo is process-wide, so runs with and without index
+    // comprehension must not alias each other's entries.
+    simplify.hash(&mut h);
     h.finish()
+}
+
+/// The process-wide composition/simplification memo.
+///
+/// Keys are content fingerprints ([`compose_fingerprint`]), so entries
+/// are valid across models, sessions and — via the persistent
+/// compilation cache, which saves and restores this map — across
+/// processes. Sharing one memo process-wide is what lets a warm restart
+/// skip the first-occurrence simplification cost entirely (the last
+/// "LTE compile time" item of the ROADMAP).
+fn global_memo() -> &'static Mutex<HashMap<u64, IndexMap>> {
+    static MEMO: OnceLock<Mutex<HashMap<u64, IndexMap>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of memoized compositions currently held.
+pub fn lte_memo_len() -> usize {
+    global_memo().lock().expect("lte memo lock").len()
+}
+
+/// Snapshot of the memo for persistence.
+pub(crate) fn lte_memo_export() -> Vec<(u64, IndexMap)> {
+    global_memo().lock().expect("lte memo lock").iter().map(|(k, v)| (*k, v.clone())).collect()
+}
+
+/// Merges persisted entries into the memo (existing keys win — they
+/// were computed in this process and are definitionally correct).
+pub(crate) fn lte_memo_import(entries: Vec<(u64, IndexMap)>) {
+    let mut memo = global_memo().lock().expect("lte memo lock");
+    for (k, v) in entries {
+        memo.entry(k).or_insert(v);
+    }
 }
 
 /// Runs elimination over `graph`.
@@ -135,8 +172,9 @@ pub fn eliminate(graph: &Graph, enabled: bool, simplify_maps: bool) -> LteResult
 ///   the composed maps; disabling it isolates the contribution of index
 ///   simplification (Fig. 8's analysis).
 /// * `memoize` caches composition + simplification by (upstream map,
-///   operator, shapes); results are identical either way — the
-///   `pass_timing` binary reports the before/after wall-clock.
+///   operator, shapes) in the process-wide memo; results are identical
+///   either way — the `pass_timing` binary reports the before/after
+///   wall-clock.
 ///
 /// Operators whose outputs are graph outputs are kept (their result must
 /// be materialized).
@@ -149,7 +187,6 @@ pub fn eliminate_with_options(
     let mut source_of: HashMap<TensorId, EdgeSource> = HashMap::new();
     let mut kept = Vec::new();
     let mut eliminated = Vec::new();
-    let mut memo: HashMap<u64, IndexMap> = HashMap::new();
 
     if !enabled {
         return LteResult {
@@ -191,8 +228,20 @@ pub fn eliminate_with_options(
                     &in_shape,
                     &out_shape,
                     output_idx,
+                    simplify_maps,
                 );
-                memo.entry(key).or_insert_with(|| compose(&upstream.map)).clone()
+                // Probe and insert under short locks: the composition
+                // itself runs unlocked so parallel zoo compiles don't
+                // serialize behind one slow strength reduction.
+                let cached = global_memo().lock().expect("lte memo lock").get(&key).cloned();
+                match cached {
+                    Some(m) => m,
+                    None => {
+                        let m = compose(&upstream.map);
+                        global_memo().lock().expect("lte memo lock").insert(key, m.clone());
+                        m
+                    }
+                }
             } else {
                 compose(&upstream.map)
             };

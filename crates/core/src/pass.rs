@@ -24,6 +24,7 @@ use crate::pipeline::{
     assemble_groups, iteration_mn, KernelGroup, MemModel, OptStats, OptimizedGraph, Unsupported,
 };
 use crate::tune::{utilization, ExecConfig, GaTuner};
+use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
 use smartmem_ir::Graph;
 use smartmem_sim::DeviceConfig;
 use std::collections::hash_map::DefaultHasher;
@@ -176,6 +177,57 @@ impl CompileOutput {
     /// Total wall-clock compilation time (sum over passes).
     pub fn total_duration(&self) -> Duration {
         self.timings.iter().map(|t| t.duration).sum()
+    }
+}
+
+impl Encode for Diagnostic {
+    fn encode(&self, w: &mut Writer) {
+        self.pass.encode(w);
+        self.message.encode(w);
+    }
+}
+
+impl Decode for Diagnostic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Diagnostic { pass: Decode::decode(r)?, message: Decode::decode(r)? })
+    }
+}
+
+impl Encode for PassTiming {
+    fn encode(&self, w: &mut Writer) {
+        self.pass.encode(w);
+        // Durations persist as nanoseconds; a pass that somehow ran for
+        // 584+ years saturates.
+        w.put_u64(u64::try_from(self.duration.as_nanos()).unwrap_or(u64::MAX));
+        self.stats.encode(w);
+    }
+}
+
+impl Decode for PassTiming {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PassTiming {
+            pass: Decode::decode(r)?,
+            duration: Duration::from_nanos(r.get_u64()?),
+            stats: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CompileOutput {
+    fn encode(&self, w: &mut Writer) {
+        self.optimized.encode(w);
+        self.timings.encode(w);
+        self.diagnostics.encode(w);
+    }
+}
+
+impl Decode for CompileOutput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CompileOutput {
+            optimized: Decode::decode(r)?,
+            timings: Decode::decode(r)?,
+            diagnostics: Decode::decode(r)?,
+        })
     }
 }
 

@@ -1,0 +1,280 @@
+//! The on-disk artifact cache behind [`crate::CompileSession`].
+//!
+//! SmartMem's thesis is that redundant layout-transformation work should
+//! be eliminated once and never repaid; the in-memory compilation cache
+//! applies that principle to compilation itself but forgets everything
+//! at process exit. This module adds the next level of the hierarchy:
+//! every cold compile is written through to
+//! `<cache-dir>/art-<graph>-<device>-<sequence>.smem`, and a later
+//! session (same process or a restart) serves the same key by decoding
+//! the artifact instead of re-running the pass sequence.
+//!
+//! # File format
+//!
+//! ```text
+//! magic    b"SMEM"              4 bytes
+//! version  u32 LE               bumped on any wire-format change
+//! probe    u64 LE               DefaultHasher digest of a fixed
+//!                               sentinel — detects a std hasher change
+//!                               (fingerprints would no longer match)
+//! length   u64 LE               payload byte count
+//! checksum u64 LE               FNV-1a over the payload
+//! payload  wire-encoded value   CompileOutput / LTE memo entries
+//! ```
+//!
+//! Every safeguard fails *open*: a missing, truncated, corrupted,
+//! wrong-version or wrong-probe file is treated as a cache miss and the
+//! session falls back to a clean cold compile (then overwrites the bad
+//! artifact on write-through). Writes go to a unique temp file in the
+//! same directory followed by an atomic rename, so concurrent sessions
+//! and crashed processes can never leave a half-written artifact under
+//! a valid name.
+//!
+//! Alongside the artifacts, the cache persists the LTE
+//! composition/simplification memo (`lte-memo.smem`) so a warm restart
+//! also skips the *first-occurrence* strength-reduction cost — the
+//! remaining "LTE compile time" item of the ROADMAP.
+
+use crate::lte::{lte_memo_export, lte_memo_import, lte_memo_len};
+use crate::pass::CompileOutput;
+use crate::pipeline::Unsupported;
+use smartmem_index::IndexMap;
+use smartmem_ir::wire::{decode_from, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
+use std::collections::hash_map::DefaultHasher;
+use std::fs;
+use std::hash::Hasher;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Artifact-file magic.
+const MAGIC: [u8; 4] = *b"SMEM";
+/// Current format version. Bump on any change to the wire encoding of
+/// the persisted types.
+const VERSION: u32 = 1;
+/// Header length: magic + version + probe + length + checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Digest of a fixed sentinel under the std hasher, folded with the
+/// optimizer's build fingerprint. Two invalidation triggers share this
+/// header field:
+///
+/// * Cache keys and LTE memo fingerprints are `DefaultHasher` digests,
+///   which the std library does not guarantee stable across releases —
+///   hashing the sentinel turns "the hasher changed under us" from
+///   silent key mismatches into an explicit whole-file invalidation.
+/// * `SMARTMEM_BUILD_FINGERPRINT` (emitted by this crate's build
+///   script) digests every optimizer source file. Cache keys only
+///   cover pass names + parameters, so without this a rebuilt binary
+///   with *changed pass logic* would serve artifacts computed by the
+///   old code; with it, any optimizer edit invalidates every artifact
+///   and the cache recompiles cold.
+fn hasher_probe() -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write(b"smartmem-persist-probe");
+    h.write(env!("SMARTMEM_BUILD_FINGERPRINT").as_bytes());
+    h.finish()
+}
+
+/// FNV-1a over the payload (integrity check; not cryptographic).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// One persisted compilation result: tag 0 + artifact, or tag 1 + the
+// deterministic `Unsupported` refusal this key always produces. The
+// two functions below are the single definition of that layout — keep
+// them adjacent.
+
+fn encode_result(result: Result<&CompileOutput, &Unsupported>) -> Vec<u8> {
+    let mut w = Writer::new();
+    match result {
+        Ok(output) => {
+            w.put_u8(0);
+            output.encode(&mut w);
+        }
+        Err(e) => {
+            w.put_u8(1);
+            e.encode(&mut w);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_result(payload: &[u8]) -> Result<Result<CompileOutput, Unsupported>, WireError> {
+    let mut r = Reader::new(payload);
+    let result = match r.get_u8()? {
+        0 => Ok(CompileOutput::decode(&mut r)?),
+        1 => Err(Unsupported::decode(&mut r)?),
+        tag => return Err(WireError::BadTag { ty: "PersistedResult", tag }),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(result)
+}
+
+/// Key of one persisted artifact — mirrors the session's in-memory
+/// cache key (graph/device fingerprints + pass-sequence id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ArtifactKey {
+    pub graph: u64,
+    pub device: u64,
+    pub sequence: u64,
+}
+
+/// Handle on one cache directory.
+#[derive(Debug)]
+pub(crate) struct DiskCache {
+    dir: PathBuf,
+    /// LTE memo size at the last save — skips rewriting the memo file
+    /// when a write-through added no new compositions.
+    memo_saved: AtomicUsize,
+    /// Unique temp-file suffix counter (plus the pid) for atomic writes.
+    tmp_seq: AtomicUsize,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory and imports the
+    /// persisted LTE memo.
+    pub(crate) fn open(dir: &Path) -> io::Result<DiskCache> {
+        fs::create_dir_all(dir)?;
+        let cache = DiskCache {
+            dir: dir.to_path_buf(),
+            memo_saved: AtomicUsize::new(0),
+            tmp_seq: AtomicUsize::new(0),
+        };
+        if let Some(payload) = cache.read_payload(&cache.memo_path()) {
+            if let Ok(entries) = decode_from::<Vec<(u64, IndexMap)>>(&payload) {
+                lte_memo_import(entries);
+            }
+        }
+        cache.memo_saved.store(lte_memo_len(), Ordering::Relaxed);
+        Ok(cache)
+    }
+
+    /// The cache directory.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, key: &ArtifactKey) -> PathBuf {
+        self.dir
+            .join(format!("art-{:016x}-{:016x}-{:016x}.smem", key.graph, key.device, key.sequence))
+    }
+
+    fn memo_path(&self) -> PathBuf {
+        self.dir.join("lte-memo.smem")
+    }
+
+    /// Number of artifact files currently on disk (diagnostics only).
+    pub(crate) fn artifact_count(&self) -> usize {
+        fs::read_dir(&self.dir).map_or(0, |entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    e.file_name().to_string_lossy().starts_with("art-")
+                        && e.file_name().to_string_lossy().ends_with(".smem")
+                })
+                .count()
+        })
+    }
+
+    /// Reads and verifies one file, returning its payload. `None` on
+    /// any failure — missing file, bad magic/version/probe, truncation,
+    /// checksum mismatch — because every failure means the same thing
+    /// to the caller: not cached, compile cold.
+    fn read_payload(&self, path: &Path) -> Option<Vec<u8>> {
+        let bytes = fs::read(path).ok()?;
+        if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+            return None;
+        }
+        let field = |at: usize| -> [u8; 8] { bytes[at..at + 8].try_into().expect("8 bytes") };
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return None;
+        }
+        if u64::from_le_bytes(field(8)) != hasher_probe() {
+            return None;
+        }
+        let length = u64::from_le_bytes(field(16));
+        let checksum = u64::from_le_bytes(field(24));
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != length || fnv1a(payload) != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Atomically writes `payload` under a verified header. Best-effort:
+    /// an I/O error (full disk, permissions) loses the artifact but
+    /// never the compilation.
+    fn write_payload(&self, path: &Path, payload: &[u8]) {
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&MAGIC)?;
+            f.write_all(&VERSION.to_le_bytes())?;
+            f.write_all(&hasher_probe().to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&fnv1a(payload).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)
+        };
+        if write().is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Loads and decodes the artifact for `key`, or `None` when absent
+    /// or unusable (any corruption falls back to a cold compile).
+    ///
+    /// `Some(Err(_))` is a persisted *negative* result: the pass
+    /// sequence deterministically rejects this (graph, device,
+    /// sequence) key, so rerunning it would only repay the refusal.
+    pub(crate) fn load(&self, key: &ArtifactKey) -> Option<Result<CompileOutput, Unsupported>> {
+        let payload = self.read_payload(&self.artifact_path(key))?;
+        decode_result(&payload).ok()
+    }
+
+    /// Writes a compilation result (positive or negative) through to
+    /// disk and opportunistically refreshes the persisted LTE memo.
+    pub(crate) fn store(&self, key: &ArtifactKey, result: Result<&CompileOutput, &Unsupported>) {
+        self.write_payload(&self.artifact_path(key), &encode_result(result));
+        // Nearly every cold compile in a zoo batch grows the memo;
+        // exporting + rewriting the whole memo file per compile would
+        // be O(n²), so intermediate saves only fire after meaningful
+        // growth. The session's Drop performs the exact final save.
+        self.save_memo_if_grown_by(256);
+    }
+
+    /// Persists the LTE memo when it grew by more than `slack` entries
+    /// since the last save (`0` = any change).
+    fn save_memo_if_grown_by(&self, slack: usize) {
+        let len = lte_memo_len();
+        let saved = self.memo_saved.load(Ordering::Relaxed);
+        if len.saturating_sub(saved) <= slack {
+            return;
+        }
+        self.save_memo();
+    }
+
+    /// Persists the LTE memo when it changed since the last save.
+    pub(crate) fn save_memo(&self) {
+        let len = lte_memo_len();
+        if self.memo_saved.swap(len, Ordering::Relaxed) == len {
+            return;
+        }
+        self.write_payload(&self.memo_path(), &encode_to_vec(&lte_memo_export()));
+    }
+}

@@ -10,6 +10,7 @@ use crate::pass::{
 };
 use crate::tune::{ExecConfig, GaTuner};
 use smartmem_index::IndexMap;
+use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
 use smartmem_ir::{Graph, Layout, Op, OpId, OpOrigin, TensorId, UnaryKind};
 use smartmem_sim::{DeviceConfig, LatencyClass};
 use std::error::Error;
@@ -118,6 +119,168 @@ pub struct OptimizedGraph {
     pub mem_model: MemModel,
 }
 
+impl Encode for EdgeRead {
+    fn encode(&self, w: &mut Writer) {
+        self.logical.encode(w);
+        self.source.encode(w);
+        self.map.encode(w);
+        self.member.encode(w);
+        self.operand_idx.encode(w);
+        self.layout.encode(w);
+    }
+}
+
+impl Decode for EdgeRead {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EdgeRead {
+            logical: Decode::decode(r)?,
+            source: Decode::decode(r)?,
+            map: Decode::decode(r)?,
+            member: Decode::decode(r)?,
+            operand_idx: Decode::decode(r)?,
+            layout: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for KernelGroup {
+    fn encode(&self, w: &mut Writer) {
+        self.anchor.encode(w);
+        self.members.encode(w);
+        self.reads.encode(w);
+        self.output.encode(w);
+        self.output_layout.encode(w);
+        self.class.encode(w);
+        self.config.encode(w);
+        self.utilization.encode(w);
+        self.extra_copies.encode(w);
+    }
+}
+
+impl Decode for KernelGroup {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(KernelGroup {
+            anchor: Decode::decode(r)?,
+            members: Decode::decode(r)?,
+            reads: Decode::decode(r)?,
+            output: Decode::decode(r)?,
+            output_layout: Decode::decode(r)?,
+            class: Decode::decode(r)?,
+            config: Decode::decode(r)?,
+            utilization: Decode::decode(r)?,
+            extra_copies: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for OptStats {
+    fn encode(&self, w: &mut Writer) {
+        self.source_ops.encode(w);
+        self.kernel_count.encode(w);
+        self.eliminated_ops.encode(w);
+        self.fused_ops.encode(w);
+        self.implicit_inserted.encode(w);
+        self.redundant_tensors.encode(w);
+        self.redundant_bytes_max.encode(w);
+    }
+}
+
+impl Decode for OptStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OptStats {
+            source_ops: Decode::decode(r)?,
+            kernel_count: Decode::decode(r)?,
+            eliminated_ops: Decode::decode(r)?,
+            fused_ops: Decode::decode(r)?,
+            implicit_inserted: Decode::decode(r)?,
+            redundant_tensors: Decode::decode(r)?,
+            redundant_bytes_max: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for MemModel {
+    fn encode(&self, w: &mut Writer) {
+        self.pooled.encode(w);
+        self.workspace_factor.encode(w);
+        self.im2col.encode(w);
+        self.dispatch_scale.encode(w);
+    }
+}
+
+impl Decode for MemModel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MemModel {
+            pooled: Decode::decode(r)?,
+            workspace_factor: Decode::decode(r)?,
+            im2col: Decode::decode(r)?,
+            dispatch_scale: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for OptimizedGraph {
+    fn encode(&self, w: &mut Writer) {
+        self.graph.encode(w);
+        self.groups.encode(w);
+        self.stats.encode(w);
+        self.mem_model.encode(w);
+    }
+}
+
+impl Decode for OptimizedGraph {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let graph = Graph::decode(r)?;
+        let groups = Vec::<KernelGroup>::decode(r)?;
+        let stats = OptStats::decode(r)?;
+        let mem_model = MemModel::decode(r)?;
+        // Kernel groups index into the decoded graph; wild references
+        // or invalid layouts would panic downstream in estimation, so a
+        // bad artifact must be rejected here (the cache falls back to a
+        // cold compile).
+        let ops = graph.op_count();
+        let tensors = graph.tensors().len();
+        let bad = |what: &str| Err(WireError::Invalid(format!("decoded artifact: {what}")));
+        for g in &groups {
+            if (g.anchor.0 as usize) >= ops || g.members.iter().any(|m| m.0 as usize >= ops) {
+                return bad("group references unknown operator");
+            }
+            if (g.output.0 as usize) >= tensors {
+                return bad("group output references unknown tensor");
+            }
+            let out_rank = graph.tensor(g.output).shape.rank();
+            if g.output_layout.validate(out_rank).is_err() {
+                return bad("invalid output layout");
+            }
+            for read in &g.reads {
+                if (read.logical.0 as usize) >= tensors
+                    || (read.source.0 as usize) >= tensors
+                    || (read.member.0 as usize) >= ops
+                {
+                    return bad("read references unknown tensor/operator");
+                }
+                let rank = graph.tensor(read.source).shape.rank();
+                if read.layout.validate(rank).is_err() {
+                    return bad("invalid read layout");
+                }
+                // The estimator evaluates `map` at coordinates of the
+                // logical tensor and addresses the source tensor with
+                // the results — both eval and address assert their
+                // coordinate ranks, so a rank-inconsistent map must be
+                // rejected here, not panic there.
+                if let Some(map) = &read.map {
+                    if map.out_rank() != graph.tensor(read.logical).shape.rank()
+                        || map.in_rank() != rank
+                    {
+                        return bad("read map rank mismatch");
+                    }
+                }
+            }
+        }
+        Ok(OptimizedGraph { graph, groups, stats, mem_model })
+    }
+}
+
 /// Error returned when a framework cannot execute a model (missing
 /// operator support or insufficient device memory) — the "–" entries of
 /// Tables 7–8 and the empty bars of Figs. 10–11.
@@ -143,6 +306,19 @@ impl fmt::Display for Unsupported {
 }
 
 impl Error for Unsupported {}
+
+impl Encode for Unsupported {
+    fn encode(&self, w: &mut Writer) {
+        self.framework.encode(w);
+        self.reason.encode(w);
+    }
+}
+
+impl Decode for Unsupported {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Unsupported { framework: Decode::decode(r)?, reason: Decode::decode(r)? })
+    }
+}
 
 /// A DNN execution framework: a named pass sequence that optimizes a
 /// graph for a device, plus latency estimation on the shared simulator.

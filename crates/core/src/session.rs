@@ -14,12 +14,20 @@
 //! the behaviour a serving layer needs when a traffic burst hits an
 //! uncompiled model.
 //!
+//! The cache has two levels. The in-memory fingerprint map above, and —
+//! for sessions opened with [`CompileSession::with_cache_dir`] — an
+//! on-disk artifact cache (see the `persist` module docs for the file
+//! format): memory misses probe the directory before compiling,
+//! cold compiles write through, and a restarted process is cache-hot
+//! from its first request.
+//!
 //! [`CompileSession::compile_batch`] fans a framework×model job matrix
 //! out over `std::thread::scope` workers (the container has no rayon;
 //! a scoped work-stealing loop over an atomic cursor gives the same
 //! embarrassingly-parallel behaviour for the 20-model zoo).
 
 use crate::pass::CompileOutput;
+use crate::persist::{ArtifactKey, DiskCache};
 use crate::pipeline::{Framework, Unsupported};
 use smartmem_ir::Graph;
 use smartmem_sim::DeviceConfig;
@@ -27,6 +35,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::hash::Hasher;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -78,13 +88,30 @@ struct CacheKey {
     sequence: u64,
 }
 
+impl CacheKey {
+    fn artifact(&self) -> ArtifactKey {
+        ArtifactKey { graph: self.graph, device: self.device, sequence: self.sequence }
+    }
+}
+
 /// Hit/miss counters of a [`CompileSession`].
+///
+/// `hits / (hits + misses)` is the cache hit rate; `misses` counts the
+/// compilations that actually ran the pass sequence (the expensive
+/// event the cache exists to avoid).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Compilations served from the cache.
+    /// Compilations served from the cache (in-memory or on-disk).
     pub hits: usize,
-    /// Compilations that ran the pass sequence.
+    /// Compilations that ran the pass sequence (cold compiles).
     pub misses: usize,
+    /// Compilations served by decoding an on-disk artifact (cold in
+    /// memory, warm on disk) — nonzero only for sessions opened with
+    /// [`CompileSession::with_cache_dir`]. Successful disk serves also
+    /// count in `hits`; persisted negative results (deterministic
+    /// [`Unsupported`] refusals) count here but — like every error — in
+    /// neither `hits` nor `misses`.
+    pub disk_hits: usize,
 }
 
 /// A pending cold compilation other threads can wait on.
@@ -144,17 +171,81 @@ impl Drop for FlightGuard<'_> {
 /// A compilation session: caches pass-manager runs and compiles model
 /// batches in parallel. Thread-safe; share by reference (or wrap in an
 /// `Arc` and clone the handle) across worker threads.
+///
+/// Sessions opened with [`CompileSession::with_cache_dir`] additionally
+/// persist every compiled artifact to disk and serve later sessions —
+/// including after a process restart — from those artifacts, so the
+/// cold-compile cost of a given (graph, device, pass-sequence) key is
+/// paid once *ever*, not once per process.
+///
+/// # Example
+///
+/// ```
+/// use smartmem_core::{CacheStats, CompileSession, SmartMemPipeline};
+/// use smartmem_ir::{DType, GraphBuilder};
+/// use smartmem_sim::DeviceConfig;
+///
+/// let mut b = GraphBuilder::new("doc");
+/// let x = b.input("x", &[1, 16, 32], DType::F16);
+/// let w = b.weight("w", &[32, 32], DType::F16);
+/// let mm = b.matmul(x, w);
+/// let t = b.transpose(mm, &[0, 2, 1]);
+/// b.output(t);
+/// let graph = b.finish();
+///
+/// let session = CompileSession::new();
+/// let device = DeviceConfig::snapdragon_8gen2();
+/// let cold = session.compile(&SmartMemPipeline::new(), &graph, &device).unwrap();
+/// let warm = session.compile(&SmartMemPipeline::new(), &graph, &device).unwrap();
+/// assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0 });
+/// assert!(std::sync::Arc::ptr_eq(&cold, &warm)); // same artifact, no recompilation
+/// ```
 #[derive(Default)]
 pub struct CompileSession {
     cache: Mutex<HashMap<CacheKey, Slot>>,
+    persist: Option<DiskCache>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl CompileSession {
     /// Empty session.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Session backed by a persistent artifact cache at `dir` (created
+    /// if missing).
+    ///
+    /// Cold compiles are written through to disk; cache misses probe
+    /// the directory before running the pass sequence, so a key
+    /// compiled by *any* earlier session over the same directory is
+    /// served by decoding its artifact (counted in
+    /// [`CacheStats::disk_hits`]). Unreadable, truncated, corrupted or
+    /// version-mismatched artifacts are ignored and recompiled cold —
+    /// the cache can only ever make things faster, never wrong. The
+    /// LTE composition memo is persisted alongside and imported on
+    /// open.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn with_cache_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let mut session = CompileSession::new();
+        session.persist = Some(DiskCache::open(dir.as_ref())?);
+        Ok(session)
+    }
+
+    /// The persistent cache directory, if this session has one.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(DiskCache::dir)
+    }
+
+    /// Number of artifacts currently persisted on disk (0 for purely
+    /// in-memory sessions).
+    pub fn disk_len(&self) -> usize {
+        self.persist.as_ref().map_or(0, DiskCache::artifact_count)
     }
 
     /// Compiles `graph` for `device` through `framework`, returning the
@@ -230,10 +321,42 @@ impl CompileSession {
                 }
             }
         };
-        // If the pass sequence panics, the guard removes the in-flight
-        // slot and fails the waiters on unwind — otherwise they (and
-        // every future caller of this key) would block forever.
+        // From this point the in-flight slot is registered, so any
+        // panic — in the disk probe as much as in the pass sequence —
+        // must evict the slot and fail the waiters on unwind, or they
+        // (and every future caller of this key) would block forever.
         let mut guard = FlightGuard { session: self, key, flight: &flight, armed: true };
+        // Memory miss: probe the persistent cache (if any) before
+        // paying the pass sequence. A decoded artifact is promoted to a
+        // Ready slot, so the disk is only ever touched once per key per
+        // session. Persisted *negative* results (the pass sequence
+        // deterministically refuses this key) short-circuit the refusal
+        // without a pass run; mirroring the in-memory policy they stay
+        // uncached in memory and count in neither hits nor misses.
+        if let Some(disk) = &self.persist {
+            match disk.load(&key.artifact()) {
+                Some(Ok(output)) => {
+                    guard.armed = false;
+                    let output = Arc::new(output);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, Slot::Ready(Arc::clone(&output)));
+                    flight.fill(Ok(Arc::clone(&output)));
+                    return (Ok(output), true);
+                }
+                Some(Err(e)) => {
+                    guard.armed = false;
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache.lock().expect("cache lock").remove(&key);
+                    flight.fill(Err(e.clone()));
+                    return (Err(e), false);
+                }
+                None => {}
+            }
+        }
         let result = manager.run_on(graph, device).map(Arc::new);
         guard.armed = false;
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -247,6 +370,9 @@ impl CompileSession {
                     cache.remove(&key);
                 }
             }
+        }
+        if let Some(disk) = &self.persist {
+            disk.store(&key.artifact(), result.as_deref());
         }
         flight.fill(result.clone());
         (result, false)
@@ -307,6 +433,7 @@ impl CompileSession {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -323,6 +450,17 @@ impl CompileSession {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Drop for CompileSession {
+    /// Final exact save of the LTE memo: intermediate write-throughs
+    /// only persist it after meaningful growth (amortization), so the
+    /// tail entries land here.
+    fn drop(&mut self) {
+        if let Some(disk) = &self.persist {
+            disk.save_memo();
+        }
     }
 }
 
@@ -351,7 +489,7 @@ mod tests {
         let g = toy("toy");
         let cold = session.compile(&fw, &g, &device).unwrap();
         let warm = session.compile(&fw, &g, &device).unwrap();
-        assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0 });
         assert!(Arc::ptr_eq(&cold, &warm));
     }
 
@@ -369,7 +507,7 @@ mod tests {
         // name is part of the Debug rendering, so it does not — keep the
         // expectation explicit.
         session.compile(&SmartMemPipeline::new(), &toy("other"), &device).unwrap();
-        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 4, disk_hits: 0 });
         assert_eq!(session.len(), 4);
     }
 
@@ -392,7 +530,7 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
-        assert_eq!(session.stats(), CacheStats { hits: 7, misses: 1 });
+        assert_eq!(session.stats(), CacheStats { hits: 7, misses: 1, disk_hits: 0 });
         assert_eq!(session.len(), 1);
         for o in &outputs[1..] {
             assert!(Arc::ptr_eq(&outputs[0], o), "all callers share the canonical Arc");

@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
 use smartmem_ir::Op;
 
 /// Discrete tile-size choices per dimension.
@@ -35,6 +36,26 @@ pub struct ExecConfig {
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig { tile: (8, 8), tile_k: 4, workgroup: (8, 8), unroll: 1 }
+    }
+}
+
+impl Encode for ExecConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.tile.encode(w);
+        self.tile_k.encode(w);
+        self.workgroup.encode(w);
+        self.unroll.encode(w);
+    }
+}
+
+impl Decode for ExecConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ExecConfig {
+            tile: Decode::decode(r)?,
+            tile_k: Decode::decode(r)?,
+            workgroup: Decode::decode(r)?,
+            unroll: Decode::decode(r)?,
+        })
     }
 }
 

@@ -269,8 +269,8 @@ impl IndexExpr {
 
     /// Applies the strength-reduction rules to a fixpoint (bounded number
     /// of passes). `extents` gives each variable's iteration extent for
-    /// range-based rules. See [`crate::simplify`] internals for the rule
-    /// catalogue.
+    /// range-based rules. See the `simplify` module internals for the
+    /// rule catalogue.
     pub fn simplify(&self, extents: &[usize]) -> IndexExpr {
         crate::simplify::simplify(self, extents)
     }

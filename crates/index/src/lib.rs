@@ -46,6 +46,7 @@
 mod expr;
 mod map;
 mod simplify;
+mod wire;
 
 pub use expr::{ExprCost, IndexExpr, Range};
 pub use map::{DepKind, IndexMap};

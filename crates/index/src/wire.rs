@@ -1,0 +1,137 @@
+//! Wire-codec implementations for index expressions and maps (consumed
+//! by the persistent compilation cache in `smartmem-core`).
+
+use crate::expr::IndexExpr;
+use crate::map::IndexMap;
+use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
+
+impl Encode for IndexExpr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            IndexExpr::Var(i) => {
+                w.put_u8(0);
+                i.encode(w);
+            }
+            IndexExpr::Const(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+            IndexExpr::Add(a, b) => {
+                w.put_u8(2);
+                a.encode(w);
+                b.encode(w);
+            }
+            IndexExpr::Mul(a, b) => {
+                w.put_u8(3);
+                a.encode(w);
+                b.encode(w);
+            }
+            IndexExpr::Div(a, b) => {
+                w.put_u8(4);
+                a.encode(w);
+                b.encode(w);
+            }
+            IndexExpr::Mod(a, b) => {
+                w.put_u8(5);
+                a.encode(w);
+                b.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for IndexExpr {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let pair = |r: &mut Reader<'_>| -> Result<(Box<IndexExpr>, Box<IndexExpr>), WireError> {
+            Ok((Box::new(IndexExpr::decode(r)?), Box::new(IndexExpr::decode(r)?)))
+        };
+        Ok(match r.get_u8()? {
+            0 => IndexExpr::Var(Decode::decode(r)?),
+            1 => IndexExpr::Const(Decode::decode(r)?),
+            2 => {
+                let (a, b) = pair(r)?;
+                IndexExpr::Add(a, b)
+            }
+            3 => {
+                let (a, b) = pair(r)?;
+                IndexExpr::Mul(a, b)
+            }
+            4 => {
+                let (a, b) = pair(r)?;
+                IndexExpr::Div(a, b)
+            }
+            5 => {
+                let (a, b) = pair(r)?;
+                IndexExpr::Mod(a, b)
+            }
+            tag => return Err(WireError::BadTag { ty: "IndexExpr", tag }),
+        })
+    }
+}
+
+impl Encode for IndexMap {
+    fn encode(&self, w: &mut Writer) {
+        self.in_extents().encode(w);
+        self.out_extents().encode(w);
+        self.exprs().encode(w);
+    }
+}
+
+impl Decode for IndexMap {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let in_extents = Vec::<usize>::decode(r)?;
+        let out_extents = Vec::<usize>::decode(r)?;
+        let exprs = Vec::<IndexExpr>::decode(r)?;
+        if exprs.len() != in_extents.len() {
+            return Err(WireError::Invalid("index map arity mismatch".into()));
+        }
+        // Every expression must only reference output variables, or a
+        // later eval would panic on a wild Var index.
+        let out_rank = out_extents.len();
+        for e in &exprs {
+            if e.vars().iter().any(|&v| v >= out_rank) {
+                return Err(WireError::Invalid("index expr references unknown variable".into()));
+            }
+        }
+        Ok(IndexMap::from_parts(in_extents, out_extents, exprs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartmem_ir::wire::{decode_from, encode_to_vec};
+
+    #[test]
+    fn maps_roundtrip() {
+        let maps = vec![
+            IndexMap::identity(&[2, 3]),
+            IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]).simplify(),
+            IndexMap::transpose(&[2, 3, 4], &[2, 0, 1]),
+            IndexMap::slice(&[10, 4], 0, 3, 5),
+            IndexMap::depth_to_space(&[1, 8, 2, 2], 2),
+        ];
+        for m in maps {
+            let back: IndexMap = decode_from(&encode_to_vec(&m)).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut w = Writer::new();
+        vec![2usize, 3].encode(&mut w); // 2 input dims
+        vec![3usize, 2].encode(&mut w);
+        vec![IndexExpr::Var(0)].encode(&mut w); // but only 1 expr
+        assert!(decode_from::<IndexMap>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn wild_variable_rejected() {
+        let mut w = Writer::new();
+        vec![2usize].encode(&mut w);
+        vec![3usize].encode(&mut w);
+        vec![IndexExpr::Var(7)].encode(&mut w); // out rank is 1
+        assert!(decode_from::<IndexMap>(&w.into_bytes()).is_err());
+    }
+}

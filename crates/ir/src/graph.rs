@@ -91,6 +91,19 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Reassembles a graph from decoded parts (the wire codec's entry
+    /// point). Callers must run [`Graph::validate`] afterwards — the
+    /// parts come straight off disk.
+    pub(crate) fn from_wire_parts(
+        name: String,
+        nodes: Vec<Node>,
+        tensors: Vec<TensorInfo>,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> Graph {
+        Graph { name, nodes, tensors, inputs, outputs }
+    }
+
     /// Graph name (the model name for zoo graphs).
     pub fn name(&self) -> &str {
         &self.name

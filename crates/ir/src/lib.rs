@@ -39,6 +39,7 @@ mod graph;
 mod layout;
 mod ops;
 mod shape;
+pub mod wire;
 
 pub use dtype::DType;
 pub use error::IrError;

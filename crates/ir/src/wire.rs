@@ -1,0 +1,995 @@
+//! A hand-rolled binary wire format for persisting compiled artifacts.
+//!
+//! The build container is offline (no serde), so the on-disk compilation
+//! cache serializes through this minimal codec instead: little-endian
+//! fixed-width integers, length-prefixed sequences, and one tag byte per
+//! enum variant. The traits live here in `smartmem-ir` so that the
+//! crates owning the persisted types (`smartmem-index`, `smartmem-sim`,
+//! `smartmem-core`) can implement them beside the type definitions
+//! without tripping the orphan rule.
+//!
+//! Decoding is *defensive but not adversarial*: every length prefix is
+//! bounds-checked against the remaining input (a truncated or corrupted
+//! file yields [`WireError`], never a panic or an absurd allocation),
+//! and [`Graph`] re-validates its invariants after decode. Integrity
+//! against bit-rot is the caller's job — the persistent cache layer in
+//! `smartmem-core` wraps every payload in a checksummed, versioned
+//! header and falls back to a cold compile on any mismatch.
+//!
+//! # Example
+//!
+//! ```
+//! use smartmem_ir::wire::{decode_from, encode_to_vec};
+//!
+//! let bytes = encode_to_vec(&vec![String::from("lte"), String::from("fusion")]);
+//! let back: Vec<String> = decode_from(&bytes).unwrap();
+//! assert_eq!(back, vec!["lte", "fusion"]);
+//! ```
+
+use crate::dtype::DType;
+use crate::graph::{Graph, Node, OpId, OpOrigin, TensorId, TensorInfo, TensorKind};
+use crate::layout::{Layout, TexturePlacement};
+use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
+use crate::shape::Shape;
+use std::error::Error;
+use std::fmt;
+
+/// Decoding failure: truncated input, an unknown enum tag, or a decoded
+/// value violating the target type's invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// An enum tag byte had no matching variant.
+    BadTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// The decoded value violates an invariant of its type (e.g. a graph
+    /// failing validation).
+    Invalid(String),
+    /// Input had trailing bytes after the value (only raised by
+    /// [`decode_from`], which expects to consume everything).
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("input truncated"),
+            WireError::BadTag { ty, tag } => write!(f, "unknown tag {tag} decoding {ty}"),
+            WireError::Invalid(msg) => write!(f, "invalid value: {msg}"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after value"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Byte sink for encoding (a thin wrapper over `Vec<u8>`).
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a sequence-length prefix, rejecting lengths that could not
+    /// possibly fit in the remaining input (`min_elem_bytes` is the
+    /// smallest encoding of one element). This is what keeps a corrupted
+    /// length prefix from turning into a multi-gigabyte allocation.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.get_u64()?;
+        let len = usize::try_from(len).map_err(|_| WireError::Truncated)?;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(len)
+    }
+}
+
+/// Serializes a value into the wire format.
+pub trait Encode {
+    /// Appends the value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Deserializes a value from the wire format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input, unknown enum tags, or
+    /// invariant violations.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh byte vector.
+pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value that must span exactly the whole input.
+///
+/// # Errors
+///
+/// Returns [`WireError::TrailingBytes`] when input remains after the
+/// value, plus every error [`Decode::decode`] can raise.
+pub fn decode_from<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u8()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_i64()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_f64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        usize::try_from(r.get_u64()?).map_err(|_| WireError::Invalid("usize overflow".into()))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { ty: "bool", tag }),
+        }
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        self.as_str().encode(w);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len(1)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("non-UTF8 string".into()))
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.as_slice().encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Option", tag }),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// IR leaf types
+// ---------------------------------------------------------------------
+
+impl Encode for Shape {
+    fn encode(&self, w: &mut Writer) {
+        self.dims().encode(w);
+    }
+}
+
+impl Decode for Shape {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Shape::new(Vec::<usize>::decode(r)?))
+    }
+}
+
+impl Encode for DType {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DType::F16 => 0,
+            DType::F32 => 1,
+            DType::I32 => 2,
+            DType::I8 => 3,
+        });
+    }
+}
+
+impl Decode for DType {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(DType::F16),
+            1 => Ok(DType::F32),
+            2 => Ok(DType::I32),
+            3 => Ok(DType::I8),
+            tag => Err(WireError::BadTag { ty: "DType", tag }),
+        }
+    }
+}
+
+impl Encode for TensorId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for TensorId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TensorId(r.get_u32()?))
+    }
+}
+
+impl Encode for OpId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for OpId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OpId(r.get_u32()?))
+    }
+}
+
+impl Encode for TensorKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            TensorKind::Input => 0,
+            TensorKind::Weight => 1,
+            TensorKind::Activation => 2,
+        });
+    }
+}
+
+impl Decode for TensorKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(TensorKind::Input),
+            1 => Ok(TensorKind::Weight),
+            2 => Ok(TensorKind::Activation),
+            tag => Err(WireError::BadTag { ty: "TensorKind", tag }),
+        }
+    }
+}
+
+impl Encode for OpOrigin {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            OpOrigin::Model => 0,
+            OpOrigin::Framework => 1,
+        });
+    }
+}
+
+impl Decode for OpOrigin {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(OpOrigin::Model),
+            1 => Ok(OpOrigin::Framework),
+            tag => Err(WireError::BadTag { ty: "OpOrigin", tag }),
+        }
+    }
+}
+
+impl Encode for UnaryKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            UnaryKind::Relu => 0,
+            UnaryKind::Gelu => 1,
+            UnaryKind::Silu => 2,
+            UnaryKind::Sigmoid => 3,
+            UnaryKind::Tanh => 4,
+            UnaryKind::Exp => 5,
+            UnaryKind::Sqrt => 6,
+            UnaryKind::Recip => 7,
+            UnaryKind::Neg => 8,
+            UnaryKind::Identity => 9,
+        });
+    }
+}
+
+impl Decode for UnaryKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => UnaryKind::Relu,
+            1 => UnaryKind::Gelu,
+            2 => UnaryKind::Silu,
+            3 => UnaryKind::Sigmoid,
+            4 => UnaryKind::Tanh,
+            5 => UnaryKind::Exp,
+            6 => UnaryKind::Sqrt,
+            7 => UnaryKind::Recip,
+            8 => UnaryKind::Neg,
+            9 => UnaryKind::Identity,
+            tag => return Err(WireError::BadTag { ty: "UnaryKind", tag }),
+        })
+    }
+}
+
+impl Encode for BinaryKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BinaryKind::Add => 0,
+            BinaryKind::Sub => 1,
+            BinaryKind::Mul => 2,
+            BinaryKind::Div => 3,
+            BinaryKind::Max => 4,
+        });
+    }
+}
+
+impl Decode for BinaryKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => BinaryKind::Add,
+            1 => BinaryKind::Sub,
+            2 => BinaryKind::Mul,
+            3 => BinaryKind::Div,
+            4 => BinaryKind::Max,
+            tag => return Err(WireError::BadTag { ty: "BinaryKind", tag }),
+        })
+    }
+}
+
+impl Encode for ReduceKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ReduceKind::Sum => 0,
+            ReduceKind::Mean => 1,
+            ReduceKind::Max => 2,
+            ReduceKind::Min => 3,
+        });
+    }
+}
+
+impl Decode for ReduceKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => ReduceKind::Sum,
+            1 => ReduceKind::Mean,
+            2 => ReduceKind::Max,
+            3 => ReduceKind::Min,
+            tag => return Err(WireError::BadTag { ty: "ReduceKind", tag }),
+        })
+    }
+}
+
+impl Encode for PoolKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            PoolKind::Max => 0,
+            PoolKind::Avg => 1,
+        });
+    }
+}
+
+impl Decode for PoolKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(PoolKind::Max),
+            1 => Ok(PoolKind::Avg),
+            tag => Err(WireError::BadTag { ty: "PoolKind", tag }),
+        }
+    }
+}
+
+impl Encode for Op {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Op::Conv2d { stride, padding, groups } => {
+                w.put_u8(0);
+                stride.encode(w);
+                padding.encode(w);
+                groups.encode(w);
+            }
+            Op::MatMul { trans_a, trans_b } => {
+                w.put_u8(1);
+                trans_a.encode(w);
+                trans_b.encode(w);
+            }
+            Op::LayerNorm { axes } => {
+                w.put_u8(2);
+                axes.encode(w);
+            }
+            Op::InstanceNorm => w.put_u8(3),
+            Op::Softmax { axis } => {
+                w.put_u8(4);
+                axis.encode(w);
+            }
+            Op::Reduce { kind, axes, keep_dims } => {
+                w.put_u8(5);
+                kind.encode(w);
+                axes.encode(w);
+                keep_dims.encode(w);
+            }
+            Op::Pool2d { kind, kernel, stride, padding } => {
+                w.put_u8(6);
+                kind.encode(w);
+                kernel.encode(w);
+                stride.encode(w);
+                padding.encode(w);
+            }
+            Op::Unary { kind } => {
+                w.put_u8(7);
+                kind.encode(w);
+            }
+            Op::Binary { kind } => {
+                w.put_u8(8);
+                kind.encode(w);
+            }
+            Op::Concat { axis } => {
+                w.put_u8(9);
+                axis.encode(w);
+            }
+            Op::Reshape { shape } => {
+                w.put_u8(10);
+                shape.encode(w);
+            }
+            Op::Transpose { perm } => {
+                w.put_u8(11);
+                perm.encode(w);
+            }
+            Op::DepthToSpace { block } => {
+                w.put_u8(12);
+                block.encode(w);
+            }
+            Op::SpaceToDepth { block } => {
+                w.put_u8(13);
+                block.encode(w);
+            }
+            Op::Gather { axis } => {
+                w.put_u8(14);
+                axis.encode(w);
+            }
+            Op::Slice { axis, start, len } => {
+                w.put_u8(15);
+                axis.encode(w);
+                start.encode(w);
+                len.encode(w);
+            }
+            Op::Split { axis, parts } => {
+                w.put_u8(16);
+                axis.encode(w);
+                parts.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Op {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Op::Conv2d {
+                stride: Decode::decode(r)?,
+                padding: Decode::decode(r)?,
+                groups: Decode::decode(r)?,
+            },
+            1 => Op::MatMul { trans_a: Decode::decode(r)?, trans_b: Decode::decode(r)? },
+            2 => Op::LayerNorm { axes: Decode::decode(r)? },
+            3 => Op::InstanceNorm,
+            4 => Op::Softmax { axis: Decode::decode(r)? },
+            5 => Op::Reduce {
+                kind: Decode::decode(r)?,
+                axes: Decode::decode(r)?,
+                keep_dims: Decode::decode(r)?,
+            },
+            6 => Op::Pool2d {
+                kind: Decode::decode(r)?,
+                kernel: Decode::decode(r)?,
+                stride: Decode::decode(r)?,
+                padding: Decode::decode(r)?,
+            },
+            7 => Op::Unary { kind: Decode::decode(r)? },
+            8 => Op::Binary { kind: Decode::decode(r)? },
+            9 => Op::Concat { axis: Decode::decode(r)? },
+            10 => Op::Reshape { shape: Decode::decode(r)? },
+            11 => Op::Transpose { perm: Decode::decode(r)? },
+            12 => Op::DepthToSpace { block: Decode::decode(r)? },
+            13 => Op::SpaceToDepth { block: Decode::decode(r)? },
+            14 => Op::Gather { axis: Decode::decode(r)? },
+            15 => Op::Slice {
+                axis: Decode::decode(r)?,
+                start: Decode::decode(r)?,
+                len: Decode::decode(r)?,
+            },
+            16 => Op::Split { axis: Decode::decode(r)?, parts: Decode::decode(r)? },
+            tag => return Err(WireError::BadTag { ty: "Op", tag }),
+        })
+    }
+}
+
+impl Encode for TexturePlacement {
+    fn encode(&self, w: &mut Writer) {
+        self.height_dims.encode(w);
+        self.width_dims.encode(w);
+        self.vector_dim.encode(w);
+    }
+}
+
+impl Decode for TexturePlacement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TexturePlacement {
+            height_dims: Decode::decode(r)?,
+            width_dims: Decode::decode(r)?,
+            vector_dim: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Layout {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Layout::Buffer { perm, vector_dim } => {
+                w.put_u8(0);
+                perm.encode(w);
+                vector_dim.encode(w);
+            }
+            Layout::Texture(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Layout {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Layout::Buffer { perm: Decode::decode(r)?, vector_dim: Decode::decode(r)? }),
+            1 => Ok(Layout::Texture(Decode::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "Layout", tag }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------
+
+impl Encode for TensorInfo {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.shape.encode(w);
+        self.dtype.encode(w);
+        self.kind.encode(w);
+        self.producer.encode(w);
+        self.consumers.encode(w);
+    }
+}
+
+impl Decode for TensorInfo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TensorInfo {
+            name: Decode::decode(r)?,
+            shape: Decode::decode(r)?,
+            dtype: Decode::decode(r)?,
+            kind: Decode::decode(r)?,
+            producer: Decode::decode(r)?,
+            consumers: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Node {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.op.encode(w);
+        self.inputs.encode(w);
+        self.outputs.encode(w);
+        self.name.encode(w);
+        self.origin.encode(w);
+    }
+}
+
+impl Decode for Node {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Node {
+            id: Decode::decode(r)?,
+            op: Decode::decode(r)?,
+            inputs: Decode::decode(r)?,
+            outputs: Decode::decode(r)?,
+            name: Decode::decode(r)?,
+            origin: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Graph {
+    fn encode(&self, w: &mut Writer) {
+        self.name().encode(w);
+        self.nodes().encode(w);
+        self.tensors().encode(w);
+        self.inputs().encode(w);
+        self.outputs().encode(w);
+    }
+}
+
+impl Decode for Graph {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = String::decode(r)?;
+        let nodes = Vec::<Node>::decode(r)?;
+        let tensors = Vec::<TensorInfo>::decode(r)?;
+        let inputs = Vec::<TensorId>::decode(r)?;
+        let outputs = Vec::<TensorId>::decode(r)?;
+        // Reference bounds must hold before Graph::validate can run (it
+        // indexes nodes/tensors by id and would panic on wild ids).
+        let bad = |what: &str| Err(WireError::Invalid(format!("decoded graph: {what}")));
+        for (i, n) in nodes.iter().enumerate() {
+            if n.id.0 as usize != i {
+                return bad("node ids not consecutive");
+            }
+        }
+        for t in &tensors {
+            if t.producer.is_some_and(|p| p.0 as usize >= nodes.len())
+                || t.consumers.iter().any(|c| c.0 as usize >= nodes.len())
+            {
+                return bad("tensor references unknown node");
+            }
+        }
+        if inputs.iter().chain(outputs.iter()).any(|t| t.0 as usize >= tensors.len()) {
+            return bad("graph io references unknown tensor");
+        }
+        let graph = Graph::from_wire_parts(name, nodes, tensors, inputs, outputs);
+        graph
+            .validate()
+            .map_err(|e| WireError::Invalid(format!("decoded graph fails validation: {e}")))?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn roundtrip<T: Encode + Decode>(value: &T) -> T {
+        decode_from(&encode_to_vec(value)).expect("roundtrip")
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(roundtrip(&42u64), 42);
+        assert_eq!(roundtrip(&-7i64), -7);
+        assert_eq!(roundtrip(&3.25f64), 3.25);
+        assert!(roundtrip(&true));
+        assert!(!roundtrip(&false));
+        assert_eq!(roundtrip(&String::from("smartmem")), "smartmem");
+        assert_eq!(roundtrip(&vec![1usize, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(roundtrip(&Some(9u32)), Some(9));
+        assert_eq!(roundtrip(&None::<u32>), None);
+        assert_eq!(roundtrip(&(4usize, 5usize)), (4, 5));
+    }
+
+    #[test]
+    fn ops_and_layouts_roundtrip() {
+        let ops = vec![
+            Op::Conv2d { stride: (2, 1), padding: (1, 1), groups: 4 },
+            Op::MatMul { trans_a: true, trans_b: false },
+            Op::LayerNorm { axes: vec![1, 2] },
+            Op::InstanceNorm,
+            Op::Softmax { axis: 2 },
+            Op::Reduce { kind: ReduceKind::Mean, axes: vec![0], keep_dims: true },
+            Op::Pool2d { kind: PoolKind::Avg, kernel: (3, 3), stride: (2, 2), padding: (1, 1) },
+            Op::Unary { kind: UnaryKind::Gelu },
+            Op::Binary { kind: BinaryKind::Max },
+            Op::Concat { axis: 1 },
+            Op::Reshape { shape: vec![1, 2, 3] },
+            Op::Transpose { perm: vec![2, 0, 1] },
+            Op::DepthToSpace { block: 2 },
+            Op::SpaceToDepth { block: 2 },
+            Op::Gather { axis: 0 },
+            Op::Slice { axis: 1, start: 2, len: 3 },
+            Op::Split { axis: 0, parts: 4 },
+        ];
+        assert_eq!(roundtrip(&ops), ops);
+        let layouts = vec![
+            Layout::row_major(4),
+            Layout::nc4hw4(),
+            Layout::texture_default(3),
+            Layout::texture_default(4),
+        ];
+        assert_eq!(roundtrip(&layouts), layouts);
+    }
+
+    #[test]
+    fn graph_roundtrip_preserves_debug_identity() {
+        let mut b = GraphBuilder::new("wire");
+        let x = b.input("x", &[1, 16, 8, 8], DType::F16);
+        let wt = b.weight("w", &[32, 16, 3, 3], DType::F16);
+        let c = b.conv2d(x, wt, (1, 1), (1, 1), 1);
+        let flat = b.reshape(c, &[1, 32, 64]);
+        let t = b.transpose(flat, &[0, 2, 1]);
+        b.output(t);
+        let g = b.finish();
+        let back: Graph = roundtrip(&g);
+        assert_eq!(format!("{g:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = decode_from::<Vec<u64>>(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, WireError::Truncated);
+        }
+    }
+
+    #[test]
+    fn huge_length_prefix_is_rejected_without_allocating() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // a corrupted length prefix
+        let err = decode_from::<Vec<u64>>(&w.into_bytes()).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        let err = decode_from::<DType>(&[99]).unwrap_err();
+        assert_eq!(err, WireError::BadTag { ty: "DType", tag: 99 });
+        let err = decode_from::<Op>(&[200]).unwrap_err();
+        assert_eq!(err, WireError::BadTag { ty: "Op", tag: 200 });
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = encode_to_vec(&7u64);
+        bytes.push(0);
+        assert_eq!(decode_from::<u64>(&bytes).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn inconsistent_graph_fails_validation_on_decode() {
+        // Encode a graph, then decode a doctored variant whose node list
+        // was emptied while tensors still reference producers.
+        let mut b = GraphBuilder::new("bad");
+        let x = b.input("x", &[4], DType::F16);
+        let y = b.unary(x, UnaryKind::Relu);
+        b.output(y);
+        let g = b.finish();
+        let mut w = Writer::new();
+        g.name().to_string().encode(&mut w);
+        Vec::<Node>::new().encode(&mut w); // drop all nodes
+        g.tensors().to_vec().encode(&mut w);
+        g.inputs().to_vec().encode(&mut w);
+        g.outputs().to_vec().encode(&mut w);
+        let err = decode_from::<Graph>(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::Invalid(_)), "got {err:?}");
+    }
+}

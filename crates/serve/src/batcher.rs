@@ -37,6 +37,13 @@ struct PendingBatch<T> {
 }
 
 /// Size-or-deadline batcher over (model, device) keys.
+///
+/// Push requests with [`Batcher::push`] (which returns a batch the
+/// moment a key reaches `max_batch`), flush deadline-expired batches
+/// with [`Batcher::due`], and ask [`Batcher::next_deadline`] how long
+/// the driving thread may sleep before the next flush is owed. The
+/// struct holds no threads or channels, which is what makes its flush
+/// behaviour property-testable with synthetic clocks.
 pub struct Batcher<T> {
     max_batch: usize,
     max_delay: Duration,

@@ -36,6 +36,12 @@ struct DeviceEntry {
 
 /// The scheduler's device pool: configurations plus an outstanding-work
 /// account per device. Thread-safe.
+///
+/// Admission calls [`DevicePool::place`] with per-device latency
+/// estimates; the pool picks the device minimizing *outstanding work +
+/// this request's estimate* and charges it. Completion (or a failed
+/// enqueue) pays the charge back via [`DevicePool::discharge`], so the
+/// accounts track work that is genuinely still queued.
 pub struct DevicePool {
     entries: Vec<DeviceEntry>,
 }

@@ -9,6 +9,7 @@ use smartmem_core::{
 };
 use smartmem_sim::DeviceConfig;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -43,6 +44,13 @@ pub struct ServeConfig {
     /// `0.0` disables sleeping — batches drain as fast as the host can
     /// estimate them (the right mode for tests).
     pub exec_time_scale: f64,
+    /// Persistent artifact-cache directory for the compilation session.
+    /// When set, cold compiles are written through to disk and a
+    /// restarted server warm-starts from the artifacts — 100 % cache
+    /// hit rate from the very first request (see
+    /// [`CompileSession::with_cache_dir`]). `None` keeps the session
+    /// purely in-memory.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +60,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             exec_time_scale: 0.0,
+            cache_dir: None,
         }
     }
 }
@@ -189,10 +198,23 @@ impl Server {
             per_device_batches: (0..pool.len()).map(|_| AtomicU64::new(0)).collect(),
             completion_seq: AtomicU64::new(0),
         };
+        // A broken cache directory must not take the server down with
+        // it — fall back to a purely in-memory session and keep
+        // serving (every compile just goes cold).
+        let session = match &config.cache_dir {
+            Some(dir) => CompileSession::with_cache_dir(dir).unwrap_or_else(|e| {
+                eprintln!(
+                    "smartmem-serve: cache dir {} unusable ({e}), serving without it",
+                    dir.display()
+                );
+                CompileSession::new()
+            }),
+            None => CompileSession::new(),
+        };
         let inner = Arc::new(Inner {
             models,
             pool,
-            session: CompileSession::new(),
+            session,
             framework,
             estimates,
             config: config.clone(),

@@ -178,6 +178,46 @@ fn server_pool_len() -> usize {
 }
 
 #[test]
+fn restarted_server_is_cache_hot_from_request_one() {
+    // A unique scratch cache dir (no tempfile crate in the container).
+    let dir = std::env::temp_dir().join(format!("smartmem-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig { cache_dir: Some(dir.clone()), ..ServeConfig::default() };
+
+    // First server: every (model, device) pair compiles cold and is
+    // written through to disk.
+    let cold = Server::start(models(), devices(), config.clone());
+    let tickets: Vec<_> = (0..models().len())
+        .flat_map(|m| (0..cold.pool().len()).map(move |d| InferenceRequest::new(m).on_device(d)))
+        .map(|req| cold.submit(req).expect("submit"))
+        .collect();
+    for t in tickets {
+        assert!(t.wait().error.is_none());
+    }
+    let cold_stats = cold.shutdown();
+    assert_eq!(cold_stats.cache.misses as usize, models().len() * devices().len());
+
+    // "Restarted" server over the same directory: the very first
+    // request of every pair decodes a persisted artifact — zero cold
+    // compiles, 100% hit rate from request one.
+    let warm = Server::start(models(), devices(), config);
+    let tickets: Vec<_> = (0..models().len())
+        .flat_map(|m| (0..warm.pool().len()).map(move |d| InferenceRequest::new(m).on_device(d)))
+        .map(|req| warm.submit(req).expect("submit"))
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.error.is_none());
+        assert!(r.compile_cache_hit, "warm-start request must be a cache hit");
+    }
+    let warm_stats = warm.shutdown();
+    assert_eq!(warm_stats.cache.misses, 0, "warm start must not cold-compile");
+    assert_eq!(warm_stats.cache.disk_hits as usize, models().len() * devices().len());
+    assert!((warm_stats.cache_hit_rate() - 1.0).abs() < f64::EPSILON);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_ids_are_rejected_cleanly() {
     let server = Server::start(models(), devices(), ServeConfig::default());
     assert!(server.submit(InferenceRequest::new(99)).is_err());

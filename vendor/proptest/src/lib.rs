@@ -227,7 +227,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,
