@@ -1,7 +1,8 @@
-//! Open-loop serving benchmark: replays a synthetic request trace over
-//! the model zoo through `smartmem-serve` and reports throughput,
-//! latency percentiles, the batch-size histogram, and the compilation
-//! cache's steady-state hit rate.
+//! Open-loop serving benchmark: replays a synthetic, priority-mixed
+//! request trace over the model zoo through `smartmem-serve` and
+//! reports throughput, per-class latency percentiles and SLO
+//! violations, per-device batch-size histograms, cancellation
+//! accounting, and the compilation cache's steady-state hit rate.
 //!
 //! ```text
 //! cargo run -p smartmem-bench --release --bin serve_bench            # full trace
@@ -10,6 +11,9 @@
 //!
 //! Flags: `--smoke`, `--requests N`, `--rate RPS`, `--seed S`,
 //! `--scale F` (wall-clock throttle of simulated device time),
+//! `--cancel-rate P` (probability a request is cancelled ~one arrival
+//! after submission, racing the batch cut), `--cut-policy pull|deadline`
+//! (A/B the pull-mode batcher against the fixed-window baseline),
 //! `--cold` (skip the warmup pass, so the replay measures cold-compile
 //! stalls instead of steady state), `--cache-dir DIR` (persistent
 //! artifact cache: cold compiles write through, rerunning against the
@@ -21,13 +25,20 @@
 //! times at the configured rate and are submitted on schedule, whether
 //! or not the server has caught up — the standard way to expose
 //! queueing behaviour. Model popularity is Zipf-distributed, so hot
-//! models exercise batching while the tail exercises cache breadth.
+//! models exercise batching while the tail exercises cache breadth;
+//! priorities are drawn 60 % `Interactive` / 25 % `Batch` / 15 %
+//! `BestEffort`. Under `--smoke` the run additionally gates on zero
+//! `Interactive` SLO violations.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartmem_bench::render_table;
-use smartmem_serve::{InferenceRequest, InferenceResponse, ModelSpec, ServeConfig, Server};
+use smartmem_serve::{
+    histogram_mean, CutPolicy, InferenceRequest, InferenceResponse, ModelSpec, Priority,
+    ServeConfig, Server,
+};
 use smartmem_sim::DeviceConfig;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -38,6 +49,8 @@ struct BenchOpts {
     rate_rps: f64,
     seed: u64,
     exec_time_scale: f64,
+    cancel_rate: f64,
+    cut_policy: CutPolicy,
     cache_dir: Option<PathBuf>,
     expect_warm: bool,
 }
@@ -50,6 +63,8 @@ fn parse_args() -> BenchOpts {
         rate_rps: 2000.0,
         seed: 42,
         exec_time_scale: 0.15,
+        cancel_rate: 0.0,
+        cut_policy: CutPolicy::Pull,
         cache_dir: None,
         expect_warm: false,
     };
@@ -66,6 +81,14 @@ fn parse_args() -> BenchOpts {
             "--rate" => opts.rate_rps = value("--rate").parse().expect("number"),
             "--seed" => opts.seed = value("--seed").parse().expect("integer"),
             "--scale" => opts.exec_time_scale = value("--scale").parse().expect("number"),
+            "--cancel-rate" => opts.cancel_rate = value("--cancel-rate").parse().expect("number"),
+            "--cut-policy" => {
+                opts.cut_policy = match value("--cut-policy").as_str() {
+                    "pull" => CutPolicy::Pull,
+                    "deadline" => CutPolicy::Deadline,
+                    other => panic!("--cut-policy must be pull or deadline, got {other}"),
+                }
+            }
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--expect-warm" => opts.expect_warm = true,
             other => panic!("unknown flag {other}"),
@@ -75,6 +98,7 @@ fn parse_args() -> BenchOpts {
         !opts.expect_warm || opts.cache_dir.is_some(),
         "--expect-warm requires --cache-dir (a warm start needs persisted artifacts)"
     );
+    assert!((0.0..=1.0).contains(&opts.cancel_rate), "--cancel-rate must be in [0, 1]");
     if opts.smoke {
         opts.requests = opts.requests.min(60);
         opts.rate_rps = 3000.0;
@@ -134,20 +158,26 @@ fn main() {
     let opts = parse_args();
     let models = zoo(opts.smoke);
     let model_count = models.len();
-    let server = Server::start(
-        models,
-        devices(),
-        ServeConfig {
-            // Big enough that the open loop never blocks on submit:
-            // arrivals stay on schedule whether or not the server has
-            // caught up.
-            queue_capacity: opts.requests + 64,
-            max_batch: 8,
-            max_delay: Duration::from_millis(3),
-            exec_time_scale: opts.exec_time_scale,
-            cache_dir: opts.cache_dir.clone(),
-        },
-    );
+    // The per-class budgets the trace is gated against. Smoke keeps a
+    // CI-safe Interactive budget (shared runners hiccup); the full
+    // trace uses the tighter production default.
+    let mut config = ServeConfig {
+        // Big enough that the open loop never blocks on submit:
+        // arrivals stay on schedule whether or not the server has
+        // caught up.
+        queue_capacity: opts.requests + 64,
+        max_batch: 8,
+        max_delay: Duration::from_millis(3),
+        exec_time_scale: opts.exec_time_scale,
+        cut_policy: opts.cut_policy,
+        cache_dir: opts.cache_dir.clone(),
+        ..ServeConfig::default()
+    };
+    if opts.smoke {
+        config.deadlines.interactive = Duration::from_millis(100);
+    }
+    let deadlines = config.deadlines;
+    let server = Server::start(models, devices(), config);
 
     // Zipf popularity: model i drawn with weight 1/(i+1).
     let weights: Vec<f64> = (0..model_count).map(|i| 1.0 / (i + 1) as f64).collect();
@@ -163,19 +193,30 @@ fn main() {
         }
         model_count - 1
     };
+    // 60 % Interactive / 25 % Batch / 15 % BestEffort.
+    let mut class_rng = StdRng::seed_from_u64(opts.seed ^ 0x5bf0_3635);
+    let mut pick_class = move || match class_rng.next_u64() % 100 {
+        0..=59 => Priority::Interactive,
+        60..=84 => Priority::Batch,
+        _ => Priority::BestEffort,
+    };
     let mut arrival_rng = StdRng::seed_from_u64(opts.seed ^ 0x9e3779b97f4a7c15);
     let mut next_gap_s = move || {
         let u = (arrival_rng.next_u64().max(1)) as f64 / u64::MAX as f64;
         -u.ln() / rate_nonzero(opts.rate_rps)
     };
+    let mut cancel_rng = StdRng::seed_from_u64(opts.seed ^ 0xc0ff_ee00);
 
     println!(
-        "serve_bench: {} requests over {} models on {} devices (open loop, {:.0} rps, seed {})",
+        "serve_bench: {} requests over {} models on {} devices \
+         (open loop, {:.0} rps, seed {}, {:?} cuts, cancel rate {:.0}%)",
         opts.requests,
         model_count,
         server.pool().len(),
         opts.rate_rps,
         opts.seed,
+        opts.cut_policy,
+        opts.cancel_rate * 100.0,
     );
 
     // --- Warmup -------------------------------------------------------
@@ -205,16 +246,39 @@ fn main() {
     let warm_stats = server.stats();
 
     // --- Replay -------------------------------------------------------
+    // Cancellations are issued ~one arrival after submission, so they
+    // genuinely race the batcher's cut instead of always winning.
     let replay_start = Instant::now();
     let mut arrival = replay_start;
     let mut tickets = Vec::with_capacity(opts.requests);
+    let mut pending_cancels: VecDeque<smartmem_serve::CancelHandle> = VecDeque::new();
+    let mut cancels_attempted = 0u64;
+    let mut cancels_won = 0u64;
     for _ in 0..opts.requests {
         arrival += Duration::from_secs_f64(next_gap_s());
         if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let model = pick_model();
-        tickets.push(server.submit(InferenceRequest::new(model)).expect("submit"));
+        if let Some(handle) = pending_cancels.pop_front() {
+            cancels_attempted += 1;
+            if handle.cancel() {
+                cancels_won += 1;
+            }
+        }
+        let req = InferenceRequest::new(pick_model()).with_priority(pick_class());
+        let ticket = server.submit(req).expect("submit");
+        if opts.cancel_rate > 0.0
+            && (cancel_rng.next_u64() as f64 / u64::MAX as f64) < opts.cancel_rate
+        {
+            pending_cancels.push_back(ticket.cancel_handle());
+        }
+        tickets.push(ticket);
+    }
+    for handle in pending_cancels {
+        cancels_attempted += 1;
+        if handle.cancel() {
+            cancels_won += 1;
+        }
     }
     let responses: Vec<InferenceResponse> = tickets.into_iter().map(|t| t.wait()).collect();
     let wall_s = replay_start.elapsed().as_secs_f64();
@@ -223,27 +287,25 @@ fn main() {
     let stats = server.shutdown();
 
     // --- Report -------------------------------------------------------
-    let mut e2e: Vec<f64> = responses.iter().map(|r| r.e2e_ms()).collect();
+    let served: Vec<&InferenceResponse> = responses.iter().filter(|r| !r.cancelled).collect();
+    let cancelled_responses = responses.len() - served.len();
+    let mut e2e: Vec<f64> = served.iter().map(|r| r.e2e_ms()).collect();
     e2e.sort_by(f64::total_cmp);
-    let mut queue: Vec<f64> = responses.iter().map(|r| r.queue_ms).collect();
+    let mut queue: Vec<f64> = served.iter().map(|r| r.queue_ms).collect();
     queue.sort_by(f64::total_cmp);
-    let failed = responses.iter().filter(|r| r.error.is_some()).count();
+    let failed = served.iter().filter(|r| r.error.is_some()).count();
 
     // Trace-only batching statistics (warmup batches subtracted).
     let trace_batches = stats.batches - warm_stats.batches;
     let hist: Vec<u64> =
         stats.batch_histogram.iter().zip(&warm_stats.batch_histogram).map(|(a, b)| a - b).collect();
-    let mean_batch = if trace_batches == 0 {
-        0.0
-    } else {
-        hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum::<u64>() as f64
-            / trace_batches as f64
-    };
+    let mean_batch = histogram_mean(&hist);
 
     let summary = vec![
-        vec!["completed".into(), format!("{}", responses.len())],
+        vec!["served".into(), format!("{}", served.len())],
+        vec!["cancelled".into(), format!("{cancelled_responses}")],
         vec!["failed".into(), format!("{failed}")],
-        vec!["throughput (req/s)".into(), format!("{:.0}", responses.len() as f64 / wall_s)],
+        vec!["throughput (req/s)".into(), format!("{:.0}", served.len() as f64 / wall_s)],
         vec!["p50 e2e (sim ms)".into(), format!("{:.2}", percentile(&e2e, 50.0))],
         vec!["p99 e2e (sim ms)".into(), format!("{:.2}", percentile(&e2e, 99.0))],
         vec!["p50 queue (ms)".into(), format!("{:.2}", percentile(&queue, 50.0))],
@@ -264,33 +326,107 @@ fn main() {
     ];
     print!("{}", render_table("serve_bench summary", &["metric", "value"], &summary));
 
-    let hist_rows: Vec<Vec<String>> = hist
+    // Per-class latency and SLO report over the traced requests.
+    let class_rows: Vec<Vec<String>> = Priority::ALL
         .iter()
-        .enumerate()
-        .filter(|(_, &count)| count > 0)
-        .map(|(i, &count)| {
-            let bar = "#".repeat(((count as usize) * 40 / trace_batches.max(1) as usize).max(1));
-            vec![format!("{}", i + 1), format!("{count}"), bar]
+        .map(|&class| {
+            let mut class_e2e: Vec<f64> =
+                served.iter().filter(|r| r.priority == class).map(|r| r.e2e_ms()).collect();
+            class_e2e.sort_by(f64::total_cmp);
+            let mut class_wall: Vec<f64> =
+                served.iter().filter(|r| r.priority == class).map(|r| r.wall_ms).collect();
+            class_wall.sort_by(f64::total_cmp);
+            let cs = stats.class(class);
+            let warm_cs = warm_stats.class(class);
+            vec![
+                class.name().into(),
+                format!("{}", class_e2e.len()),
+                format!("{}", cs.cancelled - warm_cs.cancelled),
+                format!("{:.0}", deadlines.budget(class).as_secs_f64() * 1e3),
+                format!("{:.2}", percentile(&class_e2e, 50.0)),
+                format!("{:.2}", percentile(&class_e2e, 99.0)),
+                format!("{:.2}", percentile(&class_wall, 99.0)),
+                format!("{}", cs.slo_violations - warm_cs.slo_violations),
+            ]
         })
         .collect();
-    print!("{}", render_table("batch-size histogram", &["size", "batches", ""], &hist_rows));
+    print!(
+        "{}",
+        render_table(
+            "per-class latency (traced requests)",
+            &[
+                "class",
+                "served",
+                "cancelled",
+                "deadline ms",
+                "p50 e2e",
+                "p99 e2e",
+                "p99 wall",
+                "SLO viol",
+            ],
+            &class_rows,
+        )
+    );
 
+    // Per-device batch histograms: pull-based growth shows up as big
+    // batches on backlogged devices while idle ones keep cutting small.
     let device_rows: Vec<Vec<String>> = stats
-        .per_device_batches
+        .per_device_batch_histogram
         .iter()
-        .zip(&warm_stats.per_device_batches)
+        .zip(&warm_stats.per_device_batch_histogram)
         .enumerate()
-        .map(|(d, (&all, &warm))| vec![device_names[d].clone(), format!("{}", all - warm)])
+        .map(|(d, (all, warm))| {
+            let hist: Vec<u64> = all.iter().zip(warm).map(|(a, b)| a - b).collect();
+            let batches: u64 = hist.iter().sum();
+            let mean = histogram_mean(&hist);
+            let spark: Vec<String> = hist
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("{}:{c}", i + 1))
+                .collect();
+            vec![
+                device_names[d].clone(),
+                format!("{batches}"),
+                format!("{mean:.2}"),
+                spark.join(" "),
+            ]
+        })
         .collect();
-    print!("{}", render_table("batches per device", &["device", "batches"], &device_rows));
+    print!(
+        "{}",
+        render_table(
+            "batches per device (size:count)",
+            &["device", "batches", "mean", "histogram"],
+            &device_rows,
+        )
+    );
 
     // Sanity gates so CI fails loudly if the serving path regresses.
     assert_eq!(
-        stats.completed,
+        stats.completed + stats.cancelled,
         opts.requests as u64 + warmup_requests,
-        "every request must be answered"
+        "every request must be answered (served or cancelled)"
     );
     assert_eq!(failed, 0, "no compilation failures expected on the served zoo");
+    assert_eq!(
+        stats.cancelled, cancels_won,
+        "server-side cancelled count must match the cancel() wins"
+    );
+    assert_eq!(
+        cancelled_responses as u64, cancels_won,
+        "every cancel win resolves its ticket as cancelled — and nothing else does"
+    );
+    assert!(
+        served.iter().all(|r| r.batch_size >= 1),
+        "served responses must have ridden a real batch"
+    );
+    if opts.cancel_rate > 0.0 {
+        println!(
+            "\ncancellation: {cancels_won}/{cancels_attempted} cancel() calls won the race \
+             (the rest were already cut or served)"
+        );
+    }
     // Under --cold the trace deliberately pays every cold compile, so
     // the steady-state gate only applies to warmed runs.
     if !opts.cold {
@@ -299,6 +435,27 @@ fn main() {
         assert!(
             steady >= steady_floor,
             "steady-state cache hit rate {steady:.3} below {steady_floor}"
+        );
+    }
+    // At smoke load the Interactive class must hold its SLO over the
+    // traced requests: the slack-ordered scheduler has no excuse at
+    // ~3000 rps over two warm models. (Warmup requests are excluded —
+    // they deliberately pay the cold compiles.)
+    if opts.smoke {
+        let viol = stats.class(Priority::Interactive).slo_violations
+            - warm_stats.class(Priority::Interactive).slo_violations;
+        assert_eq!(viol, 0, "Interactive SLO violations at smoke load: {viol}");
+        let mut interactive: Vec<f64> = served
+            .iter()
+            .filter(|r| r.priority == Priority::Interactive)
+            .map(|r| r.wall_ms)
+            .collect();
+        interactive.sort_by(f64::total_cmp);
+        let p99 = percentile(&interactive, 99.0);
+        let budget_ms = deadlines.budget(Priority::Interactive).as_secs_f64() * 1e3;
+        assert!(
+            p99 <= budget_ms,
+            "Interactive p99 wall {p99:.2} ms exceeds its {budget_ms:.0} ms budget at smoke load"
         );
     }
     // A warm start against a populated --cache-dir must never run a

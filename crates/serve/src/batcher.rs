@@ -1,13 +1,34 @@
-//! The per-(model, device) request coalescer.
+//! The per-(model, device) request coalescer — pull-mode.
 //!
 //! [`Batcher`] is a pure data structure (no threads, no channels): the
-//! server's batching thread drives it with wall-clock `Instant`s, and
-//! the tests drive it with synthetic ones. A batch for a key flushes
-//! when it reaches `max_batch` requests or when its oldest request has
-//! waited `max_delay` — the classic size-or-deadline policy. Within a
-//! key, requests stay in arrival (FIFO) order.
+//! server drives it with wall-clock `Instant`s under a mutex, and the
+//! tests drive it with synthetic ones. Requests are *pushed* into
+//! per-key FIFO queues and *pulled* out by device workers when a device
+//! frees up — the batch is composed at pull time, so a backlogged
+//! device grows its batches toward `max_batch` instead of flushing
+//! whatever happened to arrive inside a fixed window. The old
+//! size-or-deadline composition survives as [`CutPolicy::Deadline`],
+//! the A/B baseline.
+//!
+//! Three rules govern a pull:
+//!
+//! 1. **Due check** — a key may be cut when it holds `max_batch`
+//!    requests, or when its oldest request has waited `idle_delay`.
+//!    The delay is purely an *idle-latency bound*: it is what flushes a
+//!    lone request on an otherwise idle device; it never truncates a
+//!    batch that backlog has grown.
+//! 2. **Slack ordering** — among due keys of the device, the key whose
+//!    head request has the least *effective slack* is cut first, where
+//!    `slack = (deadline − now) − estimated execution time` and the
+//!    effective value subtracts `aging_factor ×` the head's queueing
+//!    age (starvation aging: every waiting request gains urgency at
+//!    `1 + aging_factor` per unit of wall time, so a long-waiting
+//!    best-effort key eventually outranks fresh interactive traffic).
+//! 3. **Cancel adjudication** — each popped item is offered the cut via
+//!    [`BatchItem::claim`]; items that refuse (already cancelled) are
+//!    returned in [`Cut::cancelled`] and never enter the batch.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Coalescing key: one batch never mixes models or devices.
@@ -19,213 +40,450 @@ pub struct BatchKey {
     pub device: usize,
 }
 
-/// One flushed batch.
+/// How a batch is composed at cut time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CutPolicy {
+    /// Pull-based: a cut takes up to `max_batch` queued requests,
+    /// however long the backlog has grown while the device was busy.
+    #[default]
+    Pull,
+    /// Fixed-deadline baseline: a cut only takes requests that arrived
+    /// within `idle_delay` of the batch head — the composition the old
+    /// push-mode batcher produced by flushing on a timer. Kept so
+    /// benchmarks can A/B the two policies at identical load.
+    Deadline,
+}
+
+/// A queued request as the batcher sees it: enough metadata to order
+/// keys by slack and to adjudicate cancellation at cut time.
+pub trait BatchItem {
+    /// Absolute SLO deadline of this request (admission time + its
+    /// priority class's budget).
+    fn deadline(&self) -> Instant;
+
+    /// Estimated execution time in nanoseconds (the scheduler's
+    /// roofline estimate) — subtracted from the time-to-deadline to get
+    /// slack.
+    fn est_ns(&self) -> f64;
+
+    /// Called exactly once, at cut time, under the batcher's lock:
+    /// return `true` to join the batch, `false` if the request was
+    /// cancelled in the meantime (it then lands in [`Cut::cancelled`]
+    /// and is never executed). Implementations adjudicate the
+    /// cancel-vs-cut race here, e.g. with a compare-and-swap.
+    fn claim(&self) -> bool {
+        true
+    }
+}
+
+/// One cut batch.
 #[derive(Debug)]
 pub struct Batch<T> {
     /// Coalescing key.
     pub key: BatchKey,
     /// Requests in arrival order.
     pub items: Vec<T>,
-    /// When the first request of the batch arrived.
+    /// When the head request of the cut arrived.
     pub opened_at: Instant,
 }
 
-struct PendingBatch<T> {
-    items: Vec<T>,
-    opened_at: Instant,
-    seq: u64,
+/// Result of one pull: the executable batch plus any requests that
+/// turned out to be cancelled when claimed. `batch.items` may be empty
+/// when every popped request had been cancelled — callers answer the
+/// cancelled ones and pull again.
+#[derive(Debug)]
+pub struct Cut<T> {
+    /// The claimed, executable batch (FIFO within its key).
+    pub batch: Batch<T>,
+    /// Requests dropped at cut time because [`BatchItem::claim`]
+    /// refused — cancelled while queued, never to reach a worker.
+    pub cancelled: Vec<T>,
 }
 
-/// Size-or-deadline batcher over (model, device) keys.
+struct Queued<T> {
+    item: T,
+    enqueued: Instant,
+}
+
+/// Pull-mode batcher over (model, device) keys.
 ///
-/// Push requests with [`Batcher::push`] (which returns a batch the
-/// moment a key reaches `max_batch`), flush deadline-expired batches
-/// with [`Batcher::due`], and ask [`Batcher::next_deadline`] how long
-/// the driving thread may sleep before the next flush is owed. The
-/// struct holds no threads or channels, which is what makes its flush
-/// behaviour property-testable with synthetic clocks.
+/// [`Batcher::push`] enqueues; a device worker asks
+/// [`Batcher::next_due`] how long it may sleep and then
+/// [`Batcher::pull`]s the most urgent due batch for its device.
+/// [`Batcher::pull_any`] ignores the due check (shutdown drain), and
+/// [`Batcher::remove_where`] supports eager cancellation of a queued
+/// request. The struct holds no threads or channels, which is what
+/// makes its invariants property-testable with synthetic clocks.
 pub struct Batcher<T> {
     max_batch: usize,
-    max_delay: Duration,
-    pending: HashMap<BatchKey, PendingBatch<T>>,
-    next_seq: u64,
+    idle_delay: Duration,
+    policy: CutPolicy,
+    aging_factor: f64,
+    queues: HashMap<BatchKey, VecDeque<Queued<T>>>,
 }
 
 impl<T> Batcher<T> {
-    /// Batcher flushing at `max_batch` requests (≥ 1) or after
-    /// `max_delay` of waiting, whichever comes first.
+    /// Batcher cutting at most `max_batch` requests (≥ 1) per batch,
+    /// with `idle_delay` as the idle-latency bound, under the default
+    /// [`CutPolicy::Pull`] and an aging factor of 4.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is zero.
-    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+    pub fn new(max_batch: usize, idle_delay: Duration) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        Batcher { max_batch, max_delay, pending: HashMap::new(), next_seq: 0 }
+        Batcher {
+            max_batch,
+            idle_delay,
+            policy: CutPolicy::Pull,
+            aging_factor: 4.0,
+            queues: HashMap::new(),
+        }
     }
 
-    /// Batch-size flush threshold.
+    /// Replaces the cut policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: CutPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the starvation-aging factor (builder style): each
+    /// nanosecond a head request has queued subtracts `aging_factor`
+    /// nanoseconds from its effective slack. Zero disables aging
+    /// (pure slack ordering).
+    #[must_use]
+    pub fn with_aging_factor(mut self, aging_factor: f64) -> Self {
+        self.aging_factor = aging_factor;
+        self
+    }
+
+    /// Batch-size cap of a single cut.
     pub fn max_batch(&self) -> usize {
         self.max_batch
     }
 
-    /// Deadline flush threshold.
-    pub fn max_delay(&self) -> Duration {
-        self.max_delay
+    /// The idle-latency bound: how long a request may wait before its
+    /// key becomes due even on an idle device.
+    pub fn idle_delay(&self) -> Duration {
+        self.idle_delay
     }
 
-    /// Requests currently waiting across all keys.
+    /// The active cut policy.
+    pub fn policy(&self) -> CutPolicy {
+        self.policy
+    }
+
+    /// Requests currently queued across all keys.
     pub fn pending(&self) -> usize {
-        self.pending.values().map(|b| b.items.len()).sum()
+        self.queues.values().map(|q| q.len()).sum()
     }
 
-    /// Adds a request to its key's open batch, returning the batch when
-    /// it reached `max_batch` (size flush).
-    pub fn push(&mut self, key: BatchKey, item: T, now: Instant) -> Option<Batch<T>> {
-        let seq = self.next_seq;
-        let entry = self.pending.entry(key).or_insert_with(|| {
-            self.next_seq += 1;
-            PendingBatch { items: Vec::new(), opened_at: now, seq }
-        });
-        entry.items.push(item);
-        if entry.items.len() >= self.max_batch {
-            let b = self.pending.remove(&key).expect("entry just inserted");
-            Some(Batch { key, items: b.items, opened_at: b.opened_at })
-        } else {
-            None
+    /// Requests currently queued for one device.
+    pub fn pending_for(&self, device: usize) -> usize {
+        self.queues.iter().filter(|(k, _)| k.device == device).map(|(_, q)| q.len()).sum()
+    }
+
+    /// Enqueues a request at the tail of its key's FIFO queue. Nothing
+    /// is cut here — batches are composed when a worker pulls.
+    pub fn push(&mut self, key: BatchKey, item: T, now: Instant) {
+        self.queues.entry(key).or_default().push_back(Queued { item, enqueued: now });
+    }
+
+    /// Removes the first queued request of `key` matching `pred`
+    /// (eager cancellation of a queued request). Returns `None` when no
+    /// queued request matches — the request was already cut or served.
+    pub fn remove_where(&mut self, key: BatchKey, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let q = self.queues.get_mut(&key)?;
+        let pos = q.iter().position(|e| pred(&e.item))?;
+        let removed = q.remove(pos).expect("position just found").item;
+        if q.is_empty() {
+            self.queues.remove(&key);
         }
+        Some(removed)
     }
 
-    /// Flushes every batch whose oldest request has waited `max_delay`
-    /// by `now` (deadline flush), oldest first.
-    pub fn due(&mut self, now: Instant) -> Vec<Batch<T>> {
-        let due_keys: Vec<BatchKey> = self
-            .pending
+    /// Time until some key of `device` becomes due, or `None` when the
+    /// device has nothing queued. Zero when a cut is owed right now.
+    pub fn next_due(&self, device: usize, now: Instant) -> Option<Duration> {
+        self.queues
             .iter()
-            .filter(|(_, b)| now.saturating_duration_since(b.opened_at) >= self.max_delay)
-            .map(|(&k, _)| k)
-            .collect();
-        self.take_sorted(due_keys)
-    }
-
-    /// Time until the next deadline flush, or `None` when nothing is
-    /// pending. Zero when a batch is already overdue.
-    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
-        self.pending
-            .values()
-            .map(|b| (b.opened_at + self.max_delay).saturating_duration_since(now))
+            .filter(|(k, q)| k.device == device && !q.is_empty())
+            .map(|(_, q)| {
+                if q.len() >= self.max_batch {
+                    Duration::ZERO
+                } else {
+                    let head = q.front().expect("non-empty queue");
+                    (head.enqueued + self.idle_delay).saturating_duration_since(now)
+                }
+            })
             .min()
     }
 
-    /// Flushes everything (server shutdown), oldest batch first.
-    pub fn drain(&mut self) -> Vec<Batch<T>> {
-        let keys: Vec<BatchKey> = self.pending.keys().copied().collect();
-        self.take_sorted(keys)
+    fn key_due(&self, q: &VecDeque<Queued<T>>, now: Instant) -> bool {
+        q.len() >= self.max_batch
+            || q.front()
+                .is_some_and(|head| now.saturating_duration_since(head.enqueued) >= self.idle_delay)
+    }
+}
+
+/// Signed `a − b` in nanoseconds.
+fn signed_ns(a: Instant, b: Instant) -> f64 {
+    if a >= b {
+        a.duration_since(b).as_nanos() as f64
+    } else {
+        -(b.duration_since(a).as_nanos() as f64)
+    }
+}
+
+impl<T: BatchItem> Batcher<T> {
+    /// Effective slack of a key's head request: time-to-deadline minus
+    /// the execution estimate, minus `aging_factor ×` queueing age.
+    fn eff_slack_ns(&self, head: &Queued<T>, now: Instant) -> f64 {
+        let slack = signed_ns(head.item.deadline(), now) - head.item.est_ns();
+        slack - self.aging_factor * signed_ns(now, head.enqueued).max(0.0)
     }
 
-    /// Removes the given keys, returning their batches ordered by batch
-    /// open sequence (deterministic despite HashMap iteration order).
-    fn take_sorted(&mut self, keys: Vec<BatchKey>) -> Vec<Batch<T>> {
-        let mut taken: Vec<(u64, Batch<T>)> = keys
-            .into_iter()
-            .filter_map(|k| {
-                self.pending
-                    .remove(&k)
-                    .map(|b| (b.seq, Batch { key: k, items: b.items, opened_at: b.opened_at }))
+    /// Cuts the most urgent due batch for `device`, or `None` when no
+    /// key of the device is due yet (ask [`Batcher::next_due`] how long
+    /// to wait). See the module docs for the due check, the slack
+    /// ordering, and cancel adjudication.
+    pub fn pull(&mut self, device: usize, now: Instant) -> Option<Cut<T>> {
+        self.pull_inner(device, now, false)
+    }
+
+    /// Cuts the most urgent batch for `device` whether or not it is due
+    /// — the shutdown drain, where waiting out the idle-latency bound
+    /// would only delay the final responses.
+    pub fn pull_any(&mut self, device: usize, now: Instant) -> Option<Cut<T>> {
+        self.pull_inner(device, now, true)
+    }
+
+    fn pull_inner(&mut self, device: usize, now: Instant, force: bool) -> Option<Cut<T>> {
+        let key = self
+            .queues
+            .iter()
+            .filter(|(k, q)| k.device == device && !q.is_empty() && (force || self.key_due(q, now)))
+            .min_by(|(_, a), (_, b)| {
+                let (a, b) = (a.front().expect("non-empty"), b.front().expect("non-empty"));
+                self.eff_slack_ns(a, now).total_cmp(&self.eff_slack_ns(b, now))
             })
-            .collect();
-        taken.sort_by_key(|(seq, _)| *seq);
-        taken.into_iter().map(|(_, b)| b).collect()
+            .map(|(&k, _)| k)?;
+        let q = self.queues.get_mut(&key).expect("key just selected");
+        let opened_at = q.front().expect("non-empty queue").enqueued;
+        let window_end = opened_at + self.idle_delay;
+        let mut items = Vec::new();
+        let mut cancelled = Vec::new();
+        while items.len() < self.max_batch {
+            match q.front() {
+                None => break,
+                // The fixed-deadline baseline only batches what arrived
+                // within the head's window — the composition a 3 ms
+                // flush timer would have produced.
+                Some(head)
+                    if self.policy == CutPolicy::Deadline
+                        && !force
+                        && head.enqueued > window_end =>
+                {
+                    break
+                }
+                Some(_) => {}
+            }
+            let entry = q.pop_front().expect("front just checked");
+            if entry.item.claim() {
+                items.push(entry.item);
+            } else {
+                cancelled.push(entry.item);
+            }
+        }
+        if q.is_empty() {
+            self.queues.remove(&key);
+        }
+        Some(Cut { batch: Batch { key, items, opened_at }, cancelled })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
-    const DELAY: Duration = Duration::from_millis(5);
+    const DELAY: Duration = Duration::from_millis(4);
+
+    /// Test item: deadline offset + estimate + optional cancel flag.
+    struct It {
+        id: u64,
+        deadline: Instant,
+        est_ns: f64,
+        cancelled: Option<Arc<AtomicBool>>,
+    }
+
+    impl BatchItem for It {
+        fn deadline(&self) -> Instant {
+            self.deadline
+        }
+        fn est_ns(&self) -> f64 {
+            self.est_ns
+        }
+        fn claim(&self) -> bool {
+            self.cancelled.as_ref().is_none_or(|c| !c.load(Ordering::SeqCst))
+        }
+    }
+
+    fn it(id: u64, deadline: Instant) -> It {
+        It { id, deadline, est_ns: 0.0, cancelled: None }
+    }
 
     fn key(model: usize, device: usize) -> BatchKey {
         BatchKey { model, device }
     }
 
+    fn ids(batch: &Batch<It>) -> Vec<u64> {
+        batch.items.iter().map(|i| i.id).collect()
+    }
+
     #[test]
-    fn size_flush_at_max_batch() {
-        let mut b: Batcher<u32> = Batcher::new(3, DELAY);
+    fn idle_device_waits_out_the_latency_bound() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
-        assert!(b.push(key(0, 0), 1, t0).is_none());
-        assert!(b.push(key(0, 0), 2, t0).is_none());
-        let batch = b.push(key(0, 0), 3, t0).expect("third request flushes");
-        assert_eq!(batch.items, vec![1, 2, 3]);
+        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0);
+        assert!(b.pull(0, t0).is_none(), "not due yet");
+        assert_eq!(b.next_due(0, t0), Some(DELAY));
+        let cut = b.pull(0, t0 + DELAY).expect("due at the idle-latency bound");
+        assert_eq!(ids(&cut.batch), vec![1]);
         assert_eq!(b.pending(), 0);
     }
 
     #[test]
-    fn deadline_flush_after_max_delay() {
-        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+    fn full_key_is_due_immediately() {
+        let mut b: Batcher<It> = Batcher::new(3, DELAY);
         let t0 = Instant::now();
-        b.push(key(0, 0), 1, t0);
-        b.push(key(0, 0), 2, t0);
-        assert!(b.due(t0).is_empty(), "not due yet");
-        assert!(b.due(t0 + DELAY / 2).is_empty(), "still inside the window");
-        let flushed = b.due(t0 + DELAY);
-        assert_eq!(flushed.len(), 1);
-        assert_eq!(flushed[0].items, vec![1, 2]);
-        assert_eq!(b.pending(), 0);
+        for i in 0..3 {
+            b.push(key(0, 0), it(i, t0 + DELAY), t0);
+        }
+        assert_eq!(b.next_due(0, t0), Some(Duration::ZERO));
+        let cut = b.pull(0, t0).expect("size-due");
+        assert_eq!(ids(&cut.batch), vec![0, 1, 2]);
     }
 
     #[test]
-    fn keys_batch_independently() {
-        let mut b: Batcher<u32> = Batcher::new(2, DELAY);
+    fn backlog_grows_batches_up_to_max_batch() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
-        assert!(b.push(key(0, 0), 1, t0).is_none());
-        assert!(b.push(key(1, 0), 2, t0).is_none());
-        assert!(b.push(key(0, 1), 3, t0).is_none());
-        // Same model on a different device is a different batch.
-        let batch = b.push(key(0, 0), 4, t0).expect("key (0,0) full");
-        assert_eq!(batch.items, vec![1, 4]);
-        assert_eq!(b.pending(), 2);
+        // 20 requests trickle in at 1 ms apart while the device is busy.
+        for i in 0..20 {
+            b.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i));
+        }
+        let late = t0 + Duration::from_millis(40);
+        let cut = b.pull(0, late).expect("long overdue");
+        assert_eq!(cut.batch.items.len(), 8, "pull takes the grown backlog");
+        assert_eq!(ids(&cut.batch), (0..8).collect::<Vec<_>>());
+        // The fixed-deadline baseline only takes the head's window.
+        let mut fixed: Batcher<It> = Batcher::new(8, DELAY).with_policy(CutPolicy::Deadline);
+        for i in 0..20 {
+            fixed.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i));
+        }
+        let cut = fixed.pull(0, late).expect("due");
+        assert_eq!(cut.batch.items.len(), 5, "only the 4 ms window of the head (ms 0..=4)");
     }
 
     #[test]
-    fn next_deadline_tracks_oldest_batch() {
-        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+    fn due_keys_cut_in_slack_order() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY).with_aging_factor(0.0);
         let t0 = Instant::now();
-        assert_eq!(b.next_deadline(t0), None);
-        b.push(key(0, 0), 1, t0);
-        b.push(key(1, 0), 2, t0 + Duration::from_millis(2));
-        assert_eq!(b.next_deadline(t0), Some(DELAY));
-        // Past the first deadline the wait clamps to zero.
-        assert_eq!(b.next_deadline(t0 + DELAY * 2), Some(Duration::ZERO));
+        // Same device, two models: the long-deadline key arrived first,
+        // the short-deadline key is more urgent.
+        b.push(key(0, 0), it(1, t0 + Duration::from_millis(500)), t0);
+        b.push(key(1, 0), it(2, t0 + Duration::from_millis(20)), t0);
+        let now = t0 + DELAY;
+        let first = b.pull(0, now).expect("both due");
+        assert_eq!(first.batch.key, key(1, 0), "least slack cuts first");
+        let second = b.pull(0, now).expect("other key still due");
+        assert_eq!(second.batch.key, key(0, 0));
     }
 
     #[test]
-    fn drain_flushes_everything_oldest_first() {
-        let mut b: Batcher<u32> = Batcher::new(8, DELAY);
+    fn aging_lets_a_starving_key_outrank_fresh_traffic() {
+        let mut b: Batcher<It> = Batcher::new(2, DELAY).with_aging_factor(4.0);
         let t0 = Instant::now();
-        b.push(key(1, 0), 1, t0);
-        b.push(key(0, 1), 2, t0 + Duration::from_millis(1));
-        b.push(key(1, 0), 3, t0 + Duration::from_millis(2));
-        let all = b.drain();
-        assert_eq!(all.len(), 2);
-        assert_eq!(all[0].key, key(1, 0));
-        assert_eq!(all[0].items, vec![1, 3]);
-        assert_eq!(all[1].items, vec![2]);
-        assert_eq!(b.pending(), 0);
-    }
-
-    #[test]
-    fn fifo_order_within_key_across_flushes() {
-        let mut b: Batcher<u32> = Batcher::new(2, DELAY);
-        let t0 = Instant::now();
-        let mut seen = Vec::new();
-        for i in 0..7 {
-            if let Some(batch) = b.push(key(0, 0), i, t0) {
-                seen.extend(batch.items);
+        let victim_deadline = t0 + Duration::from_millis(100);
+        b.push(key(9, 0), it(999, victim_deadline), t0);
+        let mut now = t0;
+        let mut hot = 0u64;
+        for round in 0..200 {
+            now += Duration::from_millis(1);
+            // Keep the hot key full (size-due) with fresh 10 ms-deadline
+            // interactive traffic.
+            for _ in 0..2 {
+                b.push(key(0, 0), it(hot, now + Duration::from_millis(10)), now);
+                hot += 1;
+            }
+            let cut = b.pull(0, now).expect("hot key is always due");
+            if cut.batch.key == key(9, 0) {
+                assert!(round > 2, "victim should wait at least a little");
+                return;
             }
         }
-        for batch in b.drain() {
-            seen.extend(batch.items);
-        }
-        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+        panic!("starving key was never cut despite aging");
+    }
+
+    #[test]
+    fn cancelled_items_are_dropped_at_cut_time() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        let flag = Arc::new(AtomicBool::new(false));
+        b.push(key(0, 0), it(1, t0 + DELAY), t0);
+        b.push(
+            key(0, 0),
+            It { id: 2, deadline: t0 + DELAY, est_ns: 0.0, cancelled: Some(Arc::clone(&flag)) },
+            t0,
+        );
+        b.push(key(0, 0), it(3, t0 + DELAY), t0);
+        flag.store(true, Ordering::SeqCst);
+        let cut = b.pull(0, t0 + DELAY).expect("due");
+        assert_eq!(ids(&cut.batch), vec![1, 3]);
+        assert_eq!(cut.cancelled.len(), 1);
+        assert_eq!(cut.cancelled[0].id, 2);
+    }
+
+    #[test]
+    fn remove_where_supports_eager_cancellation() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(0, 0), it(1, t0 + DELAY), t0);
+        b.push(key(0, 0), it(2, t0 + DELAY), t0);
+        let removed = b.remove_where(key(0, 0), |i| i.id == 1).expect("queued");
+        assert_eq!(removed.id, 1);
+        assert!(b.remove_where(key(0, 0), |i| i.id == 1).is_none(), "already removed");
+        assert_eq!(b.pending(), 1);
+        let cut = b.pull(0, t0 + DELAY).expect("due");
+        assert_eq!(ids(&cut.batch), vec![2]);
+    }
+
+    #[test]
+    fn pull_any_drains_without_waiting() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0);
+        b.push(key(1, 1), it(2, t0 + DELAY * 10), t0);
+        assert!(b.pull(0, t0).is_none(), "not due");
+        let cut = b.pull_any(0, t0).expect("drain ignores the due check");
+        assert_eq!(ids(&cut.batch), vec![1]);
+        assert_eq!(b.pending_for(0), 0);
+        assert_eq!(b.pending_for(1), 1, "other devices untouched");
+    }
+
+    #[test]
+    fn devices_pull_independently() {
+        let mut b: Batcher<It> = Batcher::new(2, DELAY);
+        let t0 = Instant::now();
+        b.push(key(0, 0), it(1, t0 + DELAY), t0);
+        b.push(key(0, 1), it(2, t0 + DELAY), t0);
+        b.push(key(0, 0), it(3, t0 + DELAY), t0);
+        let cut = b.pull(0, t0).expect("device 0 size-due");
+        assert_eq!(ids(&cut.batch), vec![1, 3]);
+        assert!(b.pull(1, t0).is_none(), "device 1 not due yet");
+        assert_eq!(b.pending_for(1), 1);
     }
 }

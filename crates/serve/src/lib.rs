@@ -1,26 +1,33 @@
 //! # smartmem-serve
 //!
-//! A batched inference serving runtime on top of the SmartMem
-//! compilation stack — the "heavy traffic" layer of the ROADMAP.
-//! SmartMem's compile-time layout planning (LTE, layout selection,
-//! tuning) only pays off in serving when compiled artifacts are reused
-//! across many requests; this crate supplies exactly that reuse:
-//! requests are admitted through a bounded queue, coalesced into
-//! per-(model, device) batches, placed across a device pool by
-//! estimated latency, and executed against artifacts compiled once
-//! through a shared, single-flight [`CompileSession`].
+//! An SLO-aware batched inference serving runtime on top of the
+//! SmartMem compilation stack — the "heavy traffic" layer of the
+//! ROADMAP. SmartMem's compile-time layout planning (LTE, layout
+//! selection, tuning) only pays off in serving when compiled artifacts
+//! are reused across many requests; this crate supplies exactly that
+//! reuse: requests are admitted through a bounded queue under a
+//! per-class latency budget ([`Priority`]), coalesced into
+//! per-(model, device) batches that device workers *pull* when the
+//! device frees up, ordered by slack with starvation aging, and
+//! executed against artifacts compiled once through a shared,
+//! single-flight [`CompileSession`]. Queued requests can be revoked at
+//! any time through a [`CancelHandle`].
 //!
 //! ```text
-//!  clients ──► submit / try_submit           (bounded queue, admission control)
-//!                   │
+//!  clients ──► submit / try_submit      (bounded queue, admission control,
+//!                   │                    per-class deadline stamped)
 //!                   ▼
-//!              ┌──────────┐   size-or-deadline coalescing,
-//!              │ Batcher  │   FIFO within each (model, device) key
-//!              └──────────┘
-//!                   │ Batch<Pending>
-//!                   ▼
+//!              ┌──────────┐  pull-mode coalescing: a backlogged device
+//!              │ Batcher  │  grows batches toward max_batch; max_delay
+//!              └──────────┘  is only the idle-latency bound; cuts are
+//!                ▲   CancelHandle        slack-ordered with aging;
+//!                │   drops queued /      cancelled requests dropped
+//!                │   cut requests        at cut time
+//!              pull
+//!               │ Batch<Pending>
+//!               ▼
 //!              ┌───────────┐  roofline-estimate placement at admission,
-//!              │ Scheduler │  outstanding-work accounting per device
+//!              │ Scheduler │  per-class outstanding-work accounting
 //!              └───────────┘
 //!               │    │    │        one worker thread per device
 //!               ▼    ▼    ▼
@@ -34,16 +41,17 @@
 //!         └─────────────────────┘  cold bursts (misses == 1)
 //! ```
 //!
-//! The runtime is std-only (`mpsc` channels + threads — the offline
-//! container has no tokio/rayon): a batching thread drives the pure
-//! [`Batcher`] state machine with `recv_timeout` deadlines, and one
-//! worker thread per device executes batches, estimating device time
-//! with the `smartmem-sim`-backed model reports.
+//! The runtime is std-only (mutex + condvars + threads — the offline
+//! container has no tokio/rayon): submission pushes into one pure
+//! [`Batcher`] state machine behind a mutex, and one worker thread per
+//! device pulls batches from it, estimating device time with the
+//! `smartmem-sim`-backed model reports. See the "Serving lifecycle"
+//! section of `docs/ARCHITECTURE.md` for the request state diagram.
 //!
 //! # Example
 //!
 //! ```
-//! use smartmem_serve::{InferenceRequest, ModelSpec, ServeConfig, Server};
+//! use smartmem_serve::{InferenceRequest, ModelSpec, Priority, ServeConfig, Server};
 //! use smartmem_sim::DeviceConfig;
 //! use smartmem_ir::{DType, GraphBuilder};
 //!
@@ -58,14 +66,20 @@
 //!     vec![DeviceConfig::snapdragon_8gen2(), DeviceConfig::apple_m1()],
 //!     ServeConfig::default(),
 //! );
-//! let tickets: Vec<_> =
-//!     (0..16).map(|_| server.submit(InferenceRequest::new(0)).unwrap()).collect();
+//! let tickets: Vec<_> = (0..16)
+//!     .map(|i| {
+//!         let class = if i % 4 == 0 { Priority::BestEffort } else { Priority::Interactive };
+//!         server.submit(InferenceRequest::new(0).with_priority(class)).unwrap()
+//!     })
+//!     .collect();
 //! for t in tickets {
 //!     let r = t.wait();
-//!     assert!(r.error.is_none());
+//!     assert!(r.error.is_none() && !r.cancelled);
 //! }
 //! let stats = server.shutdown();
 //! assert_eq!(stats.completed, 16);
+//! assert_eq!(stats.class(Priority::Interactive).completed, 12);
+//! assert_eq!(stats.class(Priority::BestEffort).completed, 4);
 //! assert!(stats.cache_hit_rate() > 0.8); // compile once, reuse 15 times
 //! ```
 //!
@@ -79,7 +93,10 @@ mod request;
 mod scheduler;
 mod server;
 
-pub use batcher::{Batch, BatchKey, Batcher};
-pub use request::{InferenceRequest, InferenceResponse, ModelSpec, SubmitError, Ticket};
+pub use batcher::{Batch, BatchItem, BatchKey, Batcher, Cut, CutPolicy};
+pub use request::{InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket};
 pub use scheduler::{quick_estimate_ns, DevicePool};
-pub use server::{batch_exec_ms, ServeConfig, ServeStats, Server};
+pub use server::{
+    batch_exec_ms, histogram_mean, CancelHandle, ClassDeadlines, ClassStats, ServeConfig,
+    ServeStats, Server,
+};

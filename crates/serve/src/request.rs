@@ -1,9 +1,65 @@
 //! The request/response surface of the serving runtime.
 
+use crate::server::CancelHandle;
 use smartmem_core::graph_fingerprint;
 use smartmem_ir::Graph;
 use std::fmt;
 use std::sync::mpsc;
+
+/// Priority class of a request — which per-class latency budget it is
+/// admitted under (see `ServeConfig::deadlines`) and therefore how the
+/// slack-ordered scheduler ranks it at batch-cut time.
+///
+/// Classes only set *deadlines*; they never preempt running batches,
+/// and starvation aging guarantees that even `BestEffort` traffic is
+/// eventually served under sustained `Interactive` load.
+///
+/// ```
+/// use smartmem_serve::Priority;
+///
+/// // Tight to loose latency budgets:
+/// assert!(Priority::Interactive < Priority::Batch);
+/// assert!(Priority::Batch < Priority::BestEffort);
+/// // Stable per-class indices for metrics arrays:
+/// assert_eq!(Priority::ALL.map(Priority::index), [0, 1, 2]);
+/// assert_eq!(Priority::Interactive.name(), "Interactive");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Priority {
+    /// User-facing traffic with a tight latency budget (the default).
+    #[default]
+    Interactive,
+    /// Throughput-oriented traffic with a relaxed budget.
+    Batch,
+    /// Background traffic: served whenever there is slack, protected
+    /// from starvation only by aging.
+    BestEffort,
+}
+
+impl Priority {
+    /// All classes, in `index` order.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// Stable index of this class in per-class metric arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "Interactive",
+            Priority::Batch => "Batch",
+            Priority::BestEffort => "BestEffort",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A model registered with the server: the graph plus everything the
 /// request path needs precomputed (content fingerprint for the
@@ -40,27 +96,37 @@ impl ModelSpec {
     }
 }
 
-/// One inference request: which model to run, and optionally a pinned
-/// device (index into the server's device pool). Unpinned requests are
-/// placed by the scheduler.
+/// One inference request: which model to run, optionally a pinned
+/// device (index into the server's device pool), and the
+/// [`Priority`] class whose deadline it is admitted under. Unpinned
+/// requests are placed by the scheduler.
 #[derive(Clone, Copy, Debug)]
 pub struct InferenceRequest {
     /// Model id (index into the server's registered models).
     pub model: usize,
     /// Pinned device id, or `None` to let the scheduler place it.
     pub device: Option<usize>,
+    /// Priority class (default [`Priority::Interactive`]).
+    pub priority: Priority,
 }
 
 impl InferenceRequest {
-    /// Request for `model`, scheduler-placed.
+    /// Request for `model`, scheduler-placed, `Interactive` priority.
     pub fn new(model: usize) -> Self {
-        InferenceRequest { model, device: None }
+        InferenceRequest { model, device: None, priority: Priority::default() }
     }
 
     /// Pins the request to a device.
     #[must_use]
     pub fn on_device(mut self, device: usize) -> Self {
         self.device = Some(device);
+        self
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -75,8 +141,15 @@ pub struct InferenceResponse {
     pub completion_seq: u64,
     /// Model name.
     pub model: String,
-    /// Device the batch executed on.
+    /// Device the batch executed on (or would have, for cancelled
+    /// requests).
     pub device: String,
+    /// Priority class the request was admitted under.
+    pub priority: Priority,
+    /// Whether the request was cancelled before execution. A cancelled
+    /// response carries no execution data (`batch_size == 0`,
+    /// `exec_ms == 0`) and `error` stays `None`.
+    pub cancelled: bool,
     /// Size of the batch this request rode in.
     pub batch_size: usize,
     /// Wall-clock milliseconds from submission to batch execution start
@@ -100,10 +173,12 @@ impl InferenceResponse {
     }
 }
 
-/// Handle to a submitted request; redeem with [`Ticket::wait`].
+/// Handle to a submitted request; redeem with [`Ticket::wait`], or
+/// revoke with [`Ticket::cancel_handle`].
 pub struct Ticket {
     pub(crate) id: u64,
     pub(crate) rx: mpsc::Receiver<InferenceResponse>,
+    pub(crate) cancel: CancelHandle,
 }
 
 impl Ticket {
@@ -112,8 +187,15 @@ impl Ticket {
         self.id
     }
 
+    /// A clonable [`CancelHandle`] for this request, usable from any
+    /// thread while the ticket is pending.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
     /// Blocks until the response arrives. Every accepted request is
-    /// answered (shutdown drains the queue), so this only fails if the
+    /// answered — executed, failed, or cancelled (check
+    /// [`InferenceResponse::cancelled`]) — so this only fails if the
     /// server was torn down abnormally.
     pub fn wait(self) -> InferenceResponse {
         self.rx.recv().expect("server dropped the response channel")

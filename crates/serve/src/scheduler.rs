@@ -6,11 +6,17 @@
 //! than a full compile + trace estimate: enough signal to route a
 //! SD-UNet away from a Dimensity 700 while keeping the fast path to a
 //! few atomic reads. Each device carries an outstanding-work account in
-//! estimated nanoseconds; a request is placed on the device minimizing
-//! `outstanding + estimate(model, device)` and the account is settled
-//! when the request completes.
+//! estimated nanoseconds, split by [`Priority`] class; a request is
+//! placed on the device minimizing `outstanding + estimate(model,
+//! device)` — i.e. earliest estimated completion, which is what
+//! maximizes the slack left to meet the request's class deadline — and
+//! the account is settled when the request completes or is cancelled.
+//!
+//! Placement picks the *device*; the *order* in which queued work is
+//! cut for a device is the batcher's slack ordering (see
+//! `crate::batcher`). Together they replace the old pure-FIFO dispatch.
 
-use crate::request::ModelSpec;
+use crate::request::{ModelSpec, Priority};
 use smartmem_sim::{roofline_gmacs, DeviceConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,16 +38,19 @@ pub fn quick_estimate_ns(spec: &ModelSpec, device: &DeviceConfig) -> f64 {
 struct DeviceEntry {
     config: DeviceConfig,
     load_ns: AtomicU64,
+    class_load_ns: [AtomicU64; 3],
 }
 
 /// The scheduler's device pool: configurations plus an outstanding-work
-/// account per device. Thread-safe.
+/// account per device, broken down by priority class. Thread-safe.
 ///
 /// Admission calls [`DevicePool::place`] with per-device latency
-/// estimates; the pool picks the device minimizing *outstanding work +
-/// this request's estimate* and charges it. Completion (or a failed
-/// enqueue) pays the charge back via [`DevicePool::discharge`], so the
-/// accounts track work that is genuinely still queued.
+/// estimates and the request's class; the pool picks the device
+/// minimizing *outstanding work + this request's estimate* and charges
+/// it. Completion or cancellation pays the charge back via
+/// [`DevicePool::discharge`], so the accounts track work that is
+/// genuinely still queued — and [`DevicePool::class_load_ns`] shows
+/// which class the backlog belongs to.
 pub struct DevicePool {
     entries: Vec<DeviceEntry>,
 }
@@ -52,7 +61,11 @@ impl DevicePool {
         DevicePool {
             entries: devices
                 .into_iter()
-                .map(|config| DeviceEntry { config, load_ns: AtomicU64::new(0) })
+                .map(|config| DeviceEntry {
+                    config,
+                    load_ns: AtomicU64::new(0),
+                    class_load_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                })
                 .collect(),
         }
     }
@@ -72,21 +85,30 @@ impl DevicePool {
         &self.entries[id].config
     }
 
-    /// Outstanding estimated work on a device, in nanoseconds.
+    /// Outstanding estimated work on a device, in nanoseconds, over all
+    /// classes.
     pub fn load_ns(&self, id: usize) -> u64 {
         self.entries[id].load_ns.load(Ordering::Relaxed)
     }
 
+    /// Outstanding estimated work one priority class has queued on a
+    /// device, in nanoseconds.
+    pub fn class_load_ns(&self, id: usize, class: Priority) -> u64 {
+        self.entries[id].class_load_ns[class.index()].load(Ordering::Relaxed)
+    }
+
     /// Places one inference: picks the device minimizing estimated
-    /// completion time (outstanding work + this model's estimate) and
-    /// charges the estimate to its account. Returns `(device id,
-    /// charged estimate in ns)`; settle with [`DevicePool::discharge`]
-    /// when the request completes.
+    /// completion time (outstanding work + this model's estimate) —
+    /// maximizing the slack left under the request's class deadline —
+    /// and charges the estimate to its account under `class`. Returns
+    /// `(device id, charged estimate in ns)`; settle with
+    /// [`DevicePool::discharge`] when the request completes or is
+    /// cancelled.
     ///
     /// # Panics
     ///
     /// Panics on an empty pool.
-    pub fn place(&self, estimates_ns: &[f64]) -> (usize, u64) {
+    pub fn place(&self, estimates_ns: &[f64], class: Priority) -> (usize, u64) {
         assert_eq!(estimates_ns.len(), self.entries.len(), "one estimate per device");
         let (best, est) = self
             .entries
@@ -98,21 +120,25 @@ impl DevicePool {
             .map(|(i, est, _)| (i, est))
             .expect("device pool must not be empty");
         let charged = est.max(0.0) as u64;
-        self.charge(best, charged);
+        self.charge(best, charged, class);
         (best, charged)
     }
 
-    /// Charges estimated work to a pinned device.
-    pub fn charge(&self, id: usize, est_ns: u64) {
+    /// Charges estimated work to a pinned device under `class`.
+    pub fn charge(&self, id: usize, est_ns: u64, class: Priority) {
         self.entries[id].load_ns.fetch_add(est_ns, Ordering::Relaxed);
+        self.entries[id].class_load_ns[class.index()].fetch_add(est_ns, Ordering::Relaxed);
     }
 
-    /// Settles a completed request's charge.
-    pub fn discharge(&self, id: usize, est_ns: u64) {
-        let _ =
-            self.entries[id].load_ns.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+    /// Settles a completed (or cancelled) request's charge.
+    pub fn discharge(&self, id: usize, est_ns: u64, class: Priority) {
+        let saturating_sub = |counter: &AtomicU64| {
+            let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                 Some(cur.saturating_sub(est_ns))
             });
+        };
+        saturating_sub(&self.entries[id].load_ns);
+        saturating_sub(&self.entries[id].class_load_ns[class.index()]);
     }
 }
 
@@ -151,23 +177,27 @@ mod tests {
         let p = pool();
         let s = spec();
         let ests: Vec<f64> = (0..p.len()).map(|d| quick_estimate_ns(&s, p.device(d))).collect();
-        let (first, charged) = p.place(&ests);
+        let (first, charged) = p.place(&ests, Priority::Interactive);
         assert!(charged > 0);
         assert_eq!(p.load_ns(first), charged);
+        assert_eq!(p.class_load_ns(first, Priority::Interactive), charged);
+        assert_eq!(p.class_load_ns(first, Priority::Batch), 0);
         // Pile enough work on the first choice and the scheduler must
         // move on to another device.
-        p.charge(first, 10_000_000_000);
-        let (second, _) = p.place(&ests);
+        p.charge(first, 10_000_000_000, Priority::Batch);
+        let (second, _) = p.place(&ests, Priority::Interactive);
         assert_ne!(first, second, "loaded device must be avoided");
     }
 
     #[test]
-    fn discharge_settles_and_saturates() {
+    fn discharge_settles_per_class_and_saturates() {
         let p = pool();
-        p.charge(0, 100);
-        p.discharge(0, 40);
+        p.charge(0, 100, Priority::BestEffort);
+        p.discharge(0, 40, Priority::BestEffort);
         assert_eq!(p.load_ns(0), 60);
-        p.discharge(0, 1_000);
+        assert_eq!(p.class_load_ns(0, Priority::BestEffort), 60);
+        p.discharge(0, 1_000, Priority::BestEffort);
         assert_eq!(p.load_ns(0), 0, "accounts never underflow");
+        assert_eq!(p.class_load_ns(0, Priority::BestEffort), 0);
     }
 }

@@ -1,8 +1,18 @@
-//! The serving runtime: bounded admission queue → batching thread →
-//! per-device workers over one shared [`CompileSession`].
+//! The serving runtime: bounded admission queue → shared pull-mode
+//! batcher → per-device workers over one shared [`CompileSession`].
+//!
+//! Unlike the original push pipeline (a batching thread flushing on a
+//! timer into per-worker channels), the batcher here is a single
+//! [`Batcher`] state machine behind a mutex: submission pushes into it,
+//! and each device worker *pulls* its next batch the moment the device
+//! frees up. A backlogged device therefore grows its batches toward
+//! `max_batch`; the old `max_delay` survives only as the idle-latency
+//! bound that flushes a lone request on an otherwise idle device.
 
-use crate::batcher::{Batch, BatchKey, Batcher};
-use crate::request::{InferenceRequest, InferenceResponse, ModelSpec, SubmitError, Ticket};
+use crate::batcher::{Batch, BatchItem, BatchKey, Batcher, CutPolicy};
+use crate::request::{
+    InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket,
+};
 use crate::scheduler::{quick_estimate_ns, DevicePool};
 use smartmem_core::{
     CacheStats, CompileSession, Framework, ModelReport, SmartMemPipeline, Unsupported,
@@ -10,9 +20,9 @@ use smartmem_core::{
 use smartmem_sim::DeviceConfig;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -28,6 +38,53 @@ pub fn batch_exec_ms(single_ms: f64, n: usize) -> f64 {
     single_ms * (1.0 + BATCH_MARGINAL * n.saturating_sub(1) as f64)
 }
 
+/// Per-class latency budgets: a request admitted at `t` under class `c`
+/// carries the absolute deadline `t + budget(c)`, which feeds the
+/// batcher's slack ordering and the per-class SLO-violation counters.
+///
+/// ```
+/// use smartmem_serve::{ClassDeadlines, Priority, ServeConfig};
+/// use std::time::Duration;
+///
+/// let mut config = ServeConfig::default();
+/// config.deadlines.interactive = Duration::from_millis(10);
+/// assert_eq!(config.deadlines.budget(Priority::Interactive), Duration::from_millis(10));
+/// // Defaults keep the classes strictly ordered, tight to loose.
+/// let d = ClassDeadlines::default();
+/// assert!(d.budget(Priority::Interactive) < d.budget(Priority::Batch));
+/// assert!(d.budget(Priority::Batch) < d.budget(Priority::BestEffort));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ClassDeadlines {
+    /// Budget of [`Priority::Interactive`] requests.
+    pub interactive: Duration,
+    /// Budget of [`Priority::Batch`] requests.
+    pub batch: Duration,
+    /// Budget of [`Priority::BestEffort`] requests.
+    pub best_effort: Duration,
+}
+
+impl ClassDeadlines {
+    /// The latency budget of `class`.
+    pub fn budget(&self, class: Priority) -> Duration {
+        match class {
+            Priority::Interactive => self.interactive,
+            Priority::Batch => self.batch,
+            Priority::BestEffort => self.best_effort,
+        }
+    }
+}
+
+impl Default for ClassDeadlines {
+    fn default() -> Self {
+        ClassDeadlines {
+            interactive: Duration::from_millis(25),
+            batch: Duration::from_millis(250),
+            best_effort: Duration::from_secs(2),
+        }
+    }
+}
+
 /// Tunables of the serving runtime.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -35,9 +92,11 @@ pub struct ServeConfig {
     /// `try_submit` sheds load beyond it, `submit` applies
     /// backpressure).
     pub queue_capacity: usize,
-    /// Batch-size flush threshold of the coalescer.
+    /// Batch-size cap of a single cut.
     pub max_batch: usize,
-    /// Deadline flush threshold of the coalescer.
+    /// Idle-latency bound of the pull-mode batcher: how long a request
+    /// may queue before its key becomes due even when the device is
+    /// idle. It never truncates a batch that backlog has grown.
     pub max_delay: Duration,
     /// Wall-clock throttle: workers sleep `exec_ms × scale` per batch,
     /// making queueing dynamics (and therefore batching) realistic.
@@ -51,6 +110,18 @@ pub struct ServeConfig {
     /// [`CompileSession::with_cache_dir`]). `None` keeps the session
     /// purely in-memory.
     pub cache_dir: Option<PathBuf>,
+    /// Per-class latency budgets (see [`ClassDeadlines`]).
+    pub deadlines: ClassDeadlines,
+    /// Starvation-aging factor of the batch-cut ordering: every
+    /// nanosecond a request has queued subtracts this many nanoseconds
+    /// from its effective slack, so long-waiting low-priority work
+    /// eventually outranks fresh interactive traffic. Zero disables
+    /// aging.
+    pub aging_factor: f64,
+    /// How batches are composed at cut time ([`CutPolicy::Pull`] by
+    /// default; [`CutPolicy::Deadline`] reproduces the old fixed-window
+    /// batches for A/B comparison).
+    pub cut_policy: CutPolicy,
 }
 
 impl Default for ServeConfig {
@@ -61,8 +132,26 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(2),
             exec_time_scale: 0.0,
             cache_dir: None,
+            deadlines: ClassDeadlines::default(),
+            aging_factor: 4.0,
+            cut_policy: CutPolicy::Pull,
         }
     }
+}
+
+/// Per-priority-class serving counters (one entry per [`Priority`],
+/// indexed by [`Priority::index`] in [`ServeStats::per_class`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassStats {
+    /// Requests of this class accepted into the queue.
+    pub submitted: u64,
+    /// Requests of this class executed to completion.
+    pub completed: u64,
+    /// Requests of this class cancelled before execution.
+    pub cancelled: u64,
+    /// Executed requests of this class answered after their deadline
+    /// (wall clock at response time past `submission + class budget`).
+    pub slo_violations: u64,
 }
 
 /// Aggregate serving statistics (snapshot or final, from
@@ -71,19 +160,31 @@ impl Default for ServeConfig {
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
-    /// Requests answered (including compilation failures).
+    /// Requests executed and answered (including compilation failures;
+    /// excluding cancelled requests).
     pub completed: u64,
     /// Requests rejected by admission control (`try_submit` on a full
     /// queue).
     pub rejected: u64,
     /// Requests answered with a compilation error.
     pub failed: u64,
+    /// Requests cancelled before execution (answered with
+    /// `cancelled == true`, never run on a device).
+    pub cancelled: u64,
     /// Batches executed.
     pub batches: u64,
-    /// `histogram[n-1]` = number of batches of size `n`.
+    /// `histogram[n-1]` = number of batches of size `n`, over all
+    /// devices.
     pub batch_histogram: Vec<u64>,
+    /// Per-device batch-size histograms, by pool id:
+    /// `per_device_batch_histogram[d][n-1]` = batches of size `n` on
+    /// device `d` — this is where pull-based growth on a backlogged
+    /// device is visible while idle devices keep cutting small.
+    pub per_device_batch_histogram: Vec<Vec<u64>>,
     /// Batches executed per device, by pool id.
     pub per_device_batches: Vec<u64>,
+    /// Per-priority-class counters, indexed by [`Priority::index`].
+    pub per_class: [ClassStats; 3],
     /// Compilation-session counters (per-request granularity: steady
     /// state is all hits).
     pub cache: CacheStats,
@@ -102,15 +203,127 @@ impl ServeStats {
         }
     }
 
-    /// Mean executed batch size.
+    /// Counters of one priority class.
+    pub fn class(&self, class: Priority) -> ClassStats {
+        self.per_class[class.index()]
+    }
+
+    /// Mean executed batch size over all devices.
     pub fn mean_batch_size(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            let total: u64 =
-                self.batch_histogram.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
-            total as f64 / self.batches as f64
+        histogram_mean(&self.batch_histogram)
+    }
+
+    /// Mean executed batch size on one device.
+    pub fn mean_batch_size_on(&self, device: usize) -> f64 {
+        histogram_mean(&self.per_device_batch_histogram[device])
+    }
+}
+
+/// Mean batch size of a `histogram[n-1] = batches of size n` histogram
+/// (0 when empty) — the layout of [`ServeStats::batch_histogram`], and
+/// of any difference of two such snapshots.
+pub fn histogram_mean(hist: &[u64]) -> f64 {
+    let batches: u64 = hist.iter().sum();
+    if batches == 0 {
+        0.0
+    } else {
+        let total: u64 = hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        total as f64 / batches as f64
+    }
+}
+
+// Cancel adjudication states (see `CancelCell`).
+const QUEUED: u8 = 0;
+const CLAIMED: u8 = 1;
+const CANCELLED: u8 = 2;
+
+/// The cancel-vs-cut arbiter of one request: exactly one of
+/// `cancel()` (QUEUED → CANCELLED) and the batcher's claim at cut time
+/// (QUEUED → CLAIMED) wins the compare-and-swap.
+pub(crate) struct CancelCell {
+    state: AtomicU8,
+}
+
+/// Clonable handle that revokes a queued request (from
+/// [`Ticket::cancel_handle`]).
+///
+/// [`CancelHandle::cancel`] adjudicates the race against batch cutting
+/// with a compare-and-swap: when it returns `true`, the request is
+/// guaranteed never to execute — it is removed from the queue (or, if a
+/// worker pops it first, dropped at batch-cut time), its scheduler
+/// charge is refunded, its ticket resolves with
+/// [`InferenceResponse::cancelled`] set, and it counts in
+/// [`ServeStats::cancelled`]. When it returns `false`, the request was
+/// already claimed for a batch (or already answered) and will run.
+///
+/// ```
+/// use smartmem_serve::{InferenceRequest, ModelSpec, ServeConfig, Server};
+/// use smartmem_sim::DeviceConfig;
+/// use smartmem_ir::{DType, GraphBuilder};
+/// use std::time::Duration;
+///
+/// let mut b = GraphBuilder::new("toy");
+/// let x = b.input("x", &[1, 16, 32], DType::F16);
+/// let w = b.weight("w", &[32, 32], DType::F16);
+/// let mm = b.matmul(x, w);
+/// b.output(mm);
+/// // A long idle delay keeps the lone request queued until we cancel.
+/// let config = ServeConfig { max_delay: Duration::from_secs(5), ..ServeConfig::default() };
+/// let server = Server::start(
+///     vec![ModelSpec::new("toy", b.finish())],
+///     vec![DeviceConfig::apple_m1()],
+///     config,
+/// );
+/// let ticket = server.submit(InferenceRequest::new(0)).unwrap();
+/// let handle = ticket.cancel_handle();
+/// assert!(handle.cancel(), "still queued: cancellation wins");
+/// assert!(!handle.cancel(), "second cancel is a no-op");
+/// let response = ticket.wait();
+/// assert!(response.cancelled);
+/// let stats = server.shutdown();
+/// assert_eq!((stats.cancelled, stats.completed), (1, 0));
+/// ```
+#[derive(Clone)]
+pub struct CancelHandle {
+    cell: Arc<CancelCell>,
+    id: u64,
+    key: BatchKey,
+    inner: Weak<Inner>,
+}
+
+impl CancelHandle {
+    /// Attempts to cancel the request; returns `true` iff cancellation
+    /// won (the request will never execute). Safe to call from any
+    /// thread, any number of times.
+    pub fn cancel(&self) -> bool {
+        if self
+            .cell
+            .state
+            .compare_exchange(QUEUED, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
         }
+        // The CAS settled it: no worker will ever claim this request.
+        // Eagerly unqueue and answer it; if a cutter popped it in the
+        // meantime, the failed claim routes it through the cutter's
+        // cancelled path instead (exactly one of us finds it queued).
+        if let Some(inner) = self.inner.upgrade() {
+            let removed = {
+                let mut st = inner.state.lock().expect("batch state poisoned");
+                st.batcher.remove_where(self.key, |p: &Pending| p.id == self.id)
+            };
+            if let Some(p) = removed {
+                inner.space_cv.notify_all();
+                respond_cancelled(&inner, p);
+            }
+        }
+        true
+    }
+
+    /// Whether a `cancel` call already won for this request.
+    pub fn is_cancelled(&self) -> bool {
+        self.cell.state.load(Ordering::Acquire) == CANCELLED
     }
 }
 
@@ -119,9 +332,48 @@ struct Pending {
     id: u64,
     model: usize,
     device: usize,
+    class: Priority,
+    deadline: Instant,
     est_ns: u64,
     submitted: Instant,
+    cell: Arc<CancelCell>,
     tx: Sender<InferenceResponse>,
+}
+
+impl BatchItem for Pending {
+    fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    fn est_ns(&self) -> f64 {
+        self.est_ns as f64
+    }
+
+    fn claim(&self) -> bool {
+        self.cell
+            .state
+            .compare_exchange(QUEUED, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+#[derive(Default)]
+struct ClassCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    slo_violations: AtomicU64,
+}
+
+impl ClassCounters {
+    fn snapshot(&self) -> ClassStats {
+        ClassStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            slo_violations: self.slo_violations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Metrics {
@@ -129,14 +381,23 @@ struct Metrics {
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
     batches: AtomicU64,
-    batch_histogram: Vec<AtomicU64>,
+    /// `[device][size-1]` — per-device batch-size histograms.
+    per_device_hist: Vec<Vec<AtomicU64>>,
     per_device_batches: Vec<AtomicU64>,
+    per_class: [ClassCounters; 3],
     completion_seq: AtomicU64,
 }
 
-/// State shared by the public handle, the batching thread and the
-/// device workers.
+/// The batcher plus the shutdown flag, guarded by `Inner::state`.
+struct BatchState {
+    batcher: Batcher<Pending>,
+    shutdown: bool,
+}
+
+/// State shared by the public handle, the device workers, and every
+/// outstanding [`CancelHandle`].
 struct Inner {
     models: Vec<ModelSpec>,
     pool: DevicePool,
@@ -146,19 +407,24 @@ struct Inner {
     estimates: Vec<Vec<f64>>,
     config: ServeConfig,
     metrics: Metrics,
+    state: Mutex<BatchState>,
+    /// Wakes one device's worker (indexed by device id): new work
+    /// pushed for it, or shutdown. Per-device condvars keep a
+    /// submission from waking workers that cannot act on it.
+    work_cvs: Vec<Condvar>,
+    /// Wakes blocked submitters: queue capacity freed, or shutdown.
+    space_cv: Condvar,
 }
 
 /// The serving runtime handle.
 ///
-/// `start` spins up one batching thread plus one worker thread per
-/// device; `submit`/`try_submit` enqueue requests and return
-/// [`Ticket`]s; `shutdown` drains everything and returns the final
-/// statistics. The handle is `Sync`: submit from as many threads as
-/// you like.
+/// `start` spins up one worker thread per device; `submit`/`try_submit`
+/// enqueue requests and return [`Ticket`]s (cancellable via
+/// [`Ticket::cancel_handle`]); `shutdown` drains everything and returns
+/// the final statistics. The handle is `Sync`: submit from as many
+/// threads as you like.
 pub struct Server {
     inner: Arc<Inner>,
-    submit_tx: SyncSender<Pending>,
-    batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
 }
@@ -193,9 +459,13 @@ impl Server {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             batches: AtomicU64::new(0),
-            batch_histogram: (0..config.max_batch).map(|_| AtomicU64::new(0)).collect(),
+            per_device_hist: (0..pool.len())
+                .map(|_| (0..config.max_batch).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
             per_device_batches: (0..pool.len()).map(|_| AtomicU64::new(0)).collect(),
+            per_class: Default::default(),
             completion_seq: AtomicU64::new(0),
         };
         // A broken cache directory must not take the server down with
@@ -211,30 +481,29 @@ impl Server {
             }),
             None => CompileSession::new(),
         };
+        let batcher = Batcher::new(config.max_batch, config.max_delay)
+            .with_policy(config.cut_policy)
+            .with_aging_factor(config.aging_factor);
+        let pool_len = pool.len();
         let inner = Arc::new(Inner {
             models,
             pool,
             session,
             framework,
             estimates,
-            config: config.clone(),
+            config,
             metrics,
+            state: Mutex::new(BatchState { batcher, shutdown: false }),
+            work_cvs: (0..pool_len).map(|_| Condvar::new()).collect(),
+            space_cv: Condvar::new(),
         });
-
-        let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(config.queue_capacity);
-        let mut batch_txs = Vec::new();
-        let mut workers = Vec::new();
-        for device in 0..inner.pool.len() {
-            let (tx, rx) = mpsc::channel::<Batch<Pending>>();
-            batch_txs.push(tx);
-            let inner = Arc::clone(&inner);
-            workers.push(std::thread::spawn(move || worker_loop(&inner, device, rx)));
-        }
-        let batcher = {
-            let inner = Arc::clone(&inner);
-            std::thread::spawn(move || batcher_loop(&inner, submit_rx, batch_txs))
-        };
-        Server { inner, submit_tx, batcher: Some(batcher), workers, next_id: AtomicU64::new(0) }
+        let workers = (0..inner.pool.len())
+            .map(|device| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, device))
+            })
+            .collect();
+        Server { inner, workers, next_id: AtomicU64::new(0) }
     }
 
     /// Model id registered under `name`, if any.
@@ -260,15 +529,7 @@ impl Server {
     /// Returns [`SubmitError`] for unknown model/device ids or a
     /// shutting-down server.
     pub fn submit(&self, req: InferenceRequest) -> Result<Ticket, SubmitError> {
-        let (pending, ticket) = self.admit(req)?;
-        let device = pending.device;
-        let est = pending.est_ns;
-        self.submit_tx.send(pending).map_err(|_| {
-            self.inner.pool.discharge(device, est);
-            SubmitError::ShuttingDown
-        })?;
-        self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(ticket)
+        self.submit_inner(req, true)
     }
 
     /// Submits without blocking, shedding load when the queue is full.
@@ -278,25 +539,45 @@ impl Server {
     /// Returns [`SubmitError::QueueFull`] when admission control
     /// rejects the request, or the same errors as [`Server::submit`].
     pub fn try_submit(&self, req: InferenceRequest) -> Result<Ticket, SubmitError> {
+        self.submit_inner(req, false)
+    }
+
+    fn submit_inner(&self, req: InferenceRequest, block: bool) -> Result<Ticket, SubmitError> {
+        let inner = &self.inner;
         let (pending, ticket) = self.admit(req)?;
-        let device = pending.device;
-        let est = pending.est_ns;
-        match self.submit_tx.try_send(pending) {
-            Ok(()) => {
-                self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(ticket)
+        let (device, est, class) = (pending.device, pending.est_ns, pending.class);
+        let refuse = |err: SubmitError| {
+            inner.pool.discharge(device, est, class);
+            if err == SubmitError::QueueFull {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             }
-            Err(err) => {
-                self.inner.pool.discharge(device, est);
-                Err(match err {
-                    TrySendError::Full(_) => {
-                        self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                        SubmitError::QueueFull
-                    }
-                    TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
-                })
+            Err(err)
+        };
+        let key = BatchKey { model: pending.model, device: pending.device };
+        {
+            let mut st = inner.state.lock().expect("batch state poisoned");
+            loop {
+                if st.shutdown {
+                    return refuse(SubmitError::ShuttingDown);
+                }
+                if st.batcher.pending() < inner.config.queue_capacity {
+                    break;
+                }
+                if !block {
+                    return refuse(SubmitError::QueueFull);
+                }
+                st = inner.space_cv.wait(st).expect("batch state poisoned");
             }
+            st.batcher.push(key, pending, Instant::now());
+            // Counted before the lock drops: a size-due request can be
+            // cut and completed the instant the lock is released, and
+            // `submitted >= completed + cancelled` must hold in every
+            // stats() snapshot.
+            inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.per_class[class.index()].submitted.fetch_add(1, Ordering::Relaxed);
         }
+        inner.work_cvs[device].notify_all();
+        Ok(ticket)
     }
 
     /// Validates, places, and charges a request; builds its ticket.
@@ -311,33 +592,68 @@ impl Server {
                     return Err(SubmitError::UnknownDevice(d));
                 }
                 let est = inner.estimates[req.model][d].max(0.0) as u64;
-                inner.pool.charge(d, est);
+                inner.pool.charge(d, est, req.priority);
                 (d, est)
             }
-            None => inner.pool.place(&inner.estimates[req.model]),
+            None => inner.pool.place(&inner.estimates[req.model], req.priority),
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
-        let pending =
-            Pending { id, model: req.model, device, est_ns, submitted: Instant::now(), tx };
-        Ok((pending, Ticket { id, rx }))
+        let submitted = Instant::now();
+        let cell = Arc::new(CancelCell { state: AtomicU8::new(QUEUED) });
+        let pending = Pending {
+            id,
+            model: req.model,
+            device,
+            class: req.priority,
+            deadline: submitted + inner.config.deadlines.budget(req.priority),
+            est_ns,
+            submitted,
+            cell: Arc::clone(&cell),
+            tx,
+        };
+        let cancel = CancelHandle {
+            cell,
+            id,
+            key: BatchKey { model: req.model, device },
+            inner: Arc::downgrade(inner),
+        };
+        Ok((pending, Ticket { id, rx, cancel }))
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> ServeStats {
         let m = &self.inner.metrics;
+        let per_device_batch_histogram: Vec<Vec<u64>> = m
+            .per_device_hist
+            .iter()
+            .map(|h| h.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            .collect();
+        let mut batch_histogram = vec![0u64; self.inner.config.max_batch];
+        for hist in &per_device_batch_histogram {
+            for (slot, &count) in batch_histogram.iter_mut().zip(hist) {
+                *slot += count;
+            }
+        }
         ServeStats {
             submitted: m.submitted.load(Ordering::Relaxed),
             completed: m.completed.load(Ordering::Relaxed),
             rejected: m.rejected.load(Ordering::Relaxed),
             failed: m.failed.load(Ordering::Relaxed),
+            cancelled: m.cancelled.load(Ordering::Relaxed),
             batches: m.batches.load(Ordering::Relaxed),
-            batch_histogram: m.batch_histogram.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            batch_histogram,
+            per_device_batch_histogram,
             per_device_batches: m
                 .per_device_batches
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            per_class: [
+                m.per_class[0].snapshot(),
+                m.per_class[1].snapshot(),
+                m.per_class[2].snapshot(),
+            ],
             cache: self.inner.session.stats(),
             compiled: self.inner.session.len(),
         }
@@ -346,148 +662,202 @@ impl Server {
     /// Stops accepting requests, drains every queued batch, joins all
     /// threads and returns the final statistics.
     pub fn shutdown(mut self) -> ServeStats {
-        // Closing the submission channel unwinds the pipeline: the
-        // batching thread drains and exits, dropping the dispatch
-        // channels, which terminates the workers.
-        let (dead_tx, _) = mpsc::sync_channel(1);
-        drop(std::mem::replace(&mut self.submit_tx, dead_tx));
-        if let Some(b) = self.batcher.take() {
-            b.join().expect("batching thread panicked");
-        }
-        for w in self.workers.drain(..) {
-            w.join().expect("worker thread panicked");
-        }
+        self.stop_and_join(true);
         self.stats()
     }
-}
 
-fn batcher_loop(inner: &Inner, rx: Receiver<Pending>, batch_txs: Vec<Sender<Batch<Pending>>>) {
-    let mut batcher: Batcher<Pending> =
-        Batcher::new(inner.config.max_batch, inner.config.max_delay);
-    let dispatch = |batch: Batch<Pending>| {
-        // Workers only exit after this thread drops the senders, so
-        // dispatch cannot fail while we are running.
-        batch_txs[batch.key.device].send(batch).expect("worker exited before batcher");
-    };
-    loop {
-        // Block outright while nothing is pending (an idle server costs
-        // zero wakeups); arm a timeout only when an open batch has a
-        // deadline to meet.
-        let received = match batcher.next_deadline(Instant::now()) {
-            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            Some(wait) => rx.recv_timeout(wait),
-        };
-        match received {
-            Ok(pending) => {
-                let now = Instant::now();
-                let key = BatchKey { model: pending.model, device: pending.device };
-                if let Some(batch) = batcher.push(key, pending, now) {
-                    dispatch(batch);
-                }
-                for batch in batcher.due(now) {
-                    dispatch(batch);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                for batch in batcher.due(Instant::now()) {
-                    dispatch(batch);
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                for batch in batcher.drain() {
-                    dispatch(batch);
-                }
-                break;
+    /// Flags shutdown, wakes everything, joins the workers. A panicked
+    /// worker (or the poisoned lock it leaves behind) only propagates
+    /// when `propagate` is set — the `Drop` path must stay panic-free,
+    /// or an abort-during-unwind would mask the original failure.
+    fn stop_and_join(&mut self, propagate: bool) {
+        match self.inner.state.lock() {
+            Ok(mut st) => st.shutdown = true,
+            Err(poisoned) => poisoned.into_inner().shutdown = true,
+        }
+        // Workers drain their device's remaining queue and exit;
+        // blocked submitters observe the flag and error out.
+        for cv in &self.inner.work_cvs {
+            cv.notify_all();
+        }
+        self.inner.space_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let joined = w.join();
+            if propagate {
+                joined.expect("worker thread panicked");
             }
         }
     }
 }
 
-fn worker_loop(inner: &Inner, device_id: usize, rx: Receiver<Batch<Pending>>) {
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_and_join(false);
+        }
+    }
+}
+
+/// Refunds the scheduler charge of a cancelled request, counts it, and
+/// resolves its ticket with a cancelled response.
+fn respond_cancelled(inner: &Inner, p: Pending) {
+    inner.pool.discharge(p.device, p.est_ns, p.class);
+    let m = &inner.metrics;
+    m.cancelled.fetch_add(1, Ordering::Relaxed);
+    m.per_class[p.class.index()].cancelled.fetch_add(1, Ordering::Relaxed);
+    let wall_ms = p.submitted.elapsed().as_secs_f64() * 1e3;
+    let response = InferenceResponse {
+        request_id: p.id,
+        completion_seq: m.completion_seq.fetch_add(1, Ordering::Relaxed),
+        model: inner.models[p.model].name.clone(),
+        device: inner.pool.device(p.device).name.clone(),
+        priority: p.class,
+        cancelled: true,
+        batch_size: 0,
+        queue_ms: wall_ms,
+        exec_ms: 0.0,
+        wall_ms,
+        compile_cache_hit: false,
+        error: None,
+    };
+    // A dropped ticket just means nobody is listening.
+    let _ = p.tx.send(response);
+}
+
+fn worker_loop(inner: &Inner, device_id: usize) {
     let device = inner.pool.device(device_id).clone();
     // Latency reports per model on this device. Only this worker ever
     // touches (·, device_id) pairs, so the memo is thread-local.
     let mut reports: HashMap<usize, ModelReport> = HashMap::new();
-    while let Ok(batch) = rx.recv() {
-        let exec_start = Instant::now();
-        let size = batch.items.len();
-        let model_id = batch.key.model;
-        let spec = &inner.models[model_id];
-
-        // Compile every request through the shared session:
-        // compile-on-first-use, cache-warm (and in-flight-deduplicated)
-        // thereafter. The fingerprint was precomputed at registration,
-        // so a warm call is a hash-map lookup. Accounting is deliberately
-        // per *request* — the hit rate answers "what fraction of traffic
-        // was served from a warm artifact", so the follow-up requests of
-        // a batch count as hits too.
-        // A panicking pass must fail this model's requests, not kill
-        // the device worker (which would strand every later batch
-        // routed here): the session's FlightGuard already unwedges
-        // concurrent waiters, and catching the unwind turns the panic
-        // into a per-request error response.
-        let compiled: Vec<_> = batch
-            .items
-            .iter()
-            .map(|_| {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    inner.session.compile_keyed(
-                        inner.framework.as_ref(),
-                        &spec.graph,
-                        spec.fingerprint,
-                        &device,
-                    )
-                }))
-                .unwrap_or_else(|_| {
-                    (Err(Unsupported::new(inner.framework.name(), "compilation panicked")), false)
-                })
-            })
-            .collect();
-
-        // The sampled-trace latency estimate is much cheaper than
-        // compilation but still worth paying once per model, not per
-        // batch.
-        let exec_ms = compiled
-            .iter()
-            .find_map(|(res, _)| res.as_ref().ok())
-            .map(|output| {
-                reports.entry(model_id).or_insert_with(|| output.optimized.estimate(&device))
-            })
-            .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size));
-        if inner.config.exec_time_scale > 0.0 && exec_ms > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(
-                exec_ms * inner.config.exec_time_scale / 1e3,
-            ));
-        }
-
-        let m = &inner.metrics;
-        m.batches.fetch_add(1, Ordering::Relaxed);
-        m.per_device_batches[device_id].fetch_add(1, Ordering::Relaxed);
-        if let Some(slot) = m.batch_histogram.get(size.saturating_sub(1)) {
-            slot.fetch_add(1, Ordering::Relaxed);
-        }
-        for (item, (result, cache_hit)) in batch.items.into_iter().zip(compiled) {
-            inner.pool.discharge(device_id, item.est_ns);
-            let error = result.as_ref().err().map(|e| e.to_string());
-            if error.is_some() {
-                m.failed.fetch_add(1, Ordering::Relaxed);
+    let mut st: MutexGuard<'_, BatchState> = inner.state.lock().expect("batch state poisoned");
+    loop {
+        let now = Instant::now();
+        // Shutdown drains without waiting out the idle-latency bound.
+        let cut = if st.shutdown {
+            st.batcher.pull_any(device_id, now)
+        } else {
+            st.batcher.pull(device_id, now)
+        };
+        match cut {
+            Some(cut) => {
+                drop(st);
+                // The cut freed queue capacity for blocked submitters.
+                inner.space_cv.notify_all();
+                for p in cut.cancelled {
+                    respond_cancelled(inner, p);
+                }
+                if !cut.batch.items.is_empty() {
+                    execute_batch(inner, device_id, &device, &mut reports, cut.batch);
+                }
+                st = inner.state.lock().expect("batch state poisoned");
             }
-            m.completed.fetch_add(1, Ordering::Relaxed);
-            let response = InferenceResponse {
-                request_id: item.id,
-                completion_seq: m.completion_seq.fetch_add(1, Ordering::Relaxed),
-                model: spec.name.clone(),
-                device: device.name.clone(),
-                batch_size: size,
-                queue_ms: exec_start.saturating_duration_since(item.submitted).as_secs_f64() * 1e3,
-                exec_ms,
-                wall_ms: item.submitted.elapsed().as_secs_f64() * 1e3,
-                compile_cache_hit: cache_hit,
-                error,
-            };
-            // A dropped ticket just means nobody is listening.
-            let _ = item.tx.send(response);
+            None if st.shutdown => return,
+            None => {
+                let cv = &inner.work_cvs[device_id];
+                st = match st.batcher.next_due(device_id, now) {
+                    // Nothing queued for this device: sleep until work
+                    // arrives (an idle server costs zero wakeups).
+                    None => cv.wait(st).expect("batch state poisoned"),
+                    // Something is queued but not due: sleep out the
+                    // remainder of the idle-latency bound.
+                    Some(wait) => {
+                        let wait = wait.max(Duration::from_micros(50));
+                        cv.wait_timeout(st, wait).expect("batch state poisoned").0
+                    }
+                };
+            }
         }
+    }
+}
+
+fn execute_batch(
+    inner: &Inner,
+    device_id: usize,
+    device: &DeviceConfig,
+    reports: &mut HashMap<usize, ModelReport>,
+    batch: Batch<Pending>,
+) {
+    let exec_start = Instant::now();
+    let size = batch.items.len();
+    let model_id = batch.key.model;
+    let spec = &inner.models[model_id];
+
+    // Compile every request through the shared session:
+    // compile-on-first-use, cache-warm (and in-flight-deduplicated)
+    // thereafter. The fingerprint was precomputed at registration,
+    // so a warm call is a hash-map lookup. Accounting is deliberately
+    // per *request* — the hit rate answers "what fraction of traffic
+    // was served from a warm artifact", so the follow-up requests of
+    // a batch count as hits too.
+    // A panicking pass must fail this model's requests, not kill
+    // the device worker (which would strand every later batch
+    // routed here): the session's FlightGuard already unwedges
+    // concurrent waiters, and catching the unwind turns the panic
+    // into a per-request error response.
+    let compiled: Vec<_> = batch
+        .items
+        .iter()
+        .map(|_| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inner.session.compile_keyed(
+                    inner.framework.as_ref(),
+                    &spec.graph,
+                    spec.fingerprint,
+                    device,
+                )
+            }))
+            .unwrap_or_else(|_| {
+                (Err(Unsupported::new(inner.framework.name(), "compilation panicked")), false)
+            })
+        })
+        .collect();
+
+    // The sampled-trace latency estimate is much cheaper than
+    // compilation but still worth paying once per model, not per
+    // batch.
+    let exec_ms = compiled
+        .iter()
+        .find_map(|(res, _)| res.as_ref().ok())
+        .map(|output| reports.entry(model_id).or_insert_with(|| output.optimized.estimate(device)))
+        .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size));
+    if inner.config.exec_time_scale > 0.0 && exec_ms > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(exec_ms * inner.config.exec_time_scale / 1e3));
+    }
+
+    let m = &inner.metrics;
+    m.batches.fetch_add(1, Ordering::Relaxed);
+    m.per_device_batches[device_id].fetch_add(1, Ordering::Relaxed);
+    if let Some(slot) = m.per_device_hist[device_id].get(size.saturating_sub(1)) {
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+    for (item, (result, cache_hit)) in batch.items.into_iter().zip(compiled) {
+        inner.pool.discharge(device_id, item.est_ns, item.class);
+        let error = result.as_ref().err().map(|e| e.to_string());
+        if error.is_some() {
+            m.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        let class = &m.per_class[item.class.index()];
+        class.completed.fetch_add(1, Ordering::Relaxed);
+        if Instant::now() > item.deadline {
+            class.slo_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        let response = InferenceResponse {
+            request_id: item.id,
+            completion_seq: m.completion_seq.fetch_add(1, Ordering::Relaxed),
+            model: spec.name.clone(),
+            device: device.name.clone(),
+            priority: item.class,
+            cancelled: false,
+            batch_size: size,
+            queue_ms: exec_start.saturating_duration_since(item.submitted).as_secs_f64() * 1e3,
+            exec_ms,
+            wall_ms: item.submitted.elapsed().as_secs_f64() * 1e3,
+            compile_cache_hit: cache_hit,
+            error,
+        };
+        // A dropped ticket just means nobody is listening.
+        let _ = item.tx.send(response);
     }
 }
 
@@ -502,5 +872,12 @@ mod tests {
         assert_eq!(one, 10.0);
         assert!(four < 40.0, "batching must amortize: {four}");
         assert!(four > 10.0);
+    }
+
+    #[test]
+    fn default_class_deadlines_are_ordered() {
+        let d = ClassDeadlines::default();
+        assert!(d.budget(Priority::Interactive) < d.budget(Priority::Batch));
+        assert!(d.budget(Priority::Batch) < d.budget(Priority::BestEffort));
     }
 }

@@ -1,10 +1,12 @@
 //! End-to-end tests of the serving runtime: compile-on-first-use with
 //! cache-warm steady state, concurrent submission, FIFO completion
-//! within a key, deadline flushing of stragglers, and scheduler
-//! placement across the device pool.
+//! within a key, idle-deadline flushing of stragglers, scheduler
+//! placement across the device pool, priority-class accounting,
+//! request cancellation, and pull-based batch growth under backlog.
 
-use smartmem_serve::{InferenceRequest, ModelSpec, ServeConfig, Server};
+use smartmem_serve::{CutPolicy, InferenceRequest, ModelSpec, Priority, ServeConfig, Server};
 use smartmem_sim::DeviceConfig;
+use std::time::Duration;
 
 fn models() -> Vec<ModelSpec> {
     vec![
@@ -215,6 +217,169 @@ fn restarted_server_is_cache_hot_from_request_one() {
     assert_eq!(warm_stats.cache.disk_hits as usize, models().len() * devices().len());
     assert!((warm_stats.cache_hit_rate() - 1.0).abs() < f64::EPSILON);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_requests_resolve_without_executing() {
+    // A long idle delay keeps requests queued until we decide their
+    // fate, so the eager-cancel path is deterministic.
+    let config = ServeConfig { max_delay: Duration::from_millis(250), ..ServeConfig::default() };
+    let server = Server::start(models(), vec![DeviceConfig::snapdragon_8gen2()], config);
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            let class = if i % 2 == 0 { Priority::Interactive } else { Priority::BestEffort };
+            server.submit(InferenceRequest::new(0).with_priority(class)).expect("submit")
+        })
+        .collect();
+    // Cancel the two BestEffort requests while they are still queued.
+    let handles: Vec<_> = tickets.iter().map(|t| t.cancel_handle()).collect();
+    assert!(handles[1].cancel(), "queued request must be cancellable");
+    assert!(handles[3].cancel());
+    assert!(!handles[1].cancel(), "cancel is idempotent but only wins once");
+    assert!(handles[1].is_cancelled());
+    for (i, t) in tickets.into_iter().enumerate() {
+        let r = t.wait();
+        assert_eq!(r.cancelled, i % 2 == 1, "request {i}");
+        if r.cancelled {
+            assert_eq!(r.batch_size, 0, "cancelled requests never ride a batch");
+            assert!(r.error.is_none());
+        } else {
+            assert!(r.error.is_none());
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.completed, 2, "completed excludes cancelled requests");
+    assert_eq!(stats.class(Priority::BestEffort).cancelled, 2);
+    assert_eq!(stats.class(Priority::Interactive).completed, 2);
+    assert_eq!(stats.class(Priority::Interactive).cancelled, 0);
+}
+
+#[test]
+fn cancel_after_completion_is_refused() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let ticket = server.submit(InferenceRequest::new(0)).expect("submit");
+    let handle = ticket.cancel_handle();
+    let r = ticket.wait();
+    assert!(!r.cancelled);
+    assert!(!handle.cancel(), "a served request can no longer be cancelled");
+    let stats = server.shutdown();
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn priority_classes_are_accounted_separately() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let mix = [(Priority::Interactive, 12u64), (Priority::Batch, 7), (Priority::BestEffort, 3)];
+    let tickets: Vec<_> = mix
+        .iter()
+        .flat_map(|&(class, n)| (0..n).map(move |_| InferenceRequest::new(0).with_priority(class)))
+        .map(|req| server.submit(req).expect("submit"))
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.error.is_none());
+    }
+    let stats = server.shutdown();
+    for (class, n) in mix {
+        assert_eq!(stats.class(class).submitted, n, "{class} submitted");
+        assert_eq!(stats.class(class).completed, n, "{class} completed");
+    }
+    assert_eq!(stats.completed, 22);
+}
+
+#[test]
+fn slo_violations_are_counted_per_class() {
+    // A zero Interactive budget makes every completed Interactive
+    // request a violation; BestEffort keeps a generous budget.
+    let mut config = ServeConfig::default();
+    config.deadlines.interactive = Duration::ZERO;
+    let server = Server::start(models(), devices(), config);
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            let class = if i < 3 { Priority::Interactive } else { Priority::BestEffort };
+            server.submit(InferenceRequest::new(0).with_priority(class)).expect("submit")
+        })
+        .collect();
+    for t in tickets {
+        assert!(t.wait().error.is_none());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.class(Priority::Interactive).slo_violations, 3);
+    assert_eq!(stats.class(Priority::BestEffort).slo_violations, 0);
+}
+
+#[test]
+fn try_submit_sheds_load_beyond_queue_capacity() {
+    // Two queue slots, one idle-latency window long enough that nothing
+    // is cut while we overfill.
+    let config = ServeConfig {
+        queue_capacity: 2,
+        max_delay: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(models(), vec![DeviceConfig::snapdragon_8gen2()], config);
+    let t1 = server.try_submit(InferenceRequest::new(0)).expect("slot 1");
+    let t2 = server.try_submit(InferenceRequest::new(0)).expect("slot 2");
+    match server.try_submit(InferenceRequest::new(0)) {
+        Err(err) => assert_eq!(err, smartmem_serve::SubmitError::QueueFull),
+        Ok(_) => panic!("third submission must be shed"),
+    }
+    assert!(t1.wait().error.is_none());
+    assert!(t2.wait().error.is_none());
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+/// The tentpole behaviour: on a backlogged device, pull-based cutting
+/// grows batches toward `max_batch`, while the fixed-deadline baseline
+/// keeps cutting whatever arrived inside its window — at identical
+/// offered load.
+#[test]
+fn pull_cutting_grows_batches_on_a_backlogged_device() {
+    let mean_batch = |policy: CutPolicy| -> f64 {
+        let config = ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            // ConvNext is ~19 ms simulated on the 8 Gen 2; 0.15 makes a
+            // full batch ~20 ms of wall time against ~0.5 ms arrivals,
+            // so the device is deeply backlogged in both modes.
+            exec_time_scale: 0.15,
+            cut_policy: policy,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(
+            vec![ModelSpec::new("ConvNext", smartmem_models::convnext(1))],
+            vec![DeviceConfig::snapdragon_8gen2()],
+            config,
+        );
+        // Warm the compile cache so the trace measures batching, not
+        // the one-off cold compile.
+        assert!(server.submit(InferenceRequest::new(0)).unwrap().wait().error.is_none());
+        let tickets: Vec<_> = (0..120)
+            .map(|_| {
+                std::thread::sleep(Duration::from_micros(500));
+                server.submit(InferenceRequest::new(0)).expect("submit")
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().error.is_none());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 121);
+        // Drop the warmup singleton from the mean.
+        let mut hist = stats.batch_histogram.clone();
+        hist[0] = hist[0].saturating_sub(1);
+        smartmem_serve::histogram_mean(&hist)
+    };
+    let pull = mean_batch(CutPolicy::Pull);
+    let fixed = mean_batch(CutPolicy::Deadline);
+    assert!(
+        pull > fixed + 0.75,
+        "pull-based cutting must grow batches under backlog: pull {pull:.2} vs fixed {fixed:.2}"
+    );
 }
 
 #[test]

@@ -15,9 +15,11 @@
 //!   texture mapping and auto-tuning.
 //! * [`baselines`] — MNN/NCNN/TFLite/TVM/DNNFusion-style pipelines.
 //! * [`models`] — the 20-model zoo of the paper's evaluation.
-//! * [`serve`] — the batched inference serving runtime (bounded queue
-//!   → per-(model, device) batcher → latency-estimate scheduler → one
-//!   shared, single-flight [`core::CompileSession`]).
+//! * [`serve`] — the SLO-aware batched inference serving runtime
+//!   (bounded queue → pull-mode per-(model, device) batcher with
+//!   priority classes, slack-ordered cuts and request cancellation →
+//!   latency-estimate scheduler → one shared, single-flight
+//!   [`core::CompileSession`]).
 //!
 //! # Architecture: Pass / PassManager / CompileCtx
 //!
@@ -54,12 +56,16 @@
 //!   compiles framework×model batches across threads
 //!   ([`core::CompileSession::compile_batch`]).
 //! * The serving layer ([`serve::Server`]) turns that into a runtime:
-//!   requests coalesce into per-(model, device) batches, a roofline
-//!   scheduler places them across the device pool, and artifacts are
-//!   compiled once and reused cache-warm. `cargo run -p smartmem-bench
-//!   --release --bin serve_bench` replays an open-loop trace over the
-//!   zoo and reports throughput, p50/p99 latency, the batch-size
-//!   histogram, and the cache hit rate.
+//!   requests are admitted under per-class latency budgets
+//!   ([`serve::Priority`]), coalesce into per-(model, device) batches
+//!   that device workers pull in slack order (cancellable via
+//!   [`serve::CancelHandle`]), a roofline scheduler places them across
+//!   the device pool, and artifacts are compiled once and reused
+//!   cache-warm. `cargo run -p smartmem-bench --release --bin
+//!   serve_bench` replays a priority-mixed open-loop trace over the
+//!   zoo and reports throughput, per-class p50/p99 latency and SLO
+//!   violations, per-device batch-size histograms, and the cache hit
+//!   rate.
 //!
 //! The bench harness observes all of this: `cargo run -p smartmem-bench
 //! --release --bin pass_timing` prints per-pass timing per framework,
