@@ -243,9 +243,9 @@ pub fn assign_layouts_uniform(
                 }
             }
             LayoutStyle::TextureDefault => {
-                if device.has_texture && rank == 4 {
+                if device.caps.texture_path && rank == 4 {
                     let l = Layout::texture_default(rank);
-                    if smartmem_core::fits_texture(&l, shape) {
+                    if smartmem_core::fits_texture(&l, shape, device.caps.max_texture_extent) {
                         l
                     } else {
                         Layout::row_major(rank)

@@ -1,0 +1,165 @@
+//! The bench-JSON regression gate.
+//!
+//! Compares one or more `--json` outputs of the bench binaries against
+//! the checked-in baseline, failing (exit code 1) when any baselined
+//! metric regresses beyond the tolerance:
+//!
+//! ```text
+//! bench_diff --baseline bench/baseline.json [--tolerance 0.15] current.json...
+//! ```
+//!
+//! Rules:
+//!
+//! * Only metrics present in the **baseline** are gated. Bench runs
+//!   emit more than the baseline pins (wall-clock timings, queueing
+//!   percentiles — noisy on shared CI runners); those ride along as
+//!   artifacts and show up here as ungated `new` rows. The baseline
+//!   should pin the *deterministic* metrics: simulated latencies,
+//!   speedups, request accounting.
+//! * Direction comes from the metric name
+//!   (`BenchRecord::higher_is_better`): throughput/rate/speedup-style
+//!   metrics must not drop, everything else (latencies, bad-event
+//!   counts) must not rise, each by more than `--tolerance` relative
+//!   (absolute slack 1e-9 for zero-valued baselines).
+//! * A baselined metric missing from the current runs fails the gate —
+//!   silently dropping a bench is itself a regression.
+//! * Improvements beyond the tolerance pass but are called out, with a
+//!   hint to re-baseline so the gate keeps teeth.
+
+use smartmem_bench::json::{parse_json, BenchRecord};
+use smartmem_bench::render_table;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    baseline: PathBuf,
+    tolerance: f64,
+    current: Vec<PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = argv.iter();
+    let mut baseline = None;
+    let mut tolerance = 0.15;
+    let mut current = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().expect("--baseline needs a value")));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance must be a number");
+                assert!(tolerance >= 0.0, "--tolerance must be non-negative");
+            }
+            path => current.push(PathBuf::from(path)),
+        }
+    }
+    Opts {
+        baseline: baseline.expect("usage: bench_diff --baseline FILE [--tolerance T] CURRENT..."),
+        tolerance,
+        current,
+    }
+}
+
+fn load(path: &PathBuf) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    assert!(!opts.current.is_empty(), "give at least one current bench-JSON file");
+    let baseline = load(&opts.baseline);
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    let mut current_count = 0usize;
+    for path in &opts.current {
+        for r in load(path) {
+            if current.insert(r.key(), r.value).is_some() {
+                panic!("duplicate record {} across current files", r.key());
+            }
+            current_count += 1;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    let mut improvements = 0usize;
+    let mut gated_keys = std::collections::BTreeSet::new();
+    for base in &baseline {
+        let key = base.key();
+        gated_keys.insert(key.clone());
+        let (status, delta_pct) = match current.get(&key) {
+            None => {
+                regressions.push(format!("{key}: missing from the current run"));
+                ("MISSING".to_string(), f64::NAN)
+            }
+            Some(&cur) => {
+                let denom = base.value.abs().max(1e-9);
+                let delta = (cur - base.value) / denom;
+                let bad = if base.higher_is_better() { -delta } else { delta };
+                if bad > opts.tolerance {
+                    regressions.push(format!(
+                        "{key}: {} -> {} ({:+.1}%, tolerance ±{:.0}%)",
+                        base.value,
+                        cur,
+                        delta * 100.0,
+                        opts.tolerance * 100.0
+                    ));
+                    ("REGRESSED".to_string(), delta * 100.0)
+                } else if -bad > opts.tolerance {
+                    improvements += 1;
+                    ("improved".to_string(), delta * 100.0)
+                } else {
+                    ("ok".to_string(), delta * 100.0)
+                }
+            }
+        };
+        rows.push(vec![
+            key,
+            format!("{:.4}", base.value),
+            current.get(&base.key()).map(|v| format!("{v:.4}")).unwrap_or_else(|| "–".to_string()),
+            if delta_pct.is_nan() { "–".into() } else { format!("{delta_pct:+.1}%") },
+            status,
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "bench_diff vs {} (±{:.0}% tolerance)",
+                opts.baseline.display(),
+                opts.tolerance * 100.0
+            ),
+            &["metric", "baseline", "current", "delta", "status"],
+            &rows,
+        )
+    );
+    let ungated = current_count - current.keys().filter(|k| gated_keys.contains(*k)).count();
+    println!(
+        "\n{} baselined metrics checked, {ungated} ungated records rode along as artifacts.",
+        baseline.len()
+    );
+    if improvements > 0 {
+        println!(
+            "{improvements} metrics improved beyond the tolerance — consider re-baselining \
+             bench/baseline.json so the gate keeps teeth."
+        );
+    }
+    if regressions.is_empty() {
+        println!("bench_diff OK: no regressions.");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nbench_diff FAILED: {} regression(s):", regressions.len());
+        for r in &regressions {
+            println!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -14,16 +14,20 @@
 //! persisted artifacts (identical per-model results, `misses == 0`).
 
 use smartmem_baselines::all_mobile_frameworks;
-use smartmem_bench::{parse_cache_dir_arg, render_pass_timings, render_table};
+use smartmem_bench::json::{write_json, BenchRecord};
+use smartmem_bench::{parse_bench_args, render_pass_timings, render_table};
 use smartmem_core::{eliminate_with_options, CompileSession};
 use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
 use std::time::Instant;
 
 fn main() {
-    let cache_dir = parse_cache_dir_arg();
+    let args = parse_bench_args();
+    assert!(!args.smoke, "pass_timing takes --cache-dir DIR and --json PATH only");
+    let cache_dir = args.cache_dir;
     let device = DeviceConfig::snapdragon_8gen2();
     let frameworks = all_mobile_frameworks();
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     // 1b (run first). The LTE compile-time hot spot: composition +
     // strength reduction, before/after the composition memo (results
@@ -78,9 +82,18 @@ fn main() {
     let mut rows = Vec::new();
     for (entry, row) in entries.iter().zip(&results) {
         let mut cells = vec![entry.name.to_string()];
-        for res in row {
+        for (fw, res) in frameworks.iter().zip(row) {
             cells.push(match res {
-                Ok(out) => format!("{:.1}", out.total_duration().as_secs_f64() * 1e3),
+                Ok(out) => {
+                    let ms = out.total_duration().as_secs_f64() * 1e3;
+                    records.push(BenchRecord::new(
+                        "pass_timing",
+                        device.slug(),
+                        format!("{}.{}.compile_ms", entry.name, fw.name().to_ascii_lowercase()),
+                        ms,
+                    ));
+                    format!("{ms:.1}")
+                }
                 Err(_) => "–".into(),
             });
         }
@@ -116,5 +129,22 @@ fn main() {
             dir.display(),
             smartmem_core::lte_memo_len(),
         );
+    }
+
+    if let Some(path) = &args.json {
+        records.push(BenchRecord::new(
+            "pass_timing",
+            device.slug(),
+            "zoo_cold_compile_ms",
+            cold.as_secs_f64() * 1e3,
+        ));
+        records.push(BenchRecord::new(
+            "pass_timing",
+            device.slug(),
+            "zoo_warm_compile_ms",
+            warm.as_secs_f64() * 1e3,
+        ));
+        write_json(path, &records).expect("write --json output");
+        println!("wrote {} records to {}", records.len(), path.display());
     }
 }

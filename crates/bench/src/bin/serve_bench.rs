@@ -17,9 +17,16 @@
 //! `--cold` (skip the warmup pass, so the replay measures cold-compile
 //! stalls instead of steady state), `--cache-dir DIR` (persistent
 //! artifact cache: cold compiles write through, rerunning against the
-//! same directory warm-starts from disk), and `--expect-warm` (assert
+//! same directory warm-starts from disk), `--expect-warm` (assert
 //! the run performed *zero* cold compiles — pair it with a second run
-//! over an already-populated `--cache-dir`).
+//! over an already-populated `--cache-dir`), and `--json PATH`
+//! (machine-readable records for CI artifacts and the `bench_diff`
+//! regression gate).
+//!
+//! The pool serves six devices — four mobile GPUs (including the
+//! AFBC-compressed Mali-G710), Apple silicon, and a server-class NPU —
+//! so placement has genuinely heterogeneous latency classes to choose
+//! between.
 //!
 //! The trace is open-loop: arrivals follow exponential inter-arrival
 //! times at the configured rate and are submitted on schedule, whether
@@ -53,6 +60,7 @@ struct BenchOpts {
     cut_policy: CutPolicy,
     cache_dir: Option<PathBuf>,
     expect_warm: bool,
+    json: Option<PathBuf>,
 }
 
 fn parse_args() -> BenchOpts {
@@ -67,6 +75,7 @@ fn parse_args() -> BenchOpts {
         cut_policy: CutPolicy::Pull,
         cache_dir: None,
         expect_warm: false,
+        json: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter();
@@ -91,6 +100,7 @@ fn parse_args() -> BenchOpts {
             }
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--expect-warm" => opts.expect_warm = true,
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -141,7 +151,9 @@ fn devices() -> Vec<DeviceConfig> {
         DeviceConfig::snapdragon_8gen2(),
         DeviceConfig::snapdragon_835(),
         DeviceConfig::dimensity_700(),
+        DeviceConfig::mali_g710(),
         DeviceConfig::apple_m1(),
+        DeviceConfig::server_npu(),
     ]
 }
 
@@ -284,6 +296,8 @@ fn main() {
     let wall_s = replay_start.elapsed().as_secs_f64();
     let device_names: Vec<String> =
         (0..server.pool().len()).map(|d| server.pool().device(d).name.clone()).collect();
+    let device_slugs: Vec<String> =
+        (0..server.pool().len()).map(|d| server.pool().device(d).slug()).collect();
     let stats = server.shutdown();
 
     // --- Report -------------------------------------------------------
@@ -401,6 +415,70 @@ fn main() {
             &device_rows,
         )
     );
+
+    // Machine-readable records (written before the gates below, so CI
+    // keeps the artifact even when a gate trips).
+    if let Some(path) = &opts.json {
+        use smartmem_bench::json::{write_json, BenchRecord};
+        let rec = |metric: &str, value: f64| BenchRecord::new("serve_bench", "pool", metric, value);
+        let mut records = vec![
+            rec("served", served.len() as f64),
+            rec("cancelled", cancelled_responses as f64),
+            rec("failed", failed as f64),
+            rec("throughput_rps", served.len() as f64 / wall_s),
+            rec("p50_e2e_ms", percentile(&e2e, 50.0)),
+            rec("p99_e2e_ms", percentile(&e2e, 99.0)),
+            rec("p50_queue_ms", percentile(&queue, 50.0)),
+            rec("p99_queue_ms", percentile(&queue, 99.0)),
+            rec("batches", trace_batches as f64),
+            rec("mean_batch", mean_batch),
+            rec("cache_hit_rate", stats.cache_hit_rate()),
+            rec("steady_hit_rate", steady_hit_rate(&warm_stats, &stats)),
+        ];
+        for &class in Priority::ALL.iter() {
+            let mut class_e2e: Vec<f64> =
+                served.iter().filter(|r| r.priority == class).map(|r| r.e2e_ms()).collect();
+            class_e2e.sort_by(f64::total_cmp);
+            let cs = stats.class(class);
+            let warm_cs = warm_stats.class(class);
+            let prefix = class.name().to_ascii_lowercase();
+            records.push(rec(&format!("{prefix}.p50_e2e_ms"), percentile(&class_e2e, 50.0)));
+            records.push(rec(&format!("{prefix}.p99_e2e_ms"), percentile(&class_e2e, 99.0)));
+            records.push(rec(
+                &format!("{prefix}.slo_violations"),
+                (cs.slo_violations - warm_cs.slo_violations) as f64,
+            ));
+        }
+        for (d, (all, warm)) in stats
+            .per_device_batch_histogram
+            .iter()
+            .zip(&warm_stats.per_device_batch_histogram)
+            .enumerate()
+        {
+            let hist: Vec<u64> = all.iter().zip(warm).map(|(a, b)| a - b).collect();
+            let slug = device_slugs[d].clone();
+            records.push(BenchRecord::new(
+                "serve_bench",
+                &slug,
+                "batches",
+                hist.iter().sum::<u64>() as f64,
+            ));
+            records.push(BenchRecord::new("serve_bench", &slug, "mean_batch", {
+                let m = histogram_mean(&hist);
+                if m.is_finite() {
+                    m
+                } else {
+                    0.0
+                }
+            }));
+        }
+        // A class with zero served requests has NaN percentiles; JSON
+        // has no NaN, so drop the unavailable metrics rather than
+        // poison the artifact for the bench_diff parser.
+        records.retain(|r| r.value.is_finite());
+        write_json(path, &records).expect("write --json output");
+        println!("\nwrote {} records to {}", records.len(), path.display());
+    }
 
     // Sanity gates so CI fails loudly if the serving path regresses.
     assert_eq!(

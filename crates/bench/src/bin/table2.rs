@@ -63,7 +63,8 @@ fn main() {
 
     let with_texture = SmartMemPipeline::new().optimize(&g, &device).unwrap().estimate(&device);
     let mut no_texture_device = device.clone();
-    no_texture_device.has_texture = false;
+    no_texture_device.caps.texture_path = false;
+    no_texture_device.caps.max_texture_extent = 0;
     let buffer_only = SmartMemPipeline::with_config(SmartMemConfig::full())
         .optimize(&g, &no_texture_device)
         .unwrap()

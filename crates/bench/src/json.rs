@@ -1,0 +1,352 @@
+//! Machine-readable benchmark output and the regression-gate codec.
+//!
+//! Every bench binary can emit its numbers as a flat JSON array of
+//! records — one `(bench, device, metric, value)` quadruple per line —
+//! via `--json <path>`. CI uploads these as artifacts (the perf
+//! trajectory of the repo) and the `bench_diff` binary compares them
+//! against the checked-in `bench/baseline.json` with a relative
+//! tolerance, failing the job on regression.
+//!
+//! The container is offline (no serde), so the writer and the parser
+//! here are hand-rolled for exactly this schema:
+//!
+//! ```json
+//! [
+//!   {"bench": "fig11", "device": "mali_g710", "metric": "Swin.latency_ms", "value": 41.45}
+//! ]
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Which bench produced it (`fig11`, `serve_bench`, `pass_timing`).
+    pub bench: String,
+    /// Device slug (`DeviceConfig::slug`), or `pool` for aggregates
+    /// spanning every device.
+    pub device: String,
+    /// Metric name, dot-scoped by model/framework where applicable
+    /// (`Swin.latency_ms`, `throughput_rps`).
+    pub metric: String,
+    /// The measurement.
+    pub value: f64,
+}
+
+impl BenchRecord {
+    /// Convenience constructor.
+    pub fn new(
+        bench: impl Into<String>,
+        device: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        BenchRecord { bench: bench.into(), device: device.into(), metric: metric.into(), value }
+    }
+
+    /// The comparison key `bench/device/metric`.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.bench, self.device, self.metric)
+    }
+
+    /// Whether a larger value of this metric is an improvement (`true`
+    /// for throughput/rate/speedup-flavoured metrics, and for
+    /// `mean_batch` — fuller batches are the pull-mode win) or a
+    /// regression (`false`: latencies, counts of bad events). The
+    /// convention is part of the schema: name metrics accordingly.
+    pub fn higher_is_better(&self) -> bool {
+        ["throughput", "gmacs", "hit_rate", "speedup", "served", "mean_batch"]
+            .iter()
+            .any(|tag| self.metric.contains(tag))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders records as a stable, diff-friendly JSON array (one record
+/// per line, input order preserved).
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"bench\": \"{}\", \"device\": \"{}\", \"metric\": \"{}\", \"value\": {}}}",
+            escape(&r.bench),
+            escape(&r.device),
+            escape(&r.metric),
+            fmt_value(r.value),
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Formats a finite value so it round-trips through the parser exactly.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no Inf/NaN; emit null and let the parser reject it
+        // loudly rather than produce invalid JSON silently — callers
+        // should filter non-finite measurements before rendering.
+        "null".to_string()
+    }
+}
+
+/// Writes records to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &Path, records: &[BenchRecord]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_json(records))
+}
+
+/// Minimal JSON parser for the bench-record schema: an array of flat
+/// objects whose values are strings or numbers. Unknown keys are
+/// ignored; anything structurally different is an error.
+pub fn parse_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut records = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.expect(b']')?;
+    } else {
+        loop {
+            records.push(p.object()?);
+            p.skip_ws();
+            match p.next()? {
+                b',' => p.skip_ws(),
+                b']' => break,
+                c => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        p.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after the array at byte {}", p.pos));
+    }
+    Ok(records)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next()? {
+            b if b == want => Ok(()),
+            b => Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                want as char, self.pos, b as char
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()? as char;
+                            code = code * 16
+                                + d.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u escape digit '{d}'"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(format!("unsupported escape '\\{}'", c as char)),
+                },
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn object(&mut self) -> Result<BenchRecord, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let (mut bench, mut device, mut metric, mut value) = (None, None, None, None);
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match (key.as_str(), self.peek()) {
+                ("value", Some(b'n')) => {
+                    return Err("null value (non-finite measurement?) in record".into());
+                }
+                ("value", _) => value = Some(self.number()?),
+                ("bench", _) => bench = Some(self.string()?),
+                ("device", _) => device = Some(self.string()?),
+                ("metric", _) => metric = Some(self.string()?),
+                (_, Some(b'"')) => {
+                    self.string()?;
+                }
+                _ => {
+                    self.number()?;
+                }
+            }
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                c => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+        Ok(BenchRecord {
+            bench: bench.ok_or("record missing \"bench\"")?,
+            device: device.ok_or("record missing \"device\"")?,
+            metric: metric.ok_or("record missing \"metric\"")?,
+            value: value.ok_or("record missing \"value\"")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let records = vec![
+            BenchRecord::new("fig11", "mali_g710", "Swin.latency_ms", 41.45),
+            BenchRecord::new("serve_bench", "pool", "throughput_rps", 1234.0),
+            BenchRecord::new("fig11", "server_npu", "ViT.speedup_vs_mnn", 3.5e-2),
+        ];
+        let text = render_json(&records);
+        assert_eq!(parse_json(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_array_roundtrips() {
+        assert_eq!(parse_json(&render_json(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn strings_with_escapes_roundtrip() {
+        let records = vec![BenchRecord::new("a\"b\\c", "d", "e\nf", -0.5)];
+        assert_eq!(parse_json(&render_json(&records)).unwrap(), records);
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let text = r#"[{"bench": "b", "note": "extra", "device": "d", "metric": "m", "count": 3, "value": 1.5}]"#;
+        assert_eq!(parse_json(text).unwrap(), vec![BenchRecord::new("b", "d", "m", 1.5)]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[{]",
+            "[] trailing",
+            r#"[{"bench": "b"}]"#,
+            r#"[{"bench": "b", "device": "d", "metric": "m", "value": null}]"#,
+            r#"[{"bench": "b", "device": "d", "metric": "m", "value": 1}] trailing"#,
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn direction_convention() {
+        assert!(BenchRecord::new("b", "d", "throughput_rps", 1.0).higher_is_better());
+        assert!(BenchRecord::new("b", "d", "cache_hit_rate", 1.0).higher_is_better());
+        assert!(BenchRecord::new("b", "d", "Swin.speedup_vs_mnn", 1.0).higher_is_better());
+        assert!(BenchRecord::new("b", "d", "mean_batch", 1.0).higher_is_better());
+        assert!(!BenchRecord::new("b", "d", "Swin.latency_ms", 1.0).higher_is_better());
+        assert!(!BenchRecord::new("b", "d", "p99_e2e_ms", 1.0).higher_is_better());
+        assert!(!BenchRecord::new("b", "d", "batches", 1.0).higher_is_better());
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use smartmem_core::{CompileOutput, Framework, ModelReport, OptStats, Unsupported};
 use smartmem_ir::Graph;
 use smartmem_sim::DeviceConfig;
@@ -120,18 +122,47 @@ pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput)
 /// Panics on an unknown flag or a missing value — the right behaviour
 /// for a bench binary, where a typo should fail loudly.
 pub fn parse_cache_dir_arg() -> Option<std::path::PathBuf> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = args.iter();
-    let mut cache_dir = None;
+    let args = parse_bench_args();
+    assert!(args.json.is_none() && !args.smoke, "this binary only takes --cache-dir DIR");
+    args.cache_dir
+}
+
+/// The shared command line of the table/figure binaries.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// `--cache-dir DIR`: persistent compilation-artifact cache.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// `--json PATH`: write the bench's numbers as a flat JSON record
+    /// array (see [`json`]) for CI artifacts and the `bench_diff` gate.
+    pub json: Option<std::path::PathBuf>,
+    /// `--smoke`: CI-sized subset.
+    pub smoke: bool,
+}
+
+/// Parses `--cache-dir DIR`, `--json PATH` and `--smoke`.
+///
+/// # Panics
+///
+/// Panics on an unknown flag or a missing value.
+pub fn parse_bench_args() -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = argv.iter();
+    let mut out = BenchArgs::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--cache-dir" => {
-                cache_dir = Some(args.next().expect("--cache-dir needs a value").into());
+                out.cache_dir = Some(args.next().expect("--cache-dir needs a value").into());
             }
-            other => panic!("unknown flag {other} (this binary only takes --cache-dir DIR)"),
+            "--json" => {
+                out.json = Some(args.next().expect("--json needs a value").into());
+            }
+            "--smoke" => out.smoke = true,
+            other => {
+                panic!("unknown flag {other} (takes --cache-dir DIR, --json PATH, --smoke)")
+            }
         }
     }
-    cache_dir
+    out
 }
 
 #[cfg(test)]

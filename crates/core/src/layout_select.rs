@@ -87,14 +87,18 @@ fn layout_for(
     device: &DeviceConfig,
     level: SelectionLevel,
 ) -> Layout {
+    // Everything layout selection needs to know about the device is its
+    // capability descriptor — never its name: a texture path to target,
+    // and that path's per-axis extent limit.
+    let caps = &device.caps;
     let rank = dims.len();
     if rank == 0 {
         return Layout::row_major(0);
     }
     let make = |r0: usize, r1: Option<usize>| -> Layout {
-        if device.has_texture {
-            let l = place_texture(dims, r0, r1, true);
-            if fits_texture(&l, &smartmem_ir::Shape::new(dims.to_vec())) {
+        if caps.texture_path {
+            let l = place_texture(dims, r0, r1, true, caps.max_texture_extent);
+            if fits_texture(&l, &smartmem_ir::Shape::new(dims.to_vec()), caps.max_texture_extent) {
                 l
             } else {
                 place_buffer(dims, Some(r0))
@@ -109,9 +113,13 @@ fn layout_for(
             // tensors in texture memory (TVM's texture schedules and
             // MNN's OpenCL images are conv-centric); transformer
             // activations stay in 1D buffers.
-            if device.has_texture && rank == 4 {
+            if caps.texture_path && rank == 4 {
                 let l = Layout::texture_default(rank);
-                if fits_texture(&l, &smartmem_ir::Shape::new(dims.to_vec())) {
+                if fits_texture(
+                    &l,
+                    &smartmem_ir::Shape::new(dims.to_vec()),
+                    caps.max_texture_extent,
+                ) {
                     l
                 } else {
                     Layout::row_major(rank)
@@ -311,6 +319,31 @@ mod tests {
             for r in &gr.reads {
                 assert_eq!(r.layout.memory_class(), MemoryClass::Buffer1D);
             }
+        }
+    }
+
+    #[test]
+    fn capabilities_not_names_drive_selection() {
+        let g = fig4_graph();
+        // Renaming a device must not change a single layout decision.
+        let mut renamed = DeviceConfig::snapdragon_8gen2();
+        renamed.name = "Totally Unknown SoC".into();
+        let mut a = build_groups(&g);
+        let mut b = build_groups(&g);
+        select_layouts(&g, &mut a, &DeviceConfig::snapdragon_8gen2(), SelectionLevel::ReductionK2);
+        select_layouts(&g, &mut b, &renamed, SelectionLevel::ReductionK2);
+        for (ga, gb) in a.iter().zip(&b) {
+            assert_eq!(ga.output_layout, gb.output_layout);
+        }
+        // The Mali profile's texture capability lands tensors in 2.5D
+        // memory; the server NPU's lack of one lands them in buffers.
+        let mut mali = build_groups(&g);
+        select_layouts(&g, &mut mali, &DeviceConfig::mali_g710(), SelectionLevel::ReductionK2);
+        assert_eq!(mali[0].output_layout.memory_class(), MemoryClass::Texture2p5D);
+        let mut npu = build_groups(&g);
+        select_layouts(&g, &mut npu, &DeviceConfig::server_npu(), SelectionLevel::ReductionK2);
+        for gr in &npu {
+            assert_eq!(gr.output_layout.memory_class(), MemoryClass::Buffer1D);
         }
     }
 

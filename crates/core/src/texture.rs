@@ -2,8 +2,10 @@
 
 use smartmem_ir::{Layout, Shape, TexturePlacement};
 
-/// Maximum texture extent per axis (texels), matching common mobile GPU
-/// limits; tensors exceeding it fall back to buffer layouts.
+/// Default maximum texture extent per axis (texels), matching common
+/// mobile GPU limits; the per-device limit lives in
+/// `smartmem_sim::DeviceCaps::max_texture_extent` and is what layout
+/// selection actually consults.
 pub const MAX_TEXTURE_EXTENT: u64 = 16384;
 
 /// Builds the SmartMem texture placement for a tensor of `dims` given up
@@ -17,10 +19,20 @@ pub const MAX_TEXTURE_EXTENT: u64 = 16384;
 ///   the Y axis, so both reduction dims are contiguously addressable;
 /// * remaining dims fold into Y, outermost first.
 ///
+/// `max_extent` is the device's per-axis texture limit
+/// (`DeviceCaps::max_texture_extent`), which drives the overflow
+/// balancing between the two axes.
+///
 /// # Panics
 ///
 /// Panics if `r0`/`r1` are out of range.
-pub fn place_texture(dims: &[usize], r0: usize, r1: Option<usize>, vectorize: bool) -> Layout {
+pub fn place_texture(
+    dims: &[usize],
+    r0: usize,
+    r1: Option<usize>,
+    vectorize: bool,
+    max_extent: u64,
+) -> Layout {
     let rank = dims.len();
     assert!(r0 < rank, "r0 out of range");
     if let Some(r1) = r1 {
@@ -47,10 +59,10 @@ pub fn place_texture(dims: &[usize], r0: usize, r1: Option<usize>, vectorize: bo
             .max(1)
     };
     let vector = vectorize.then_some(r0);
-    while extent(&height, vector) > MAX_TEXTURE_EXTENT && !height.is_empty() {
+    while extent(&height, vector) > max_extent && !height.is_empty() {
         let candidate = height.remove(0);
         width.insert(0, candidate);
-        if extent(&width, vector) > MAX_TEXTURE_EXTENT {
+        if extent(&width, vector) > max_extent {
             // Moving it would overflow X instead: undo and stop.
             width.remove(0);
             height.insert(0, candidate);
@@ -60,11 +72,11 @@ pub fn place_texture(dims: &[usize], r0: usize, r1: Option<usize>, vectorize: bo
     Layout::Texture(TexturePlacement { height_dims: height, width_dims: width, vector_dim: vector })
 }
 
-/// Whether a texture layout fits the device's texture limits for the
-/// given shape.
-pub fn fits_texture(layout: &Layout, shape: &Shape) -> bool {
+/// Whether a texture layout fits the device's per-axis texture limit
+/// (`DeviceCaps::max_texture_extent`) for the given shape.
+pub fn fits_texture(layout: &Layout, shape: &Shape, max_extent: u64) -> bool {
     match layout.texture_extent(shape) {
-        Some((w, h)) => w <= MAX_TEXTURE_EXTENT && h <= MAX_TEXTURE_EXTENT,
+        Some((w, h)) => w <= max_extent && h <= max_extent,
         None => true,
     }
 }
@@ -88,7 +100,7 @@ mod tests {
     #[test]
     fn l0_style_placement_two_reduction_dims() {
         // Fig. 5 L0: D1 and D3 are reduction dims of a [D1, D2, D3] tensor.
-        let l = place_texture(&[8, 16, 32], 0, Some(2), true);
+        let l = place_texture(&[8, 16, 32], 0, Some(2), true, MAX_TEXTURE_EXTENT);
         assert!(l.validate(3).is_ok());
         // Walking D1 moves along X (vectorized), walking D3 moves along Y.
         let shape = Shape::new(vec![8, 16, 32]);
@@ -110,7 +122,7 @@ mod tests {
 
     #[test]
     fn single_reduction_dim_placement() {
-        let l = place_texture(&[4, 6, 8], 2, None, true);
+        let l = place_texture(&[4, 6, 8], 2, None, true, MAX_TEXTURE_EXTENT);
         let shape = Shape::new(vec![4, 6, 8]);
         let (w, h) = l.texture_extent(&shape).unwrap();
         assert_eq!(w, 2); // 8 / 4 lanes
@@ -119,16 +131,26 @@ mod tests {
 
     #[test]
     fn duplicate_r1_is_ignored() {
-        let l = place_texture(&[4, 6], 1, Some(1), true);
+        let l = place_texture(&[4, 6], 1, Some(1), true, MAX_TEXTURE_EXTENT);
         assert!(l.validate(2).is_ok());
     }
 
     #[test]
     fn texture_limits() {
-        let small = place_texture(&[8, 8], 1, None, true);
-        assert!(fits_texture(&small, &Shape::new(vec![8, 8])));
-        let huge = place_texture(&[100_000, 4], 1, None, false);
-        assert!(!fits_texture(&huge, &Shape::new(vec![100_000, 4])));
+        let small = place_texture(&[8, 8], 1, None, true, MAX_TEXTURE_EXTENT);
+        assert!(fits_texture(&small, &Shape::new(vec![8, 8]), MAX_TEXTURE_EXTENT));
+        let huge = place_texture(&[100_000, 4], 1, None, false, MAX_TEXTURE_EXTENT);
+        assert!(!fits_texture(&huge, &Shape::new(vec![100_000, 4]), MAX_TEXTURE_EXTENT));
+    }
+
+    #[test]
+    fn device_limit_drives_the_fit() {
+        // The same placement fits a 16K-extent device but not a device
+        // whose capability caps textures at 1K per axis.
+        let l = place_texture(&[2048, 16], 1, None, false, MAX_TEXTURE_EXTENT);
+        let shape = Shape::new(vec![2048, 16]);
+        assert!(fits_texture(&l, &shape, MAX_TEXTURE_EXTENT));
+        assert!(!fits_texture(&l, &shape, 1024));
     }
 
     #[test]

@@ -24,15 +24,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// run at peak; the tuner typically lands around half).
 const ACHIEVED_FRACTION: f64 = 0.5;
 
+/// Host-link bandwidth (bytes/ns ≡ GB/s) for staging model data onto a
+/// device *without* unified memory (PCIe 4.0 x16 class). Unified-memory
+/// devices — every mobile SoC, Apple silicon, server NPUs with pooled
+/// DRAM — share one address space and stage nothing.
+const HOST_LINK_BYTES_PER_NS: f64 = 32.0;
+
 /// Roofline-based latency estimate of one inference in nanoseconds —
-/// no compilation required.
+/// no compilation required. Branches only on device *capabilities*:
+/// the texture path raises the bandwidth roof where present, and
+/// discrete (non-unified-memory) devices pay a host-link staging cost
+/// on top of the kernel time.
 pub fn quick_estimate_ns(spec: &ModelSpec, device: &DeviceConfig) -> f64 {
     let intensity = spec.macs as f64 / spec.bytes.max(1) as f64;
     // GMACs/s ≡ MACs/ns, so time = MACs / roofline.
-    let roof = roofline_gmacs(device, intensity, device.has_texture).max(1e-6);
+    let roof = roofline_gmacs(device, intensity, device.caps.texture_path).max(1e-6);
     let work_ns = spec.macs as f64 / (roof * ACHIEVED_FRACTION);
     let launch_ns = spec.kernels_hint as f64 * device.kernel_launch_us * 1e3;
-    work_ns + launch_ns
+    let staging_ns =
+        if device.caps.unified_memory { 0.0 } else { spec.bytes as f64 / HOST_LINK_BYTES_PER_NS };
+    work_ns + launch_ns + staging_ns
 }
 
 struct DeviceEntry {
@@ -170,6 +181,28 @@ mod tests {
         let fast = quick_estimate_ns(&s, &DeviceConfig::snapdragon_8gen2());
         let slow = quick_estimate_ns(&s, &DeviceConfig::snapdragon_835());
         assert!(fast < slow, "8gen2 {fast} vs 835 {slow}");
+        let npu = quick_estimate_ns(&s, &DeviceConfig::server_npu());
+        assert!(npu < fast, "the server NPU beats every mobile GPU");
+    }
+
+    #[test]
+    fn discrete_devices_pay_host_staging() {
+        let s = spec();
+        let discrete = DeviceConfig::tesla_v100();
+        let mut unified = discrete.clone();
+        unified.caps.unified_memory = true;
+        let with_staging = quick_estimate_ns(&s, &discrete);
+        let without = quick_estimate_ns(&s, &unified);
+        let expected = s.bytes as f64 / 32.0;
+        assert!((with_staging - without - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn afbc_lowers_the_estimate_on_memory_bound_models() {
+        let s = spec();
+        let on = quick_estimate_ns(&s, &DeviceConfig::mali_g710());
+        let off = quick_estimate_ns(&s, &DeviceConfig::mali_g710().with_afbc(false));
+        assert!(on <= off, "AFBC never slows a placement estimate: {on} vs {off}");
     }
 
     #[test]

@@ -123,14 +123,16 @@ impl DeviceConfig {
     /// relayout kernel does not stream at peak bandwidth. Achieved
     /// bandwidth saturates once utilization reaches ~0.25 of peak MACs
     /// (a well-shaped kernel) and degrades linearly below that, to a
-    /// floor of 15%.
+    /// floor of 15%. Texture-path traffic is served at the *effective*
+    /// bandwidth, which folds in AFBC's compression gain (and its
+    /// per-superblock metadata cost) on devices that have it.
     pub fn kernel_cost(&self, p: &KernelProfile) -> OpCost {
         let util = p.utilization.clamp(0.02, 0.95);
         let index_ns = p.index_ops / (self.index_ops_per_sec * 1e-9);
         let compute_ns = (p.macs as f64 + p.alu_ops) / (self.macs_per_ns() * util) + index_ns;
         let mem_eff = (util / 0.25).clamp(0.15, 1.0);
-        let memory_ns = (p.dram_bytes_buffer as f64 / self.bw_bytes_per_ns(false)
-            + p.dram_bytes_texture as f64 / self.bw_bytes_per_ns(true))
+        let memory_ns = (p.dram_bytes_buffer as f64 / self.effective_bw_bytes_per_ns(false)
+            + p.dram_bytes_texture as f64 / self.effective_bw_bytes_per_ns(true))
             / mem_eff;
         OpCost { launch_ns: self.kernel_launch_us * 1e3, compute_ns, memory_ns, index_ns }
     }

@@ -1,8 +1,111 @@
 //! Device configurations for the platforms evaluated in the paper.
 
 use crate::cache::CacheConfig;
-use crate::memory::TextureTiling;
+use crate::memory::{AfbcConfig, TextureTiling};
+use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
 use smartmem_ir::DType;
+
+/// Memory-system capabilities of one execution platform.
+///
+/// Layout selection branches on *capabilities*, never on device names:
+/// a new device is fully described by its `DeviceCaps` plus the scalar
+/// constants in [`DeviceConfig`], and every capability combination the
+/// optimizer supports is already handled. See the device-capability
+/// table in `docs/ARCHITECTURE.md`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DeviceCaps {
+    /// Whether the device exposes a performance-relevant 2.5D texture
+    /// path for compute kernels (Adreno/Mali image reads). When false,
+    /// layout selection only ever produces 1D buffer layouts.
+    pub texture_path: bool,
+    /// Lossless framebuffer compression on the texture path (Mali
+    /// AFBC). `None` on devices without it — and on AFBC-capable
+    /// devices with it toggled off for an A/B run.
+    pub afbc: Option<AfbcConfig>,
+    /// Whether host and device share one physical memory (mobile SoCs,
+    /// Apple silicon, server NPUs with pooled DRAM). Discrete devices
+    /// pay a host-link staging cost before a kernel can run.
+    pub unified_memory: bool,
+    /// Maximum texture extent per axis in texels; tensors whose
+    /// placement exceeds it fall back to buffer layouts. Zero on
+    /// devices without a texture path.
+    pub max_texture_extent: u64,
+}
+
+impl DeviceCaps {
+    /// A mobile GPU with a 2.5D texture path and unified memory
+    /// (Adreno-class; Mali without AFBC).
+    pub fn mobile_gpu() -> Self {
+        DeviceCaps {
+            texture_path: true,
+            afbc: None,
+            unified_memory: true,
+            max_texture_extent: 16384,
+        }
+    }
+
+    /// A Mali-class mobile GPU with AFBC on its texture path.
+    pub fn mali_afbc() -> Self {
+        DeviceCaps { afbc: Some(AfbcConfig::mali_default()), ..DeviceCaps::mobile_gpu() }
+    }
+
+    /// Unified memory without a performance-relevant texture path
+    /// (Apple silicon under Metal compute).
+    pub fn unified_no_texture() -> Self {
+        DeviceCaps { texture_path: false, afbc: None, unified_memory: true, max_texture_extent: 0 }
+    }
+
+    /// A discrete GPU: no texture path in this model, host-link staging
+    /// required (desktop comparison of Table 9).
+    pub fn discrete_gpu() -> Self {
+        DeviceCaps { texture_path: false, afbc: None, unified_memory: false, max_texture_extent: 0 }
+    }
+
+    /// A server-class NPU: no texture path, pooled/unified memory.
+    pub fn server_npu() -> Self {
+        DeviceCaps { texture_path: false, afbc: None, unified_memory: true, max_texture_extent: 0 }
+    }
+
+    /// Returns the capabilities with AFBC toggled on (the standard Mali
+    /// configuration) or off — the A/B switch of the portability study.
+    /// Toggling on is a no-op without a texture path: there is nothing
+    /// for AFBC to compress.
+    pub fn with_afbc(self, enabled: bool) -> Self {
+        DeviceCaps { afbc: (enabled && self.texture_path).then(AfbcConfig::mali_default), ..self }
+    }
+}
+
+impl Encode for DeviceCaps {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.texture_path as u8);
+        match &self.afbc {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                a.encode(w);
+            }
+        }
+        w.put_u8(self.unified_memory as u8);
+        w.put_u64(self.max_texture_extent);
+    }
+}
+
+impl Decode for DeviceCaps {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let texture_path = bool::decode(r)?;
+        let afbc = match r.get_u8()? {
+            0 => None,
+            1 => Some(AfbcConfig::decode(r)?),
+            tag => return Err(WireError::BadTag { ty: "DeviceCaps.afbc", tag }),
+        };
+        let unified_memory = bool::decode(r)?;
+        let max_texture_extent = r.get_u64()?;
+        if afbc.is_some() && !texture_path {
+            return Err(WireError::Invalid("AFBC requires a texture path".into()));
+        }
+        Ok(DeviceCaps { texture_path, afbc, unified_memory, max_texture_extent })
+    }
+}
 
 /// Performance-relevant constants of one execution platform.
 ///
@@ -12,7 +115,8 @@ use smartmem_ir::DType;
 /// 8 Gen 2); the older SoCs are scaled from their public spec sheets.
 /// Desktop GPUs expose no performance-relevant texture path in this
 /// model (the paper's TorchInductor comparison explicitly excludes the
-/// 2.5D-memory optimization).
+/// 2.5D-memory optimization). What the memory system *can do* lives in
+/// [`DeviceCaps`]; this struct holds how fast it does it.
 #[derive(Clone, Debug)]
 pub struct DeviceConfig {
     /// Human-readable platform name.
@@ -24,8 +128,8 @@ pub struct DeviceConfig {
     pub global_bw_gbps: f64,
     /// Texture (2.5D) memory bandwidth in GB/s.
     pub texture_bw_gbps: f64,
-    /// Whether kernels may place tensors in texture memory.
-    pub has_texture: bool,
+    /// Memory-system capabilities (texture path, AFBC, unified memory).
+    pub caps: DeviceCaps,
     /// Fixed per-kernel launch overhead in microseconds.
     pub kernel_launch_us: f64,
     /// Unified/device memory capacity in GiB (OOM threshold for Fig. 11).
@@ -52,7 +156,7 @@ impl DeviceConfig {
             peak_tmacs: 2.0,
             global_bw_gbps: 55.0,
             texture_bw_gbps: 511.0,
-            has_texture: true,
+            caps: DeviceCaps::mobile_gpu(),
             kernel_launch_us: 100.0,
             memory_gb: 16.0,
             buffer_cache: CacheConfig { size_bytes: 1 << 20, line_bytes: 64, ways: 8 },
@@ -71,7 +175,7 @@ impl DeviceConfig {
             peak_tmacs: 0.4,
             global_bw_gbps: 29.0,
             texture_bw_gbps: 190.0,
-            has_texture: true,
+            caps: DeviceCaps::mobile_gpu(),
             kernel_launch_us: 130.0,
             memory_gb: 6.0,
             buffer_cache: CacheConfig { size_bytes: 512 << 10, line_bytes: 64, ways: 8 },
@@ -90,7 +194,7 @@ impl DeviceConfig {
             peak_tmacs: 0.25,
             global_bw_gbps: 17.0,
             texture_bw_gbps: 100.0,
-            has_texture: true,
+            caps: DeviceCaps::mobile_gpu(),
             kernel_launch_us: 160.0,
             memory_gb: 4.0,
             buffer_cache: CacheConfig { size_bytes: 512 << 10, line_bytes: 64, ways: 4 },
@@ -101,26 +205,76 @@ impl DeviceConfig {
         }
     }
 
+    /// Mali-G710 MC10 (Dimensity 9000 / Tensor G2 class) with AFBC on
+    /// its texture path.
+    ///
+    /// AFBC losslessly compresses texture-path traffic in 16×16
+    /// superblocks (see [`AfbcConfig`]): effective texture bandwidth
+    /// rises by [`AfbcConfig::bandwidth_gain`] — close to the payload
+    /// compression ratio, minus the per-superblock metadata cost. A/B
+    /// the feature with [`DeviceConfig::with_afbc`].
+    pub fn mali_g710() -> Self {
+        DeviceConfig {
+            name: "Mali-G710 (AFBC)".to_string(),
+            peak_tmacs: 0.95,
+            global_bw_gbps: 60.0,
+            texture_bw_gbps: 256.0,
+            caps: DeviceCaps::mali_afbc(),
+            kernel_launch_us: 90.0,
+            memory_gb: 12.0,
+            buffer_cache: CacheConfig { size_bytes: 2 << 20, line_bytes: 64, ways: 8 },
+            texture_cache: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 1.2e11,
+            dtype: DType::F16,
+        }
+    }
+
     /// Apple M1 (8-core GPU) — an Apple-class unified-memory platform.
     ///
     /// Metal exposes no performance-relevant 2.5D texture path for
     /// compute (no `__read_only image2d_t` fast path as on Adreno/Mali),
-    /// so `has_texture` is false and both bandwidth figures collapse to
-    /// the unified-memory bandwidth (~68 GB/s on the base M1). Peak is
-    /// ~2.6 TFLOPs FP32, evaluated here as ~1.3 TMACs at F16.
+    /// so the texture capability is off and both bandwidth figures
+    /// collapse to the unified-memory bandwidth (~68 GB/s on the base
+    /// M1). Peak is ~2.6 TFLOPs FP32, evaluated here as ~1.3 TMACs at
+    /// F16.
     pub fn apple_m1() -> Self {
         DeviceConfig {
             name: "Apple M1 (8-core GPU)".to_string(),
             peak_tmacs: 1.3,
             global_bw_gbps: 68.0,
             texture_bw_gbps: 68.0,
-            has_texture: false,
+            caps: DeviceCaps::unified_no_texture(),
             kernel_launch_us: 30.0,
             memory_gb: 16.0,
             buffer_cache: CacheConfig { size_bytes: 8 << 20, line_bytes: 128, ways: 16 },
             texture_cache: CacheConfig { size_bytes: 128 << 10, line_bytes: 64, ways: 4 },
             texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
             index_ops_per_sec: 1.6e11,
+            dtype: DType::F16,
+        }
+    }
+
+    /// A server-class inference NPU: two orders of magnitude more MACs
+    /// than any mobile GPU, pooled high-bandwidth unified memory, wide
+    /// (256-byte) memory lines, command-queue dispatch — and *no*
+    /// texture path, so every layout decision lands on 1D buffers. Its
+    /// latency profile differs from every mobile GPU in the pool: launch
+    /// overhead is negligible, and kernels are compute-bound far later
+    /// (the roofline ridge sits at a much higher intensity).
+    pub fn server_npu() -> Self {
+        DeviceConfig {
+            name: "Server NPU (64 TMACs, HBM)".to_string(),
+            peak_tmacs: 64.0,
+            global_bw_gbps: 1200.0,
+            texture_bw_gbps: 1200.0,
+            caps: DeviceCaps::server_npu(),
+            kernel_launch_us: 8.0,
+            memory_gb: 64.0,
+            buffer_cache: CacheConfig { size_bytes: 32 << 20, line_bytes: 256, ways: 16 },
+            texture_cache: CacheConfig { size_bytes: 128 << 10, line_bytes: 64, ways: 4 },
+            texture_tiling: TextureTiling { tile_w: 4, tile_h: 2 },
+            index_ops_per_sec: 5.0e12,
             dtype: DType::F16,
         }
     }
@@ -134,7 +288,7 @@ impl DeviceConfig {
             peak_tmacs: 7.0,
             global_bw_gbps: 900.0,
             texture_bw_gbps: 900.0,
-            has_texture: false,
+            caps: DeviceCaps::discrete_gpu(),
             kernel_launch_us: 5.0,
             memory_gb: 16.0,
             buffer_cache: CacheConfig { size_bytes: 6 << 20, line_bytes: 128, ways: 16 },
@@ -145,17 +299,60 @@ impl DeviceConfig {
         }
     }
 
+    /// Whether kernels may place tensors in texture memory.
+    pub fn has_texture(&self) -> bool {
+        self.caps.texture_path
+    }
+
+    /// The same device with AFBC toggled on or off — the A/B switch for
+    /// the compressed-framebuffer study (see [`DeviceCaps::with_afbc`]).
+    pub fn with_afbc(mut self, enabled: bool) -> Self {
+        self.caps = self.caps.with_afbc(enabled);
+        self
+    }
+
+    /// Stable machine-readable identifier derived from the name: the
+    /// part before any parenthesized qualifier, lowercased, with
+    /// non-alphanumeric runs collapsed to `_` (`"Mali-G710 (AFBC)"` →
+    /// `"mali_g710"`). Bench JSON keys use this.
+    pub fn slug(&self) -> String {
+        let base = self.name.split('(').next().unwrap_or(&self.name);
+        let mut slug = String::new();
+        for c in base.trim().chars() {
+            if c.is_ascii_alphanumeric() {
+                slug.push(c.to_ascii_lowercase());
+            } else if !slug.ends_with('_') {
+                slug.push('_');
+            }
+        }
+        slug.trim_matches('_').to_string()
+    }
+
     /// Peak MACs per nanosecond.
     pub fn macs_per_ns(&self) -> f64 {
         self.peak_tmacs * 1e3
     }
 
-    /// Bandwidth of the given memory class in bytes per nanosecond.
+    /// Raw DRAM bandwidth of the given memory class in bytes per
+    /// nanosecond, before compression.
     pub fn bw_bytes_per_ns(&self, texture: bool) -> f64 {
         if texture {
             self.texture_bw_gbps
         } else {
             self.global_bw_gbps
+        }
+    }
+
+    /// Effective bandwidth in *logical* bytes per nanosecond: raw DRAM
+    /// bandwidth amplified by AFBC's compression gain on the texture
+    /// path (compressed payload minus per-superblock metadata — see
+    /// [`AfbcConfig::bandwidth_gain`]). Equal to
+    /// [`DeviceConfig::bw_bytes_per_ns`] everywhere else.
+    pub fn effective_bw_bytes_per_ns(&self, texture: bool) -> f64 {
+        let raw = self.bw_bytes_per_ns(texture);
+        match (texture, &self.caps.afbc) {
+            (true, Some(afbc)) => raw * afbc.bandwidth_gain(self.dtype.size_bytes()),
+            _ => raw,
         }
     }
 
@@ -175,14 +372,15 @@ mod tests {
         assert_eq!(d.global_bw_gbps, 55.0);
         assert_eq!(d.texture_bw_gbps, 511.0);
         assert_eq!(d.peak_tmacs, 2.0);
-        assert!(d.has_texture);
+        assert!(d.has_texture());
         assert_eq!(d.dtype, DType::F16);
     }
 
     #[test]
     fn desktop_uses_fp32_without_texture() {
         let d = DeviceConfig::tesla_v100();
-        assert!(!d.has_texture);
+        assert!(!d.has_texture());
+        assert!(!d.caps.unified_memory, "V100 is a discrete device");
         assert_eq!(d.dtype, DType::F32);
     }
 
@@ -192,13 +390,16 @@ mod tests {
         assert!((d.macs_per_ns() - 2000.0).abs() < 1e-9);
         assert!((d.bw_bytes_per_ns(false) - 55.0).abs() < 1e-9);
         assert!((d.bw_bytes_per_ns(true) - 511.0).abs() < 1e-9);
+        // No AFBC: effective == raw.
+        assert_eq!(d.effective_bw_bytes_per_ns(true), d.bw_bytes_per_ns(true));
         assert_eq!(d.memory_bytes(), 16 * (1u64 << 30));
     }
 
     #[test]
     fn apple_is_unified_memory_without_texture_path() {
         let d = DeviceConfig::apple_m1();
-        assert!(!d.has_texture, "Metal compute exposes no 2.5D texture fast path here");
+        assert!(!d.has_texture(), "Metal compute exposes no 2.5D texture fast path here");
+        assert!(d.caps.unified_memory);
         assert_eq!(d.global_bw_gbps, d.texture_bw_gbps, "unified memory: one bandwidth");
         assert_eq!(d.dtype, DType::F16);
         // Mobile-class peak, desktop-class launch overhead ordering.
@@ -215,5 +416,77 @@ mod tests {
             assert!(old.global_bw_gbps < new.global_bw_gbps);
             assert!(old.memory_gb < new.memory_gb);
         }
+    }
+
+    #[test]
+    fn mali_afbc_amplifies_texture_bandwidth_only() {
+        let mali = DeviceConfig::mali_g710();
+        assert!(mali.has_texture());
+        assert!(mali.caps.afbc.is_some());
+        assert!(mali.effective_bw_bytes_per_ns(true) > mali.bw_bytes_per_ns(true));
+        assert_eq!(mali.effective_bw_bytes_per_ns(false), mali.bw_bytes_per_ns(false));
+        // The A/B toggle removes exactly the amplification.
+        let off = mali.clone().with_afbc(false);
+        assert!(off.caps.afbc.is_none());
+        assert_eq!(off.effective_bw_bytes_per_ns(true), off.bw_bytes_per_ns(true));
+        // Toggling back on restores the standard configuration.
+        let on = off.with_afbc(true);
+        assert_eq!(on.caps, mali.caps);
+    }
+
+    #[test]
+    fn afbc_toggle_is_inert_without_a_texture_path() {
+        let npu = DeviceConfig::server_npu().with_afbc(true);
+        assert!(npu.caps.afbc.is_none(), "AFBC needs a texture path to compress");
+    }
+
+    #[test]
+    fn server_npu_is_a_different_latency_class() {
+        let npu = DeviceConfig::server_npu();
+        assert!(!npu.has_texture());
+        assert!(npu.caps.unified_memory);
+        for gpu in [
+            DeviceConfig::snapdragon_8gen2(),
+            DeviceConfig::snapdragon_835(),
+            DeviceConfig::dimensity_700(),
+            DeviceConfig::mali_g710(),
+            DeviceConfig::apple_m1(),
+        ] {
+            assert!(npu.peak_tmacs > 10.0 * gpu.peak_tmacs);
+            assert!(npu.kernel_launch_us < gpu.kernel_launch_us);
+            assert!(npu.global_bw_gbps > gpu.global_bw_gbps);
+            // The compute/memory crossover (ridge point) of each
+            // device's serving path (texture where the capability
+            // exists) sits at a far higher intensity on the NPU: what
+            // is compute-bound on mobile is memory-bound here.
+            let ridge = |d: &DeviceConfig| {
+                d.macs_per_ns() / d.effective_bw_bytes_per_ns(d.caps.texture_path)
+            };
+            assert!(ridge(&npu) > 2.0 * ridge(&gpu), "{} ridge", gpu.name);
+        }
+        assert!(npu.buffer_cache.line_bytes >= 256, "NPU uses wide memory lines");
+    }
+
+    #[test]
+    fn caps_wire_roundtrip() {
+        use smartmem_ir::wire::{decode_from, encode_to_vec};
+        for caps in [
+            DeviceCaps::mobile_gpu(),
+            DeviceCaps::mali_afbc(),
+            DeviceCaps::unified_no_texture(),
+            DeviceCaps::discrete_gpu(),
+            DeviceCaps::server_npu(),
+        ] {
+            let back: DeviceCaps = decode_from(&encode_to_vec(&caps)).unwrap();
+            assert_eq!(back, caps);
+        }
+    }
+
+    #[test]
+    fn slugs_are_stable_identifiers() {
+        assert_eq!(DeviceConfig::mali_g710().slug(), "mali_g710");
+        assert_eq!(DeviceConfig::snapdragon_8gen2().slug(), "snapdragon_8_gen_2");
+        assert_eq!(DeviceConfig::server_npu().slug(), "server_npu");
+        assert_eq!(DeviceConfig::tesla_v100().slug(), "tesla_v100");
     }
 }

@@ -13,6 +13,10 @@
 //! * **per-device constants** ([`DeviceConfig`]): peak MAC throughput,
 //!   global/texture bandwidth (55 / 511 GB/s on the 8 Gen 2 — §4.6),
 //!   kernel-launch overhead and memory capacity;
+//! * **a capability descriptor** ([`DeviceCaps`]): texture path
+//!   present, AFBC framebuffer compression ([`AfbcConfig`]), unified
+//!   memory — the optimizer branches on these capabilities, never on
+//!   device names, so new platforms slot in without optimizer changes;
 //! * **a kernel cost model** ([`DeviceConfig::kernel_cost`]):
 //!   `latency = launch + max(compute, memory) + index-overhead`, with
 //!   memory time derived from *measured* cache misses on sampled access
@@ -41,6 +45,6 @@ mod roofline;
 
 pub use cache::{CacheConfig, CacheSim};
 pub use cost::{KernelProfile, LatencyClass, OpCost};
-pub use device::DeviceConfig;
-pub use memory::{MemCounters, MemorySim, TextureTiling};
+pub use device::{DeviceCaps, DeviceConfig};
+pub use memory::{AfbcConfig, MemCounters, MemorySim, TextureTiling};
 pub use roofline::{roofline_gmacs, RooflinePoint};

@@ -1,0 +1,88 @@
+//! Offline-dependency guard.
+//!
+//! The build container vendors everything under `vendor/` and has no
+//! crates.io access: a registry (or git) dependency would resolve on a
+//! networked laptop, pass local checks, and then break the build farm
+//! silently. This test fails the moment `Cargo.lock` or any workspace
+//! `Cargo.toml` references a non-path source. CI runs the same check as
+//! a cheap grep step so the failure reports in the lint job too.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root `smartmem` package *is* the
+    // workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn cargo_lock_has_no_registry_sources() {
+    let lock =
+        std::fs::read_to_string(workspace_root().join("Cargo.lock")).expect("workspace Cargo.lock");
+    for (i, line) in lock.lines().enumerate() {
+        let line = line.trim();
+        assert!(
+            !line.starts_with("source ="),
+            "Cargo.lock:{}: locked package has a non-path source: {line}\n\
+             (this container is offline — vendor the crate under vendor/ instead)",
+            i + 1
+        );
+    }
+}
+
+/// Every dependency entry in every workspace manifest must be a path or
+/// workspace dependency. Covers `[dependencies]`, `[dev-dependencies]`,
+/// `[build-dependencies]` and the `[workspace.dependencies]` table.
+#[test]
+fn manifests_declare_only_path_dependencies() {
+    let root = workspace_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let members = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    for line in members.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(member) = line.strip_prefix('"').and_then(|l| l.strip_suffix('"')) {
+            if member.contains('/') {
+                manifests.push(root.join(member).join("Cargo.toml"));
+            }
+        }
+    }
+    assert!(manifests.len() > 5, "member discovery broke: {manifests:?}");
+    for manifest in manifests {
+        check_manifest(&manifest);
+    }
+}
+
+fn check_manifest(path: &Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut in_dep_table = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_table = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ok = line.contains("path =")
+            || line.contains("path=")
+            || line.contains("workspace = true")
+            || line.contains(".workspace = true")
+            || line.ends_with('{'); // multi-line tables are not used here
+        assert!(
+            ok,
+            "{}:{}: dependency is not declared via path/workspace: {line}\n\
+             (a bare version requirement would pull from crates.io — \
+             this container is offline; vendor it under vendor/)",
+            path.display(),
+            i + 1
+        );
+        assert!(
+            !line.contains("git =") && !line.contains("registry ="),
+            "{}:{}: git/registry dependency source: {line}",
+            path.display(),
+            i + 1
+        );
+    }
+}
