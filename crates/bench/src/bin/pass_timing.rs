@@ -16,10 +16,29 @@
 use smartmem_baselines::all_mobile_frameworks;
 use smartmem_bench::json::{write_json, BenchRecord};
 use smartmem_bench::{parse_bench_args, render_pass_timings, render_table};
-use smartmem_core::{eliminate_with_options, CompileSession};
+use smartmem_core::{eliminate_with_options, CompileSession, SmartMemPipeline};
+use smartmem_ir::{DType, Graph, GraphBuilder, UnaryKind};
 use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
 use std::time::Instant;
+
+/// A 12-block MLP stack with a distinct width per block (so every
+/// kernel group is structurally distinct — no intra-model dedup), used
+/// to demonstrate incremental recompilation: `edited != 0` swaps one
+/// mid-stack activation, which invalidates exactly one group.
+fn edit_demo_model(edited: bool) -> Graph {
+    let widths = [64, 80, 96, 112, 128, 144, 160, 176, 192, 208, 224, 240];
+    let mut b = GraphBuilder::new("edit-demo");
+    let mut cur = b.input("x", &[1, 16, widths[0]], DType::F16);
+    for (i, pair) in widths.windows(2).enumerate() {
+        let w = b.weight(format!("w{i}"), &[pair[0], pair[1]], DType::F16);
+        let mm = b.matmul(cur, w);
+        let kind = if edited && i == 5 { UnaryKind::Relu } else { UnaryKind::Gelu };
+        cur = b.unary(mm, kind);
+    }
+    b.output(cur);
+    b.finish()
+}
 
 fn main() {
     let args = parse_bench_args();
@@ -41,6 +60,16 @@ fn main() {
         let start = Instant::now();
         let r = eliminate_with_options(&swin, true, true, memoize);
         let us = start.elapsed().as_secs_f64() * 1e6;
+        if !memoize {
+            // The true cold strength-reduction cost (memo disabled) —
+            // the regression gate for the index-interning layer.
+            records.push(BenchRecord::new(
+                "pass_timing",
+                device.slug(),
+                "lte_simplify_ms",
+                us / 1e3,
+            ));
+        }
         rows.push(vec![label.to_string(), format!("{us:.0}"), format!("{}", r.eliminated.len())]);
     }
     print!(
@@ -65,6 +94,34 @@ fn main() {
             Ok(out) => print!("{}", render_pass_timings(fw.name(), "Swin-T", &out)),
             Err(e) => println!("\n== {} on Swin-T: {e} ==", fw.name()),
         }
+    }
+
+    // 1c. Incremental recompilation after a one-layer edit. A fresh
+    // session compiles the 12-block demo model cold, then a variant
+    // with one activation changed: the per-group decision cache replays
+    // layout + tuning for the 10 untouched groups and refines only the
+    // edited one, so the second compile costs a fraction of the first.
+    {
+        let session = CompileSession::new();
+        let fw = SmartMemPipeline::new();
+        let start = Instant::now();
+        session.compile(&fw, &edit_demo_model(false), &device).expect("cold compile");
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        session.compile(&fw, &edit_demo_model(true), &device).expect("incremental compile");
+        let incr_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = session.stats();
+        println!(
+            "\nedit-one-layer recompile: cold {cold_ms:.2} ms, incremental {incr_ms:.2} ms ({} group hits / {} group misses)",
+            stats.group_hits, stats.group_misses,
+        );
+        records.push(BenchRecord::new("pass_timing", device.slug(), "compile_cold_ms", cold_ms));
+        records.push(BenchRecord::new(
+            "pass_timing",
+            device.slug(),
+            "compile_incremental_ms",
+            incr_ms,
+        ));
     }
 
     // 2. Parallel compile of the whole zoo across all frameworks —
@@ -114,13 +171,15 @@ fn main() {
     let warm = warm_start.elapsed();
     let stats = session.stats();
     println!(
-        "\nzoo x frameworks: cold {:.0} ms, warm {:.1} ms ({} cached compilations, {} hits / {} misses, {} disk hits)",
+        "\nzoo x frameworks: cold {:.0} ms, warm {:.1} ms ({} cached compilations, {} hits / {} misses, {} disk hits; {} group hits / {} group misses)",
         cold.as_secs_f64() * 1e3,
         warm.as_secs_f64() * 1e3,
         session.len(),
         stats.hits,
         stats.misses,
         stats.disk_hits,
+        stats.group_hits,
+        stats.group_misses,
     );
     if let Some(dir) = session.cache_dir() {
         println!(

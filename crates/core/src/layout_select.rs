@@ -66,7 +66,7 @@ pub fn required_dims(graph: &Graph, read: &EdgeRead) -> Vec<usize> {
                 let vars = e.vars();
                 if vars.iter().any(|v| rdims.contains(v)) {
                     touched.push(j);
-                    if matches!(e, smartmem_index::IndexExpr::Var(v) if rdims.contains(v)) {
+                    if e.as_var().is_some_and(|v| rdims.contains(&v)) {
                         identity.push(j);
                     }
                 }
@@ -144,14 +144,38 @@ fn k_of(level: SelectionLevel) -> usize {
     }
 }
 
-/// Chooses layouts for every read and every group output; returns the
-/// redundant-copy statistics.
-pub fn select_layouts(
+/// The *global* half of layout selection: per-tensor requirement lists,
+/// primary layouts, redundant-copy layouts, and the resulting
+/// statistics. Computed once over all groups ([`plan_layouts`]), then
+/// applied to each group independently ([`apply_group_layouts`]) — the
+/// split is what lets the incremental compiler reuse cached decisions
+/// for unchanged groups while still reporting exact whole-model
+/// redundancy statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct LayoutPlan {
+    level: SelectionLevel,
+    /// Ordered, distinct reduction-dimension requirements per
+    /// materialized tensor (the cross-group coupling of §3.2.2).
+    reqs_of: HashMap<TensorId, Vec<usize>>,
+    primary: HashMap<TensorId, Layout>,
+    /// Redundant copies per over-constrained tensor: (req dim, layout).
+    copies: HashMap<TensorId, Vec<(usize, Layout)>>,
+    /// Copy count charged to the tensor's producing group.
+    extra_copies_of: HashMap<TensorId, usize>,
+    /// Whole-model redundancy statistics (§4.6).
+    pub(crate) stats: RedundancyStats,
+}
+
+/// Computes the global layout plan over all groups (steps 1–2 of
+/// §3.2.2): collect requirements, pick primary layouts, and provision
+/// redundant copies for requirements beyond the first *k* (weights are
+/// pre-packed offline and never need runtime copies).
+pub(crate) fn plan_layouts(
     graph: &Graph,
-    groups: &mut [KernelGroup],
+    groups: &[KernelGroup],
     device: &DeviceConfig,
     level: SelectionLevel,
-) -> RedundancyStats {
+) -> LayoutPlan {
     // 1. Collect ordered, distinct requirements per materialized tensor.
     let mut reqs_of: HashMap<TensorId, Vec<usize>> = HashMap::new();
     for g in groups.iter() {
@@ -167,14 +191,12 @@ pub fn select_layouts(
     }
 
     // 2. Primary layout per tensor; extra copies for requirements
-    //    beyond the first k (weights are pre-packed offline and never
-    //    need runtime copies).
+    //    beyond the first k.
     let elem = device.dtype.size_bytes();
     let mut primary: HashMap<TensorId, Layout> = HashMap::new();
-    let mut copies: HashMap<TensorId, Vec<(usize, Layout)>> = HashMap::new(); // (req dim, layout)
+    let mut copies: HashMap<TensorId, Vec<(usize, Layout)>> = HashMap::new();
+    let mut extra_copies_of: HashMap<TensorId, usize> = HashMap::new();
     let mut stats = RedundancyStats::default();
-    let producer_of: HashMap<TensorId, usize> =
-        groups.iter().enumerate().map(|(i, g)| (g.output, i)).collect();
 
     let all_tensors: Vec<TensorId> = {
         let mut v: Vec<TensorId> = groups.iter().map(|g| g.output).collect();
@@ -202,49 +224,90 @@ pub fn select_layouts(
             stats.tensors += 1;
             stats.max_bytes = stats.max_bytes.max(bytes);
             stats.total_extra_bytes += bytes * extra.len() as u64;
-            if let Some(&gi) = producer_of.get(&t) {
-                groups[gi].extra_copies = extra.len();
-            }
+            extra_copies_of.insert(t, extra.len());
             copies.insert(t, extra);
         }
     }
+    LayoutPlan { level, reqs_of, primary, copies, extra_copies_of, stats }
+}
 
-    // 3. Point every read at the copy satisfying its requirement and set
-    //    output layouts.
-    for g in groups.iter_mut() {
-        g.output_layout = primary
-            .get(&g.output)
-            .cloned()
-            .unwrap_or_else(|| layout_for(graph.tensor(g.output).shape.dims(), &[], device, level));
-        // Avoid borrowing issues: compute requirements first.
-        let reqs: Vec<Vec<usize>> = g.reads.iter().map(|r| required_dims(graph, r)).collect();
-        for (r, req) in g.reads.iter_mut().zip(reqs) {
-            let info = graph.tensor(r.source);
-            let dims = info.shape.dims().to_vec();
-            if info.kind == TensorKind::Weight && level != SelectionLevel::Default {
-                // Pre-packed per consumer.
-                r.layout = layout_for(&dims, &req, device, level);
-                continue;
-            }
-            let prim =
-                primary.get(&r.source).cloned().unwrap_or_else(|| Layout::row_major(dims.len()));
-            let mut chosen = prim.clone();
-            if let (Some(&want), Some(extra)) = (req.first(), copies.get(&r.source)) {
-                let satisfied_by_primary = {
-                    let all = reqs_of.get(&r.source).cloned().unwrap_or_default();
-                    let k = k_of(level);
-                    all.iter().take(k).any(|&d| d == want)
-                };
-                if !satisfied_by_primary {
-                    if let Some((_, l)) = extra.iter().find(|(d, _)| *d == want) {
-                        chosen = l.clone();
-                    }
+/// Digest of everything a single group's layout decisions depend on
+/// *beyond its own content*: the full requirement lists of its output
+/// and of each tensor it reads. Two compilations in which these digests
+/// (and the group content hashes) agree make identical layout decisions
+/// for the group, so the digest is part of the group's cache key.
+pub(crate) fn group_layout_context(plan: &LayoutPlan, g: &KernelGroup) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    (plan.level as u8).hash(&mut h);
+    plan.reqs_of.get(&g.output).hash(&mut h);
+    for r in &g.reads {
+        plan.reqs_of.get(&r.source).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Applies the plan to one group (step 3 of §3.2.2): sets the output
+/// layout, points every read at the primary layout or the redundant
+/// copy satisfying its requirement, and charges the group for copies of
+/// its output tensor.
+pub(crate) fn apply_group_layouts(
+    plan: &LayoutPlan,
+    graph: &Graph,
+    g: &mut KernelGroup,
+    device: &DeviceConfig,
+) {
+    let level = plan.level;
+    g.output_layout = plan
+        .primary
+        .get(&g.output)
+        .cloned()
+        .unwrap_or_else(|| layout_for(graph.tensor(g.output).shape.dims(), &[], device, level));
+    g.extra_copies = plan.extra_copies_of.get(&g.output).copied().unwrap_or(0);
+    // Avoid borrowing issues: compute requirements first.
+    let reqs: Vec<Vec<usize>> = g.reads.iter().map(|r| required_dims(graph, r)).collect();
+    for (r, req) in g.reads.iter_mut().zip(reqs) {
+        let info = graph.tensor(r.source);
+        let dims = info.shape.dims().to_vec();
+        if info.kind == TensorKind::Weight && level != SelectionLevel::Default {
+            // Pre-packed per consumer.
+            r.layout = layout_for(&dims, &req, device, level);
+            continue;
+        }
+        let prim =
+            plan.primary.get(&r.source).cloned().unwrap_or_else(|| Layout::row_major(dims.len()));
+        let mut chosen = prim.clone();
+        if let (Some(&want), Some(extra)) = (req.first(), plan.copies.get(&r.source)) {
+            let satisfied_by_primary = {
+                let all = plan.reqs_of.get(&r.source).cloned().unwrap_or_default();
+                let k = k_of(level);
+                all.iter().take(k).any(|&d| d == want)
+            };
+            if !satisfied_by_primary {
+                if let Some((_, l)) = extra.iter().find(|(d, _)| *d == want) {
+                    chosen = l.clone();
                 }
             }
-            r.layout = chosen;
         }
+        r.layout = chosen;
     }
-    stats
+}
+
+/// Chooses layouts for every read and every group output; returns the
+/// redundant-copy statistics. Equivalent to `plan_layouts` (the global
+/// planning steps) followed by `apply_group_layouts` on every group.
+pub fn select_layouts(
+    graph: &Graph,
+    groups: &mut [KernelGroup],
+    device: &DeviceConfig,
+    level: SelectionLevel,
+) -> RedundancyStats {
+    let plan = plan_layouts(graph, groups, device, level);
+    for g in groups.iter_mut() {
+        apply_group_layouts(&plan, graph, g, device);
+    }
+    plan.stats
 }
 
 #[cfg(test)]

@@ -64,6 +64,7 @@ mod classify;
 mod combine;
 mod estimate;
 mod fusion;
+mod groupcache;
 mod layout_select;
 mod lte;
 mod pass;
@@ -78,14 +79,15 @@ pub use classify::{classify, InputDep, OpClass, OutputKind};
 pub use combine::{combine_action, result_class, search_policy, CombineAction, SearchPolicy};
 pub use estimate::{GroupReport, ModelReport};
 pub use fusion::{fuse, GroupDraft};
+pub use groupcache::{group_content_hash, GroupCache, GroupCacheStats, GroupDecisions};
 pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
 pub use lte::{
     eliminate, eliminate_with_options, is_eliminable, lte_memo_len, op_pullback, EdgeSource,
     LteResult,
 };
 pub use pass::{
-    AssembleGroupsPass, CompileCtx, CompileOutput, Diagnostic, FusionPass, LayoutSelectPass,
-    LtePass, Pass, PassManager, PassTiming, TunePass,
+    AssembleGroupsPass, CompileCtx, CompileOutput, Diagnostic, FusionPass, GroupRefine,
+    LayoutSelectPass, LtePass, Pass, PassManager, PassTiming, TunePass,
 };
 pub use pipeline::{
     assemble_groups, group_class, iteration_mn, EdgeRead, Framework, KernelGroup, MemModel,

@@ -131,19 +131,34 @@ fn compose_fingerprint(
 /// processes. Sharing one memo process-wide is what lets a warm restart
 /// skip the first-occurrence simplification cost entirely (the last
 /// "LTE compile time" item of the ROADMAP).
-fn global_memo() -> &'static Mutex<HashMap<u64, IndexMap>> {
-    static MEMO: OnceLock<Mutex<HashMap<u64, IndexMap>>> = OnceLock::new();
-    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+struct Memo {
+    map: HashMap<u64, IndexMap>,
+    /// Bumped on every mutation. Persistence compares generations — a
+    /// true change counter — where it previously compared lengths,
+    /// which is only a proxy (and a wrong one the moment any operation
+    /// other than fresh insertion exists).
+    generation: u64,
+}
+
+fn global_memo() -> &'static Mutex<Memo> {
+    static MEMO: OnceLock<Mutex<Memo>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(Memo { map: HashMap::new(), generation: 0 }))
 }
 
 /// Number of memoized compositions currently held.
 pub fn lte_memo_len() -> usize {
-    global_memo().lock().expect("lte memo lock").len()
+    global_memo().lock().expect("lte memo lock").map.len()
+}
+
+/// Monotone change counter of the memo: unequal values mean the memo
+/// changed in between (the persistence layer's dirty marker).
+pub(crate) fn lte_memo_generation() -> u64 {
+    global_memo().lock().expect("lte memo lock").generation
 }
 
 /// Snapshot of the memo for persistence.
 pub(crate) fn lte_memo_export() -> Vec<(u64, IndexMap)> {
-    global_memo().lock().expect("lte memo lock").iter().map(|(k, v)| (*k, v.clone())).collect()
+    global_memo().lock().expect("lte memo lock").map.iter().map(|(k, v)| (*k, v.clone())).collect()
 }
 
 /// Merges persisted entries into the memo (existing keys win — they
@@ -151,7 +166,10 @@ pub(crate) fn lte_memo_export() -> Vec<(u64, IndexMap)> {
 pub(crate) fn lte_memo_import(entries: Vec<(u64, IndexMap)>) {
     let mut memo = global_memo().lock().expect("lte memo lock");
     for (k, v) in entries {
-        memo.entry(k).or_insert(v);
+        if let std::collections::hash_map::Entry::Vacant(slot) = memo.map.entry(k) {
+            slot.insert(v);
+            memo.generation += 1;
+        }
     }
 }
 
@@ -233,12 +251,14 @@ pub fn eliminate_with_options(
                 // Probe and insert under short locks: the composition
                 // itself runs unlocked so parallel zoo compiles don't
                 // serialize behind one slow strength reduction.
-                let cached = global_memo().lock().expect("lte memo lock").get(&key).cloned();
+                let cached = global_memo().lock().expect("lte memo lock").map.get(&key).cloned();
                 match cached {
                     Some(m) => m,
                     None => {
                         let m = compose(&upstream.map);
-                        global_memo().lock().expect("lte memo lock").insert(key, m.clone());
+                        let mut memo = global_memo().lock().expect("lte memo lock");
+                        memo.map.insert(key, m.clone());
+                        memo.generation += 1;
                         m
                     }
                 }

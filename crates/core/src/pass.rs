@@ -18,17 +18,24 @@
 //! layouts, utilization finalization) over the same trait.
 
 use crate::fusion::{fuse, GroupDraft};
-use crate::layout_select::{select_layouts, RedundancyStats, SelectionLevel};
+use crate::groupcache::{group_content_hash, GroupCache, GroupDecisions};
+use crate::layout_select::{
+    apply_group_layouts, group_layout_context, plan_layouts, LayoutPlan, RedundancyStats,
+    SelectionLevel,
+};
 use crate::lte::{eliminate, LteResult};
 use crate::pipeline::{
     assemble_groups, iteration_mn, KernelGroup, MemModel, OptStats, OptimizedGraph, Unsupported,
 };
+use crate::session::device_fingerprint;
 use crate::tune::{utilization, ExecConfig, GaTuner};
 use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
-use smartmem_ir::Graph;
+use smartmem_ir::{Graph, Op};
 use smartmem_sim::DeviceConfig;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Shared state threaded through a pass sequence.
@@ -66,6 +73,10 @@ pub struct CompileCtx {
     pub mem_model: MemModel,
     /// Structured diagnostics accumulated by the passes.
     pub diagnostics: Vec<Diagnostic>,
+    /// Global layout plan, staged by [`LayoutSelectPass`]'s
+    /// [`GroupRefine::group_context`] and consumed by its
+    /// [`GroupRefine::refine`].
+    pub(crate) layout_plan: Option<LayoutPlan>,
 }
 
 impl CompileCtx {
@@ -83,6 +94,7 @@ impl CompileCtx {
             implicit_inserted: 0,
             mem_model: MemModel::default(),
             diagnostics: Vec::new(),
+            layout_plan: None,
         }
     }
 
@@ -148,6 +160,54 @@ pub trait Pass: Send + Sync {
     /// Returns [`Unsupported`] when the framework cannot compile the
     /// model (operator-support gaps).
     fn run(&self, ctx: &mut CompileCtx) -> Result<(), Unsupported>;
+
+    /// The pass's per-group refinement view, when it has one.
+    ///
+    /// A pass that works group-by-group (layout selection, tuning)
+    /// returns `Some(self)` so [`PassManager::run_incremental`] can
+    /// replay cached decisions for unchanged groups and re-run the pass
+    /// only on the groups a model edit actually touched. Graph-rewriting
+    /// passes keep the default `None`, which makes the manager fall back
+    /// to a full [`PassManager::run_on`].
+    fn as_group_refine(&self) -> Option<&dyn GroupRefine> {
+        None
+    }
+}
+
+/// Per-kernel-group refinement interface of a [`Pass`].
+///
+/// The contract that makes incremental compilation sound:
+///
+/// 1. `refine(ctx, which)` must write **only** the decision fields of
+///    the groups at `which` (layouts, config, utilization, copy
+///    counts — exactly what [`GroupDecisions`] captures), and those
+///    decisions may depend only on the group's own content, the device,
+///    the pass configuration, and global state summarized by
+///    `group_context`.
+/// 2. `group_context` returns one digest per group covering **all**
+///    cross-group state the pass folds into that group's decisions. Two
+///    compilations agreeing on (group content hash, device, sequence
+///    id, context digest) must produce identical decisions for the
+///    group.
+/// 3. The pass's [`Pass::run`] must be equivalent to
+///    `group_context` + `refine` over all groups — the provided
+///    implementations delegate exactly that way, so the full and
+///    incremental paths cannot drift apart.
+pub trait GroupRefine {
+    /// Digests of the global context each group's decisions depend on
+    /// (parallel to `ctx.groups`). Also the place to stage whole-model
+    /// state for `refine` (e.g. the layout plan) and to emit
+    /// diagnostics that describe global properties, so hit-heavy
+    /// incremental compiles still report them.
+    fn group_context(&self, ctx: &mut CompileCtx) -> Vec<u64>;
+
+    /// Refines the groups at indices `which` (into `ctx.groups`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] when the framework cannot compile the
+    /// model.
+    fn refine(&self, ctx: &mut CompileCtx, which: &[usize]) -> Result<(), Unsupported>;
 }
 
 /// Wall-clock timing and statistics snapshot of one executed pass.
@@ -330,6 +390,122 @@ impl PassManager {
             diagnostics: ctx.diagnostics,
         })
     }
+
+    /// Runs the sequence with kernel-group-granular reuse of refinement
+    /// decisions.
+    ///
+    /// The passes up to the first [`GroupRefine`]-capable pass run in
+    /// full (they are the cheap, structural part of the pipeline:
+    /// elimination, fusion, group assembly). For the refinement suffix
+    /// — layout selection and GA tuning, which dominate compile time —
+    /// each group is fingerprinted by its content hash combined with
+    /// the device fingerprint, the sequence id, and the per-pass
+    /// context digests; groups whose fingerprints are in `cache` get
+    /// their cached [`GroupDecisions`] replayed, and only the rest are
+    /// refined (and their fresh decisions cached). Editing one layer of
+    /// a model therefore re-optimizes only the touched groups.
+    ///
+    /// Sequences whose refinable passes do not form a suffix (every
+    /// baseline ends with uniform-layout / utilization passes) fall
+    /// back to a plain [`PassManager::run_on`]; the result is identical
+    /// either way — see the `GroupRefine` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Unsupported`] raised by a pass.
+    pub fn run_incremental(
+        &self,
+        graph: &Graph,
+        device: &DeviceConfig,
+        cache: &GroupCache,
+    ) -> Result<CompileOutput, Unsupported> {
+        let Some(first) = self.passes.iter().position(|p| p.as_group_refine().is_some()) else {
+            return self.run_on(graph, device);
+        };
+        if self.passes[first..].iter().any(|p| p.as_group_refine().is_none()) {
+            return self.run_on(graph, device);
+        }
+        let mut ctx = CompileCtx::new(self.framework.clone(), graph, device);
+        ctx.mem_model = self.mem_model;
+        let mut timings = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes[..first] {
+            let start = Instant::now();
+            pass.run(&mut ctx)?;
+            timings.push(PassTiming {
+                pass: pass.name().to_string(),
+                duration: start.elapsed(),
+                stats: ctx.stats(),
+            });
+        }
+
+        // Per-group fingerprints: content ⊕ device ⊕ sequence ⊕ the
+        // context digest of every refinement pass.
+        let refiners = &self.passes[first..];
+        let device_fp = device_fingerprint(&ctx.device);
+        let seq = self.sequence_id();
+        let mut fps: Vec<DefaultHasher> = ctx
+            .groups
+            .iter()
+            .map(|g| {
+                let mut h = DefaultHasher::new();
+                group_content_hash(&ctx.graph, g).hash(&mut h);
+                device_fp.hash(&mut h);
+                seq.hash(&mut h);
+                h
+            })
+            .collect();
+        let mut context_time = vec![Duration::ZERO; refiners.len()];
+        for (k, pass) in refiners.iter().enumerate() {
+            let start = Instant::now();
+            let digests = pass.as_group_refine().expect("suffix checked").group_context(&mut ctx);
+            context_time[k] = start.elapsed();
+            debug_assert_eq!(digests.len(), fps.len(), "one context digest per group");
+            for (h, d) in fps.iter_mut().zip(digests) {
+                d.hash(h);
+            }
+        }
+        let fps: Vec<u64> = fps.into_iter().map(|h| h.finish()).collect();
+
+        // Replay cached decisions; collect the groups that must be
+        // refined cold. An unusable cached entry (fingerprint collision)
+        // is a miss.
+        let mut missed = Vec::new();
+        let mut hit = 0usize;
+        for (i, fp) in fps.iter().enumerate() {
+            match cache.lookup(*fp) {
+                Some(d) if d.apply(&ctx.graph, &mut ctx.groups[i]) => hit += 1,
+                _ => missed.push(i),
+            }
+        }
+
+        // Refine the misses with the original pass order and record one
+        // timing entry per refinement pass, context time included.
+        for (k, pass) in refiners.iter().enumerate() {
+            let start = Instant::now();
+            pass.as_group_refine().expect("suffix checked").refine(&mut ctx, &missed)?;
+            timings.push(PassTiming {
+                pass: pass.name().to_string(),
+                duration: context_time[k] + start.elapsed(),
+                stats: ctx.stats(),
+            });
+        }
+        for &i in &missed {
+            cache.insert(fps[i], GroupDecisions::capture(&ctx.groups[i]));
+        }
+        cache.count(hit, missed.len());
+
+        let stats = ctx.stats();
+        Ok(CompileOutput {
+            optimized: OptimizedGraph {
+                graph: ctx.graph,
+                groups: ctx.groups,
+                stats,
+                mem_model: ctx.mem_model,
+            },
+            timings,
+            diagnostics: ctx.diagnostics,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -441,7 +617,28 @@ impl Pass for LayoutSelectPass {
     }
 
     fn run(&self, ctx: &mut CompileCtx) -> Result<(), Unsupported> {
-        ctx.redundancy = select_layouts(&ctx.graph, &mut ctx.groups, &ctx.device, self.level);
+        // run ≡ group_context + refine-everything, by construction: the
+        // incremental path reuses these exact pieces.
+        self.group_context(ctx);
+        let all: Vec<usize> = (0..ctx.groups.len()).collect();
+        self.refine(ctx, &all)
+    }
+
+    fn as_group_refine(&self) -> Option<&dyn GroupRefine> {
+        Some(self)
+    }
+}
+
+impl GroupRefine for LayoutSelectPass {
+    fn group_context(&self, ctx: &mut CompileCtx) -> Vec<u64> {
+        // The global half of §3.2.2 — requirement collection, primary
+        // layouts, redundant-copy provisioning — is cheap (no search)
+        // and runs on every compile, which keeps the whole-model
+        // redundancy statistics exact even when every group is a cache
+        // hit. Only the per-group application is skipped for hits.
+        let plan = plan_layouts(&ctx.graph, &ctx.groups, &ctx.device, self.level);
+        let digests = ctx.groups.iter().map(|g| group_layout_context(&plan, g)).collect();
+        ctx.redundancy = plan.stats;
         if ctx.redundancy.tensors > 0 {
             let (tensors, max_bytes) = (ctx.redundancy.tensors, ctx.redundancy.max_bytes);
             ctx.note(
@@ -449,6 +646,19 @@ impl Pass for LayoutSelectPass {
                 format!("{tensors} tensors need redundant copies (max {max_bytes} bytes)"),
             );
         }
+        ctx.layout_plan = Some(plan);
+        digests
+    }
+
+    fn refine(&self, ctx: &mut CompileCtx, which: &[usize]) -> Result<(), Unsupported> {
+        let plan = match ctx.layout_plan.take() {
+            Some(p) => p,
+            None => plan_layouts(&ctx.graph, &ctx.groups, &ctx.device, self.level),
+        };
+        for &i in which {
+            apply_group_layouts(&plan, &ctx.graph, &mut ctx.groups[i], &ctx.device);
+        }
+        ctx.layout_plan = Some(plan);
         Ok(())
     }
 }
@@ -474,22 +684,84 @@ impl Pass for TunePass {
     }
 
     fn run(&self, ctx: &mut CompileCtx) -> Result<(), Unsupported> {
-        let graph = &ctx.graph;
-        for g in &mut ctx.groups {
-            let node = graph.node(g.anchor);
-            let out_shape = &graph.tensor(node.outputs[0]).shape;
-            let (m, n) = iteration_mn(out_shape.dims());
-            if self.tuned {
-                let (config, util) = self.tuner.tune(&node.op, m, n);
-                g.config = config;
-                g.utilization = util;
-            } else {
+        let all: Vec<usize> = (0..ctx.groups.len()).collect();
+        self.refine(ctx, &all)
+    }
+
+    fn as_group_refine(&self) -> Option<&dyn GroupRefine> {
+        Some(self)
+    }
+}
+
+impl GroupRefine for TunePass {
+    fn group_context(&self, ctx: &mut CompileCtx) -> Vec<u64> {
+        // Tuning looks at nothing outside the group: the GA seed is
+        // derived from the tuner configuration (in the sequence id) and
+        // the group's own content hash.
+        vec![0; ctx.groups.len()]
+    }
+
+    fn refine(&self, ctx: &mut CompileCtx, which: &[usize]) -> Result<(), Unsupported> {
+        if !self.tuned {
+            // Untuned (DNNFusion-era) kernels take no search — a serial
+            // sweep is faster than spawning anything.
+            for &i in which {
+                let g = &mut ctx.groups[i];
+                let node = ctx.graph.node(g.anchor);
+                let (m, n) = iteration_mn(ctx.graph.tensor(node.outputs[0]).shape.dims());
                 g.config = ExecConfig::default();
-                // Untuned (DNNFusion-era) kernels; its transform kernels
-                // in particular were not layout-aware.
+                // DNNFusion's transform kernels in particular were not
+                // layout-aware.
                 let transform_penalty = if node.op.is_layout_transform() { 0.6 } else { 1.0 };
                 g.utilization = utilization(&node.op, m, n, &g.config) * 0.7 * transform_penalty;
             }
+            return Ok(());
+        }
+        // The GA dominates compile time, and each group's search is
+        // independent: salt the seed with the group's content hash so
+        // the result depends only on (tuner, op, extents, content) —
+        // never on which thread ran it or where the group sits in the
+        // model — then fan out over a work queue.
+        let jobs: Vec<(usize, Op, usize, usize, u64)> = which
+            .iter()
+            .map(|&i| {
+                let g = &ctx.groups[i];
+                let node = ctx.graph.node(g.anchor);
+                let (m, n) = iteration_mn(ctx.graph.tensor(node.outputs[0]).shape.dims());
+                (i, node.op.clone(), m, n, group_content_hash(&ctx.graph, g))
+            })
+            .collect();
+        let workers = std::thread::available_parallelism().map_or(4, usize::from).min(jobs.len());
+        let mut results: Vec<Option<(ExecConfig, f64)>> = vec![None; jobs.len()];
+        if workers <= 1 {
+            for (slot, (_, op, m, n, salt)) in results.iter_mut().zip(&jobs) {
+                *slot = Some(self.tuner.tune_salted(op, *m, *n, *salt));
+            }
+        } else {
+            let slots: Vec<Mutex<Option<(ExecConfig, f64)>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let j = cursor.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
+                            break;
+                        }
+                        let (_, op, m, n, salt) = &jobs[j];
+                        let tuned = self.tuner.tune_salted(op, *m, *n, *salt);
+                        *slots[j].lock().expect("tune slot lock") = Some(tuned);
+                    });
+                }
+            });
+            for (slot, m) in results.iter_mut().zip(slots) {
+                *slot = m.into_inner().expect("tune slot lock");
+            }
+        }
+        for ((i, ..), tuned) in jobs.iter().zip(results) {
+            let (config, util) = tuned.expect("every tuning job ran");
+            ctx.groups[*i].config = config;
+            ctx.groups[*i].utilization = util;
         }
         Ok(())
     }

@@ -32,10 +32,16 @@
 //!
 //! Alongside the artifacts, the cache persists the LTE
 //! composition/simplification memo (`lte-memo.smem`) so a warm restart
-//! also skips the *first-occurrence* strength-reduction cost — the
-//! remaining "LTE compile time" item of the ROADMAP.
+//! also skips the *first-occurrence* strength-reduction cost, and the
+//! per-kernel-group decision cache (`group-cache.smem`, see the
+//! `groupcache` module) so a restarted process replays layout and
+//! tuning decisions even for models it has never compiled — as long as
+//! individual kernel groups match. Both side files use the same
+//! header/probe format as the artifacts and are only rewritten when
+//! their generation counter moved since the last save.
 
-use crate::lte::{lte_memo_export, lte_memo_import, lte_memo_len};
+use crate::groupcache::{GroupCache, GroupDecisions};
+use crate::lte::{lte_memo_export, lte_memo_generation, lte_memo_import};
 use crate::pass::CompileOutput;
 use crate::pipeline::Unsupported;
 use smartmem_index::IndexMap;
@@ -45,7 +51,7 @@ use std::fs;
 use std::hash::Hasher;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Artifact-file magic.
 const MAGIC: [u8; 4] = *b"SMEM";
@@ -132,9 +138,13 @@ pub(crate) struct ArtifactKey {
 #[derive(Debug)]
 pub(crate) struct DiskCache {
     dir: PathBuf,
-    /// LTE memo size at the last save — skips rewriting the memo file
-    /// when a write-through added no new compositions.
-    memo_saved: AtomicUsize,
+    /// LTE memo generation at the last save — skips rewriting the memo
+    /// file when nothing changed since. A generation counter, not a
+    /// length: lengths only proxy change while insertion is the sole
+    /// mutation, and silently go stale the day it is not.
+    memo_saved_gen: AtomicU64,
+    /// Per-group decision cache generation at the last save.
+    groups_saved_gen: AtomicU64,
     /// Unique temp-file suffix counter (plus the pid) for atomic writes.
     tmp_seq: AtomicUsize,
 }
@@ -146,7 +156,8 @@ impl DiskCache {
         fs::create_dir_all(dir)?;
         let cache = DiskCache {
             dir: dir.to_path_buf(),
-            memo_saved: AtomicUsize::new(0),
+            memo_saved_gen: AtomicU64::new(0),
+            groups_saved_gen: AtomicU64::new(0),
             tmp_seq: AtomicUsize::new(0),
         };
         if let Some(payload) = cache.read_payload(&cache.memo_path()) {
@@ -154,7 +165,7 @@ impl DiskCache {
                 lte_memo_import(entries);
             }
         }
-        cache.memo_saved.store(lte_memo_len(), Ordering::Relaxed);
+        cache.memo_saved_gen.store(lte_memo_generation(), Ordering::Relaxed);
         Ok(cache)
     }
 
@@ -170,6 +181,10 @@ impl DiskCache {
 
     fn memo_path(&self) -> PathBuf {
         self.dir.join("lte-memo.smem")
+    }
+
+    fn groups_path(&self) -> PathBuf {
+        self.dir.join("group-cache.smem")
     }
 
     /// Number of artifact files currently on disk (diagnostics only).
@@ -258,23 +273,56 @@ impl DiskCache {
         self.save_memo_if_grown_by(256);
     }
 
-    /// Persists the LTE memo when it grew by more than `slack` entries
-    /// since the last save (`0` = any change).
-    fn save_memo_if_grown_by(&self, slack: usize) {
-        let len = lte_memo_len();
-        let saved = self.memo_saved.load(Ordering::Relaxed);
-        if len.saturating_sub(saved) <= slack {
+    /// Persists the LTE memo when it changed by more than `slack`
+    /// generations since the last save (`0` = any change).
+    fn save_memo_if_grown_by(&self, slack: u64) {
+        let generation = lte_memo_generation();
+        let saved = self.memo_saved_gen.load(Ordering::Relaxed);
+        if generation.saturating_sub(saved) <= slack {
             return;
         }
         self.save_memo();
     }
 
-    /// Persists the LTE memo when it changed since the last save.
+    /// Persists the LTE memo when it changed since the last save; a
+    /// memo identical to the one already on disk is not rewritten.
     pub(crate) fn save_memo(&self) {
-        let len = lte_memo_len();
-        if self.memo_saved.swap(len, Ordering::Relaxed) == len {
+        let generation = lte_memo_generation();
+        if self.memo_saved_gen.swap(generation, Ordering::Relaxed) == generation {
             return;
         }
         self.write_payload(&self.memo_path(), &encode_to_vec(&lte_memo_export()));
+    }
+
+    /// Imports the persisted per-group decision cache into `groups` and
+    /// records the post-import generation as saved (re-writing what was
+    /// just read would be a wasted file churn).
+    pub(crate) fn load_groups(&self, groups: &GroupCache) {
+        if let Some(payload) = self.read_payload(&self.groups_path()) {
+            if let Ok(entries) = decode_from::<Vec<(u64, GroupDecisions)>>(&payload) {
+                groups.import(entries);
+            }
+        }
+        self.groups_saved_gen.store(groups.generation(), Ordering::Relaxed);
+    }
+
+    /// Persists `groups` when it changed by more than `slack`
+    /// generations since the last save (`0` = any change).
+    pub(crate) fn save_groups_if_grown_by(&self, groups: &GroupCache, slack: u64) {
+        let generation = groups.generation();
+        let saved = self.groups_saved_gen.load(Ordering::Relaxed);
+        if generation.saturating_sub(saved) <= slack {
+            return;
+        }
+        self.save_groups(groups);
+    }
+
+    /// Persists `groups` when it changed since the last save.
+    pub(crate) fn save_groups(&self, groups: &GroupCache) {
+        let generation = groups.generation();
+        if self.groups_saved_gen.swap(generation, Ordering::Relaxed) == generation {
+            return;
+        }
+        self.write_payload(&self.groups_path(), &encode_to_vec(&groups.export()));
     }
 }

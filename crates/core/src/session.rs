@@ -26,6 +26,7 @@
 //! a scoped work-stealing loop over an atomic cursor gives the same
 //! embarrassingly-parallel behaviour for the 20-model zoo).
 
+use crate::groupcache::GroupCache;
 use crate::pass::CompileOutput;
 use crate::persist::{ArtifactKey, DiskCache};
 use crate::pipeline::{Framework, Unsupported};
@@ -112,6 +113,15 @@ pub struct CacheStats {
     /// [`Unsupported`] refusals) count here but — like every error — in
     /// neither `hits` nor `misses`.
     pub disk_hits: usize,
+    /// Kernel groups whose layout/tuning decisions were replayed from
+    /// the per-group decision cache during cold compiles (incremental
+    /// compilation). A whole-artifact cache hit touches no groups, so
+    /// these counters move only when the pass sequence actually runs:
+    /// after a one-layer model edit, `group_misses` counts exactly the
+    /// groups the edit changed.
+    pub group_hits: usize,
+    /// Kernel groups refined cold (layout selection + GA tuning ran).
+    pub group_misses: usize,
 }
 
 /// A pending cold compilation other threads can wait on.
@@ -197,13 +207,19 @@ impl Drop for FlightGuard<'_> {
 /// let device = DeviceConfig::snapdragon_8gen2();
 /// let cold = session.compile(&SmartMemPipeline::new(), &graph, &device).unwrap();
 /// let warm = session.compile(&SmartMemPipeline::new(), &graph, &device).unwrap();
-/// assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0 });
+/// let stats: CacheStats = session.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 1, 0));
 /// assert!(std::sync::Arc::ptr_eq(&cold, &warm)); // same artifact, no recompilation
 /// ```
 #[derive(Default)]
 pub struct CompileSession {
     cache: Mutex<HashMap<CacheKey, Slot>>,
     persist: Option<DiskCache>,
+    /// Per-kernel-group refinement decisions, shared by every
+    /// compilation in the session (see the `groupcache` module): cold
+    /// compiles of edited or neighboring models replay layout/tuning
+    /// decisions for every structurally unchanged group.
+    groups: GroupCache,
     hits: AtomicUsize,
     misses: AtomicUsize,
     disk_hits: AtomicUsize,
@@ -233,7 +249,12 @@ impl CompileSession {
     /// Returns the I/O error when the directory cannot be created.
     pub fn with_cache_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
         let mut session = CompileSession::new();
-        session.persist = Some(DiskCache::open(dir.as_ref())?);
+        let disk = DiskCache::open(dir.as_ref())?;
+        // Seed the per-group decision cache from earlier sessions, so
+        // even the very first compile of an *edited* model replays the
+        // unchanged groups' decisions.
+        disk.load_groups(&session.groups);
+        session.persist = Some(disk);
         Ok(session)
     }
 
@@ -357,7 +378,7 @@ impl CompileSession {
                 None => {}
             }
         }
-        let result = manager.run_on(graph, device).map(Arc::new);
+        let result = manager.run_incremental(graph, device, &self.groups).map(Arc::new);
         guard.armed = false;
         self.misses.fetch_add(1, Ordering::Relaxed);
         {
@@ -373,6 +394,7 @@ impl CompileSession {
         }
         if let Some(disk) = &self.persist {
             disk.store(&key.artifact(), result.as_deref());
+            disk.save_groups_if_grown_by(&self.groups, 8);
         }
         flight.fill(result.clone());
         (result, false)
@@ -393,12 +415,17 @@ impl CompileSession {
         threads: usize,
     ) -> Vec<Vec<CompileResult>> {
         let jobs = frameworks.len() * graphs.len();
+        if jobs == 0 {
+            // Nothing to do: previously this still spawned (and joined)
+            // one idle worker thread via the `jobs.max(1)` clamp below.
+            return graphs.iter().map(|_| Vec::new()).collect();
+        }
         let workers = if threads == 0 {
             std::thread::available_parallelism().map_or(4, usize::from)
         } else {
             threads
         }
-        .clamp(1, jobs.max(1));
+        .clamp(1, jobs);
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<CompileResult>>> =
             (0..jobs).map(|_| Mutex::new(None)).collect();
@@ -430,11 +457,19 @@ impl CompileSession {
 
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
+        let groups = self.groups.stats();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            group_hits: groups.hits,
+            group_misses: groups.misses,
         }
+    }
+
+    /// Number of kernel groups with cached refinement decisions.
+    pub fn group_cache_len(&self) -> usize {
+        self.groups.len()
     }
 
     /// Number of cached compilations (in-flight entries excluded).
@@ -454,12 +489,13 @@ impl CompileSession {
 }
 
 impl Drop for CompileSession {
-    /// Final exact save of the LTE memo: intermediate write-throughs
-    /// only persist it after meaningful growth (amortization), so the
-    /// tail entries land here.
+    /// Final exact save of the LTE memo and the per-group decision
+    /// cache: intermediate write-throughs only persist them after
+    /// meaningful growth (amortization), so the tail entries land here.
     fn drop(&mut self) {
         if let Some(disk) = &self.persist {
             disk.save_memo();
+            disk.save_groups(&self.groups);
         }
     }
 }
@@ -489,7 +525,8 @@ mod tests {
         let g = toy("toy");
         let cold = session.compile(&fw, &g, &device).unwrap();
         let warm = session.compile(&fw, &g, &device).unwrap();
-        assert_eq!(session.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0 });
+        let stats = session.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 1, 0));
         assert!(Arc::ptr_eq(&cold, &warm));
     }
 
@@ -507,7 +544,8 @@ mod tests {
         // name is part of the Debug rendering, so it does not — keep the
         // expectation explicit.
         session.compile(&SmartMemPipeline::new(), &toy("other"), &device).unwrap();
-        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 4, disk_hits: 0 });
+        let stats = session.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (0, 4, 0));
         assert_eq!(session.len(), 4);
     }
 
@@ -530,7 +568,8 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
-        assert_eq!(session.stats(), CacheStats { hits: 7, misses: 1, disk_hits: 0 });
+        let stats = session.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (7, 1, 0));
         assert_eq!(session.len(), 1);
         for o in &outputs[1..] {
             assert!(Arc::ptr_eq(&outputs[0], o), "all callers share the canonical Arc");

@@ -185,11 +185,36 @@ impl Default for GaTuner {
     }
 }
 
+/// Finalizer of the splitmix64 generator: a cheap, high-quality 64-bit
+/// mixer used to derive independent GA seeds from (base seed, salt).
+/// Plain XOR is not enough — two groups whose salts differ in one bit
+/// would explore almost perfectly correlated populations.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
 impl GaTuner {
     /// Tunes a configuration for `op` with iteration extents `(m, n)`;
-    /// returns the best config and its utilization.
+    /// returns the best config and its utilization. Equivalent to
+    /// [`GaTuner::tune_salted`] with a zero salt.
     pub fn tune(&self, op: &Op, m: usize, n: usize) -> (ExecConfig, f64) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ ((m as u64) << 24) ^ (n as u64));
+        self.tune_salted(op, m, n, 0)
+    }
+
+    /// Like [`GaTuner::tune`], but mixes `salt` into the RNG seed.
+    ///
+    /// The incremental compiler salts with the kernel group's content
+    /// hash, which makes the search deterministic per *(seed, op,
+    /// extents, group content)* — independent of where the group sits in
+    /// the model and of which thread tunes it, so parallel and serial
+    /// tuning produce identical configurations and cached decisions
+    /// replay exactly.
+    pub fn tune_salted(&self, op: &Op, m: usize, n: usize, salt: u64) -> (ExecConfig, f64) {
+        let mut rng =
+            StdRng::seed_from_u64(splitmix64(self.seed ^ salt) ^ ((m as u64) << 24) ^ (n as u64));
         let mut pop: Vec<Genome> = (0..self.population).map(|_| Genome::random(&mut rng)).collect();
         // Always include the untuned default so tuning can never lose to
         // it (elitism keeps it alive while it stays best).
@@ -295,6 +320,23 @@ mod tests {
         let (b, fb) = t.tune(&matmul(), 197, 197);
         assert_eq!(a, b);
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn salted_tuning_is_deterministic_and_never_worse_than_default() {
+        let t = GaTuner::default();
+        // Zero salt is the plain entry point.
+        assert_eq!(t.tune(&matmul(), 197, 64), t.tune_salted(&matmul(), 197, 64, 0));
+        for salt in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let (a, fa) = t.tune_salted(&matmul(), 197, 64, salt);
+            let (b, fb) = t.tune_salted(&matmul(), 197, 64, salt);
+            assert_eq!(a, b, "same salt must reproduce the same config");
+            assert_eq!(fa, fb);
+            // The default genome is seeded into every population, so no
+            // salt can lose to the untuned configuration.
+            let default_fit = utilization(&matmul(), 197, 64, &ExecConfig::default());
+            assert!(fa >= default_fit - 1e-9, "salt {salt:#x} lost to default");
+        }
     }
 
     #[test]

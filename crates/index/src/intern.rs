@@ -1,0 +1,395 @@
+//! Hash-consing arena for index expressions.
+//!
+//! Every [`crate::IndexExpr`] is a handle (`ExprId`) into a process-wide
+//! arena of immutable nodes. Structurally equal expressions intern to the
+//! same id, so equality is an integer compare, composition shares
+//! subterms instead of deep-cloning them, and the strength-reduction
+//! fixpoint can memoize rewrites per node. Each node carries a *stable
+//! structural digest* computed at intern time — `Hash` for `IndexExpr`
+//! hashes that digest, which (unlike the id) does not depend on arena
+//! insertion order and is therefore safe to persist in cache
+//! fingerprints.
+//!
+//! Locking discipline: the arena lives behind one `RwLock`; every public
+//! operation on `IndexExpr`/`IndexMap` acquires it exactly once and runs
+//! the whole traversal inside (`with_read` for inspection, `with_write`
+//! for construction). Internal helpers take `&Arena`/`&mut Arena` and
+//! must never re-enter the lock.
+
+use crate::expr::{ExprCost, Range};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// Handle of an interned expression node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ExprId(u32);
+
+impl ExprId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned node; children are handles into the same arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Node {
+    Var(usize),
+    Const(i64),
+    Add(ExprId, ExprId),
+    Mul(ExprId, ExprId),
+    Div(ExprId, ExprId),
+    Mod(ExprId, ExprId),
+}
+
+/// The hash-consing store: append-only node table plus the consing map.
+pub(crate) struct Arena {
+    nodes: Vec<Node>,
+    digests: Vec<u64>,
+    table: HashMap<Node, ExprId>,
+}
+
+static ARENA: OnceLock<RwLock<Arena>> = OnceLock::new();
+
+fn arena() -> &'static RwLock<Arena> {
+    ARENA.get_or_init(|| {
+        RwLock::new(Arena {
+            nodes: Vec::with_capacity(1024),
+            digests: Vec::with_capacity(1024),
+            table: HashMap::with_capacity(1024),
+        })
+    })
+}
+
+/// Runs `f` with shared access to the arena (one acquisition).
+pub(crate) fn with_read<R>(f: impl FnOnce(&Arena) -> R) -> R {
+    let guard = arena().read().unwrap_or_else(|e| e.into_inner());
+    f(&guard)
+}
+
+/// Runs `f` with exclusive access to the arena (one acquisition).
+pub(crate) fn with_write<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+    let mut guard = arena().write().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+impl Arena {
+    /// Interns `node`, returning the canonical id for its structure.
+    pub(crate) fn intern(&mut self, node: Node) -> ExprId {
+        if let Some(&id) = self.table.get(&node) {
+            return id;
+        }
+        let mut h = DefaultHasher::new();
+        match node {
+            Node::Var(i) => {
+                0u8.hash(&mut h);
+                i.hash(&mut h);
+            }
+            Node::Const(c) => {
+                1u8.hash(&mut h);
+                c.hash(&mut h);
+            }
+            Node::Add(a, b) => {
+                2u8.hash(&mut h);
+                self.digest(a).hash(&mut h);
+                self.digest(b).hash(&mut h);
+            }
+            Node::Mul(a, b) => {
+                3u8.hash(&mut h);
+                self.digest(a).hash(&mut h);
+                self.digest(b).hash(&mut h);
+            }
+            Node::Div(a, b) => {
+                4u8.hash(&mut h);
+                self.digest(a).hash(&mut h);
+                self.digest(b).hash(&mut h);
+            }
+            Node::Mod(a, b) => {
+                5u8.hash(&mut h);
+                self.digest(a).hash(&mut h);
+                self.digest(b).hash(&mut h);
+            }
+        }
+        let id = ExprId(u32::try_from(self.nodes.len()).expect("expression arena overflow"));
+        self.nodes.push(node);
+        self.digests.push(h.finish());
+        self.table.insert(node, id);
+        id
+    }
+
+    /// The node behind `id`.
+    pub(crate) fn node(&self, id: ExprId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// The stable structural digest of `id`.
+    pub(crate) fn digest(&self, id: ExprId) -> u64 {
+        self.digests[id.index()]
+    }
+
+    pub(crate) fn var(&mut self, i: usize) -> ExprId {
+        self.intern(Node::Var(i))
+    }
+
+    pub(crate) fn constant(&mut self, c: i64) -> ExprId {
+        self.intern(Node::Const(c))
+    }
+
+    pub(crate) fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Node::Add(a, b))
+    }
+
+    pub(crate) fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Node::Mul(a, b))
+    }
+
+    pub(crate) fn div(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Node::Div(a, b))
+    }
+
+    pub(crate) fn rem(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Node::Mod(a, b))
+    }
+
+    /// The constant value if `id` is a literal.
+    pub(crate) fn as_const(&self, id: ExprId) -> Option<i64> {
+        match self.node(id) {
+            Node::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The variable index if `id` is a bare variable.
+    pub(crate) fn as_var(&self, id: ExprId) -> Option<usize> {
+        match self.node(id) {
+            Node::Var(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Evaluates `id` for concrete variable values (tree semantics).
+    pub(crate) fn eval(&self, id: ExprId, vars: &[i64]) -> i64 {
+        match self.node(id) {
+            Node::Var(i) => vars[i],
+            Node::Const(c) => c,
+            Node::Add(a, b) => self.eval(a, vars) + self.eval(b, vars),
+            Node::Mul(a, b) => self.eval(a, vars) * self.eval(b, vars),
+            Node::Div(a, b) => self.eval(a, vars).div_euclid(self.eval(b, vars)),
+            Node::Mod(a, b) => self.eval(a, vars).rem_euclid(self.eval(b, vars)),
+        }
+    }
+
+    /// Interval of possible values of `id` given per-variable extents.
+    /// `memo` caches per-node results (sound: the interval depends only
+    /// on the node and `extents`, which is fixed per call tree).
+    pub(crate) fn range(
+        &self,
+        id: ExprId,
+        extents: &[usize],
+        memo: &mut HashMap<ExprId, Range>,
+    ) -> Range {
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let r = match self.node(id) {
+            Node::Var(i) => Range { min: 0, max: extents[i].saturating_sub(1) as i64 },
+            Node::Const(c) => Range::point(c),
+            Node::Add(a, b) => {
+                let (ra, rb) = (self.range(a, extents, memo), self.range(b, extents, memo));
+                Range { min: ra.min.saturating_add(rb.min), max: ra.max.saturating_add(rb.max) }
+            }
+            Node::Mul(a, b) => {
+                let (ra, rb) = (self.range(a, extents, memo), self.range(b, extents, memo));
+                let products = [
+                    ra.min.saturating_mul(rb.min),
+                    ra.min.saturating_mul(rb.max),
+                    ra.max.saturating_mul(rb.min),
+                    ra.max.saturating_mul(rb.max),
+                ];
+                Range {
+                    min: *products.iter().min().expect("non-empty"),
+                    max: *products.iter().max().expect("non-empty"),
+                }
+            }
+            Node::Div(a, b) => {
+                let ra = self.range(a, extents, memo);
+                match self.as_const(b) {
+                    Some(d) if d > 0 => {
+                        Range { min: ra.min.div_euclid(d), max: ra.max.div_euclid(d) }
+                    }
+                    _ => Range { min: i64::MIN / 2, max: i64::MAX / 2 },
+                }
+            }
+            Node::Mod(a, b) => {
+                let ra = self.range(a, extents, memo);
+                match self.as_const(b) {
+                    Some(m) if m > 0 => {
+                        if ra.within(m) {
+                            ra
+                        } else {
+                            Range { min: 0, max: m - 1 }
+                        }
+                    }
+                    _ => Range { min: i64::MIN / 2, max: i64::MAX / 2 },
+                }
+            }
+        };
+        memo.insert(id, r);
+        r
+    }
+
+    /// Whether `id` is provably divisible by `m` for all variable values.
+    pub(crate) fn divisible_by(&self, id: ExprId, m: i64, extents: &[usize]) -> bool {
+        if m == 1 {
+            return true;
+        }
+        match self.node(id) {
+            Node::Const(c) => c % m == 0,
+            Node::Var(i) => extents[i] == 1, // always zero
+            Node::Add(a, b) => self.divisible_by(a, m, extents) && self.divisible_by(b, m, extents),
+            Node::Mul(a, b) => self.divisible_by(a, m, extents) || self.divisible_by(b, m, extents),
+            _ => false,
+        }
+    }
+
+    /// Pushes every variable referenced under `id` into `out`
+    /// (shared subterms visited once).
+    pub(crate) fn collect_vars(
+        &self,
+        id: ExprId,
+        out: &mut Vec<usize>,
+        seen: &mut HashMap<ExprId, ()>,
+    ) {
+        if seen.insert(id, ()).is_some() {
+            return;
+        }
+        match self.node(id) {
+            Node::Var(i) => out.push(i),
+            Node::Const(_) => {}
+            Node::Add(a, b) | Node::Mul(a, b) | Node::Div(a, b) | Node::Mod(a, b) => {
+                self.collect_vars(a, out, seen);
+                self.collect_vars(b, out, seen);
+            }
+        }
+    }
+
+    /// Operation counts of the expression *tree* rooted at `id` (shared
+    /// subterms counted once per occurrence, matching the pre-interning
+    /// cost model), computed in time linear in the DAG size.
+    pub(crate) fn cost(&self, id: ExprId, memo: &mut HashMap<ExprId, ExprCost>) -> ExprCost {
+        if let Some(&c) = memo.get(&id) {
+            return c;
+        }
+        let c = match self.node(id) {
+            Node::Var(_) | Node::Const(_) => ExprCost::default(),
+            Node::Add(a, b) => self
+                .cost(a, memo)
+                .combine(self.cost(b, memo))
+                .combine(ExprCost { adds: 1, ..Default::default() }),
+            Node::Mul(a, b) => self
+                .cost(a, memo)
+                .combine(self.cost(b, memo))
+                .combine(ExprCost { muls: 1, ..Default::default() }),
+            Node::Div(a, b) => self
+                .cost(a, memo)
+                .combine(self.cost(b, memo))
+                .combine(ExprCost { divs: 1, ..Default::default() }),
+            Node::Mod(a, b) => self
+                .cost(a, memo)
+                .combine(self.cost(b, memo))
+                .combine(ExprCost { mods: 1, ..Default::default() }),
+        };
+        memo.insert(id, c);
+        c
+    }
+
+    /// Substitutes `replacements[i]` for `Var(i)` under `id`, memoized
+    /// per node (`memo` may be shared across the components of one map
+    /// composition — the replacement list is fixed for its lifetime).
+    pub(crate) fn substitute(
+        &mut self,
+        id: ExprId,
+        replacements: &[ExprId],
+        memo: &mut HashMap<ExprId, ExprId>,
+    ) -> ExprId {
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let out = match self.node(id) {
+            Node::Var(i) => replacements[i],
+            Node::Const(_) => id,
+            Node::Add(a, b) => {
+                let (ra, rb) = (
+                    self.substitute(a, replacements, memo),
+                    self.substitute(b, replacements, memo),
+                );
+                self.add(ra, rb)
+            }
+            Node::Mul(a, b) => {
+                let (ra, rb) = (
+                    self.substitute(a, replacements, memo),
+                    self.substitute(b, replacements, memo),
+                );
+                self.mul(ra, rb)
+            }
+            Node::Div(a, b) => {
+                let (ra, rb) = (
+                    self.substitute(a, replacements, memo),
+                    self.substitute(b, replacements, memo),
+                );
+                self.div(ra, rb)
+            }
+            Node::Mod(a, b) => {
+                let (ra, rb) = (
+                    self.substitute(a, replacements, memo),
+                    self.substitute(b, replacements, memo),
+                );
+                self.rem(ra, rb)
+            }
+        };
+        memo.insert(id, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        with_write(|a| {
+            let x = a.var(0);
+            let c = a.constant(4);
+            let e1 = a.mul(x, c);
+            let e2 = a.mul(x, c);
+            assert_eq!(e1, e2);
+            assert_eq!(a.digest(e1), a.digest(e2));
+        });
+    }
+
+    #[test]
+    fn digest_distinguishes_structure() {
+        with_write(|a| {
+            let x = a.var(0);
+            let c = a.constant(4);
+            let add = a.add(x, c);
+            let mul = a.mul(x, c);
+            assert_ne!(add, mul);
+            assert_ne!(a.digest(add), a.digest(mul));
+        });
+    }
+
+    #[test]
+    fn shared_subterms_counted_per_occurrence() {
+        with_write(|a| {
+            let x = a.var(0);
+            let c = a.constant(3);
+            let m = a.mul(x, c); // 1 mul
+            let s = a.add(m, m); // tree cost: 2 muls + 1 add
+            let cost = a.cost(s, &mut HashMap::new());
+            assert_eq!((cost.adds, cost.muls), (1, 2));
+        });
+    }
+}

@@ -44,9 +44,10 @@
 #![warn(missing_docs)]
 
 mod expr;
+mod intern;
 mod map;
 mod simplify;
 mod wire;
 
-pub use expr::{ExprCost, IndexExpr, Range};
+pub use expr::{ExprCost, ExprView, IndexExpr, Range};
 pub use map::{DepKind, IndexMap};

@@ -1,6 +1,6 @@
 //! Multi-dimensional coordinate maps for layout-transformation chains.
 
-use crate::expr::{ExprCost, IndexExpr};
+use crate::expr::{self, ExprCost, IndexExpr};
 use std::fmt;
 
 /// Index dependency kind of one input dimension with respect to the
@@ -25,6 +25,10 @@ pub enum DepKind {
 /// Maps compose with [`IndexMap::then`] along dataflow order, which is
 /// how SmartMem replaces an eliminated `Reshape`/`Transpose`/… chain by
 /// a single index computation attached to the surviving edge (§3.2.1).
+///
+/// Component expressions are hash-consed handles (see [`IndexExpr`]),
+/// so cloning a map copies a few machine words per dimension and
+/// composition shares subterms instead of deep-cloning trees.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct IndexMap {
     in_extents: Vec<usize>,
@@ -53,7 +57,7 @@ impl IndexMap {
         IndexMap {
             in_extents: extents.to_vec(),
             out_extents: extents.to_vec(),
-            exprs: (0..extents.len()).map(IndexExpr::Var).collect(),
+            exprs: (0..extents.len()).map(IndexExpr::var).collect(),
         }
     }
 
@@ -72,21 +76,24 @@ impl IndexMap {
         for i in (0..to.len().saturating_sub(1)).rev() {
             to_strides[i] = to_strides[i + 1] * to[i + 1] as i64;
         }
-        let mut linear = IndexExpr::Const(0);
+        let mut linear = IndexExpr::constant(0);
         for (i, &s) in to_strides.iter().enumerate() {
-            linear = IndexExpr::add(linear, IndexExpr::mul(IndexExpr::Var(i), IndexExpr::Const(s)));
+            linear =
+                IndexExpr::add(linear, IndexExpr::mul(IndexExpr::var(i), IndexExpr::constant(s)));
         }
         let mut from_strides = vec![1i64; from.len()];
         for i in (0..from.len().saturating_sub(1)).rev() {
             from_strides[i] = from_strides[i + 1] * from[i + 1] as i64;
         }
+        // `linear` is shared (not cloned) across all components — the
+        // arena stores the sum once.
         let exprs = from_strides
             .iter()
             .zip(from.iter())
             .map(|(&stride, &extent)| {
                 IndexExpr::rem(
-                    IndexExpr::div(linear.clone(), IndexExpr::Const(stride)),
-                    IndexExpr::Const(extent as i64),
+                    IndexExpr::div(linear, IndexExpr::constant(stride)),
+                    IndexExpr::constant(extent as i64),
                 )
             })
             .collect();
@@ -108,7 +115,7 @@ impl IndexMap {
             inv[p] = i;
         }
         let out_extents: Vec<usize> = perm.iter().map(|&p| in_extents[p]).collect();
-        let exprs = inv.into_iter().map(IndexExpr::Var).collect();
+        let exprs = inv.into_iter().map(IndexExpr::var).collect();
         IndexMap { in_extents: in_extents.to_vec(), out_extents, exprs }
     }
 
@@ -124,9 +131,9 @@ impl IndexMap {
         let exprs = (0..in_extents.len())
             .map(|j| {
                 if j == axis && start > 0 {
-                    IndexExpr::add(IndexExpr::Var(j), IndexExpr::Const(start as i64))
+                    IndexExpr::add(IndexExpr::var(j), IndexExpr::constant(start as i64))
                 } else {
-                    IndexExpr::Var(j)
+                    IndexExpr::var(j)
                 }
             })
             .collect();
@@ -159,20 +166,20 @@ impl IndexMap {
         assert_eq!(in_extents[1] % (block * block), 0, "channels not divisible by block^2");
         let out_extents = vec![in_extents[0], c_out, in_extents[2] * block, in_extents[3] * block];
         // in_c = (y%b * b + x%b) * C' + c ; in_h = y/b ; in_w = x/b
-        let dh = IndexExpr::rem(IndexExpr::Var(2), IndexExpr::Const(b));
-        let dw = IndexExpr::rem(IndexExpr::Var(3), IndexExpr::Const(b));
+        let dh = IndexExpr::rem(IndexExpr::var(2), IndexExpr::constant(b));
+        let dw = IndexExpr::rem(IndexExpr::var(3), IndexExpr::constant(b));
         let in_c = IndexExpr::add(
             IndexExpr::mul(
-                IndexExpr::add(IndexExpr::mul(dh, IndexExpr::Const(b)), dw),
-                IndexExpr::Const(c_out as i64),
+                IndexExpr::add(IndexExpr::mul(dh, IndexExpr::constant(b)), dw),
+                IndexExpr::constant(c_out as i64),
             ),
-            IndexExpr::Var(1),
+            IndexExpr::var(1),
         );
         let exprs = vec![
-            IndexExpr::Var(0),
+            IndexExpr::var(0),
             in_c,
-            IndexExpr::div(IndexExpr::Var(2), IndexExpr::Const(b)),
-            IndexExpr::div(IndexExpr::Var(3), IndexExpr::Const(b)),
+            IndexExpr::div(IndexExpr::var(2), IndexExpr::constant(b)),
+            IndexExpr::div(IndexExpr::var(3), IndexExpr::constant(b)),
         ];
         IndexMap { in_extents: in_extents.to_vec(), out_extents, exprs }
     }
@@ -195,14 +202,14 @@ impl IndexMap {
             in_extents[3] / block,
         ];
         // c2 = (dh*b + dw)*C + c  =>  c = c2 % C ; dh = (c2/C)/b ; dw = (c2/C)%b
-        let tmp = IndexExpr::div(IndexExpr::Var(1), IndexExpr::Const(c_in));
-        let dh = IndexExpr::div(tmp.clone(), IndexExpr::Const(b));
-        let dw = IndexExpr::rem(tmp, IndexExpr::Const(b));
+        let tmp = IndexExpr::div(IndexExpr::var(1), IndexExpr::constant(c_in));
+        let dh = IndexExpr::div(tmp, IndexExpr::constant(b));
+        let dw = IndexExpr::rem(tmp, IndexExpr::constant(b));
         let exprs = vec![
-            IndexExpr::Var(0),
-            IndexExpr::rem(IndexExpr::Var(1), IndexExpr::Const(c_in)),
-            IndexExpr::add(IndexExpr::mul(IndexExpr::Var(2), IndexExpr::Const(b)), dh),
-            IndexExpr::add(IndexExpr::mul(IndexExpr::Var(3), IndexExpr::Const(b)), dw),
+            IndexExpr::var(0),
+            IndexExpr::rem(IndexExpr::var(1), IndexExpr::constant(c_in)),
+            IndexExpr::add(IndexExpr::mul(IndexExpr::var(2), IndexExpr::constant(b)), dh),
+            IndexExpr::add(IndexExpr::mul(IndexExpr::var(3), IndexExpr::constant(b)), dw),
         ];
         IndexMap { in_extents: in_extents.to_vec(), out_extents, exprs }
     }
@@ -220,7 +227,8 @@ impl IndexMap {
             "composition mismatch: {:?} then {:?}",
             self.out_extents, next.in_extents
         );
-        let exprs = self.exprs.iter().map(|e| e.substitute(&next.exprs)).collect();
+        // One arena lock + one substitution memo across components.
+        let exprs = expr::substitute_all(&self.exprs, &next.exprs);
         IndexMap {
             in_extents: self.in_extents.clone(),
             out_extents: next.out_extents.clone(),
@@ -233,7 +241,7 @@ impl IndexMap {
         IndexMap {
             in_extents: self.in_extents.clone(),
             out_extents: self.out_extents.clone(),
-            exprs: self.exprs.iter().map(|e| e.simplify(&self.out_extents)).collect(),
+            exprs: expr::simplify_all(&self.exprs, &self.out_extents),
         }
     }
 
@@ -245,7 +253,7 @@ impl IndexMap {
     pub fn eval(&self, coord: &[usize]) -> Vec<usize> {
         assert_eq!(coord.len(), self.out_extents.len(), "coordinate rank mismatch");
         let vars: Vec<i64> = coord.iter().map(|&c| c as i64).collect();
-        self.exprs.iter().map(|e| e.eval(&vars).max(0) as usize).collect()
+        expr::eval_all(&self.exprs, &vars).into_iter().map(|v| v.max(0) as usize).collect()
     }
 
     /// Input extents (the producer tensor's shape).
@@ -275,13 +283,13 @@ impl IndexMap {
 
     /// Total index-computation cost across components.
     pub fn cost(&self) -> ExprCost {
-        self.exprs.iter().fold(ExprCost::default(), |acc, e| acc.combine(e.cost()))
+        expr::cost_all(&self.exprs)
     }
 
     /// Whether this map is the identity.
     pub fn is_identity(&self) -> bool {
         self.in_extents == self.out_extents
-            && self.exprs.iter().enumerate().all(|(j, e)| *e == IndexExpr::Var(j))
+            && self.exprs.iter().enumerate().all(|(j, e)| e.as_var() == Some(j))
     }
 
     /// Whether the map is a pure dimension permutation, returning
@@ -289,9 +297,9 @@ impl IndexMap {
     pub fn as_permutation(&self) -> Option<Vec<usize>> {
         let mut perm = Vec::with_capacity(self.exprs.len());
         for e in &self.exprs {
-            match e {
-                IndexExpr::Var(i) => perm.push(*i),
-                _ => return None,
+            match e.as_var() {
+                Some(i) => perm.push(i),
+                None => return None,
             }
         }
         let mut seen = vec![false; self.out_extents.len()];
@@ -318,7 +326,7 @@ impl IndexMap {
                 match vars.len() {
                     0 => DepKind::Constant,
                     1 => {
-                        if matches!(e, IndexExpr::Var(_)) {
+                        if e.as_var().is_some() {
                             DepKind::Identity
                         } else {
                             DepKind::Split
@@ -479,5 +487,16 @@ mod tests {
     fn display_renders() {
         let m = IndexMap::identity(&[2]);
         assert!(m.to_string().contains("map"));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let m = IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]).simplify();
+        let c = m.clone();
+        assert_eq!(m, c);
+        // Interned components: the clone shares the exact same ids.
+        for (a, b) in m.exprs().iter().zip(c.exprs()) {
+            assert_eq!(a, b);
+        }
     }
 }

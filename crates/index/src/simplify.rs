@@ -22,119 +22,348 @@
 //! All rules preserve the value for every assignment of variables within
 //! their extents — verified by the property tests at the bottom of this
 //! file and in `tests/`.
+//!
+//! Since expressions are hash-consed (see `intern`), the rewriter works
+//! on `ExprId`s inside a single arena lock and memoizes per node: the
+//! single-pass rewrite result, range analysis, and tree cost. A rewrite
+//! is a pure function of `(node, extents)`, so the memo stays sound
+//! across fixpoint passes and across the components of one map.
 
-use crate::expr::IndexExpr;
+use crate::expr::{ExprCost, Range};
+use crate::intern::{Arena, ExprId, Node};
+use std::collections::HashMap;
 
 /// Maximum rewrite passes; expressions from realistic operator chains
 /// converge in 2–4 passes.
 const MAX_PASSES: usize = 12;
 
-/// Simplifies `expr` under the variable extents `extents`.
-pub(crate) fn simplify(expr: &IndexExpr, extents: &[usize]) -> IndexExpr {
-    let mut cur = expr.clone();
-    for _ in 0..MAX_PASSES {
-        let next = rewrite(&cur, extents);
-        if next == cur {
-            break;
+/// Strength-reduction context: exclusive arena access plus per-node
+/// memos that are shared across fixpoint passes (and, via
+/// `simplify_all`, across the components of one map).
+pub(crate) struct Rewriter<'a> {
+    arena: &'a mut Arena,
+    ext: Vec<usize>,
+    rewrites: HashMap<ExprId, ExprId>,
+    ranges: HashMap<ExprId, Range>,
+    costs: HashMap<ExprId, ExprCost>,
+}
+
+impl<'a> Rewriter<'a> {
+    pub(crate) fn new(arena: &'a mut Arena, extents: &[usize]) -> Self {
+        Rewriter {
+            arena,
+            ext: extents.to_vec(),
+            rewrites: HashMap::new(),
+            ranges: HashMap::new(),
+            costs: HashMap::new(),
         }
-        cur = next;
     }
-    // Distribution can in principle increase the op count when no
-    // recombination follows; never return something costlier than the
-    // input.
-    if cur.cost().weighted() <= expr.cost().weighted() {
-        cur
-    } else {
-        expr.clone()
+
+    pub(crate) fn arena(&self) -> &Arena {
+        self.arena
     }
-}
 
-fn rewrite(e: &IndexExpr, ext: &[usize]) -> IndexExpr {
-    use IndexExpr as E;
-    // Rewrite children first (bottom-up).
-    let e = match e {
-        E::Add(a, b) => E::add(rewrite(a, ext), rewrite(b, ext)),
-        E::Mul(a, b) => E::mul(rewrite(a, ext), rewrite(b, ext)),
-        E::Div(a, b) => E::div(rewrite(a, ext), rewrite(b, ext)),
-        E::Mod(a, b) => E::rem(rewrite(a, ext), rewrite(b, ext)),
-        other => other.clone(),
-    };
-
-    match e {
-        E::Add(a, b) => rewrite_add(*a, *b),
-        E::Mul(a, b) => rewrite_mul(*a, *b),
-        E::Div(a, b) => rewrite_div(*a, *b, ext),
-        E::Mod(a, b) => rewrite_mod(*a, *b, ext),
-        other => other,
+    /// Simplifies `expr` under the rewriter's variable extents.
+    pub(crate) fn simplify(&mut self, expr: ExprId) -> ExprId {
+        let mut cur = expr;
+        for _ in 0..MAX_PASSES {
+            let next = self.rewrite(cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        // Distribution can in principle increase the op count when no
+        // recombination follows; never return something costlier than
+        // the input.
+        if self.cost(cur).weighted() <= self.cost(expr).weighted() {
+            cur
+        } else {
+            expr
+        }
     }
-}
 
-fn rewrite_add(a: IndexExpr, b: IndexExpr) -> IndexExpr {
-    use IndexExpr as E;
-    let plain = match (a.as_const(), b.as_const()) {
-        (Some(x), Some(y)) => return E::Const(x + y),
-        (Some(0), None) => return b,
-        (None, Some(0)) => return a,
-        // Canonicalize constants to the right for the Div/Mod split rules.
-        (Some(_), None) => E::add(b, a),
-        _ => E::add(a, b),
-    };
-    recombine_sum(&plain).unwrap_or(plain)
-}
+    fn cost(&mut self, id: ExprId) -> ExprCost {
+        self.arena.cost(id, &mut self.costs)
+    }
 
-fn rewrite_mul(a: IndexExpr, b: IndexExpr) -> IndexExpr {
-    use IndexExpr as E;
-    match (a.as_const(), b.as_const()) {
-        (Some(x), Some(y)) => E::Const(x * y),
-        (Some(0), None) | (None, Some(0)) => E::Const(0),
-        (Some(1), None) => b,
-        (None, Some(1)) => a,
-        // Canonicalize constants to the right.
-        (Some(_), None) => rewrite_mul(b, a),
-        (None, Some(c)) => {
-            // Distribute over sums to expose digit-recombination terms.
-            if let E::Add(p, q) = a {
-                E::add(rewrite_mul(*p, E::Const(c)), rewrite_mul(*q, E::Const(c)))
-            } else {
-                E::mul(a, E::Const(c))
+    fn range(&mut self, id: ExprId) -> Range {
+        self.arena.range(id, &self.ext, &mut self.ranges)
+    }
+
+    fn rewrite(&mut self, id: ExprId) -> ExprId {
+        if let Some(&done) = self.rewrites.get(&id) {
+            return done;
+        }
+        // Rewrite children first (bottom-up), then apply the local rules.
+        let out = match self.arena.node(id) {
+            Node::Add(a, b) => {
+                let (ra, rb) = (self.rewrite(a), self.rewrite(b));
+                self.rewrite_add(ra, rb)
+            }
+            Node::Mul(a, b) => {
+                let (ra, rb) = (self.rewrite(a), self.rewrite(b));
+                self.rewrite_mul(ra, rb)
+            }
+            Node::Div(a, b) => {
+                let (ra, rb) = (self.rewrite(a), self.rewrite(b));
+                self.rewrite_div(ra, rb)
+            }
+            Node::Mod(a, b) => {
+                let (ra, rb) = (self.rewrite(a), self.rewrite(b));
+                self.rewrite_mod(ra, rb)
+            }
+            _ => id,
+        };
+        self.rewrites.insert(id, out);
+        out
+    }
+
+    fn rewrite_add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let plain = match (self.arena.as_const(a), self.arena.as_const(b)) {
+            (Some(x), Some(y)) => return self.arena.constant(x + y),
+            (Some(0), None) => return b,
+            (None, Some(0)) => return a,
+            // Canonicalize constants to the right for the Div/Mod split
+            // rules.
+            (Some(_), None) => self.arena.add(b, a),
+            _ => self.arena.add(a, b),
+        };
+        self.recombine_sum(plain).unwrap_or(plain)
+    }
+
+    fn rewrite_mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        match (self.arena.as_const(a), self.arena.as_const(b)) {
+            (Some(x), Some(y)) => self.arena.constant(x * y),
+            (Some(0), None) | (None, Some(0)) => self.arena.constant(0),
+            (Some(1), None) => b,
+            (None, Some(1)) => a,
+            // Canonicalize constants to the right.
+            (Some(_), None) => self.rewrite_mul(b, a),
+            (None, Some(c)) => {
+                // Distribute over sums to expose digit-recombination
+                // terms.
+                if let Node::Add(p, q) = self.arena.node(a) {
+                    let cid = self.arena.constant(c);
+                    let l = self.rewrite_mul(p, cid);
+                    let r = self.rewrite_mul(q, cid);
+                    self.arena.add(l, r)
+                } else {
+                    self.arena.mul(a, b)
+                }
+            }
+            _ => self.arena.mul(a, b),
+        }
+    }
+
+    fn rewrite_div(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let Some(m) = self.arena.as_const(b) else { return self.arena.div(a, b) };
+        if m == 1 {
+            return a;
+        }
+        if m <= 0 {
+            return self.arena.div(a, b); // degenerate; leave untouched
+        }
+        if let Some(x) = self.arena.as_const(a) {
+            return self.arena.constant(x.div_euclid(m));
+        }
+        // e / m -> 0 when e < m.
+        if self.range(a).within(m) {
+            return self.arena.constant(0);
+        }
+        match self.arena.node(a) {
+            // (x / c) / m -> x / (c*m)
+            Node::Div(x, c) => match self.arena.as_const(c) {
+                Some(ci) if ci > 0 => {
+                    let merged = self.arena.constant(ci * m);
+                    self.arena.div(x, merged)
+                }
+                _ => self.arena.div(a, b),
+            },
+            // (p + q) / m with p divisible by m -> p/m + q/m (and
+            // symmetric).
+            Node::Add(p, q) => {
+                if self.arena.divisible_by(p, m, &self.ext)
+                    || self.arena.divisible_by(q, m, &self.ext)
+                {
+                    let mid = self.arena.constant(m);
+                    let l = self.rewrite_div(p, mid);
+                    let r = self.rewrite_div(q, mid);
+                    self.rewrite_add(l, r)
+                } else {
+                    self.arena.div(a, b)
+                }
+            }
+            // (x * c) / m -> x * (c/m) when m | c.
+            Node::Mul(x, c) => match self.arena.as_const(c) {
+                Some(ci) if ci % m == 0 => {
+                    let scaled = self.arena.constant(ci / m);
+                    self.rewrite_mul(x, scaled)
+                }
+                // (x * c) / m when x*c's range < m handled above; also
+                // c | m and x % (m/c) unknown: keep.
+                _ => self.arena.div(a, b),
+            },
+            _ => self.arena.div(a, b),
+        }
+    }
+
+    fn rewrite_mod(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let Some(m) = self.arena.as_const(b) else { return self.arena.rem(a, b) };
+        if m == 1 {
+            return self.arena.constant(0);
+        }
+        if m <= 0 {
+            return self.arena.rem(a, b);
+        }
+        if let Some(x) = self.arena.as_const(a) {
+            return self.arena.constant(x.rem_euclid(m));
+        }
+        // e % m -> e when range(e) ⊆ [0, m).
+        if self.range(a).within(m) {
+            return a;
+        }
+        if self.arena.divisible_by(a, m, &self.ext) {
+            return self.arena.constant(0);
+        }
+        match self.arena.node(a) {
+            // (x % a) % m -> x % m when m | a  (paper's rule: i%Ca%Cb).
+            Node::Mod(x, c) => match self.arena.as_const(c) {
+                Some(ci) if ci > 0 && ci % m == 0 => {
+                    let mid = self.arena.constant(m);
+                    self.rewrite_mod(x, mid)
+                }
+                _ => self.arena.rem(a, b),
+            },
+            // (x / c) % m -> (x % (c*m)) / c  (canonical digit-extraction
+            // form; enables recombination and range-based mod
+            // elimination).
+            Node::Div(x, c) => match self.arena.as_const(c) {
+                Some(ci) if ci > 0 => {
+                    let wide = self.arena.constant(ci * m);
+                    let inner = self.rewrite_mod(x, wide);
+                    let cid = self.arena.constant(ci);
+                    self.rewrite_div(inner, cid)
+                }
+                _ => self.arena.rem(a, b),
+            },
+            // (p + q) % m with p divisible by m -> q % m (and symmetric).
+            Node::Add(p, q) => {
+                if self.arena.divisible_by(p, m, &self.ext) {
+                    let mid = self.arena.constant(m);
+                    self.rewrite_mod(q, mid)
+                } else if self.arena.divisible_by(q, m, &self.ext) {
+                    let mid = self.arena.constant(m);
+                    self.rewrite_mod(p, mid)
+                } else {
+                    self.arena.rem(a, b)
+                }
+            }
+            _ => self.arena.rem(a, b),
+        }
+    }
+
+    /// Attempts digit recombination across a flattened sum tree. Returns
+    /// `Some(rebuilt)` only when at least one merge happened.
+    fn recombine_sum(&mut self, e: ExprId) -> Option<ExprId> {
+        fn flatten(a: &Arena, e: ExprId, out: &mut Vec<ExprId>) {
+            match a.node(e) {
+                Node::Add(p, q) => {
+                    flatten(a, p, out);
+                    flatten(a, q, out);
+                }
+                _ => out.push(e),
             }
         }
-        _ => E::mul(a, b),
+        let mut parts = Vec::new();
+        flatten(self.arena, e, &mut parts);
+        if parts.len() < 2 {
+            return None;
+        }
+        let mut constant = 0i64;
+        let mut terms: Vec<Term> = Vec::new();
+        let mut opaque: Vec<ExprId> = Vec::new();
+        for p in parts {
+            if let Some(c) = self.arena.as_const(p) {
+                constant += c;
+            } else {
+                match Term::parse(self.arena, p) {
+                    Some(t) => terms.push(t),
+                    None => opaque.push(p),
+                }
+            }
+        }
+        let mut merged_any = false;
+        'outer: loop {
+            for i in 0..terms.len() {
+                for j in 0..terms.len() {
+                    if i == j {
+                        continue;
+                    }
+                    if let Some(m) = Term::merge(&terms[i], &terms[j]) {
+                        let (a, b) = (i.max(j), i.min(j));
+                        terms.remove(a);
+                        terms.remove(b);
+                        terms.push(m);
+                        merged_any = true;
+                        continue 'outer;
+                    }
+                }
+            }
+            break;
+        }
+        if !merged_any {
+            return None;
+        }
+        let mut out: Option<ExprId> = None;
+        let rebuilt: Vec<ExprId> =
+            terms.into_iter().map(|t| t.build(self.arena)).chain(opaque).collect();
+        for piece in rebuilt {
+            out = Some(match out {
+                None => piece,
+                Some(acc) => self.arena.add(acc, piece),
+            });
+        }
+        let mut out = out.unwrap_or_else(|| self.arena.constant(0));
+        if constant != 0 {
+            let cid = self.arena.constant(constant);
+            out = self.arena.add(out, cid);
+        }
+        Some(out)
     }
 }
 
 /// One term of a flattened sum in the canonical "digit extraction" form
 /// `((base % modulo) / div) * scale` (`modulo = None` means no mod).
 struct Term {
-    base: IndexExpr,
+    base: ExprId,
     div: i64,
     modulo: Option<i64>,
     scale: i64,
 }
 
 impl Term {
-    fn parse(e: &IndexExpr) -> Option<Term> {
-        use IndexExpr as E;
-        let (core, scale) = match e {
-            E::Mul(x, s) => match s.as_const() {
-                Some(c) => (x.as_ref(), c),
+    fn parse(a: &Arena, e: ExprId) -> Option<Term> {
+        let (core, scale) = match a.node(e) {
+            Node::Mul(x, s) => match a.as_const(s) {
+                Some(c) => (x, c),
                 None => (e, 1),
             },
             _ => (e, 1),
         };
-        let (core, div) = match core {
-            E::Div(x, d) => match d.as_const() {
-                Some(c) if c > 0 => (x.as_ref(), c),
+        let (core, div) = match a.node(core) {
+            Node::Div(x, d) => match a.as_const(d) {
+                Some(c) if c > 0 => (x, c),
                 _ => (core, 1),
             },
             _ => (core, 1),
         };
-        let (base, modulo) = match core {
-            E::Mod(x, m) => match m.as_const() {
-                Some(c) if c > 0 => (x.as_ref().clone(), Some(c)),
-                _ => (core.clone(), None),
+        let (base, modulo) = match a.node(core) {
+            Node::Mod(x, m) => match a.as_const(m) {
+                Some(c) if c > 0 => (x, Some(c)),
+                _ => (core, None),
             },
-            _ => (core.clone(), None),
+            _ => (core, None),
         };
         if scale <= 0 {
             return None;
@@ -142,17 +371,19 @@ impl Term {
         Some(Term { base, div, modulo, scale })
     }
 
-    fn build(self) -> IndexExpr {
-        use IndexExpr as E;
+    fn build(self, a: &mut Arena) -> ExprId {
         let mut e = self.base;
         if let Some(m) = self.modulo {
-            e = E::rem(e, E::Const(m));
+            let mid = a.constant(m);
+            e = a.rem(e, mid);
         }
         if self.div != 1 {
-            e = E::div(e, E::Const(self.div));
+            let did = a.constant(self.div);
+            e = a.div(e, did);
         }
         if self.scale != 1 {
-            e = E::mul(e, E::Const(self.scale));
+            let sid = a.constant(self.scale);
+            e = a.mul(e, sid);
         }
         e
     }
@@ -174,162 +405,7 @@ impl Term {
         if hi.scale != lo.scale * (hi.div / lo.div) {
             return None;
         }
-        Some(Term { base: hi.base.clone(), div: lo.div, modulo: hi.modulo, scale: lo.scale })
-    }
-}
-
-/// Attempts digit recombination across a flattened sum tree. Returns
-/// `Some(rebuilt)` only when at least one merge happened.
-fn recombine_sum(e: &IndexExpr) -> Option<IndexExpr> {
-    use IndexExpr as E;
-    fn flatten(e: &IndexExpr, out: &mut Vec<IndexExpr>) {
-        match e {
-            IndexExpr::Add(a, b) => {
-                flatten(a, out);
-                flatten(b, out);
-            }
-            other => out.push(other.clone()),
-        }
-    }
-    let mut parts = Vec::new();
-    flatten(e, &mut parts);
-    if parts.len() < 2 {
-        return None;
-    }
-    let mut constant = 0i64;
-    let mut terms: Vec<Term> = Vec::new();
-    let mut opaque: Vec<IndexExpr> = Vec::new();
-    for p in parts {
-        if let Some(c) = p.as_const() {
-            constant += c;
-        } else {
-            match Term::parse(&p) {
-                Some(t) => terms.push(t),
-                None => opaque.push(p),
-            }
-        }
-    }
-    let mut merged_any = false;
-    'outer: loop {
-        for i in 0..terms.len() {
-            for j in 0..terms.len() {
-                if i == j {
-                    continue;
-                }
-                if let Some(m) = Term::merge(&terms[i], &terms[j]) {
-                    let (a, b) = (i.max(j), i.min(j));
-                    terms.remove(a);
-                    terms.remove(b);
-                    terms.push(m);
-                    merged_any = true;
-                    continue 'outer;
-                }
-            }
-        }
-        break;
-    }
-    if !merged_any {
-        return None;
-    }
-    let mut out: Option<IndexExpr> = None;
-    for piece in terms.into_iter().map(Term::build).chain(opaque) {
-        out = Some(match out {
-            None => piece,
-            Some(acc) => E::add(acc, piece),
-        });
-    }
-    let mut out = out.unwrap_or(E::Const(0));
-    if constant != 0 {
-        out = E::add(out, E::Const(constant));
-    }
-    Some(out)
-}
-
-fn rewrite_div(a: IndexExpr, b: IndexExpr, ext: &[usize]) -> IndexExpr {
-    use IndexExpr as E;
-    let Some(m) = b.as_const() else { return E::div(a, b) };
-    if m == 1 {
-        return a;
-    }
-    if m <= 0 {
-        return E::div(a, b); // degenerate; leave untouched
-    }
-    if let Some(x) = a.as_const() {
-        return E::Const(x.div_euclid(m));
-    }
-    // e / m -> 0 when e < m.
-    if a.range(ext).within(m) {
-        return E::Const(0);
-    }
-    match a {
-        // (x / c) / m -> x / (c*m)
-        E::Div(x, c) => match c.as_const() {
-            Some(ci) if ci > 0 => E::div(*x, E::Const(ci * m)),
-            _ => E::div(E::Div(x, c), b),
-        },
-        // (p + q) / m with p divisible by m -> p/m + q/m (and symmetric).
-        E::Add(p, q) => {
-            if p.divisible_by(m, ext) || q.divisible_by(m, ext) {
-                rewrite_add(rewrite_div(*p, E::Const(m), ext), rewrite_div(*q, E::Const(m), ext))
-            } else {
-                E::div(E::Add(p, q), b)
-            }
-        }
-        // (x * c) / m -> x * (c/m) when m | c.
-        E::Mul(x, c) => match c.as_const() {
-            Some(ci) if ci % m == 0 => rewrite_mul(*x, E::Const(ci / m)),
-            // (x * c) / m when x*c's range < m handled above; also
-            // c | m and x % (m/c) unknown: keep.
-            _ => E::div(E::Mul(x, c), b),
-        },
-        other => E::div(other, b),
-    }
-}
-
-fn rewrite_mod(a: IndexExpr, b: IndexExpr, ext: &[usize]) -> IndexExpr {
-    use IndexExpr as E;
-    let Some(m) = b.as_const() else { return E::rem(a, b) };
-    if m == 1 {
-        return E::Const(0);
-    }
-    if m <= 0 {
-        return E::rem(a, b);
-    }
-    if let Some(x) = a.as_const() {
-        return E::Const(x.rem_euclid(m));
-    }
-    // e % m -> e when range(e) ⊆ [0, m).
-    if a.range(ext).within(m) {
-        return a;
-    }
-    if a.divisible_by(m, ext) {
-        return E::Const(0);
-    }
-    match a {
-        // (x % a) % m -> x % m when m | a  (paper's rule: i%Ca%Cb).
-        E::Mod(x, c) => match c.as_const() {
-            Some(ci) if ci > 0 && ci % m == 0 => rewrite_mod(*x, E::Const(m), ext),
-            _ => E::rem(E::Mod(x, c), b),
-        },
-        // (x / c) % m -> (x % (c*m)) / c  (canonical digit-extraction
-        // form; enables recombination and range-based mod elimination).
-        E::Div(x, c) => match c.as_const() {
-            Some(ci) if ci > 0 => {
-                rewrite_div(rewrite_mod(*x, E::Const(ci * m), ext), E::Const(ci), ext)
-            }
-            _ => E::rem(E::Div(x, c), b),
-        },
-        // (p + q) % m with p divisible by m -> q % m (and symmetric).
-        E::Add(p, q) => {
-            if p.divisible_by(m, ext) {
-                rewrite_mod(*q, E::Const(m), ext)
-            } else if q.divisible_by(m, ext) {
-                rewrite_mod(*p, E::Const(m), ext)
-            } else {
-                E::rem(E::Add(p, q), b)
-            }
-        }
-        other => E::rem(other, b),
+        Some(Term { base: hi.base, div: lo.div, modulo: hi.modulo, scale: lo.scale })
     }
 }
 
@@ -338,36 +414,36 @@ mod tests {
     use crate::expr::IndexExpr as E;
 
     fn simp(e: &E, ext: &[usize]) -> E {
-        super::simplify(e, ext)
+        e.simplify(ext)
     }
 
     #[test]
     fn constant_folding() {
-        let e = E::add(E::Const(3), E::mul(E::Const(4), E::Const(5)));
-        assert_eq!(simp(&e, &[]), E::Const(23));
+        let e = E::add(E::constant(3), E::mul(E::constant(4), E::constant(5)));
+        assert_eq!(simp(&e, &[]), E::constant(23));
     }
 
     #[test]
     fn identity_rules() {
-        assert_eq!(simp(&E::add(E::Var(0), E::Const(0)), &[8]), E::Var(0));
-        assert_eq!(simp(&E::mul(E::Var(0), E::Const(1)), &[8]), E::Var(0));
-        assert_eq!(simp(&E::mul(E::Var(0), E::Const(0)), &[8]), E::Const(0));
-        assert_eq!(simp(&E::div(E::Var(0), E::Const(1)), &[8]), E::Var(0));
-        assert_eq!(simp(&E::rem(E::Var(0), E::Const(1)), &[8]), E::Const(0));
+        assert_eq!(simp(&E::add(E::var(0), E::constant(0)), &[8]), E::var(0));
+        assert_eq!(simp(&E::mul(E::var(0), E::constant(1)), &[8]), E::var(0));
+        assert_eq!(simp(&E::mul(E::var(0), E::constant(0)), &[8]), E::constant(0));
+        assert_eq!(simp(&E::div(E::var(0), E::constant(1)), &[8]), E::var(0));
+        assert_eq!(simp(&E::rem(E::var(0), E::constant(1)), &[8]), E::constant(0));
     }
 
     #[test]
     fn paper_mod_mod_rule() {
         // i % 32 % 8 -> i % 8 because 32 % 8 == 0.
-        let e = E::rem(E::rem(E::Var(0), E::Const(32)), E::Const(8));
-        assert_eq!(simp(&e, &[1024]), E::rem(E::Var(0), E::Const(8)));
+        let e = E::rem(E::rem(E::var(0), E::constant(32)), E::constant(8));
+        assert_eq!(simp(&e, &[1024]), E::rem(E::var(0), E::constant(8)));
     }
 
     #[test]
     fn mod_mod_incompatible_kept() {
         // i % 6 % 4 cannot drop the inner mod (6 % 4 != 0) — but range
         // of (i % 6) is [0,5], not within 4, so the expression stays.
-        let e = E::rem(E::rem(E::Var(0), E::Const(6)), E::Const(4));
+        let e = E::rem(E::rem(E::var(0), E::constant(6)), E::constant(4));
         let s = simp(&e, &[1024]);
         assert_eq!(s, e);
     }
@@ -375,61 +451,71 @@ mod tests {
     #[test]
     fn range_based_mod_elimination() {
         // i % 16 with i < 8 -> i.
-        let e = E::rem(E::Var(0), E::Const(16));
-        assert_eq!(simp(&e, &[8]), E::Var(0));
+        let e = E::rem(E::var(0), E::constant(16));
+        assert_eq!(simp(&e, &[8]), E::var(0));
     }
 
     #[test]
     fn range_based_div_elimination() {
         // i / 16 with i < 8 -> 0.
-        let e = E::div(E::Var(0), E::Const(16));
-        assert_eq!(simp(&e, &[8]), E::Const(0));
+        let e = E::div(E::var(0), E::constant(16));
+        assert_eq!(simp(&e, &[8]), E::constant(0));
     }
 
     #[test]
     fn div_div_merge() {
-        let e = E::div(E::div(E::Var(0), E::Const(4)), E::Const(8));
-        assert_eq!(simp(&e, &[4096]), E::div(E::Var(0), E::Const(32)));
+        let e = E::div(E::div(E::var(0), E::constant(4)), E::constant(8));
+        assert_eq!(simp(&e, &[4096]), E::div(E::var(0), E::constant(32)));
     }
 
     #[test]
     fn linear_form_div_distributes() {
         // (i0*32 + i1) / 32 with i1 < 32 -> i0.
-        let e = E::div(E::add(E::mul(E::Var(0), E::Const(32)), E::Var(1)), E::Const(32));
-        assert_eq!(simp(&e, &[64, 32]), E::Var(0));
+        let e = E::div(E::add(E::mul(E::var(0), E::constant(32)), E::var(1)), E::constant(32));
+        assert_eq!(simp(&e, &[64, 32]), E::var(0));
     }
 
     #[test]
     fn linear_form_mod_drops_multiples() {
         // (i0*32 + i1) % 32 with i1 < 32 -> i1.
-        let e = E::rem(E::add(E::mul(E::Var(0), E::Const(32)), E::Var(1)), E::Const(32));
-        assert_eq!(simp(&e, &[64, 32]), E::Var(1));
+        let e = E::rem(E::add(E::mul(E::var(0), E::constant(32)), E::var(1)), E::constant(32));
+        assert_eq!(simp(&e, &[64, 32]), E::var(1));
     }
 
     #[test]
     fn partial_distribution() {
         // (i0*16 + i1) / 4 with i1 < 16 -> i0*4 + i1/4.
-        let e = E::div(E::add(E::mul(E::Var(0), E::Const(16)), E::Var(1)), E::Const(4));
+        let e = E::div(E::add(E::mul(E::var(0), E::constant(16)), E::var(1)), E::constant(4));
         let s = simp(&e, &[8, 16]);
-        assert_eq!(s, E::add(E::mul(E::Var(0), E::Const(4)), E::div(E::Var(1), E::Const(4))));
+        assert_eq!(s, E::add(E::mul(E::var(0), E::constant(4)), E::div(E::var(1), E::constant(4))));
     }
 
     #[test]
     fn canonicalizes_const_right() {
-        let e = E::mul(E::Const(4), E::Var(0));
-        assert_eq!(simp(&e, &[8]), E::mul(E::Var(0), E::Const(4)));
+        let e = E::mul(E::constant(4), E::var(0));
+        assert_eq!(simp(&e, &[8]), E::mul(E::var(0), E::constant(4)));
     }
 
     #[test]
     fn simplification_reduces_cost() {
         // Figure 3-style stacked reshape indices.
         let lin = E::add(
-            E::add(E::mul(E::Var(0), E::Const(128)), E::mul(E::Var(1), E::Const(16))),
-            E::add(E::mul(E::Var(2), E::Const(4)), E::Var(3)),
+            E::add(E::mul(E::var(0), E::constant(128)), E::mul(E::var(1), E::constant(16))),
+            E::add(E::mul(E::var(2), E::constant(4)), E::var(3)),
         );
-        let in2 = E::rem(lin.clone(), E::Const(4)); // -> i3
+        let in2 = E::rem(lin, E::constant(4)); // -> i3
         let s = simp(&in2, &[16, 8, 4, 4]);
-        assert_eq!(s, E::Var(3));
+        assert_eq!(s, E::var(3));
         assert!(s.cost().weighted() < in2.cost().weighted());
+    }
+
+    #[test]
+    fn rewrite_memo_consistent_across_components() {
+        // Simplifying the same expression twice (second hit comes from
+        // the memo when routed through simplify_all) gives one id.
+        let e = E::rem(E::add(E::mul(E::var(0), E::constant(32)), E::var(1)), E::constant(32));
+        let out = crate::expr::simplify_all(&[e, e], &[64, 32]);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], E::var(1));
     }
 }

@@ -1,70 +1,75 @@
 //! Wire-codec implementations for index expressions and maps (consumed
 //! by the persistent compilation cache in `smartmem-core`).
+//!
+//! The byte format is the structural tree encoding (tag + operands,
+//! recursively) and is unchanged by hash-consing: encoding walks the
+//! arena DAG as a tree, decoding re-interns every node, so artifacts
+//! written before and after interning are byte-identical for equal
+//! expressions.
 
 use crate::expr::IndexExpr;
+use crate::intern::{self, Arena, ExprId, Node};
 use crate::map::IndexMap;
 use smartmem_ir::wire::{Decode, Encode, Reader, WireError, Writer};
 
-impl Encode for IndexExpr {
-    fn encode(&self, w: &mut Writer) {
-        match self {
-            IndexExpr::Var(i) => {
-                w.put_u8(0);
-                i.encode(w);
-            }
-            IndexExpr::Const(c) => {
-                w.put_u8(1);
-                c.encode(w);
-            }
-            IndexExpr::Add(a, b) => {
-                w.put_u8(2);
-                a.encode(w);
-                b.encode(w);
-            }
-            IndexExpr::Mul(a, b) => {
-                w.put_u8(3);
-                a.encode(w);
-                b.encode(w);
-            }
-            IndexExpr::Div(a, b) => {
-                w.put_u8(4);
-                a.encode(w);
-                b.encode(w);
-            }
-            IndexExpr::Mod(a, b) => {
-                w.put_u8(5);
-                a.encode(w);
-                b.encode(w);
+fn encode_expr(a: &Arena, id: ExprId, w: &mut Writer) {
+    let binop = |a: &Arena, tag: u8, x: ExprId, y: ExprId, w: &mut Writer| {
+        w.put_u8(tag);
+        encode_expr(a, x, w);
+        encode_expr(a, y, w);
+    };
+    match a.node(id) {
+        Node::Var(i) => {
+            w.put_u8(0);
+            i.encode(w);
+        }
+        Node::Const(c) => {
+            w.put_u8(1);
+            c.encode(w);
+        }
+        Node::Add(x, y) => binop(a, 2, x, y, w),
+        Node::Mul(x, y) => binop(a, 3, x, y, w),
+        Node::Div(x, y) => binop(a, 4, x, y, w),
+        Node::Mod(x, y) => binop(a, 5, x, y, w),
+    }
+}
+
+fn decode_expr(a: &mut Arena, r: &mut Reader<'_>) -> Result<ExprId, WireError> {
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => {
+            let i: usize = Decode::decode(r)?;
+            a.var(i)
+        }
+        1 => {
+            let c: i64 = Decode::decode(r)?;
+            a.constant(c)
+        }
+        2..=5 => {
+            let x = decode_expr(a, r)?;
+            let y = decode_expr(a, r)?;
+            match tag {
+                2 => a.add(x, y),
+                3 => a.mul(x, y),
+                4 => a.div(x, y),
+                _ => a.rem(x, y),
             }
         }
+        tag => return Err(WireError::BadTag { ty: "IndexExpr", tag }),
+    })
+}
+
+impl Encode for IndexExpr {
+    fn encode(&self, w: &mut Writer) {
+        intern::with_read(|a| encode_expr(a, self.id(), w));
     }
 }
 
 impl Decode for IndexExpr {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let pair = |r: &mut Reader<'_>| -> Result<(Box<IndexExpr>, Box<IndexExpr>), WireError> {
-            Ok((Box::new(IndexExpr::decode(r)?), Box::new(IndexExpr::decode(r)?)))
-        };
-        Ok(match r.get_u8()? {
-            0 => IndexExpr::Var(Decode::decode(r)?),
-            1 => IndexExpr::Const(Decode::decode(r)?),
-            2 => {
-                let (a, b) = pair(r)?;
-                IndexExpr::Add(a, b)
-            }
-            3 => {
-                let (a, b) = pair(r)?;
-                IndexExpr::Mul(a, b)
-            }
-            4 => {
-                let (a, b) = pair(r)?;
-                IndexExpr::Div(a, b)
-            }
-            5 => {
-                let (a, b) = pair(r)?;
-                IndexExpr::Mod(a, b)
-            }
-            tag => return Err(WireError::BadTag { ty: "IndexExpr", tag }),
+        intern::with_write(|a| {
+            let id = decode_expr(a, r)?;
+            Ok(IndexExpr::from_id(a, id))
         })
     }
 }
@@ -118,11 +123,24 @@ mod tests {
     }
 
     #[test]
+    fn shared_subterms_encode_as_trees() {
+        // Two components sharing one arena node must decode back to an
+        // equal map (the wire format expands sharing into trees).
+        let m = IndexMap::reshape(&[2, 256, 4], &[16, 8, 4, 4]);
+        let back: IndexMap = decode_from(&encode_to_vec(&m)).unwrap();
+        assert_eq!(m, back);
+        for (a, b) in m.exprs().iter().zip(back.exprs()) {
+            // Re-interning yields the exact same handles.
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn arity_mismatch_rejected() {
         let mut w = Writer::new();
         vec![2usize, 3].encode(&mut w); // 2 input dims
         vec![3usize, 2].encode(&mut w);
-        vec![IndexExpr::Var(0)].encode(&mut w); // but only 1 expr
+        vec![IndexExpr::var(0)].encode(&mut w); // but only 1 expr
         assert!(decode_from::<IndexMap>(&w.into_bytes()).is_err());
     }
 
@@ -131,7 +149,7 @@ mod tests {
         let mut w = Writer::new();
         vec![2usize].encode(&mut w);
         vec![3usize].encode(&mut w);
-        vec![IndexExpr::Var(7)].encode(&mut w); // out rank is 1
+        vec![IndexExpr::var(7)].encode(&mut w); // out rank is 1
         assert!(decode_from::<IndexMap>(&w.into_bytes()).is_err());
     }
 }

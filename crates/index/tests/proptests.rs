@@ -10,14 +10,16 @@ use smartmem_index::{IndexExpr, IndexMap};
 
 /// Random expression trees over 3 variables with extents from `ext()`.
 fn arb_expr(depth: u32) -> BoxedStrategy<IndexExpr> {
-    let leaf =
-        prop_oneof![(0usize..3).prop_map(IndexExpr::Var), (0i64..64).prop_map(IndexExpr::Const),];
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(IndexExpr::var),
+        (0i64..64).prop_map(IndexExpr::constant),
+    ];
     leaf.prop_recursive(depth, 64, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IndexExpr::add(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IndexExpr::mul(a, b)),
-            (inner.clone(), 1i64..32).prop_map(|(a, c)| IndexExpr::div(a, IndexExpr::Const(c))),
-            (inner, 1i64..32).prop_map(|(a, c)| IndexExpr::rem(a, IndexExpr::Const(c))),
+            (inner.clone(), 1i64..32).prop_map(|(a, c)| IndexExpr::div(a, IndexExpr::constant(c))),
+            (inner, 1i64..32).prop_map(|(a, c)| IndexExpr::rem(a, IndexExpr::constant(c))),
         ]
         .boxed()
     })
