@@ -1,7 +1,7 @@
 //! Open-loop serving benchmark: replays a synthetic, priority-mixed
 //! request trace over the model zoo through `smartmem-serve` and
-//! reports throughput, per-class latency percentiles and SLO
-//! violations, per-device batch-size histograms, cancellation
+//! reports throughput, per-class latency and queue-wait percentiles,
+//! SLO violations, per-device batch-size histograms, cancellation
 //! accounting, and the compilation cache's steady-state hit rate.
 //!
 //! ```text
@@ -19,9 +19,17 @@
 //! artifact cache: cold compiles write through, rerunning against the
 //! same directory warm-starts from disk), `--expect-warm` (assert
 //! the run performed *zero* cold compiles — pair it with a second run
-//! over an already-populated `--cache-dir`), and `--json PATH`
-//! (machine-readable records for CI artifacts and the `bench_diff`
-//! regression gate).
+//! over an already-populated `--cache-dir`), `--trace-out PATH` (enable
+//! the span recorder and export the replay as Chrome `trace_event`
+//! JSON — load it in `chrome://tracing` or Perfetto, or digest it with
+//! the `trace_view` binary), `--sample-every N` (trace 1-in-N requests;
+//! 1 = all), and `--json PATH` (machine-readable records for CI
+//! artifacts and the `bench_diff` regression gate).
+//!
+//! With `--json` the replay runs a *second* time with the opposite
+//! telemetry setting and emits `telemetry_overhead_pct` — the
+//! throughput cost of leaving the span recorder on, gated against
+//! `bench/baseline.json` so instrumenting the hot path stays honest.
 //!
 //! The pool serves six devices — four mobile GPUs (including the
 //! AFBC-compressed Mali-G710), Apple silicon, and a server-class NPU —
@@ -41,10 +49,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartmem_bench::render_table;
 use smartmem_serve::{
-    histogram_mean, CutPolicy, InferenceRequest, InferenceResponse, ModelSpec, Priority,
-    ServeConfig, Server,
+    histogram_mean, ClassDeadlines, CutPolicy, InferenceRequest, InferenceResponse, ModelSpec,
+    Priority, ServeConfig, ServeStats, Server, TelemetryConfig,
 };
 use smartmem_sim::DeviceConfig;
+use smartmem_telemetry::{render_chrome, Telemetry};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -61,6 +70,8 @@ struct BenchOpts {
     cache_dir: Option<PathBuf>,
     expect_warm: bool,
     json: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    sample_every: u64,
 }
 
 fn parse_args() -> BenchOpts {
@@ -76,6 +87,8 @@ fn parse_args() -> BenchOpts {
         cache_dir: None,
         expect_warm: false,
         json: None,
+        trace_out: None,
+        sample_every: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter();
@@ -101,6 +114,10 @@ fn parse_args() -> BenchOpts {
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--expect-warm" => opts.expect_warm = true,
             "--json" => opts.json = Some(PathBuf::from(value("--json"))),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--sample-every" => {
+                opts.sample_every = value("--sample-every").parse().expect("integer")
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -109,6 +126,7 @@ fn parse_args() -> BenchOpts {
         "--expect-warm requires --cache-dir (a warm start needs persisted artifacts)"
     );
     assert!((0.0..=1.0).contains(&opts.cancel_rate), "--cancel-rate must be in [0, 1]");
+    assert!(opts.sample_every >= 1, "--sample-every must be at least 1");
     if opts.smoke {
         opts.requests = opts.requests.min(60);
         opts.rate_rps = 3000.0;
@@ -166,8 +184,33 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-fn main() {
-    let opts = parse_args();
+/// Everything one warmup-plus-replay run produces.
+struct RunOutcome {
+    responses: Vec<InferenceResponse>,
+    stats: ServeStats,
+    warm_stats: ServeStats,
+    warmup_requests: u64,
+    wall_s: f64,
+    cancels_attempted: u64,
+    cancels_won: u64,
+    device_names: Vec<String>,
+    device_slugs: Vec<String>,
+    deadlines: ClassDeadlines,
+    telemetry: Telemetry,
+}
+
+impl RunOutcome {
+    /// Served (non-cancelled) responses per second of replay wall time.
+    fn throughput_rps(&self) -> f64 {
+        self.responses.iter().filter(|r| !r.cancelled).count() as f64 / self.wall_s
+    }
+}
+
+/// One full benchmark run: start a server, warm the caches, replay the
+/// deterministic open-loop schedule, shut down. The RNGs are re-seeded
+/// per call, so two runs (e.g. the telemetry-overhead A/B pair) replay
+/// the *identical* request schedule.
+fn run_replay(opts: &BenchOpts, telemetry_on: bool, quiet: bool) -> RunOutcome {
     let models = zoo(opts.smoke);
     let model_count = models.len();
     // The per-class budgets the trace is gated against. Smoke keeps a
@@ -183,6 +226,11 @@ fn main() {
         exec_time_scale: opts.exec_time_scale,
         cut_policy: opts.cut_policy,
         cache_dir: opts.cache_dir.clone(),
+        telemetry: TelemetryConfig {
+            enabled: telemetry_on,
+            sample_every: opts.sample_every,
+            ..TelemetryConfig::default()
+        },
         ..ServeConfig::default()
     };
     if opts.smoke {
@@ -190,6 +238,7 @@ fn main() {
     }
     let deadlines = config.deadlines;
     let server = Server::start(models, devices(), config);
+    let telemetry = server.telemetry();
 
     // Zipf popularity: model i drawn with weight 1/(i+1).
     let weights: Vec<f64> = (0..model_count).map(|i| 1.0 / (i + 1) as f64).collect();
@@ -219,18 +268,6 @@ fn main() {
     };
     let mut cancel_rng = StdRng::seed_from_u64(opts.seed ^ 0xc0ff_ee00);
 
-    println!(
-        "serve_bench: {} requests over {} models on {} devices \
-         (open loop, {:.0} rps, seed {}, {:?} cuts, cancel rate {:.0}%)",
-        opts.requests,
-        model_count,
-        server.pool().len(),
-        opts.rate_rps,
-        opts.seed,
-        opts.cut_policy,
-        opts.cancel_rate * 100.0,
-    );
-
     // --- Warmup -------------------------------------------------------
     // Compile-on-first-use happens here (one pinned request per
     // (model, device) pair) so the replay below measures steady-state
@@ -249,11 +286,13 @@ fn main() {
             let r = t.wait();
             assert!(r.error.is_none(), "warmup compile failed: {:?}", r.error);
         }
-        println!(
-            "warmup: compiled {} (model, device) artifacts in {:.2}s",
-            warmup_requests,
-            warm_start.elapsed().as_secs_f64()
-        );
+        if !quiet {
+            println!(
+                "warmup: compiled {} (model, device) artifacts in {:.2}s",
+                warmup_requests,
+                warm_start.elapsed().as_secs_f64()
+            );
+        }
     }
     let warm_stats = server.stats();
 
@@ -299,6 +338,53 @@ fn main() {
     let device_slugs: Vec<String> =
         (0..server.pool().len()).map(|d| server.pool().device(d).slug()).collect();
     let stats = server.shutdown();
+    RunOutcome {
+        responses,
+        stats,
+        warm_stats,
+        warmup_requests,
+        wall_s,
+        cancels_attempted,
+        cancels_won,
+        device_names,
+        device_slugs,
+        deadlines,
+        telemetry,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    // The span recorder is on when a trace was asked for; metrics are
+    // always on (single atomic ops).
+    let trace_run = opts.trace_out.is_some();
+    println!(
+        "serve_bench: {} requests over {} devices \
+         (open loop, {:.0} rps, seed {}, {:?} cuts, cancel rate {:.0}%, tracing {})",
+        opts.requests,
+        devices().len(),
+        opts.rate_rps,
+        opts.seed,
+        opts.cut_policy,
+        opts.cancel_rate * 100.0,
+        if trace_run { "on" } else { "off" },
+    );
+    let run = run_replay(&opts, trace_run, false);
+    let RunOutcome {
+        responses,
+        stats,
+        warm_stats,
+        warmup_requests,
+        wall_s,
+        cancels_attempted,
+        cancels_won,
+        device_names,
+        device_slugs,
+        deadlines,
+        telemetry,
+        ..
+    } = &run;
+    let wall_s = *wall_s;
 
     // --- Report -------------------------------------------------------
     let served: Vec<&InferenceResponse> = responses.iter().filter(|r| !r.cancelled).collect();
@@ -335,21 +421,27 @@ fn main() {
         vec!["cache hit rate".into(), format!("{:.1}%", stats.cache_hit_rate() * 100.0)],
         vec![
             "steady-state hit rate".into(),
-            format!("{:.1}%", steady_hit_rate(&warm_stats, &stats) * 100.0),
+            format!("{:.1}%", steady_hit_rate(warm_stats, stats) * 100.0),
         ],
     ];
     print!("{}", render_table("serve_bench summary", &["metric", "value"], &summary));
 
-    // Per-class latency and SLO report over the traced requests.
+    // Per-class latency, queue-wait, and SLO report over the traced
+    // requests. Queue wait is submit → batch claim — the time the
+    // scheduler, not the device, is responsible for.
+    let class_queue = |class: Priority| -> Vec<f64> {
+        let mut waits: Vec<f64> =
+            served.iter().filter(|r| r.priority == class).map(|r| r.queue_ms).collect();
+        waits.sort_by(f64::total_cmp);
+        waits
+    };
     let class_rows: Vec<Vec<String>> = Priority::ALL
         .iter()
         .map(|&class| {
             let mut class_e2e: Vec<f64> =
                 served.iter().filter(|r| r.priority == class).map(|r| r.e2e_ms()).collect();
             class_e2e.sort_by(f64::total_cmp);
-            let mut class_wall: Vec<f64> =
-                served.iter().filter(|r| r.priority == class).map(|r| r.wall_ms).collect();
-            class_wall.sort_by(f64::total_cmp);
+            let waits = class_queue(class);
             let cs = stats.class(class);
             let warm_cs = warm_stats.class(class);
             vec![
@@ -359,7 +451,8 @@ fn main() {
                 format!("{:.0}", deadlines.budget(class).as_secs_f64() * 1e3),
                 format!("{:.2}", percentile(&class_e2e, 50.0)),
                 format!("{:.2}", percentile(&class_e2e, 99.0)),
-                format!("{:.2}", percentile(&class_wall, 99.0)),
+                format!("{:.2}", percentile(&waits, 50.0)),
+                format!("{:.2}", percentile(&waits, 99.0)),
                 format!("{}", cs.slo_violations - warm_cs.slo_violations),
             ]
         })
@@ -375,7 +468,8 @@ fn main() {
                 "deadline ms",
                 "p50 e2e",
                 "p99 e2e",
-                "p99 wall",
+                "p50 queue",
+                "p99 queue",
                 "SLO viol",
             ],
             &class_rows,
@@ -416,6 +510,47 @@ fn main() {
         )
     );
 
+    // --- Chrome-trace export ------------------------------------------
+    if let Some(path) = &opts.trace_out {
+        let trace = telemetry.tracer.drain();
+        let requests =
+            trace.spans.iter().filter(|s| s.name == smartmem_telemetry::REQUEST_SPAN).count();
+        std::fs::write(path, render_chrome(&trace)).expect("write --trace-out file");
+        println!(
+            "\nwrote {} spans ({requests} request spans, {} dropped) to {} — load it in \
+             chrome://tracing or https://ui.perfetto.dev, or run `trace_view {}`",
+            trace.spans.len(),
+            trace.dropped,
+            path.display(),
+            path.display(),
+        );
+        assert!(requests > 0, "a traced run must export at least one complete request span");
+    }
+
+    // --- Telemetry overhead -------------------------------------------
+    // With --json the schedule replays once more with the opposite
+    // telemetry setting; comparing throughputs prices the span
+    // recorder. Clamped at zero: open-loop throughput is
+    // schedule-bound, so negative noise just means "unmeasurable".
+    let overhead_pct = opts.json.as_ref().map(|_| {
+        println!(
+            "\nmeasuring telemetry overhead (second replay, tracing {})...",
+            if trace_run { "off" } else { "on" }
+        );
+        let other = run_replay(&opts, !trace_run, true);
+        let (on_rps, off_rps) = if trace_run {
+            (run.throughput_rps(), other.throughput_rps())
+        } else {
+            (other.throughput_rps(), run.throughput_rps())
+        };
+        let overhead = ((off_rps - on_rps) / off_rps * 100.0).max(0.0);
+        println!(
+            "telemetry overhead: {on_rps:.0} rps traced vs {off_rps:.0} rps untraced \
+             ({overhead:.2}% overhead)"
+        );
+        overhead
+    });
+
     // Machine-readable records (written before the gates below, so CI
     // keeps the artifact even when a gate trips).
     if let Some(path) = &opts.json {
@@ -433,17 +568,23 @@ fn main() {
             rec("batches", trace_batches as f64),
             rec("mean_batch", mean_batch),
             rec("cache_hit_rate", stats.cache_hit_rate()),
-            rec("steady_hit_rate", steady_hit_rate(&warm_stats, &stats)),
+            rec("steady_hit_rate", steady_hit_rate(warm_stats, stats)),
         ];
+        if let Some(overhead) = overhead_pct {
+            records.push(rec("telemetry_overhead_pct", overhead));
+        }
         for &class in Priority::ALL.iter() {
             let mut class_e2e: Vec<f64> =
                 served.iter().filter(|r| r.priority == class).map(|r| r.e2e_ms()).collect();
             class_e2e.sort_by(f64::total_cmp);
+            let waits = class_queue(class);
             let cs = stats.class(class);
             let warm_cs = warm_stats.class(class);
             let prefix = class.name().to_ascii_lowercase();
             records.push(rec(&format!("{prefix}.p50_e2e_ms"), percentile(&class_e2e, 50.0)));
             records.push(rec(&format!("{prefix}.p99_e2e_ms"), percentile(&class_e2e, 99.0)));
+            records.push(rec(&format!("{prefix}.p50_queue_ms"), percentile(&waits, 50.0)));
+            records.push(rec(&format!("{prefix}.p99_queue_ms"), percentile(&waits, 99.0)));
             records.push(rec(
                 &format!("{prefix}.slo_violations"),
                 (cs.slo_violations - warm_cs.slo_violations) as f64,
@@ -472,6 +613,13 @@ fn main() {
                 }
             }));
         }
+        // The server's telemetry registry rides along flattened
+        // (histograms expand to .count/.mean/.p50/.p99), so any metric
+        // the stack publishes is one baseline line away from being
+        // gated by bench_diff.
+        for (name, value) in smartmem_telemetry::flatten(&telemetry.registry.snapshot()) {
+            records.push(rec(&name, value));
+        }
         // A class with zero served requests has NaN percentiles; JSON
         // has no NaN, so drop the unavailable metrics rather than
         // poison the artifact for the bench_diff parser.
@@ -488,11 +636,11 @@ fn main() {
     );
     assert_eq!(failed, 0, "no compilation failures expected on the served zoo");
     assert_eq!(
-        stats.cancelled, cancels_won,
+        stats.cancelled, *cancels_won,
         "server-side cancelled count must match the cancel() wins"
     );
     assert_eq!(
-        cancelled_responses as u64, cancels_won,
+        cancelled_responses as u64, *cancels_won,
         "every cancel win resolves its ticket as cancelled — and nothing else does"
     );
     assert!(
@@ -509,7 +657,7 @@ fn main() {
     // the steady-state gate only applies to warmed runs.
     if !opts.cold {
         let steady_floor = if opts.smoke { 0.8 } else { 0.9 };
-        let steady = steady_hit_rate(&warm_stats, &stats);
+        let steady = steady_hit_rate(warm_stats, stats);
         assert!(
             steady >= steady_floor,
             "steady-state cache hit rate {steady:.3} below {steady_floor}"
@@ -560,7 +708,7 @@ fn main() {
 }
 
 /// Hit rate over the traced (post-warmup) requests only.
-fn steady_hit_rate(warm: &smartmem_serve::ServeStats, fin: &smartmem_serve::ServeStats) -> f64 {
+fn steady_hit_rate(warm: &ServeStats, fin: &ServeStats) -> f64 {
     let hits = fin.cache.hits - warm.cache.hits;
     let misses = fin.cache.misses - warm.cache.misses;
     if hits + misses == 0 {

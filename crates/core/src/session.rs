@@ -32,6 +32,7 @@ use crate::persist::{ArtifactKey, DiskCache};
 use crate::pipeline::{Framework, Unsupported};
 use smartmem_ir::Graph;
 use smartmem_sim::DeviceConfig;
+use smartmem_telemetry::Counter;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
@@ -122,6 +123,47 @@ pub struct CacheStats {
     pub group_hits: usize,
     /// Kernel groups refined cold (layout selection + GA tuning ran).
     pub group_misses: usize,
+}
+
+/// Handles into [`smartmem_telemetry::global`] the session publishes
+/// its cache activity through — resolved once at session construction
+/// so the request path never takes the registry lock. The counters are
+/// process-cumulative (every session adds into them); per-session
+/// figures stay available through [`CompileSession::stats`].
+struct CacheTelemetry {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    group_hits: Arc<Counter>,
+    group_misses: Arc<Counter>,
+}
+
+impl Default for CacheTelemetry {
+    fn default() -> Self {
+        let registry = smartmem_telemetry::global();
+        CacheTelemetry {
+            hits: registry.counter("compile.cache_hits"),
+            misses: registry.counter("compile.cache_misses"),
+            disk_hits: registry.counter("compile.disk_hits"),
+            group_hits: registry.counter("compile.group_hits"),
+            group_misses: registry.counter("compile.group_misses"),
+        }
+    }
+}
+
+/// Publishes one cold compile's per-pass wall-clock timings into the
+/// global registry (`compile.pass.<name>_ns` histograms plus the
+/// sequence total). Cold compiles are rare, so the registry lookups
+/// here are off every hot path.
+fn publish_pass_timings(output: &CompileOutput) {
+    let registry = smartmem_telemetry::global();
+    let mut total: u64 = 0;
+    for t in &output.timings {
+        let ns = u64::try_from(t.duration.as_nanos()).unwrap_or(u64::MAX);
+        total = total.saturating_add(ns);
+        registry.histogram(&format!("compile.pass.{}_ns", t.pass)).record(ns);
+    }
+    registry.histogram("compile.cold_ns").record(total);
 }
 
 /// A pending cold compilation other threads can wait on.
@@ -223,6 +265,11 @@ pub struct CompileSession {
     hits: AtomicUsize,
     misses: AtomicUsize,
     disk_hits: AtomicUsize,
+    telemetry: CacheTelemetry,
+    /// Group-cache (hits, misses) already published to the global
+    /// counters. Deltas are taken under this mutex so concurrent cold
+    /// compiles never publish each other's work twice.
+    groups_published: Mutex<(usize, usize)>,
 }
 
 impl CompileSession {
@@ -319,6 +366,7 @@ impl CompileSession {
             match cache.get(&key) {
                 Some(Slot::Ready(hit)) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.hits.incr();
                     return (Ok(Arc::clone(hit)), true);
                 }
                 Some(Slot::InFlight(flight)) => {
@@ -332,6 +380,7 @@ impl CompileSession {
                     let served = result.is_ok();
                     if served {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.hits.incr();
                     }
                     return (result, served);
                 }
@@ -361,6 +410,8 @@ impl CompileSession {
                     let output = Arc::new(output);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.hits.incr();
+                    self.telemetry.disk_hits.incr();
                     self.cache
                         .lock()
                         .expect("cache lock")
@@ -371,6 +422,7 @@ impl CompileSession {
                 Some(Err(e)) => {
                     guard.armed = false;
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.disk_hits.incr();
                     self.cache.lock().expect("cache lock").remove(&key);
                     flight.fill(Err(e.clone()));
                     return (Err(e), false);
@@ -381,6 +433,11 @@ impl CompileSession {
         let result = manager.run_incremental(graph, device, &self.groups).map(Arc::new);
         guard.armed = false;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.misses.incr();
+        self.publish_group_deltas();
+        if let Ok(output) = &result {
+            publish_pass_timings(output);
+        }
         {
             let mut cache = self.cache.lock().expect("cache lock");
             match &result {
@@ -453,6 +510,17 @@ impl CompileSession {
             results.push(row);
         }
         results
+    }
+
+    /// Adds the group-cache activity since the last publication into
+    /// the global counters. The watermark mutex makes each unit of work
+    /// publish exactly once no matter how cold compiles interleave.
+    fn publish_group_deltas(&self) {
+        let mut published = self.groups_published.lock().expect("group watermark lock");
+        let now = self.groups.stats();
+        self.telemetry.group_hits.add((now.hits.saturating_sub(published.0)) as u64);
+        self.telemetry.group_misses.add((now.misses.saturating_sub(published.1)) as u64);
+        *published = (published.0.max(now.hits), published.1.max(now.misses));
     }
 
     /// Hit/miss counters so far.
@@ -630,6 +698,30 @@ mod tests {
         let (warm, hit) = session.compile_keyed(&fw, &g, fp, &device);
         assert!(hit);
         assert!(Arc::ptr_eq(&cold.unwrap(), &warm.unwrap()));
+    }
+
+    #[test]
+    fn cold_compiles_publish_global_telemetry() {
+        let registry = smartmem_telemetry::global();
+        // Other tests in this binary compile concurrently, so assert
+        // deltas as lower bounds.
+        let misses_before = registry.counter("compile.cache_misses").get();
+        let hits_before = registry.counter("compile.cache_hits").get();
+        let cold_before = registry.histogram("compile.cold_ns").snapshot().count;
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let fw = SmartMemPipeline::new();
+        let g = toy("telemetry");
+        session.compile(&fw, &g, &device).unwrap();
+        session.compile(&fw, &g, &device).unwrap();
+        assert!(registry.counter("compile.cache_misses").get() > misses_before);
+        assert!(registry.counter("compile.cache_hits").get() > hits_before);
+        assert!(registry.histogram("compile.cold_ns").snapshot().count > cold_before);
+        let flat = smartmem_telemetry::flatten(&registry.snapshot());
+        assert!(
+            flat.iter().any(|(n, _)| n.starts_with("compile.pass.") && n.ends_with("_ns.count")),
+            "per-pass timing histograms flatten for the bench exporter"
+        );
     }
 
     #[test]

@@ -98,5 +98,5 @@ pub use request::{InferenceRequest, InferenceResponse, ModelSpec, Priority, Subm
 pub use scheduler::{quick_estimate_ns, DevicePool};
 pub use server::{
     batch_exec_ms, histogram_mean, CancelHandle, ClassDeadlines, ClassStats, ServeConfig,
-    ServeStats, Server,
+    ServeStats, Server, TelemetryConfig,
 };

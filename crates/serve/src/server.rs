@@ -18,6 +18,7 @@ use smartmem_core::{
     CacheStats, CompileSession, Framework, ModelReport, SmartMemPipeline, Unsupported,
 };
 use smartmem_sim::DeviceConfig;
+use smartmem_telemetry::{now_ns, Counter, Histogram, Telemetry, TraceId};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -85,6 +86,39 @@ impl Default for ClassDeadlines {
     }
 }
 
+/// Telemetry knobs of the serving runtime.
+///
+/// Disabled by default: the tracer's record path then costs one
+/// relaxed atomic load, so production-shaped benchmarks can leave the
+/// plumbing in place. Metrics (queue-wait histograms, fallback
+/// counters) are always collected — they are single atomic ops and
+/// some must count even when nobody is watching.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Whether the span recorder is on.
+    pub enabled: bool,
+    /// Record the full span set of one request in every `sample_every`
+    /// submitted (1 = trace every request).
+    pub sample_every: u64,
+    /// Capacity of each recording thread's span ring buffer; overflow
+    /// drops the oldest spans, counted in the exported trace.
+    pub span_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { enabled: false, sample_every: 1, span_capacity: 8192 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Tracing on, every request sampled — the right mode for capturing
+    /// a Chrome trace.
+    pub fn tracing() -> Self {
+        TelemetryConfig { enabled: true, ..TelemetryConfig::default() }
+    }
+}
+
 /// Tunables of the serving runtime.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -122,6 +156,8 @@ pub struct ServeConfig {
     /// default; [`CutPolicy::Deadline`] reproduces the old fixed-window
     /// batches for A/B comparison).
     pub cut_policy: CutPolicy,
+    /// Tracing/metrics knobs (see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +171,7 @@ impl Default for ServeConfig {
             deadlines: ClassDeadlines::default(),
             aging_factor: 4.0,
             cut_policy: CutPolicy::Pull,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -190,6 +227,10 @@ pub struct ServeStats {
     pub cache: CacheStats,
     /// Distinct compiled artifacts in the session cache.
     pub compiled: usize,
+    /// Times the configured persistent cache directory was unusable and
+    /// the server fell back to a purely in-memory session (0 or 1 per
+    /// server; also recorded as a telemetry warning event).
+    pub cache_dir_fallbacks: u64,
 }
 
 impl ServeStats {
@@ -336,6 +377,11 @@ struct Pending {
     deadline: Instant,
     est_ns: u64,
     submitted: Instant,
+    /// Span-recorder identity: [`TraceId::NONE`] unless this request
+    /// was sampled at admission.
+    trace: TraceId,
+    /// Admission timestamp on the telemetry clock (0 when unsampled).
+    submit_ns: u64,
     cell: Arc<CancelCell>,
     tx: Sender<InferenceResponse>,
 }
@@ -390,6 +436,36 @@ struct Metrics {
     completion_seq: AtomicU64,
 }
 
+/// The server's observability handles: the [`Telemetry`] pair plus
+/// hot-path metrics resolved once at startup (updating a resolved
+/// metric is a single atomic op; only startup takes the registry lock).
+struct ServeTelemetry {
+    telemetry: Telemetry,
+    /// Per-class queue-wait (submit → batch cut) histograms, indexed by
+    /// [`Priority::index`].
+    queue_wait: [Arc<Histogram>; 3],
+    /// Unusable-cache-dir fallbacks (see
+    /// [`ServeStats::cache_dir_fallbacks`]).
+    cache_dir_fallbacks: Arc<Counter>,
+}
+
+impl ServeTelemetry {
+    fn new(config: &TelemetryConfig) -> Self {
+        let telemetry = if config.enabled {
+            Telemetry::enabled(config.span_capacity, config.sample_every)
+        } else {
+            Telemetry::disabled()
+        };
+        let registry = &telemetry.registry;
+        ServeTelemetry {
+            queue_wait: Priority::ALL
+                .map(|c| registry.histogram(&format!("serve.queue_wait_ns.{}", c.name()))),
+            cache_dir_fallbacks: registry.counter("serve.cache_dir_fallbacks"),
+            telemetry,
+        }
+    }
+}
+
 /// The batcher plus the shutdown flag, guarded by `Inner::state`.
 struct BatchState {
     batcher: Batcher<Pending>,
@@ -407,6 +483,7 @@ struct Inner {
     estimates: Vec<Vec<f64>>,
     config: ServeConfig,
     metrics: Metrics,
+    telemetry: ServeTelemetry,
     state: Mutex<BatchState>,
     /// Wakes one device's worker (indexed by device id): new work
     /// pushed for it, or shutdown. Per-device condvars keep a
@@ -468,14 +545,21 @@ impl Server {
             per_class: Default::default(),
             completion_seq: AtomicU64::new(0),
         };
+        let telemetry = ServeTelemetry::new(&config.telemetry);
         // A broken cache directory must not take the server down with
         // it — fall back to a purely in-memory session and keep
-        // serving (every compile just goes cold).
+        // serving (every compile just goes cold). The fallback is
+        // observable: a counter in [`ServeStats`] plus a warning event
+        // in the trace, carrying the I/O error as its message.
         let session = match &config.cache_dir {
             Some(dir) => CompileSession::with_cache_dir(dir).unwrap_or_else(|e| {
-                eprintln!(
-                    "smartmem-serve: cache dir {} unusable ({e}), serving without it",
-                    dir.display()
+                telemetry.cache_dir_fallbacks.incr();
+                telemetry.telemetry.tracer.record_instant(
+                    format!("cache_dir_fallback: {} unusable ({e})", dir.display()),
+                    "warn",
+                    TraceId::NONE,
+                    0,
+                    vec![],
                 );
                 CompileSession::new()
             }),
@@ -493,6 +577,7 @@ impl Server {
             estimates,
             config,
             metrics,
+            telemetry,
             state: Mutex::new(BatchState { batcher, shutdown: false }),
             work_cvs: (0..pool_len).map(|_| Condvar::new()).collect(),
             space_cv: Condvar::new(),
@@ -519,6 +604,14 @@ impl Server {
     /// Device pool.
     pub fn pool(&self) -> &DevicePool {
         &self.inner.pool
+    }
+
+    /// The server's telemetry handle (span tracer + metrics registry).
+    /// The clone shares the underlying buffers, so it stays valid — and
+    /// drainable — after [`Server::shutdown`]: grab it up front, shut
+    /// down, then export the trace.
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry.telemetry.clone()
     }
 
     /// Submits with backpressure: blocks while the bounded queue is
@@ -600,6 +693,15 @@ impl Server {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let submitted = Instant::now();
+        // The request's trace identity is minted here, at admission —
+        // everything downstream (queue, batch cut, compile, execute)
+        // tags its spans with it. Unsampled (and telemetry-off)
+        // requests carry NONE and never touch the recorder again.
+        let tracer = &inner.telemetry.telemetry.tracer;
+        let (trace, submit_ns) = match tracer.mint() {
+            Some(trace) => (trace, now_ns()),
+            None => (TraceId::NONE, 0),
+        };
         let cell = Arc::new(CancelCell { state: AtomicU8::new(QUEUED) });
         let pending = Pending {
             id,
@@ -609,6 +711,8 @@ impl Server {
             deadline: submitted + inner.config.deadlines.budget(req.priority),
             est_ns,
             submitted,
+            trace,
+            submit_ns,
             cell: Arc::clone(&cell),
             tx,
         };
@@ -656,6 +760,7 @@ impl Server {
             ],
             cache: self.inner.session.stats(),
             compiled: self.inner.session.len(),
+            cache_dir_fallbacks: self.inner.telemetry.cache_dir_fallbacks.get(),
         }
     }
 
@@ -705,6 +810,19 @@ fn respond_cancelled(inner: &Inner, p: Pending) {
     let m = &inner.metrics;
     m.cancelled.fetch_add(1, Ordering::Relaxed);
     m.per_class[p.class.index()].cancelled.fetch_add(1, Ordering::Relaxed);
+    if p.trace != TraceId::NONE {
+        let tracer = &inner.telemetry.telemetry.tracer;
+        tracer.record_complete(
+            "queue",
+            "serve",
+            p.trace,
+            p.submit_ns,
+            now_ns().saturating_sub(p.submit_ns),
+            p.device as u64,
+            vec![],
+        );
+        tracer.record_instant("cancelled", "serve", p.trace, p.device as u64, vec![]);
+    }
     let wall_ms = p.submitted.elapsed().as_secs_f64() * 1e3;
     let response = InferenceResponse {
         request_id: p.id,
@@ -781,6 +899,11 @@ fn execute_batch(
     let size = batch.items.len();
     let model_id = batch.key.model;
     let spec = &inner.models[model_id];
+    let tracer = &inner.telemetry.telemetry.tracer;
+    // One timestamp for the whole batch: every member's queue span ends
+    // — and its execute span starts — at the cut.
+    let cut_ns = if tracer.is_enabled() { now_ns() } else { 0 };
+    let lane = device_id as u64;
 
     // Compile every request through the shared session:
     // compile-on-first-use, cache-warm (and in-flight-deduplicated)
@@ -797,18 +920,32 @@ fn execute_batch(
     let compiled: Vec<_> = batch
         .items
         .iter()
-        .map(|_| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                inner.session.compile_keyed(
-                    inner.framework.as_ref(),
-                    &spec.graph,
-                    spec.fingerprint,
-                    device,
-                )
-            }))
-            .unwrap_or_else(|_| {
-                (Err(Unsupported::new(inner.framework.name(), "compilation panicked")), false)
-            })
+        .map(|item| {
+            let compile_start = if item.trace != TraceId::NONE { now_ns() } else { 0 };
+            let (result, cache_hit) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.session.compile_keyed(
+                        inner.framework.as_ref(),
+                        &spec.graph,
+                        spec.fingerprint,
+                        device,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    (Err(Unsupported::new(inner.framework.name(), "compilation panicked")), false)
+                });
+            if item.trace != TraceId::NONE {
+                tracer.record_complete(
+                    "compile",
+                    "serve",
+                    item.trace,
+                    compile_start,
+                    now_ns().saturating_sub(compile_start),
+                    lane,
+                    vec![("cache_hit".to_string(), f64::from(cache_hit))],
+                );
+            }
+            (result, cache_hit)
         })
         .collect();
 
@@ -832,6 +969,47 @@ fn execute_batch(
     }
     for (item, (result, cache_hit)) in batch.items.into_iter().zip(compiled) {
         inner.pool.discharge(device_id, item.est_ns, item.class);
+        // Queue wait (submit → claim) feeds the always-on per-class
+        // histograms: one atomic op, independent of span sampling.
+        let queue_wait = exec_start.saturating_duration_since(item.submitted);
+        inner.telemetry.queue_wait[item.class.index()]
+            .record(u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX));
+        if item.trace != TraceId::NONE {
+            // The sampled request's full story: queue (submit → cut),
+            // execute (cut → answer, compile nested inside), and the
+            // end-to-end request envelope.
+            let end_ns = now_ns();
+            tracer.record_complete(
+                "queue",
+                "serve",
+                item.trace,
+                item.submit_ns,
+                cut_ns.saturating_sub(item.submit_ns),
+                lane,
+                vec![("class".to_string(), item.class.index() as f64)],
+            );
+            tracer.record_complete(
+                "execute",
+                "serve",
+                item.trace,
+                cut_ns,
+                end_ns.saturating_sub(cut_ns),
+                lane,
+                vec![("batch_size".to_string(), size as f64)],
+            );
+            tracer.record_complete(
+                "request",
+                "serve",
+                item.trace,
+                item.submit_ns,
+                end_ns.saturating_sub(item.submit_ns),
+                lane,
+                vec![
+                    ("class".to_string(), item.class.index() as f64),
+                    ("cache_hit".to_string(), f64::from(cache_hit)),
+                ],
+            );
+        }
         let error = result.as_ref().err().map(|e| e.to_string());
         if error.is_some() {
             m.failed.fetch_add(1, Ordering::Relaxed);

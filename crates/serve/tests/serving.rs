@@ -392,3 +392,118 @@ fn unknown_ids_are_rejected_cleanly() {
     let stats = server.shutdown();
     assert_eq!(stats.submitted, 0);
 }
+
+#[test]
+fn broken_cache_dir_falls_back_and_is_observable() {
+    // Point cache_dir at a regular *file*: the directory can't be
+    // created, so the server must fall back to an in-memory session —
+    // and say so through the fallback counter and a warning event.
+    let path = std::env::temp_dir().join(format!("smartmem-serve-bad-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::write(&path, b"not a directory").expect("scratch file");
+    let config = ServeConfig {
+        cache_dir: Some(path.clone()),
+        telemetry: smartmem_serve::TelemetryConfig::tracing(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(models(), devices(), config);
+    let telemetry = server.telemetry();
+    let r = server.submit(InferenceRequest::new(0)).expect("submit").wait();
+    assert!(r.error.is_none(), "the fallback session must still serve: {:?}", r.error);
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_dir_fallbacks, 1, "the fallback must be counted");
+    assert_eq!(stats.completed, 1);
+    let trace = telemetry.tracer.drain();
+    let warned =
+        trace.spans.iter().any(|s| s.cat == "warn" && s.name.starts_with("cache_dir_fallback"));
+    assert!(warned, "the fallback must record a warning event; got {:?}", trace.spans);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn healthy_server_reports_no_cache_dir_fallback() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    server.submit(InferenceRequest::new(0)).expect("submit").wait();
+    assert_eq!(server.shutdown().cache_dir_fallbacks, 0);
+}
+
+#[test]
+fn sampled_requests_record_end_to_end_spans() {
+    use smartmem_telemetry::{parse_chrome, render_chrome, summarize, SpanKind, TraceId};
+
+    let config = ServeConfig {
+        telemetry: smartmem_serve::TelemetryConfig::tracing(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(models(), devices(), config);
+    let telemetry = server.telemetry();
+    let n = 12;
+    let tickets: Vec<_> =
+        (0..n).map(|i| server.submit(InferenceRequest::new(i % 2)).expect("submit")).collect();
+    for t in tickets {
+        assert!(t.wait().error.is_none());
+    }
+    server.shutdown();
+
+    let trace = telemetry.tracer.drain();
+    assert_eq!(trace.dropped, 0);
+    // Every request was sampled (1-in-1): each must tell its whole
+    // story — queue, compile, execute, and the request envelope — under
+    // one trace id, with consistent nesting.
+    for id in 1..=n as u64 {
+        let spans: Vec<_> = trace.spans.iter().filter(|s| s.trace == TraceId(id)).collect();
+        for phase in ["queue", "compile", "execute", "request"] {
+            assert!(
+                spans.iter().any(|s| s.name == phase && s.kind == SpanKind::Complete),
+                "trace {id} is missing its {phase} span: {spans:?}"
+            );
+        }
+        let request = spans.iter().find(|s| s.name == "request").expect("request span");
+        for s in &spans {
+            assert!(s.start_ns >= request.start_ns, "span {} precedes its request", s.name);
+            assert!(
+                s.start_ns + s.dur_ns <= request.start_ns + request.dur_ns,
+                "span {} outlives its request",
+                s.name
+            );
+        }
+    }
+    // The queue-wait metrics were recorded per class alongside.
+    let snapshot = telemetry.registry.snapshot();
+    let total_waits: u64 = Priority::ALL
+        .iter()
+        .filter_map(|c| snapshot.get(&format!("serve.queue_wait_ns.{}", c.name())))
+        .map(|v| match v {
+            smartmem_telemetry::MetricValue::Histogram(h) => h.count,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total_waits, n as u64);
+    // And the trace round-trips through the Chrome exporter into the
+    // same per-request summary the CI smoke check relies on.
+    let back = parse_chrome(&render_chrome(&trace)).expect("rendered trace parses");
+    let summary = summarize(&back);
+    assert_eq!(summary.complete_requests(), n as u64);
+    assert!(summary.queue_ns > 0 || summary.execute_ns > 0);
+}
+
+#[test]
+fn disabled_telemetry_records_no_spans_but_counts_metrics() {
+    let server = Server::start(models(), devices(), ServeConfig::default());
+    let telemetry = server.telemetry();
+    assert!(!telemetry.tracer.is_enabled());
+    let tickets: Vec<_> =
+        (0..6).map(|i| server.submit(InferenceRequest::new(i % 2)).expect("submit")).collect();
+    for t in tickets {
+        assert!(t.wait().error.is_none());
+    }
+    server.shutdown();
+    assert!(telemetry.tracer.drain().spans.is_empty(), "disabled tracer must record nothing");
+    let flat = smartmem_telemetry::flatten(&telemetry.registry.snapshot());
+    let waits: f64 = flat
+        .iter()
+        .filter(|(n, _)| n.starts_with("serve.queue_wait_ns.") && n.ends_with(".count"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(waits, 6.0, "queue-wait metrics stay on with tracing off");
+}

@@ -1,0 +1,447 @@
+//! Chrome `trace_event` JSON export/import.
+//!
+//! [`render_chrome`] serializes a drained [`Trace`] into the [Trace
+//! Event Format] consumed by `chrome://tracing` and Perfetto: one
+//! complete (`"ph": "X"`) or instant (`"ph": "i"`) event per span,
+//! timestamps in microseconds, the device/worker lane as `tid`, and the
+//! request [`TraceId`] plus any numeric attachments under `args`.
+//! [`parse_chrome`] reads the same format back — `trace_view` and the
+//! CI smoke check consume trace files through it, and rendering is
+//! tested as an exact round trip.
+//!
+//! The container is offline (no serde), so the writer and the
+//! structural JSON parser here are hand-rolled, mirroring
+//! `smartmem-bench`'s flat bench-JSON codec.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{SpanKind, SpanRecord, Trace, TraceId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// JSON-escapes `s` (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite value so it round-trips through the parser exactly.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; an exporter should never see one, but a
+        // null parses loudly rather than corrupting the file silently.
+        "null".to_string()
+    }
+}
+
+/// Microsecond timestamp of a nanosecond count, exact through the
+/// parser's inverse (`f64` holds 53 mantissa bits; traces live well
+/// under 2^53 ns ≈ 104 days).
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Renders a trace as Chrome `trace_event` JSON (object form, one
+/// event per line). Load the output straight into `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+pub fn render_chrome(trace: &Trace) -> String {
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {");
+    let _ = write!(out, "\"dropped_spans\": {}}},\n\"traceEvents\": [\n", trace.dropped);
+    for (i, s) in trace.spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \"ts\": {}, ",
+            escape(&s.name),
+            escape(&s.cat),
+            match s.kind {
+                SpanKind::Complete => "X",
+                SpanKind::Instant => "i",
+            },
+            fmt_value(us(s.start_ns)),
+        );
+        if s.kind == SpanKind::Complete {
+            let _ = write!(out, "\"dur\": {}, ", fmt_value(us(s.dur_ns)));
+        } else {
+            // Instant scope: thread-local marker.
+            out.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(out, "\"pid\": 1, \"tid\": {}, \"args\": {{\"trace\": {}", s.tid, s.trace.0);
+        for (k, v) in &s.args {
+            let _ = write!(out, ", \"{}\": {}", escape(k), fmt_value(*v));
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < trace.spans.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Structural JSON parsing (hand-rolled; the container has no serde).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough structure for trace files).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next()? {
+            b if b == want => Ok(()),
+            b => Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                want as char, self.pos, b as char
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        for want in text.bytes() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()? as char;
+                            code = code * 16
+                                + d.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u escape digit '{d}'"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(format!("unsupported escape '\\{}'", c as char)),
+                },
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next()? {
+                b',' => {}
+                b']' => return Ok(Json::Arr(items)),
+                c => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.insert(key, self.value()?);
+            self.skip_ws();
+            match self.next()? {
+                b',' => {}
+                b'}' => return Ok(Json::Obj(fields)),
+                c => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Nanosecond count of a microsecond timestamp (inverse of the
+/// renderer's conversion).
+fn ns(us: f64) -> u64 {
+    (us * 1000.0).round().max(0.0) as u64
+}
+
+/// Parses Chrome `trace_event` JSON back into a [`Trace`]. Accepts
+/// both the object form this crate renders and a bare event array;
+/// events with phases other than `X`/`i` are skipped (a foreign trace
+/// may carry metadata events).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: malformed
+/// JSON, a missing `traceEvents` array, or an event without the
+/// required fields.
+pub fn parse_chrome(text: &str) -> Result<Trace, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after the trace at byte {}", p.pos));
+    }
+    let (events, dropped) = match &root {
+        Json::Arr(events) => (events, 0),
+        Json::Obj(fields) => {
+            let events = match fields.get("traceEvents") {
+                Some(Json::Arr(events)) => events,
+                _ => return Err("no \"traceEvents\" array in the trace object".into()),
+            };
+            let dropped = fields
+                .get("otherData")
+                .and_then(|o| match o {
+                    Json::Obj(f) => f.get("dropped_spans").and_then(Json::num),
+                    _ => None,
+                })
+                .unwrap_or(0.0) as u64;
+            (events, dropped)
+        }
+        _ => return Err("a trace is a JSON object or event array".into()),
+    };
+    let mut trace = Trace { spans: Vec::new(), dropped };
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(f) = ev else { return Err(format!("event {i} is not an object")) };
+        let field = |k: &str| f.get(k).ok_or_else(|| format!("event {i} missing \"{k}\""));
+        let kind = match field("ph")?.str() {
+            Some("X") => SpanKind::Complete,
+            Some("i") | Some("I") => SpanKind::Instant,
+            _ => continue, // metadata/counter events of foreign traces
+        };
+        let mut trace_id = TraceId::NONE;
+        let mut args = Vec::new();
+        if let Some(Json::Obj(a)) = f.get("args") {
+            for (k, v) in a {
+                let Some(v) = v.num() else { continue };
+                if k == "trace" {
+                    trace_id = TraceId(v as u64);
+                } else {
+                    args.push((k.clone(), v));
+                }
+            }
+        }
+        let dur = match kind {
+            SpanKind::Complete => {
+                ns(field("dur")?.num().ok_or_else(|| format!("event {i}: non-numeric dur"))?)
+            }
+            SpanKind::Instant => 0,
+        };
+        trace.spans.push(SpanRecord {
+            name: field("name")?.str().ok_or_else(|| format!("event {i}: non-string name"))?.into(),
+            cat: f.get("cat").and_then(Json::str).unwrap_or_default().into(),
+            kind,
+            trace: trace_id,
+            start_ns: ns(field("ts")?.num().ok_or_else(|| format!("event {i}: non-numeric ts"))?),
+            dur_ns: dur,
+            tid: f.get("tid").and_then(Json::num).unwrap_or(0.0) as u64,
+            args,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    name: "queue".into(),
+                    cat: "serve".into(),
+                    kind: SpanKind::Complete,
+                    trace: TraceId(3),
+                    start_ns: 1_234,
+                    dur_ns: 50_000,
+                    tid: 2,
+                    args: vec![("class".into(), 1.0)],
+                },
+                SpanRecord {
+                    name: "cache_dir_fallback".into(),
+                    cat: "warn".into(),
+                    kind: SpanKind::Instant,
+                    trace: TraceId::NONE,
+                    start_ns: 9_000,
+                    dur_ns: 0,
+                    tid: 0,
+                    args: vec![],
+                },
+                SpanRecord {
+                    name: "execute \"x\"".into(),
+                    cat: "serve".into(),
+                    kind: SpanKind::Complete,
+                    trace: TraceId(3),
+                    start_ns: 60_000,
+                    dur_ns: 123_456,
+                    tid: 2,
+                    args: vec![("batch_size".into(), 4.0), ("cache_hit".into(), 1.0)],
+                },
+            ],
+            dropped: 7,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let trace = sample();
+        let text = render_chrome(&trace);
+        let back = parse_chrome(&text).expect("rendered traces parse");
+        assert_eq!(back.dropped, trace.dropped);
+        assert_eq!(back.spans, trace.spans);
+    }
+
+    #[test]
+    fn bare_event_arrays_parse() {
+        let text = r#"[{"name": "a", "ph": "X", "ts": 1.5, "dur": 2.0, "tid": 9}]"#;
+        let trace = parse_chrome(text).unwrap();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].start_ns, 1500);
+        assert_eq!(trace.spans[0].dur_ns, 2000);
+        assert_eq!(trace.spans[0].tid, 9);
+    }
+
+    #[test]
+    fn metadata_events_are_skipped() {
+        let text = r#"{"traceEvents": [
+            {"name": "process_name", "ph": "M", "ts": 0},
+            {"name": "work", "ph": "X", "ts": 0, "dur": 1}
+        ]}"#;
+        let trace = parse_chrome(text).unwrap();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "work");
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "3.5",
+            r#"{"traceEvents": 3}"#,
+            r#"{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]}"#,
+            r#"{"traceEvents": [{"name": "a", "ph": "X", "ts": 0}]}"#,
+            r#"{"traceEvents": []} trailing"#,
+        ] {
+            assert!(parse_chrome(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A bounded ring buffer that drops the *oldest* entries on overflow.
+//!
+//! The span recorder's per-thread logs are built on this: a trace is a
+//! window over the most recent activity, so when a buffer fills the
+//! right thing to lose is the far past, not the present — and the loss
+//! must be *accounted* (`dropped`), never silent, so exporters can say
+//! "this trace is a suffix".
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO that evicts the oldest element when full,
+/// counting every eviction.
+///
+/// ```
+/// use smartmem_telemetry::RingBuffer;
+///
+/// let mut ring = RingBuffer::new(2);
+/// ring.push(1);
+/// ring.push(2);
+/// ring.push(3); // evicts 1
+/// assert_eq!(ring.dropped(), 1);
+/// assert_eq!(ring.drain(), vec![2, 3]);
+/// assert_eq!(ring.dropped(), 1, "draining keeps the loss accounted");
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Empty ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity (a ring that can hold nothing would drop
+    /// every push silently-by-construction).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Appends `value`, evicting (and counting) the oldest element when
+    /// the ring is full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Elements currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Removes and returns every held element, oldest first. The
+    /// dropped count survives the drain.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total elements evicted by overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_up_to_capacity_without_dropping() {
+        let mut ring = RingBuffer::new(4);
+        for i in 0..4 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.drain(), vec![7, 8, 9], "the newest survive");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

@@ -20,6 +20,11 @@
 //!   priority classes, slack-ordered cuts and request cancellation →
 //!   latency-estimate scheduler → one shared, single-flight
 //!   [`core::CompileSession`]).
+//! * [`telemetry`] — the tracing + metrics substrate: per-request
+//!   spans (queue → compile → execute) into bounded per-thread rings,
+//!   a counter/gauge/histogram registry the compile session and
+//!   server publish into, and Chrome-trace / bench-JSON / terminal
+//!   exporters (`serve_bench --trace-out`, `trace_view`).
 //!
 //! # Architecture: Pass / PassManager / CompileCtx
 //!
@@ -105,3 +110,4 @@ pub use smartmem_ir as ir;
 pub use smartmem_models as models;
 pub use smartmem_serve as serve;
 pub use smartmem_sim as sim;
+pub use smartmem_telemetry as telemetry;
