@@ -168,7 +168,10 @@ pub fn insert_relayouts(graph: &Graph, rule: RelayoutRule) -> (Graph, usize) {
                 remap.insert(old, new);
             }
             TensorKind::Weight => {
-                let new = b.weight(t.name.clone(), t.shape.dims(), t.dtype);
+                let new = match &t.init {
+                    Some(v) => b.weight_init(t.name.clone(), t.shape.dims(), t.dtype, v.clone()),
+                    None => b.weight(t.name.clone(), t.shape.dims(), t.dtype),
+                };
                 remap.insert(old, new);
             }
             TensorKind::Activation => {}

@@ -4,7 +4,9 @@
 
 use crate::common::{FusePolicy, LayoutStyle};
 use crate::passes::{PolicyFusionPass, UniformLayoutPass, UtilizationPass};
-use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_core::{
+    AssembleGroupsPass, Framework, LtePass, MemModel, PassManager, StreamlinePass,
+};
 use smartmem_ir::Op;
 
 /// TorchInductor as characterized in §5: "relies on pre-assigned layouts
@@ -39,6 +41,9 @@ impl Framework for TorchInductorFramework {
                 im2col: false,
                 dispatch_scale: 1.0,
             })
+            // FX-graph normalization (dead-code elimination, CSE,
+            // permute folding) precedes lowering in Inductor.
+            .then(StreamlinePass)
             .then(LtePass::disabled())
             .then(PolicyFusionPass {
                 policy: FusePolicy {

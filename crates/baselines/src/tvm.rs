@@ -6,7 +6,9 @@
 
 use crate::common::{FusePolicy, LayoutStyle, RelayoutRule};
 use crate::passes::{PolicyFusionPass, RelayoutPass, UniformLayoutPass, UtilizationPass};
-use smartmem_core::{AssembleGroupsPass, Framework, LtePass, MemModel, PassManager};
+use smartmem_core::{
+    AssembleGroupsPass, Framework, LtePass, MemModel, PassManager, StreamlinePass,
+};
 use smartmem_ir::Op;
 
 /// TVM with auto-tuning enabled (the paper runs TVM's tuner for the
@@ -48,6 +50,9 @@ impl Framework for TvmFramework {
                 im2col: true,
                 dispatch_scale: 1.0,
             })
+            // Relay-style graph simplification runs before layout
+            // legalization, mirroring TVM's SimplifyExpr/FoldConstant.
+            .then(StreamlinePass)
             .then(RelayoutPass { rule: RelayoutRule::ConvBoundary })
             .then(LtePass::disabled())
             // TVM's bijective fusion is frequently blocked on the mobile

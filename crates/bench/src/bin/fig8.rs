@@ -34,6 +34,7 @@ fn main() {
             index_comprehension: false,
             layout_selection: false,
             texture_and_tuning: false,
+            streamline: true,
         });
         let layout = run(SmartMemConfig::layout_level());
         let full = run(SmartMemConfig::full());

@@ -47,6 +47,7 @@ fn main() {
             index_comprehension: true,
             layout_selection: false,
             texture_and_tuning: false,
+            streamline: true,
         })
         .run(&graph, &device)
         .expect("write-opt")

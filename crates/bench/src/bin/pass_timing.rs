@@ -16,7 +16,7 @@
 use smartmem_baselines::all_mobile_frameworks;
 use smartmem_bench::json::{write_json, BenchRecord};
 use smartmem_bench::{parse_bench_args, render_pass_timings, render_table};
-use smartmem_core::{eliminate_with_options, CompileSession, SmartMemPipeline};
+use smartmem_core::{eliminate_with_options, CompileSession, Framework, SmartMemPipeline};
 use smartmem_ir::{DType, Graph, GraphBuilder, UnaryKind};
 use smartmem_models::all_models;
 use smartmem_sim::DeviceConfig;
@@ -42,7 +42,7 @@ fn edit_demo_model(edited: bool) -> Graph {
 
 fn main() {
     let args = parse_bench_args();
-    assert!(!args.smoke, "pass_timing takes --cache-dir DIR and --json PATH only");
+    assert!(!args.smoke, "pass_timing takes --cache-dir DIR, --json PATH and --import FILE only");
     let cache_dir = args.cache_dir;
     let device = DeviceConfig::snapdragon_8gen2();
     let frameworks = all_mobile_frameworks();
@@ -89,11 +89,68 @@ fn main() {
     println!(
         "\n(LTE memo is warm from here on — `lte` rows below are lookup times; cold vs memoized cost is the table above)"
     );
+    let mut swin_smartmem_stats = None;
     for fw in &frameworks {
         match fw.optimize_timed(&swin, &device) {
-            Ok(out) => print!("{}", render_pass_timings(fw.name(), "Swin-T", &out)),
+            Ok(out) => {
+                if fw.name() == "SmartMem" {
+                    swin_smartmem_stats = Some(out.optimized.stats);
+                }
+                print!("{}", render_pass_timings(fw.name(), "Swin-T", &out));
+            }
             Err(e) => println!("\n== {} on Swin-T: {e} ==", fw.name()),
         }
+    }
+
+    // 1a. Streamline summary on Swin-T. The counters are deterministic
+    // graph-rewrite counts, so the regression gate pins them exactly
+    // (well inside its ±15% band): a pass change that stops cancelling
+    // transposes fails CI even though no wall-clock moved.
+    {
+        let s = swin_smartmem_stats.expect("SmartMem compiles Swin-T");
+        println!(
+            "\nstreamline on Swin-T: {} ops removed net, {} transposes cancelled/absorbed",
+            s.streamline_removed_ops, s.streamline_transposes_removed,
+        );
+        records.push(BenchRecord::new(
+            "pass_timing",
+            device.slug(),
+            "streamline_removed_ops",
+            s.streamline_removed_ops as f64,
+        ));
+        records.push(BenchRecord::new(
+            "pass_timing",
+            device.slug(),
+            "streamline_transposes_removed",
+            s.streamline_transposes_removed as f64,
+        ));
+    }
+
+    // 1d. `--import FILE`: run a graph from the JSON interchange format
+    // (`smartmem_ir::import`) through the SmartMem pipeline and show
+    // what the streamline family did to it, pass by pass. This is the
+    // CLI window onto the same machinery the fixture snapshots pin.
+    if let Some(path) = &args.import {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--import {}: {e}", path.display()));
+        let graph = smartmem_ir::import::import_json(&src)
+            .unwrap_or_else(|e| panic!("--import {}: {e}", path.display()));
+        let label = graph.name().to_string();
+        let out = SmartMemPipeline::new()
+            .optimize_timed(&graph, &device)
+            .unwrap_or_else(|e| panic!("--import {}: {e}", path.display()));
+        print!("{}", render_pass_timings("SmartMem", &label, &out));
+        let s = out.optimized.stats;
+        let left =
+            out.optimized.graph.nodes().iter().filter(|n| n.op.mnemonic() == "Transpose").count();
+        println!(
+            "\nstreamline on {label}: {} -> {} ops ({} streamlined away, {} transposes removed, {} left)",
+            s.source_ops,
+            out.optimized.graph.op_count(),
+            s.streamline_removed_ops,
+            s.streamline_transposes_removed,
+            left,
+        );
     }
 
     // 1c. Incremental recompilation after a one-layer edit. A fresh

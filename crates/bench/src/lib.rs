@@ -90,12 +90,17 @@ pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput)
         let d_kernels = t.stats.kernel_count as i64 - prev.kernel_count as i64;
         let d_elim = t.stats.eliminated_ops as i64 - prev.eliminated_ops as i64;
         let d_implicit = t.stats.implicit_inserted as i64 - prev.implicit_inserted as i64;
+        let d_sl = t.stats.streamline_removed_ops as i64 - prev.streamline_removed_ops as i64;
+        let d_sl_t = t.stats.streamline_transposes_removed as i64
+            - prev.streamline_transposes_removed as i64;
         rows.push(vec![
             t.pass.clone(),
             format!("{:.1}", t.duration.as_secs_f64() * 1e6),
             format!("{:+}", d_kernels),
             format!("{:+}", d_elim),
             format!("{:+}", d_implicit),
+            format!("{:+}", d_sl),
+            format!("{:+}", d_sl_t),
         ]);
         prev = t.stats;
     }
@@ -105,10 +110,12 @@ pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput)
         format!("{}", output.optimized.stats.kernel_count),
         format!("{}", output.optimized.stats.eliminated_ops),
         format!("{}", output.optimized.stats.implicit_inserted),
+        format!("{}", output.optimized.stats.streamline_removed_ops),
+        format!("{}", output.optimized.stats.streamline_transposes_removed),
     ]);
     render_table(
         &format!("{framework} on {model}: per-pass timing"),
-        &["pass", "us", "Δkernels", "Δeliminated", "Δimplicit"],
+        &["pass", "us", "Δkernels", "Δeliminated", "Δimplicit", "Δstreamlined", "Δtransposes"],
         &rows,
     )
 }
@@ -123,7 +130,10 @@ pub fn render_pass_timings(framework: &str, model: &str, output: &CompileOutput)
 /// for a bench binary, where a typo should fail loudly.
 pub fn parse_cache_dir_arg() -> Option<std::path::PathBuf> {
     let args = parse_bench_args();
-    assert!(args.json.is_none() && !args.smoke, "this binary only takes --cache-dir DIR");
+    assert!(
+        args.json.is_none() && !args.smoke && args.import.is_none(),
+        "this binary only takes --cache-dir DIR"
+    );
     args.cache_dir
 }
 
@@ -137,9 +147,13 @@ pub struct BenchArgs {
     pub json: Option<std::path::PathBuf>,
     /// `--smoke`: CI-sized subset.
     pub smoke: bool,
+    /// `--import PATH`: run on a graph imported from a JSON file
+    /// (`smartmem_ir::import`) instead of / in addition to the built-in
+    /// zoo. Only `pass_timing` honours it today.
+    pub import: Option<std::path::PathBuf>,
 }
 
-/// Parses `--cache-dir DIR`, `--json PATH` and `--smoke`.
+/// Parses `--cache-dir DIR`, `--json PATH`, `--import PATH` and `--smoke`.
 ///
 /// # Panics
 ///
@@ -157,8 +171,13 @@ pub fn parse_bench_args() -> BenchArgs {
                 out.json = Some(args.next().expect("--json needs a value").into());
             }
             "--smoke" => out.smoke = true,
+            "--import" => {
+                out.import = Some(args.next().expect("--import needs a value").into());
+            }
             other => {
-                panic!("unknown flag {other} (takes --cache-dir DIR, --json PATH, --smoke)")
+                panic!(
+                    "unknown flag {other} (takes --cache-dir DIR, --json PATH, --import PATH, --smoke)"
+                )
             }
         }
     }

@@ -72,6 +72,7 @@ mod persist;
 mod pipeline;
 mod reduction;
 mod session;
+mod streamline;
 mod texture;
 mod tune;
 
@@ -94,6 +95,11 @@ pub use pipeline::{
     OptStats, OptimizedGraph, SmartMemConfig, SmartMemPipeline, Unsupported,
 };
 pub use reduction::reduction_dims;
+pub use streamline::{
+    AbsorbTransposePass, CancelTransposePass, CollapseRepeatedPass, ConstFoldPass, CsePass,
+    MoveTransposePass, RemoveIdentityPass, StreamlinePass,
+};
+
 pub use session::{
     device_fingerprint, graph_fingerprint, CacheStats, CompileResult, CompileSession,
 };

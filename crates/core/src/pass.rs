@@ -69,6 +69,12 @@ pub struct CompileCtx {
     /// Relayout operators inserted by the framework (implicit
     /// transformations; zero for SmartMem).
     pub implicit_inserted: usize,
+    /// Net operator-count reduction from streamline sweeps (graph-level
+    /// rewrites before kernel-level optimization).
+    pub streamline_removed_ops: usize,
+    /// Explicit `Transpose` operators that streamline sweeps cancelled,
+    /// dropped, or absorbed into reshapes.
+    pub streamline_removed_transposes: usize,
     /// Runtime memory model of the framework.
     pub mem_model: MemModel,
     /// Structured diagnostics accumulated by the passes.
@@ -92,6 +98,8 @@ impl CompileCtx {
             groups: Vec::new(),
             redundancy: RedundancyStats::default(),
             implicit_inserted: 0,
+            streamline_removed_ops: 0,
+            streamline_removed_transposes: 0,
             mem_model: MemModel::default(),
             diagnostics: Vec::new(),
             layout_plan: None,
@@ -109,6 +117,8 @@ impl CompileCtx {
             implicit_inserted: self.implicit_inserted,
             redundant_tensors: self.redundancy.tensors,
             redundant_bytes_max: self.redundancy.max_bytes,
+            streamline_removed_ops: self.streamline_removed_ops,
+            streamline_transposes_removed: self.streamline_removed_transposes,
         }
     }
 
@@ -788,14 +798,17 @@ mod tests {
     fn manager_times_every_pass() {
         let device = DeviceConfig::snapdragon_8gen2();
         let out = SmartMemPipeline::new().passes().run_on(&toy(), &device).unwrap();
-        assert_eq!(out.timings.len(), 5);
+        assert_eq!(out.timings.len(), 6);
         let names: Vec<&str> = out.timings.iter().map(|t| t.pass.as_str()).collect();
-        assert_eq!(names, vec!["lte", "fusion", "assemble-groups", "layout-select", "tune"]);
+        assert_eq!(
+            names,
+            vec!["streamline", "lte", "fusion", "assemble-groups", "layout-select", "tune"]
+        );
         // Stats snapshots are monotone in information: groups appear at
         // assemble-groups and stay.
         assert_eq!(out.timings[0].stats.kernel_count, 0);
-        assert!(out.timings[2].stats.kernel_count > 0);
-        assert_eq!(out.timings[4].stats, out.optimized.stats);
+        assert!(out.timings[3].stats.kernel_count > 0);
+        assert_eq!(out.timings[5].stats, out.optimized.stats);
     }
 
     #[test]

@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 const MAGIC: [u8; 4] = *b"SMEM";
 /// Current format version. Bump on any change to the wire encoding of
 /// the persisted types.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// Header length: magic + version + probe + length + checksum.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 

@@ -5,6 +5,8 @@
 use crate::fusion::GroupDraft;
 use crate::layout_select::SelectionLevel;
 use crate::lte::LteResult;
+use crate::streamline::StreamlinePass;
+
 use crate::pass::{
     AssembleGroupsPass, CompileOutput, FusionPass, LayoutSelectPass, LtePass, PassManager, TunePass,
 };
@@ -80,6 +82,13 @@ pub struct OptStats {
     pub redundant_tensors: usize,
     /// Largest single redundant copy in bytes.
     pub redundant_bytes_max: u64,
+    /// Net operator-count reduction from the streamline pass family.
+    pub streamline_removed_ops: usize,
+    /// Explicit `Transpose` operators that streamlining cancelled,
+    /// moved out of the live graph, or absorbed into reshapes. Can
+    /// exceed `streamline_removed_ops`: an absorbed transpose becomes a
+    /// reshape, removing a transpose without shrinking the graph.
+    pub streamline_transposes_removed: usize,
 }
 
 /// How a framework's runtime consumes memory (drives the OOM behaviour
@@ -182,6 +191,8 @@ impl Encode for OptStats {
         self.implicit_inserted.encode(w);
         self.redundant_tensors.encode(w);
         self.redundant_bytes_max.encode(w);
+        self.streamline_removed_ops.encode(w);
+        self.streamline_transposes_removed.encode(w);
     }
 }
 
@@ -195,6 +206,8 @@ impl Decode for OptStats {
             implicit_inserted: Decode::decode(r)?,
             redundant_tensors: Decode::decode(r)?,
             redundant_bytes_max: Decode::decode(r)?,
+            streamline_removed_ops: Decode::decode(r)?,
+            streamline_transposes_removed: Decode::decode(r)?,
         })
     }
 }
@@ -405,6 +418,9 @@ pub struct SmartMemConfig {
     pub layout_selection: bool,
     /// 2.5D texture mapping (Fig. 5) and GA auto-tuning ("Other opt").
     pub texture_and_tuning: bool,
+    /// Graph-level streamlining (transpose motion/absorption, CSE,
+    /// constant folding) before kernel-level optimization.
+    pub streamline: bool,
 }
 
 impl SmartMemConfig {
@@ -415,16 +431,19 @@ impl SmartMemConfig {
             index_comprehension: true,
             layout_selection: true,
             texture_and_tuning: true,
+            streamline: true,
         }
     }
 
-    /// DNNFusion-equivalent level (fusion only).
+    /// DNNFusion-equivalent level (fusion only, no streamlining — the
+    /// baseline comparison stays faithful).
     pub fn dnnfusion_level() -> Self {
         SmartMemConfig {
             lte: false,
             index_comprehension: false,
             layout_selection: false,
             texture_and_tuning: false,
+            streamline: false,
         }
     }
 
@@ -435,6 +454,7 @@ impl SmartMemConfig {
             index_comprehension: true,
             layout_selection: false,
             texture_and_tuning: false,
+            streamline: true,
         }
     }
 
@@ -445,6 +465,7 @@ impl SmartMemConfig {
             index_comprehension: true,
             layout_selection: true,
             texture_and_tuning: false,
+            streamline: true,
         }
     }
 }
@@ -493,8 +514,11 @@ impl Framework for SmartMemPipeline {
         } else {
             SelectionLevel::ReductionK1
         };
-        PassManager::new("SmartMem")
-            .then(LtePass { enabled: cfg.lte, index_comprehension: cfg.index_comprehension })
+        let mut pm = PassManager::new("SmartMem");
+        if cfg.streamline {
+            pm = pm.then(StreamlinePass);
+        }
+        pm.then(LtePass { enabled: cfg.lte, index_comprehension: cfg.index_comprehension })
             .then(FusionPass)
             .then(AssembleGroupsPass)
             .then(LayoutSelectPass { level })

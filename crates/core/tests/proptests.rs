@@ -180,3 +180,37 @@ fn classification_is_total_over_op_kinds() {
         let _ = classify(&op); // must not panic
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `OptStats` — including the streamline counters appended to the
+    /// v2 wire layout — round-trips exactly.
+    #[test]
+    fn optstats_roundtrip_on_the_wire(
+        source_ops in 0usize..10_000,
+        kernel_count in 0usize..10_000,
+        eliminated_ops in 0usize..10_000,
+        fused_ops in 0usize..10_000,
+        implicit_inserted in 0usize..10_000,
+        redundant_tensors in 0usize..10_000,
+        streamline_removed_ops in 0usize..10_000,
+        streamline_transposes_removed in 0usize..10_000,
+    ) {
+        use smartmem_core::OptStats;
+        use smartmem_ir::wire::{decode_from, encode_to_vec};
+        let stats = OptStats {
+            source_ops,
+            kernel_count,
+            eliminated_ops,
+            fused_ops,
+            implicit_inserted,
+            redundant_tensors,
+            redundant_bytes_max: (source_ops as u64) << 20,
+            streamline_removed_ops,
+            streamline_transposes_removed,
+        };
+        let back: OptStats = decode_from(&encode_to_vec(&stats)).expect("decode");
+        prop_assert_eq!(stats, back);
+    }
+}

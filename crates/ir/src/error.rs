@@ -66,6 +66,128 @@ impl fmt::Display for IrError {
 
 impl Error for IrError {}
 
+/// Error produced while importing an external graph description
+/// (see [`crate::import`]).
+///
+/// Every malformed input — truncated files, unknown operators, dangling
+/// tensor references, cycles, dtype mismatches, bad initializers —
+/// surfaces as one of these variants; the importer never panics on
+/// untrusted input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ImportError {
+    /// The input is not well-formed JSON (byte offset of the failure).
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What the parser expected or found.
+        msg: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// The object missing the field (`"graph"`, `"tensor"`, `"op"`).
+        object: &'static str,
+        /// The field name.
+        field: &'static str,
+    },
+    /// A field holds a value of the wrong type or out-of-range content.
+    BadField {
+        /// The offending field.
+        field: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An operator kind the importer does not know.
+    UnknownOp(String),
+    /// A dtype string the importer does not know.
+    UnknownDType(String),
+    /// An edge references a tensor name that is never defined
+    /// (dangling edge id).
+    UnknownTensor(String),
+    /// Two tensors (declared or op outputs) share a name.
+    DuplicateTensor(String),
+    /// The op dependency graph contains a cycle.
+    Cycle(String),
+    /// Operands of one operator disagree on element type.
+    DTypeMismatch {
+        /// The operator kind.
+        op: String,
+        /// First operand type seen.
+        lhs: String,
+        /// Conflicting operand type.
+        rhs: String,
+    },
+    /// An initializer's length does not match its tensor's shape.
+    BadInit {
+        /// The tensor name.
+        tensor: String,
+        /// Elements the shape requires.
+        expected: u64,
+        /// Elements the initializer provided.
+        got: usize,
+    },
+    /// An op declared the wrong number of outputs for its kind.
+    ArityMismatch {
+        /// The operator kind.
+        op: String,
+        /// Outputs the operator produces.
+        expected: usize,
+        /// Outputs the description declared.
+        got: usize,
+    },
+    /// Shape inference rejected the operator (wraps [`IrError`]).
+    Graph(IrError),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            ImportError::MissingField { object, field } => {
+                write!(f, "{object} is missing required field `{field}`")
+            }
+            ImportError::BadField { field, expected } => {
+                write!(f, "field `{field}`: expected {expected}")
+            }
+            ImportError::UnknownOp(kind) => write!(f, "unknown operator kind `{kind}`"),
+            ImportError::UnknownDType(d) => write!(f, "unknown dtype `{d}`"),
+            ImportError::UnknownTensor(name) => {
+                write!(f, "reference to undefined tensor `{name}`")
+            }
+            ImportError::DuplicateTensor(name) => {
+                write!(f, "tensor name `{name}` defined more than once")
+            }
+            ImportError::Cycle(detail) => write!(f, "op dependencies contain a cycle: {detail}"),
+            ImportError::DTypeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: operand dtypes disagree ({lhs} vs {rhs})")
+            }
+            ImportError::BadInit { tensor, expected, got } => {
+                write!(f, "tensor `{tensor}`: initializer has {got} values, shape needs {expected}")
+            }
+            ImportError::ArityMismatch { op, expected, got } => {
+                write!(f, "{op}: declares {got} outputs, operator produces {expected}")
+            }
+            ImportError::Graph(e) => write!(f, "shape inference rejected the graph: {e}"),
+        }
+    }
+}
+
+impl Error for ImportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImportError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for ImportError {
+    fn from(e: IrError) -> Self {
+        ImportError::Graph(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

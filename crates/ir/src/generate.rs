@@ -1,0 +1,340 @@
+//! Seeded random graph generator for differential testing.
+//!
+//! [`random_graph`] produces small, valid, deliberately *messy* graphs:
+//! interleaved transposes and reshapes (including adjacent inverse
+//! pairs), scalar-constant chains, shared subexpressions, exact duplicate
+//! ops (CSE fodder) and dead branches that never reach an output. Every
+//! graph passes [`crate::Graph::validate`] and is small enough
+//! (per-tensor element counts capped at 256) for the reference
+//! interpreter ([`crate::interp`]) to run in microseconds, so a harness
+//! can push hundreds of seeds through all pipelines per test run.
+//!
+//! The generator is fully deterministic in the seed — a failing seed
+//! printed by a test reproduces the exact graph.
+
+use crate::dtype::DType;
+use crate::graph::{Graph, GraphBuilder, TensorId};
+use crate::ops::{BinaryKind, Op, ReduceKind, UnaryKind};
+
+/// Cap on elements per generated tensor: keeps interpretation cheap.
+const MAX_NUMEL: u64 = 256;
+
+/// Deterministic splitmix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn float(&mut self, lo: f32, hi: f32) -> f32 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * u as f32
+    }
+
+    /// A random permutation of `0..rank` that is not the identity
+    /// (when `rank > 1`).
+    fn perm(&mut self, rank: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..rank).collect();
+        loop {
+            for i in (1..rank).rev() {
+                p.swap(i, self.below(i + 1));
+            }
+            if rank <= 1 || p.iter().enumerate().any(|(i, &v)| i != v) {
+                return p;
+            }
+        }
+    }
+}
+
+/// Inverse of a permutation (`inv[perm[i]] = i`).
+fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// A random factorization of `numel` into 1–4 extents (row-major
+/// regrouping fodder for `Reshape`).
+fn random_dims(rng: &mut Rng, numel: u64) -> Vec<usize> {
+    let mut dims = vec![numel as usize];
+    for _ in 0..3 {
+        if dims.len() >= 4 || !rng.chance(70) {
+            break;
+        }
+        let i = rng.below(dims.len());
+        let d = dims[i];
+        let divisors: Vec<usize> = (2..=d).filter(|k| d % k == 0).collect();
+        if divisors.is_empty() {
+            // Extent 1 or prime that refuses to split further: insert a
+            // unit dim instead (exercises unit-dim handling in absorb).
+            dims.insert(i, 1);
+            continue;
+        }
+        let k = divisors[rng.below(divisors.len())];
+        dims[i] = d / k;
+        dims.insert(i + 1, k);
+    }
+    dims
+}
+
+/// Generates a random messy graph from `seed`.
+///
+/// All tensors are `f32`; weights carry initializers so constant folding
+/// has real values to fold. The final 1–2 outputs are drawn from the
+/// produced tensors at random, which routinely leaves dead branches in
+/// the graph.
+///
+/// # Examples
+///
+/// ```
+/// let g = smartmem_ir::generate::random_graph(42);
+/// assert!(g.validate().is_ok());
+/// assert!(g.op_count() > 0);
+/// let again = smartmem_ir::generate::random_graph(42);
+/// assert_eq!(g.to_string(), again.to_string());
+/// ```
+pub fn random_graph(seed: u64) -> Graph {
+    let mut rng = Rng(seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1));
+    let mut b = GraphBuilder::new(format!("gen_{seed}"));
+
+    // 1–2 inputs of rank 3–4 with small extents (unit dims included so
+    // monotonic-perm transposes appear).
+    let n_inputs = 1 + rng.below(2);
+    let mut pool: Vec<TensorId> = Vec::new();
+    for i in 0..n_inputs {
+        let rank = 3 + rng.below(2);
+        let dims: Vec<usize> =
+            (0..rank).map(|_| if rng.chance(20) { 1 } else { 2 + rng.below(3) }).collect();
+        pool.push(b.input(format!("in{i}"), &dims, DType::F32));
+    }
+
+    let mut n_weights = 0usize;
+    let steps = 6 + rng.below(13);
+    for _ in 0..steps {
+        let t = pool[rng.below(pool.len())];
+        let rank = b.shape_of(t).rank();
+        let numel = b.shape_of(t).numel();
+        match rng.below(100) {
+            // Transpose, often immediately followed by its inverse.
+            0..=24 => {
+                let perm = rng.perm(rank);
+                let out = b.transpose(t, &perm);
+                pool.push(out);
+                if rng.chance(50) {
+                    pool.push(b.transpose(out, &invert(&perm)));
+                }
+            }
+            // Reshape to a random regrouping of the same element count.
+            25..=39 => {
+                let dims = random_dims(&mut rng, numel);
+                pool.push(b.reshape(t, &dims));
+            }
+            // Unary chain (includes Identity as removal fodder).
+            40..=51 => {
+                const KINDS: [UnaryKind; 8] = [
+                    UnaryKind::Relu,
+                    UnaryKind::Gelu,
+                    UnaryKind::Silu,
+                    UnaryKind::Sigmoid,
+                    UnaryKind::Tanh,
+                    UnaryKind::Neg,
+                    UnaryKind::Identity,
+                    UnaryKind::Relu, // double weight: Relu∘Relu collapses
+                ];
+                let kind = KINDS[rng.below(KINDS.len())];
+                let out = b.unary(t, kind);
+                pool.push(out);
+                if rng.chance(30) {
+                    pool.push(b.unary(out, kind));
+                }
+            }
+            // Scalar-constant chain: x·c or x+c, sometimes twice
+            // (CollapseRepeated fodder).
+            52..=66 => {
+                let kind = if rng.chance(50) { BinaryKind::Mul } else { BinaryKind::Add };
+                let c1 = scalar_weight(&mut b, &mut rng, &mut n_weights);
+                let out = b.binary(t, c1, kind);
+                pool.push(out);
+                if rng.chance(45) {
+                    let c2 = scalar_weight(&mut b, &mut rng, &mut n_weights);
+                    pool.push(b.binary(out, c2, kind));
+                }
+            }
+            // Same-shape binary over existing tensors (shared
+            // subexpressions when an operand is reused).
+            67..=76 => {
+                let shape = b.shape_of(t).clone();
+                let mate = pool
+                    .iter()
+                    .copied()
+                    .filter(|&o| b.shape_of(o) == &shape)
+                    .max_by_key(|_| rng.next())
+                    .unwrap_or(t);
+                const KINDS: [BinaryKind; 4] =
+                    [BinaryKind::Add, BinaryKind::Mul, BinaryKind::Max, BinaryKind::Sub];
+                pool.push(b.binary(t, mate, KINDS[rng.below(KINDS.len())]));
+            }
+            // MatMul against a fresh initialized weight.
+            77..=82 => {
+                if rank >= 2 {
+                    let k = b.shape_of(t).dim(rank - 1);
+                    let n = 1 + rng.below(4);
+                    if numel / b.shape_of(t).dim(rank - 1) as u64 * n as u64 <= MAX_NUMEL {
+                        let init: Vec<f32> = (0..k * n).map(|_| rng.float(-0.5, 0.5)).collect();
+                        n_weights += 1;
+                        let w =
+                            b.weight_init(format!("w{}", n_weights - 1), &[k, n], DType::F32, init);
+                        pool.push(b.matmul(t, w));
+                    }
+                }
+            }
+            // Normalization-ish ops on a random axis.
+            83..=88 => {
+                let axis = rng.below(rank);
+                match rng.below(3) {
+                    0 => pool.push(b.softmax(t, axis)),
+                    1 => pool.push(b.reduce(t, ReduceKind::Sum, vec![axis], true)),
+                    _ => pool.push(b.layer_norm(t, vec![rank - 1])),
+                }
+            }
+            // Slice off a sub-range.
+            89..=92 => {
+                let axis = rng.below(rank);
+                let extent = b.shape_of(t).dim(axis);
+                if extent > 1 {
+                    let len = 1 + rng.below(extent - 1);
+                    let start = rng.below(extent - len + 1);
+                    pool.push(b.slice(t, axis, start, len));
+                }
+            }
+            // Exact duplicate of an existing op (CSE fodder).
+            _ => {
+                if let Some(n) = pick_duplicable(&b, &mut rng) {
+                    let (op, inputs) = n;
+                    if let Ok(outs) = b.try_push(op, &inputs) {
+                        pool.extend(outs);
+                    }
+                }
+            }
+        }
+    }
+
+    // Random outputs: most produced tensors stay unreferenced — dead
+    // branches the pipelines must not be confused by.
+    let n_outputs = 1 + rng.below(2).min(pool.len() - 1);
+    let mut chosen = Vec::new();
+    for _ in 0..n_outputs {
+        let t = pool[pool.len() - 1 - rng.below(pool.len().min(6))];
+        if !chosen.contains(&t) {
+            chosen.push(t);
+        }
+    }
+    for &t in &chosen {
+        b.output(t);
+    }
+    b.finish()
+}
+
+/// A fresh `[1]`-shaped weight with an initializer bounded away from
+/// zero and from overflow territory (divides and products stay finite).
+fn scalar_weight(b: &mut GraphBuilder, rng: &mut Rng, counter: &mut usize) -> TensorId {
+    let sign = if rng.chance(30) { -1.0 } else { 1.0 };
+    let v = sign * rng.float(0.5, 2.0);
+    let id = b.weight_init(format!("c{counter}"), &[1], DType::F32, vec![v]);
+    *counter += 1;
+    id
+}
+
+/// Picks a random single-output op already in the builder to duplicate
+/// verbatim.
+fn pick_duplicable(b: &GraphBuilder, rng: &mut Rng) -> Option<(Op, Vec<TensorId>)> {
+    let nodes = b.nodes_so_far();
+    if nodes.is_empty() {
+        return None;
+    }
+    let n = &nodes[rng.below(nodes.len())];
+    if n.outputs.len() == 1 {
+        Some((n.op.clone(), n.inputs.clone()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_graph;
+
+    #[test]
+    fn graphs_are_valid_and_deterministic() {
+        for seed in 0..50 {
+            let g = random_graph(seed);
+            assert!(g.validate().is_ok(), "seed {seed} invalid");
+            assert!(g.op_count() > 0, "seed {seed} empty");
+            let h = random_graph(seed);
+            assert_eq!(g.to_string(), h.to_string(), "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn graphs_interpret_without_error() {
+        for seed in 0..50 {
+            let g = random_graph(seed);
+            let outs = run_graph(&g).expect("interpretation failed");
+            assert_eq!(outs.len(), g.outputs().len());
+        }
+    }
+
+    #[test]
+    fn corpus_contains_streamline_fodder() {
+        let mut transposes = 0usize;
+        let mut dead = 0usize;
+        for seed in 0..100 {
+            let g = random_graph(seed);
+            transposes += g.nodes().iter().filter(|n| n.op.mnemonic() == "Transpose").count();
+            // Dead op: an op none of whose outputs reach a graph output.
+            let mut live: Vec<bool> = vec![false; g.tensors().len()];
+            let mut stack: Vec<_> = g.outputs().to_vec();
+            while let Some(t) = stack.pop() {
+                if live[t.0 as usize] {
+                    continue;
+                }
+                live[t.0 as usize] = true;
+                if let Some(p) = g.producer(t) {
+                    stack.extend(g.node(p).inputs.iter().copied());
+                }
+            }
+            dead +=
+                g.nodes().iter().filter(|n| n.outputs.iter().all(|t| !live[t.0 as usize])).count();
+        }
+        assert!(transposes > 50, "only {transposes} transposes in corpus");
+        assert!(dead > 20, "only {dead} dead ops in corpus");
+    }
+
+    #[test]
+    fn tensors_stay_small() {
+        for seed in 0..50 {
+            let g = random_graph(seed);
+            for t in g.tensors() {
+                assert!(t.shape.numel() <= MAX_NUMEL * 4, "tensor too large: {}", t.shape);
+            }
+        }
+    }
+}

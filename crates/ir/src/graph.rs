@@ -58,6 +58,12 @@ pub struct TensorInfo {
     pub producer: Option<OpId>,
     /// Consuming operators in insertion order.
     pub consumers: Vec<OpId>,
+    /// Initializer values in row-major order (weights only; carried by
+    /// imported graphs and by weights the streamline constant-folding
+    /// passes synthesize). `None` for runtime inputs, activations and
+    /// zoo weights, whose values the reference interpreter derives
+    /// deterministically from the tensor name instead.
+    pub init: Option<Vec<f32>>,
 }
 
 /// One operator node.
@@ -549,6 +555,7 @@ impl GraphBuilder {
             kind,
             producer: None,
             consumers: Vec::new(),
+            init: None,
         });
         id
     }
@@ -563,6 +570,66 @@ impl GraphBuilder {
     /// Declares a weight (trained parameter) tensor.
     pub fn weight(&mut self, name: impl Into<String>, dims: &[usize], dtype: DType) -> TensorId {
         self.add_tensor(name.into(), Shape::new(dims.to_vec()), dtype, TensorKind::Weight)
+    }
+
+    /// Declares a weight tensor carrying initializer values (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len()` does not match the element count.
+    pub fn weight_init(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[usize],
+        dtype: DType,
+        init: Vec<f32>,
+    ) -> TensorId {
+        let shape = Shape::new(dims.to_vec());
+        assert_eq!(
+            init.len() as u64,
+            shape.numel(),
+            "initializer length does not match shape {shape}"
+        );
+        let id = self.add_tensor(name.into(), shape, dtype, TensorKind::Weight);
+        self.graph.tensors[id.0 as usize].init = Some(init);
+        id
+    }
+
+    /// Shape of an already-declared tensor (used by graph generators and
+    /// rewriters that steer construction by intermediate shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn shape_of(&self, t: TensorId) -> &Shape {
+        &self.graph.tensors[t.0 as usize].shape
+    }
+
+    /// Element type of an already-declared tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn dtype_of(&self, t: TensorId) -> DType {
+        self.graph.tensors[t.0 as usize].dtype
+    }
+
+    /// Nodes pushed so far, in topological order (graph generators use
+    /// this to duplicate existing ops verbatim).
+    pub fn nodes_so_far(&self) -> &[Node] {
+        &self.graph.nodes
+    }
+
+    /// Renames an already-declared tensor. The importer uses this to give
+    /// operator outputs their declared names (auto-generated names would
+    /// not survive an export/import round trip). Callers are responsible
+    /// for keeping names unique within the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_tensor_name(&mut self, t: TensorId, name: impl Into<String>) {
+        self.graph.tensors[t.0 as usize].name = name.into();
     }
 
     /// Adds an operator node, inferring output shapes.

@@ -1,0 +1,1090 @@
+//! Text/JSON graph import and export.
+//!
+//! A small, hand-rolled interchange format so external graphs — importer
+//! fixtures, fuzzer counterexamples, user models — can flow through every
+//! optimizing pipeline without linking a serialization crate. The format
+//! is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "name": "finn-mlp",
+//!   "tensors": [
+//!     {"name": "x",  "kind": "input",  "shape": [1, 64], "dtype": "f32"},
+//!     {"name": "s0", "kind": "weight", "shape": [1], "dtype": "f32", "init": [0.5]}
+//!   ],
+//!   "ops": [
+//!     {"kind": "transpose", "perm": [1, 0], "inputs": ["x"], "outputs": ["xt"]},
+//!     {"kind": "binary", "f": "mul", "inputs": ["xt", "s0"], "outputs": ["y"]}
+//!   ],
+//!   "outputs": ["y"]
+//! }
+//! ```
+//!
+//! Rules:
+//!
+//! - `tensors` declares graph inputs and weights only; activations are
+//!   declared implicitly by the `outputs` lists of ops. Every tensor name
+//!   must be unique. `dtype` defaults to `"f16"` (the zoo convention);
+//!   `init` (row-major values, weights only) may contain numbers or the
+//!   strings `"nan"`, `"inf"`, `"-inf"`.
+//! - `ops` reference tensors by name and may appear in any order; the
+//!   importer topologically sorts them and reports [`ImportError::Cycle`]
+//!   when no order exists. Operator kinds are the snake-case mnemonics
+//!   (`conv2d`, `matmul`, `layer_norm`, `instance_norm`, `softmax`,
+//!   `reduce`, `pool2d`, `unary`, `binary`, `concat`, `reshape`,
+//!   `transpose`, `depth_to_space`, `space_to_depth`, `gather`, `slice`,
+//!   `split`) with the attribute fields shown by [`export_json`].
+//! - `outputs` names the graph outputs (at least one).
+//!
+//! Malformed input of any kind maps to a typed [`ImportError`]; the
+//! importer never panics on untrusted bytes.
+
+use crate::dtype::DType;
+use crate::error::ImportError;
+use crate::graph::{Graph, GraphBuilder, TensorKind};
+use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Hard cap on elements per declared tensor (2^40): rejects absurd shape
+/// declarations before they reach shape inference or allocation.
+const MAX_TENSOR_NUMEL: u64 = 1 << 40;
+
+/// Maximum JSON nesting depth the parser accepts (guards the recursive
+/// parser's stack against `[[[[…` bombs).
+const MAX_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value. Objects keep insertion order; duplicate keys keep
+/// the first occurrence (lookup scans front to back).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ImportError {
+        ImportError::Parse { offset: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), ImportError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ImportError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect("null").map(|_| Json::Null),
+            Some(b't') => self.expect("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.expect("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ImportError> {
+        self.bump(); // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `]` in array"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ImportError> {
+        self.bump(); // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected `:` after object key"));
+            }
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `}` in object"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ImportError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => s.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(c) if c < 0x80 => s.push(c as char),
+                Some(c) => {
+                    // Re-decode the UTF-8 sequence starting at `c`.
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 in string"))?;
+                    let text = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    s.push_str(text);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ImportError> {
+        let first = self.hex4()?;
+        if (0xd800..0xdc00).contains(&first) {
+            // High surrogate: must be followed by `\uDC00`–`\uDFFF`.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err("lone high surrogate in \\u escape"));
+            }
+            let second = self.hex4()?;
+            if !(0xdc00..0xe000).contains(&second) {
+                return Err(self.err("invalid low surrogate in \\u escape"));
+            }
+            let cp = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+            char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xdc00..0xe000).contains(&first) {
+            Err(self.err("lone low surrogate in \\u escape"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ImportError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ImportError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number chars");
+        text.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+fn parse_json(src: &str) -> Result<Json, ImportError> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after top-level value"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Field extraction helpers
+// ---------------------------------------------------------------------------
+
+fn bad(field: impl Into<String>, expected: &'static str) -> ImportError {
+    ImportError::BadField { field: field.into(), expected }
+}
+
+fn as_str<'a>(v: &'a Json, field: &str) -> Result<&'a str, ImportError> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(bad(field, "a string")),
+    }
+}
+
+fn as_arr<'a>(v: &'a Json, field: &str) -> Result<&'a [Json], ImportError> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        _ => Err(bad(field, "an array")),
+    }
+}
+
+fn as_bool(v: &Json, field: &str) -> Result<bool, ImportError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(bad(field, "a boolean")),
+    }
+}
+
+/// A JSON number that is a non-negative integer fitting in u32.
+fn as_usize(v: &Json, field: &str) -> Result<usize, ImportError> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => Ok(*n as usize),
+        _ => Err(bad(field, "a non-negative integer")),
+    }
+}
+
+fn usize_vec(v: &Json, field: &str) -> Result<Vec<usize>, ImportError> {
+    as_arr(v, field)?.iter().map(|x| as_usize(x, field)).collect()
+}
+
+/// A `[a, b]` pair of non-negative integers (stride/padding/kernel).
+fn usize_pair(v: &Json, field: &str) -> Result<(usize, usize), ImportError> {
+    let items = as_arr(v, field)?;
+    if items.len() != 2 {
+        return Err(bad(field, "an array of exactly 2 integers"));
+    }
+    Ok((as_usize(&items[0], field)?, as_usize(&items[1], field)?))
+}
+
+fn opt_field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    obj.get(key).filter(|v| !matches!(v, Json::Null))
+}
+
+fn req_field<'a>(
+    obj: &'a Json,
+    object: &'static str,
+    key: &'static str,
+) -> Result<&'a Json, ImportError> {
+    opt_field(obj, key).ok_or(ImportError::MissingField { object, field: key })
+}
+
+fn parse_dtype(s: &str) -> Result<DType, ImportError> {
+    match s {
+        "f16" => Ok(DType::F16),
+        "f32" => Ok(DType::F32),
+        "i32" => Ok(DType::I32),
+        "i8" => Ok(DType::I8),
+        other => Err(ImportError::UnknownDType(other.to_string())),
+    }
+}
+
+fn dtype_str(d: DType) -> &'static str {
+    match d {
+        DType::F16 => "f16",
+        DType::F32 => "f32",
+        DType::I32 => "i32",
+        DType::I8 => "i8",
+    }
+}
+
+/// One init value: a finite number (checked after the f32 cast) or one of
+/// the sentinel strings `"nan"` / `"inf"` / `"-inf"` that [`export_json`]
+/// writes for non-finite values.
+fn init_value(v: &Json) -> Result<f32, ImportError> {
+    match v {
+        Json::Num(n) => {
+            let f = *n as f32;
+            if f.is_finite() {
+                Ok(f)
+            } else {
+                Err(bad("init", "values representable as finite f32"))
+            }
+        }
+        Json::Str(s) => match s.as_str() {
+            "nan" => Ok(f32::NAN),
+            "inf" => Ok(f32::INFINITY),
+            "-inf" => Ok(f32::NEG_INFINITY),
+            _ => Err(bad("init", "a number or \"nan\"/\"inf\"/\"-inf\"")),
+        },
+        _ => Err(bad("init", "a number or \"nan\"/\"inf\"/\"-inf\"")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator descriptions
+// ---------------------------------------------------------------------------
+
+fn parse_unary_kind(s: &str) -> Result<UnaryKind, ImportError> {
+    Ok(match s {
+        "relu" => UnaryKind::Relu,
+        "gelu" => UnaryKind::Gelu,
+        "silu" => UnaryKind::Silu,
+        "sigmoid" => UnaryKind::Sigmoid,
+        "tanh" => UnaryKind::Tanh,
+        "exp" => UnaryKind::Exp,
+        "sqrt" => UnaryKind::Sqrt,
+        "recip" => UnaryKind::Recip,
+        "neg" => UnaryKind::Neg,
+        "identity" => UnaryKind::Identity,
+        other => return Err(ImportError::UnknownOp(format!("unary:{other}"))),
+    })
+}
+
+fn parse_binary_kind(s: &str) -> Result<BinaryKind, ImportError> {
+    Ok(match s {
+        "add" => BinaryKind::Add,
+        "sub" => BinaryKind::Sub,
+        "mul" => BinaryKind::Mul,
+        "div" => BinaryKind::Div,
+        "max" => BinaryKind::Max,
+        other => return Err(ImportError::UnknownOp(format!("binary:{other}"))),
+    })
+}
+
+pub(crate) fn unary_kind_str(k: UnaryKind) -> &'static str {
+    match k {
+        UnaryKind::Relu => "relu",
+        UnaryKind::Gelu => "gelu",
+        UnaryKind::Silu => "silu",
+        UnaryKind::Sigmoid => "sigmoid",
+        UnaryKind::Tanh => "tanh",
+        UnaryKind::Exp => "exp",
+        UnaryKind::Sqrt => "sqrt",
+        UnaryKind::Recip => "recip",
+        UnaryKind::Neg => "neg",
+        UnaryKind::Identity => "identity",
+    }
+}
+
+pub(crate) fn binary_kind_str(k: BinaryKind) -> &'static str {
+    match k {
+        BinaryKind::Add => "add",
+        BinaryKind::Sub => "sub",
+        BinaryKind::Mul => "mul",
+        BinaryKind::Div => "div",
+        BinaryKind::Max => "max",
+    }
+}
+
+fn parse_op(kind: &str, obj: &Json) -> Result<Op, ImportError> {
+    let op = match kind {
+        "conv2d" => Op::Conv2d {
+            stride: opt_field(obj, "stride")
+                .map(|v| usize_pair(v, "stride"))
+                .transpose()?
+                .unwrap_or((1, 1)),
+            padding: opt_field(obj, "padding")
+                .map(|v| usize_pair(v, "padding"))
+                .transpose()?
+                .unwrap_or((0, 0)),
+            groups: opt_field(obj, "groups")
+                .map(|v| as_usize(v, "groups"))
+                .transpose()?
+                .unwrap_or(1),
+        },
+        "matmul" => Op::MatMul {
+            trans_a: opt_field(obj, "trans_a")
+                .map(|v| as_bool(v, "trans_a"))
+                .transpose()?
+                .unwrap_or(false),
+            trans_b: opt_field(obj, "trans_b")
+                .map(|v| as_bool(v, "trans_b"))
+                .transpose()?
+                .unwrap_or(false),
+        },
+        "layer_norm" => Op::LayerNorm { axes: usize_vec(req_field(obj, "op", "axes")?, "axes")? },
+        "instance_norm" => Op::InstanceNorm,
+        "softmax" => Op::Softmax { axis: as_usize(req_field(obj, "op", "axis")?, "axis")? },
+        "reduce" => Op::Reduce {
+            kind: match as_str(req_field(obj, "op", "reduce")?, "reduce")? {
+                "sum" => ReduceKind::Sum,
+                "mean" => ReduceKind::Mean,
+                "max" => ReduceKind::Max,
+                "min" => ReduceKind::Min,
+                other => return Err(ImportError::UnknownOp(format!("reduce:{other}"))),
+            },
+            axes: usize_vec(req_field(obj, "op", "axes")?, "axes")?,
+            keep_dims: opt_field(obj, "keep_dims")
+                .map(|v| as_bool(v, "keep_dims"))
+                .transpose()?
+                .unwrap_or(false),
+        },
+        "pool2d" => {
+            let kernel = usize_pair(req_field(obj, "op", "kernel")?, "kernel")?;
+            Op::Pool2d {
+                kind: match as_str(req_field(obj, "op", "pool")?, "pool")? {
+                    "max" => PoolKind::Max,
+                    "avg" => PoolKind::Avg,
+                    other => return Err(ImportError::UnknownOp(format!("pool2d:{other}"))),
+                },
+                kernel,
+                stride: opt_field(obj, "stride")
+                    .map(|v| usize_pair(v, "stride"))
+                    .transpose()?
+                    .unwrap_or(kernel),
+                padding: opt_field(obj, "padding")
+                    .map(|v| usize_pair(v, "padding"))
+                    .transpose()?
+                    .unwrap_or((0, 0)),
+            }
+        }
+        "unary" => Op::Unary { kind: parse_unary_kind(as_str(req_field(obj, "op", "f")?, "f")?)? },
+        "binary" => {
+            Op::Binary { kind: parse_binary_kind(as_str(req_field(obj, "op", "f")?, "f")?)? }
+        }
+        "concat" => Op::Concat { axis: as_usize(req_field(obj, "op", "axis")?, "axis")? },
+        "reshape" => Op::Reshape { shape: usize_vec(req_field(obj, "op", "shape")?, "shape")? },
+        "transpose" => Op::Transpose { perm: usize_vec(req_field(obj, "op", "perm")?, "perm")? },
+        "depth_to_space" => {
+            Op::DepthToSpace { block: as_usize(req_field(obj, "op", "block")?, "block")? }
+        }
+        "space_to_depth" => {
+            Op::SpaceToDepth { block: as_usize(req_field(obj, "op", "block")?, "block")? }
+        }
+        "gather" => Op::Gather { axis: as_usize(req_field(obj, "op", "axis")?, "axis")? },
+        "slice" => Op::Slice {
+            axis: as_usize(req_field(obj, "op", "axis")?, "axis")?,
+            start: as_usize(req_field(obj, "op", "start")?, "start")?,
+            len: as_usize(req_field(obj, "op", "len")?, "len")?,
+        },
+        "split" => Op::Split {
+            axis: as_usize(req_field(obj, "op", "axis")?, "axis")?,
+            parts: as_usize(req_field(obj, "op", "parts")?, "parts")?,
+        },
+        other => return Err(ImportError::UnknownOp(other.to_string())),
+    };
+    Ok(op)
+}
+
+struct OpDesc {
+    kind: String,
+    op: Op,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Import
+// ---------------------------------------------------------------------------
+
+/// Imports a graph from its JSON description.
+///
+/// See the [module docs](self) for the format. Ops may appear in any
+/// order; the importer topologically sorts them, runs shape inference on
+/// every operator, and validates dtypes, initializers and references.
+///
+/// # Errors
+///
+/// Any malformed input returns a typed [`ImportError`]; this function
+/// never panics on untrusted input.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"{
+///   "name": "tiny",
+///   "tensors": [
+///     {"name": "x", "kind": "input", "shape": [2, 3], "dtype": "f32"},
+///     {"name": "s", "kind": "weight", "shape": [1], "dtype": "f32", "init": [0.5]}
+///   ],
+///   "ops": [
+///     {"kind": "transpose", "perm": [1, 0], "inputs": ["x"], "outputs": ["xt"]},
+///     {"kind": "binary", "f": "mul", "inputs": ["xt", "s"], "outputs": ["y"]}
+///   ],
+///   "outputs": ["y"]
+/// }"#;
+/// let g = smartmem_ir::import::import_json(src).unwrap();
+/// assert_eq!(g.op_count(), 2);
+/// assert_eq!(g.layout_transform_count(), 1);
+/// assert_eq!(g.tensor(g.outputs()[0]).name, "y");
+/// ```
+pub fn import_json(src: &str) -> Result<Graph, ImportError> {
+    let root = parse_json(src)?;
+    if !matches!(root, Json::Obj(_)) {
+        return Err(bad("$", "a top-level JSON object"));
+    }
+    let name = match opt_field(&root, "name") {
+        Some(v) => as_str(v, "name")?.to_string(),
+        None => "imported".to_string(),
+    };
+    let mut b = GraphBuilder::new(name);
+
+    // Pass 1: declared tensors (inputs + weights).
+    let mut ids: HashMap<String, crate::TensorId> = HashMap::new();
+    for t in as_arr(req_field(&root, "graph", "tensors")?, "tensors")? {
+        if !matches!(t, Json::Obj(_)) {
+            return Err(bad("tensors", "an array of tensor objects"));
+        }
+        let tname = as_str(req_field(t, "tensor", "name")?, "name")?.to_string();
+        let kind = as_str(req_field(t, "tensor", "kind")?, "kind")?;
+        let dims = usize_vec(req_field(t, "tensor", "shape")?, "shape")?;
+        let numel = dims.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d as u64));
+        match numel {
+            Some(n) if n <= MAX_TENSOR_NUMEL => {}
+            _ => return Err(bad("shape", "a tensor with at most 2^40 elements")),
+        }
+        let dtype = match opt_field(t, "dtype") {
+            Some(v) => parse_dtype(as_str(v, "dtype")?)?,
+            None => DType::F16,
+        };
+        let init = opt_field(t, "init")
+            .map(|v| as_arr(v, "init")?.iter().map(init_value).collect::<Result<Vec<f32>, _>>())
+            .transpose()?;
+        if ids.contains_key(&tname) {
+            return Err(ImportError::DuplicateTensor(tname));
+        }
+        let id = match kind {
+            "input" => {
+                if init.is_some() {
+                    return Err(bad("init", "initializers on weights only"));
+                }
+                b.input(tname.clone(), &dims, dtype)
+            }
+            "weight" => match init {
+                Some(vals) => {
+                    let need: u64 = dims.iter().map(|&d| d as u64).product();
+                    if vals.len() as u64 != need {
+                        return Err(ImportError::BadInit {
+                            tensor: tname,
+                            expected: need,
+                            got: vals.len(),
+                        });
+                    }
+                    b.weight_init(tname.clone(), &dims, dtype, vals)
+                }
+                None => b.weight(tname.clone(), &dims, dtype),
+            },
+            _ => return Err(bad("kind", "\"input\" or \"weight\"")),
+        };
+        ids.insert(tname, id);
+    }
+
+    // Pass 2: parse op descriptions and check name-level integrity
+    // (duplicates, dangling references) before ordering.
+    let mut pending: Vec<OpDesc> = Vec::new();
+    let mut definable: HashSet<String> = ids.keys().cloned().collect();
+    for o in as_arr(req_field(&root, "graph", "ops")?, "ops")? {
+        if !matches!(o, Json::Obj(_)) {
+            return Err(bad("ops", "an array of op objects"));
+        }
+        let kind = as_str(req_field(o, "op", "kind")?, "kind")?.to_string();
+        let op = parse_op(&kind, o)?;
+        let inputs: Vec<String> = as_arr(req_field(o, "op", "inputs")?, "inputs")?
+            .iter()
+            .map(|v| as_str(v, "inputs").map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        let outputs: Vec<String> = as_arr(req_field(o, "op", "outputs")?, "outputs")?
+            .iter()
+            .map(|v| as_str(v, "outputs").map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        if inputs.is_empty() {
+            return Err(bad("inputs", "at least one input tensor"));
+        }
+        if outputs.is_empty() {
+            return Err(bad("outputs", "at least one output tensor"));
+        }
+        for out in &outputs {
+            if !definable.insert(out.clone()) {
+                return Err(ImportError::DuplicateTensor(out.clone()));
+            }
+        }
+        pending.push(OpDesc { kind, op, inputs, outputs });
+    }
+    for d in &pending {
+        for input in &d.inputs {
+            if !definable.contains(input) {
+                return Err(ImportError::UnknownTensor(input.clone()));
+            }
+        }
+    }
+
+    // Pass 3: Kahn-style topological ordering — repeatedly push every op
+    // whose inputs are all defined; a full sweep with no progress while
+    // ops remain means their dependencies form a cycle.
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for d in pending {
+            if !d.inputs.iter().all(|i| ids.contains_key(i)) {
+                still_pending.push(d);
+                continue;
+            }
+            progressed = true;
+            let in_ids: Vec<crate::TensorId> = d.inputs.iter().map(|i| ids[i]).collect();
+            check_dtypes(&d, &in_ids, &b)?;
+            let outs = b.try_push(d.op.clone(), &in_ids)?;
+            if outs.len() != d.outputs.len() {
+                return Err(ImportError::ArityMismatch {
+                    op: d.kind.clone(),
+                    expected: outs.len(),
+                    got: d.outputs.len(),
+                });
+            }
+            for (tid, oname) in outs.iter().zip(&d.outputs) {
+                b.set_tensor_name(*tid, oname.clone());
+                ids.insert(oname.clone(), *tid);
+            }
+        }
+        if !progressed {
+            let names: Vec<&str> = still_pending.iter().map(|d| d.kind.as_str()).take(4).collect();
+            return Err(ImportError::Cycle(format!(
+                "{} op(s) never became ready (kinds: {})",
+                still_pending.len(),
+                names.join(", ")
+            )));
+        }
+        pending = still_pending;
+    }
+
+    // Pass 4: graph outputs.
+    let outs = as_arr(req_field(&root, "graph", "outputs")?, "outputs")?;
+    if outs.is_empty() {
+        return Err(ImportError::MissingField { object: "graph", field: "outputs" });
+    }
+    for o in outs {
+        let oname = as_str(o, "outputs")?;
+        let id = *ids.get(oname).ok_or_else(|| ImportError::UnknownTensor(oname.to_string()))?;
+        b.output(id);
+    }
+    Ok(b.finish())
+}
+
+/// Operand dtype agreement: multi-input compute ops require matching
+/// element types; `gather` requires `i32` indices.
+fn check_dtypes(
+    d: &OpDesc,
+    in_ids: &[crate::TensorId],
+    b: &GraphBuilder,
+) -> Result<(), ImportError> {
+    match &d.op {
+        Op::Gather { .. } => {
+            let idx = b.dtype_of(in_ids[1]);
+            if idx != DType::I32 {
+                return Err(ImportError::DTypeMismatch {
+                    op: d.kind.clone(),
+                    lhs: "i32 indices".to_string(),
+                    rhs: dtype_str(idx).to_string(),
+                });
+            }
+        }
+        Op::Conv2d { .. } | Op::MatMul { .. } | Op::Binary { .. } | Op::Concat { .. } => {
+            let first = b.dtype_of(in_ids[0]);
+            for &t in &in_ids[1..] {
+                let dt = b.dtype_of(t);
+                if dt != first {
+                    return Err(ImportError::DTypeMismatch {
+                        op: d.kind.clone(),
+                        lhs: dtype_str(first).to_string(),
+                        rhs: dtype_str(dt).to_string(),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f32_json(v: f32) -> String {
+    if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v == f32::INFINITY {
+        "\"inf\"".to_string()
+    } else if v == f32::NEG_INFINITY {
+        "\"-inf\"".to_string()
+    } else {
+        // Rust's `{}` prints the shortest representation that round-trips.
+        format!("{v}")
+    }
+}
+
+fn usize_list(vs: &[usize]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn op_attrs(op: &Op) -> String {
+    match op {
+        Op::Conv2d { stride, padding, groups } => format!(
+            ", \"stride\": [{}, {}], \"padding\": [{}, {}], \"groups\": {}",
+            stride.0, stride.1, padding.0, padding.1, groups
+        ),
+        Op::MatMul { trans_a, trans_b } => {
+            format!(", \"trans_a\": {trans_a}, \"trans_b\": {trans_b}")
+        }
+        Op::LayerNorm { axes } => format!(", \"axes\": {}", usize_list(axes)),
+        Op::InstanceNorm => String::new(),
+        Op::Softmax { axis } => format!(", \"axis\": {axis}"),
+        Op::Reduce { kind, axes, keep_dims } => {
+            let k = match kind {
+                ReduceKind::Sum => "sum",
+                ReduceKind::Mean => "mean",
+                ReduceKind::Max => "max",
+                ReduceKind::Min => "min",
+            };
+            format!(
+                ", \"reduce\": \"{k}\", \"axes\": {}, \"keep_dims\": {keep_dims}",
+                usize_list(axes)
+            )
+        }
+        Op::Pool2d { kind, kernel, stride, padding } => {
+            let k = match kind {
+                PoolKind::Max => "max",
+                PoolKind::Avg => "avg",
+            };
+            format!(
+                ", \"pool\": \"{k}\", \"kernel\": [{}, {}], \"stride\": [{}, {}], \"padding\": [{}, {}]",
+                kernel.0, kernel.1, stride.0, stride.1, padding.0, padding.1
+            )
+        }
+        Op::Unary { kind } => format!(", \"f\": \"{}\"", unary_kind_str(*kind)),
+        Op::Binary { kind } => format!(", \"f\": \"{}\"", binary_kind_str(*kind)),
+        Op::Concat { axis } => format!(", \"axis\": {axis}"),
+        Op::Reshape { shape } => format!(", \"shape\": {}", usize_list(shape)),
+        Op::Transpose { perm } => format!(", \"perm\": {}", usize_list(perm)),
+        Op::DepthToSpace { block } | Op::SpaceToDepth { block } => format!(", \"block\": {block}"),
+        Op::Gather { axis } => format!(", \"axis\": {axis}"),
+        Op::Slice { axis, start, len } => {
+            format!(", \"axis\": {axis}, \"start\": {start}, \"len\": {len}")
+        }
+        Op::Split { axis, parts } => format!(", \"axis\": {axis}, \"parts\": {parts}"),
+    }
+}
+
+fn op_kind_str(op: &Op) -> &'static str {
+    match op {
+        Op::Conv2d { .. } => "conv2d",
+        Op::MatMul { .. } => "matmul",
+        Op::LayerNorm { .. } => "layer_norm",
+        Op::InstanceNorm => "instance_norm",
+        Op::Softmax { .. } => "softmax",
+        Op::Reduce { .. } => "reduce",
+        Op::Pool2d { .. } => "pool2d",
+        Op::Unary { .. } => "unary",
+        Op::Binary { .. } => "binary",
+        Op::Concat { .. } => "concat",
+        Op::Reshape { .. } => "reshape",
+        Op::Transpose { .. } => "transpose",
+        Op::DepthToSpace { .. } => "depth_to_space",
+        Op::SpaceToDepth { .. } => "space_to_depth",
+        Op::Gather { .. } => "gather",
+        Op::Slice { .. } => "slice",
+        Op::Split { .. } => "split",
+    }
+}
+
+/// Serializes a graph back to the JSON import format.
+///
+/// Only inputs and weights appear in `tensors`; activations are implied
+/// by op outputs, referenced by tensor name. The output is accepted by
+/// [`import_json`], and `import_json(&export_json(&g))` reproduces the
+/// graph structure (ops, shapes, dtypes, names, initializers) for any
+/// graph whose tensor names are unique — which builder- and
+/// importer-produced graphs guarantee.
+pub fn export_json(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"name\": \"{}\",", esc(g.name()));
+    let _ = writeln!(out, "  \"tensors\": [");
+    let decls: Vec<&crate::TensorInfo> = g
+        .tensors()
+        .iter()
+        .filter(|t| matches!(t.kind, TensorKind::Input | TensorKind::Weight))
+        .collect();
+    for (i, t) in decls.iter().enumerate() {
+        let kind = if t.kind == TensorKind::Input { "input" } else { "weight" };
+        let init = match &t.init {
+            Some(vals) => {
+                let items: Vec<String> = vals.iter().map(|&v| f32_json(v)).collect();
+                format!(", \"init\": [{}]", items.join(", "))
+            }
+            None => String::new(),
+        };
+        let comma = if i + 1 == decls.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"shape\": {}, \"dtype\": \"{}\"{init}}}{comma}",
+            esc(&t.name),
+            usize_list(t.shape.dims()),
+            dtype_str(t.dtype)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"ops\": [");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let ins: Vec<String> =
+            n.inputs.iter().map(|&t| format!("\"{}\"", esc(&g.tensor(t).name))).collect();
+        let outs: Vec<String> =
+            n.outputs.iter().map(|&t| format!("\"{}\"", esc(&g.tensor(t).name))).collect();
+        let comma = if i + 1 == g.nodes().len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": \"{}\"{}, \"inputs\": [{}], \"outputs\": [{}]}}{comma}",
+            op_kind_str(&n.op),
+            op_attrs(&n.op),
+            ins.join(", "),
+            outs.join(", ")
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let onames: Vec<String> =
+        g.outputs().iter().map(|&t| format!("\"{}\"", esc(&g.tensor(t).name))).collect();
+    let _ = writeln!(out, "  \"outputs\": [{}]", onames.join(", "));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    const TINY: &str = r#"{
+      "name": "tiny",
+      "tensors": [
+        {"name": "x", "kind": "input", "shape": [2, 3], "dtype": "f32"},
+        {"name": "s", "kind": "weight", "shape": [1], "dtype": "f32", "init": [0.5]}
+      ],
+      "ops": [
+        {"kind": "binary", "f": "mul", "inputs": ["xt", "s"], "outputs": ["y"]},
+        {"kind": "transpose", "perm": [1, 0], "inputs": ["x"], "outputs": ["xt"]}
+      ],
+      "outputs": ["y"]
+    }"#;
+
+    #[test]
+    fn imports_out_of_order_ops() {
+        let g = import_json(TINY).unwrap();
+        assert_eq!(g.op_count(), 2);
+        assert_eq!(g.name(), "tiny");
+        // Topological order: transpose first even though listed second.
+        assert_eq!(g.nodes()[0].op.mnemonic(), "Transpose");
+        assert_eq!(g.tensor(g.outputs()[0]).name, "y");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrips_through_export() {
+        let g = import_json(TINY).unwrap();
+        let text = export_json(&g);
+        let g2 = import_json(&text).unwrap();
+        assert_eq!(export_json(&g2), text);
+        assert_eq!(g2.op_count(), g.op_count());
+        let w = g2.tensors().iter().find(|t| t.name == "s").unwrap();
+        assert_eq!(w.init.as_deref(), Some(&[0.5f32][..]));
+    }
+
+    #[test]
+    fn export_of_builder_graph_imports() {
+        let mut b = GraphBuilder::new("zoo-ish");
+        let x = b.input("x", &[1, 4, 6, 6], DType::F16);
+        let w = b.weight("w", &[8, 4, 3, 3], DType::F16);
+        let c = b.conv2d(x, w, (1, 1), (1, 1), 1);
+        let r = b.unary(c, UnaryKind::Relu);
+        let parts = b.split(r, 1, 2);
+        let cat = b.concat(&parts, 1);
+        b.output(cat);
+        let g = b.finish();
+        let g2 = import_json(&export_json(&g)).unwrap();
+        assert_eq!(g2.op_count(), g.op_count());
+        assert_eq!(export_json(&g2), export_json(&g));
+    }
+
+    #[test]
+    fn truncated_input_is_a_parse_error() {
+        let cut = &TINY[..TINY.len() / 2];
+        assert!(matches!(import_json(cut), Err(ImportError::Parse { .. })));
+    }
+
+    #[test]
+    fn unknown_op_is_typed() {
+        let src = TINY.replace("\"transpose\"", "\"warp\"");
+        assert!(matches!(import_json(&src), Err(ImportError::UnknownOp(k)) if k == "warp"));
+    }
+
+    #[test]
+    fn dangling_edge_is_typed() {
+        let src = TINY.replace("[\"xt\", \"s\"]", "[\"xt\", \"ghost\"]");
+        assert!(matches!(import_json(&src), Err(ImportError::UnknownTensor(n)) if n == "ghost"));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let src = r#"{
+          "tensors": [{"name": "x", "kind": "input", "shape": [2, 2], "dtype": "f32"}],
+          "ops": [
+            {"kind": "binary", "f": "add", "inputs": ["x", "b"], "outputs": ["a"]},
+            {"kind": "binary", "f": "add", "inputs": ["x", "a"], "outputs": ["b"]}
+          ],
+          "outputs": ["b"]
+        }"#;
+        assert!(matches!(import_json(src), Err(ImportError::Cycle(_))));
+    }
+
+    #[test]
+    fn dtype_mismatch_is_typed() {
+        let src = TINY.replace(
+            "{\"name\": \"s\", \"kind\": \"weight\", \"shape\": [1], \"dtype\": \"f32\", \"init\": [0.5]}",
+            "{\"name\": \"s\", \"kind\": \"weight\", \"shape\": [1], \"dtype\": \"i8\"}",
+        );
+        assert!(matches!(import_json(&src), Err(ImportError::DTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_init_length_is_typed() {
+        let src = TINY.replace("\"init\": [0.5]", "\"init\": [0.5, 1.5]");
+        assert!(matches!(import_json(&src), Err(ImportError::BadInit { expected: 1, got: 2, .. })));
+    }
+
+    #[test]
+    fn shape_inference_errors_are_wrapped() {
+        let src = TINY.replace("\"perm\": [1, 0]", "\"perm\": [0, 0]");
+        assert!(matches!(import_json(&src), Err(ImportError::Graph(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let src = TINY.replace("\"outputs\": [\"y\"]}", "\"outputs\": [\"x\"]}");
+        // First replaced occurrence is the binary op's outputs list.
+        assert!(matches!(import_json(&src), Err(ImportError::DuplicateTensor(_))));
+    }
+
+    #[test]
+    fn deep_nesting_rejected_without_stack_overflow() {
+        let bomb = "[".repeat(10_000);
+        assert!(matches!(import_json(&bomb), Err(ImportError::Parse { .. })));
+    }
+
+    #[test]
+    fn non_finite_init_roundtrips() {
+        let mut b = GraphBuilder::new("nf");
+        let x = b.input("x", &[2], DType::F32);
+        let w = b.weight_init("w", &[2], DType::F32, vec![f32::INFINITY, 1.0]);
+        let y = b.add(x, w);
+        b.output(y);
+        let g = b.finish();
+        let g2 = import_json(&export_json(&g)).unwrap();
+        let w2 = g2.tensors().iter().find(|t| t.name == "w").unwrap();
+        assert_eq!(w2.init.as_ref().unwrap()[0], f32::INFINITY);
+    }
+
+    #[test]
+    fn split_arity_mismatch_is_typed() {
+        let src = r#"{
+          "tensors": [{"name": "x", "kind": "input", "shape": [4, 2], "dtype": "f32"}],
+          "ops": [{"kind": "split", "axis": 0, "parts": 2, "inputs": ["x"], "outputs": ["a"]}],
+          "outputs": ["a"]
+        }"#;
+        assert!(matches!(
+            import_json(src),
+            Err(ImportError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+}

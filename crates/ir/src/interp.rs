@@ -1,0 +1,679 @@
+//! Reference interpreter for differential testing.
+//!
+//! Executes a [`Graph`] over small dense tensors so tests can compare a
+//! graph's observable behaviour before and after an optimizing pipeline
+//! runs. This is a *semantics oracle*, not a performance path: all
+//! arithmetic is `f32` regardless of the tensor dtype, and every operator
+//! is implemented as the most literal possible loop nest.
+//!
+//! Value conventions:
+//!
+//! * Weights carrying an initializer ([`crate::TensorInfo::init`]) use it
+//!   verbatim.
+//! * Inputs and initializer-less weights get values derived
+//!   deterministically from the *tensor name* (via [`seed_value`]), so a
+//!   semantics-preserving rewrite that keeps input/weight names keeps the
+//!   evaluation. Floating tensors get values in `[-1, 1]`; integer
+//!   tensors (`i32`/`i8`) get small non-negative integers so they can
+//!   serve as `Gather` indices.
+//! * `Gather` clamps indices into range (out-of-range indices in a fuzzed
+//!   graph must not crash the oracle).
+//!
+//! Comparisons use [`approx_eq`]: rewrites such as collapsing `(x·c₁)·c₂`
+//! into `x·(c₁·c₂)` reassociate floating point, so exact equality is the
+//! wrong check; NaN is considered equal to NaN.
+
+use crate::dtype::DType;
+use crate::graph::{Graph, TensorKind};
+use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
+use crate::shape::Shape;
+
+/// A dense `f32` tensor value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorValue {
+    /// Logical shape of the value.
+    pub shape: Shape,
+    /// Elements in row-major order (`shape.numel()` of them).
+    pub data: Vec<f32>,
+}
+
+impl TensorValue {
+    /// Creates a value, checking the element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape.numel()`.
+    pub fn new(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(data.len() as u64, shape.numel(), "value length mismatch for {shape}");
+        TensorValue { shape, data }
+    }
+
+    fn at(&self, coord: &[usize]) -> f32 {
+        self.data[self.shape.linearize(coord) as usize]
+    }
+
+    /// Reads with NumPy broadcast semantics against a larger coordinate
+    /// (trailing-aligned; extent-1 dims repeat).
+    fn at_broadcast(&self, coord: &[usize]) -> f32 {
+        let r = self.shape.rank();
+        let skip = coord.len() - r;
+        let mapped: Vec<usize> =
+            (0..r).map(|i| if self.shape.dim(i) == 1 { 0 } else { coord[skip + i] }).collect();
+        self.at(&mapped)
+    }
+}
+
+/// splitmix64: the deterministic scrambler behind [`seed_value`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic value for an input or initializer-less weight, derived
+/// from the tensor name alone (see the module docs for the convention).
+pub fn seed_value(name: &str, dtype: DType, shape: &Shape) -> TensorValue {
+    let base = fnv64(name);
+    let n = shape.numel() as usize;
+    let data: Vec<f32> = (0..n)
+        .map(|i| {
+            let h = splitmix64(base ^ splitmix64(i as u64));
+            match dtype {
+                // Small non-negative integers: usable as gather indices.
+                DType::I32 | DType::I8 => (h % 4) as f32,
+                // Uniform in [-1, 1] with 53-bit resolution.
+                DType::F16 | DType::F32 => {
+                    (((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0) as f32
+                }
+            }
+        })
+        .collect();
+    TensorValue::new(shape.clone(), data)
+}
+
+/// Relative-plus-absolute tolerance comparison; NaN equals NaN.
+///
+/// `|a - b| <= abs + rel * max(|a|, |b|)` element-wise, same shape.
+pub fn approx_eq(a: &TensorValue, b: &TensorValue, rel: f32, abs: f32) -> bool {
+    if a.shape != b.shape || a.data.len() != b.data.len() {
+        return false;
+    }
+    a.data.iter().zip(b.data.iter()).all(|(&x, &y)| {
+        if x.is_nan() && y.is_nan() {
+            return true;
+        }
+        (x - y).abs() <= abs + rel * x.abs().max(y.abs())
+    })
+}
+
+/// Evaluates the graph, returning the output values in
+/// [`Graph::outputs`] order.
+///
+/// Intended for small tensors (the generator caps element counts); the
+/// loop nests here are `O(numel · kernel)` with no blocking.
+///
+/// # Errors
+///
+/// Returns a description of the first operator whose evaluation is
+/// undefined (should not happen for graphs that pass shape inference).
+pub fn run_graph(g: &Graph) -> Result<Vec<TensorValue>, String> {
+    let mut values: Vec<Option<TensorValue>> = vec![None; g.tensors().len()];
+    for (i, t) in g.tensors().iter().enumerate() {
+        match t.kind {
+            TensorKind::Input | TensorKind::Weight => {
+                values[i] = Some(match &t.init {
+                    Some(init) => TensorValue::new(t.shape.clone(), init.clone()),
+                    None => seed_value(&t.name, t.dtype, &t.shape),
+                });
+            }
+            TensorKind::Activation => {}
+        }
+    }
+    for n in g.nodes() {
+        let ins: Vec<&TensorValue> = n
+            .inputs
+            .iter()
+            .map(|&t| {
+                values[t.0 as usize]
+                    .as_ref()
+                    .ok_or_else(|| format!("{}: operand {} not yet computed", n.name, t.0))
+            })
+            .collect::<Result<_, String>>()?;
+        let outs = eval_op(&n.op, &ins)?;
+        if outs.len() != n.outputs.len() {
+            return Err(format!("{}: arity mismatch", n.name));
+        }
+        for (t, v) in n.outputs.iter().zip(outs) {
+            values[t.0 as usize] = Some(v);
+        }
+    }
+    g.outputs()
+        .iter()
+        .map(|&t| {
+            values[t.0 as usize]
+                .clone()
+                .ok_or_else(|| format!("output tensor {} never computed", t.0))
+        })
+        .collect()
+}
+
+/// Evaluates one operator on concrete values.
+///
+/// This is the single source of truth for operator semantics: the
+/// differential harness uses it through [`run_graph`], and the streamline
+/// constant-folding pass uses it directly so folded weights are
+/// bit-identical to what interpretation would produce.
+///
+/// # Errors
+///
+/// Returns a message when operand shapes do not satisfy the operator
+/// (mirrors [`crate::infer_output_shapes`] failures).
+pub fn eval_op(op: &Op, inputs: &[&TensorValue]) -> Result<Vec<TensorValue>, String> {
+    let shapes: Vec<&Shape> = inputs.iter().map(|v| &v.shape).collect();
+    let out_shapes = crate::graph::infer_output_shapes(op, &shapes).map_err(|e| e.to_string())?;
+    let one = |v: TensorValue| Ok(vec![v]);
+    match op {
+        Op::Conv2d { stride, padding, groups } => {
+            let x = inputs[0];
+            let w = inputs[1];
+            let out_shape = out_shapes[0].clone();
+            let (n_, oc, oh, ow) =
+                (out_shape.dim(0), out_shape.dim(1), out_shape.dim(2), out_shape.dim(3));
+            let (cpg, kh, kw) = (w.shape.dim(1), w.shape.dim(2), w.shape.dim(3));
+            let ocpg = oc / groups;
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            let mut idx = 0;
+            for n in 0..n_ {
+                for o in 0..oc {
+                    let g = o / ocpg;
+                    for y in 0..oh {
+                        for xo in 0..ow {
+                            let mut acc = 0f32;
+                            for c in 0..cpg {
+                                for ky in 0..kh {
+                                    for kx in 0..kw {
+                                        let iy = (y * stride.0 + ky) as isize - padding.0 as isize;
+                                        let ix = (xo * stride.1 + kx) as isize - padding.1 as isize;
+                                        if iy < 0
+                                            || ix < 0
+                                            || iy as usize >= x.shape.dim(2)
+                                            || ix as usize >= x.shape.dim(3)
+                                        {
+                                            continue;
+                                        }
+                                        acc += x.at(&[n, g * cpg + c, iy as usize, ix as usize])
+                                            * w.at(&[o, c, ky, kx]);
+                                    }
+                                }
+                            }
+                            data[idx] = acc;
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::MatMul { trans_a, trans_b } => {
+            let a = inputs[0];
+            let b = inputs[1];
+            let out_shape = out_shapes[0].clone();
+            let r = out_shape.rank();
+            let ar = a.shape.rank();
+            let k = if *trans_a { a.shape.dim(ar - 2) } else { a.shape.dim(ar - 1) };
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let coord = out_shape.delinearize(lin as u64);
+                let (mi, ni) = (coord[r - 2], coord[r - 1]);
+                let mut acc = 0f32;
+                for ki in 0..k {
+                    let a_mat = if *trans_a { [ki, mi] } else { [mi, ki] };
+                    let b_mat = if *trans_b { [ni, ki] } else { [ki, ni] };
+                    acc += batched_at(a, &coord[..r - 2], &a_mat)
+                        * batched_at(b, &coord[..r - 2], &b_mat);
+                }
+                *slot = acc;
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::LayerNorm { axes } => one(normalize(inputs[0], axes)),
+        Op::InstanceNorm => one(normalize(inputs[0], &[2, 3])),
+        Op::Softmax { axis } => {
+            let x = inputs[0];
+            let mut out = x.clone();
+            for_each_lane(&x.shape, *axis, |lane| {
+                let max = lane.iter().map(|&i| x.data[i]).fold(f32::NEG_INFINITY, f32::max);
+                let sum: f32 = lane.iter().map(|&i| (x.data[i] - max).exp()).sum();
+                for &i in lane {
+                    out.data[i] = (x.data[i] - max).exp() / sum;
+                }
+            });
+            one(out)
+        }
+        Op::Reduce { kind, axes, keep_dims: _ } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let count: u64 = axes.iter().map(|&a| x.shape.dim(a) as u64).product();
+            let init = match kind {
+                ReduceKind::Sum | ReduceKind::Mean => 0f32,
+                ReduceKind::Max => f32::NEG_INFINITY,
+                ReduceKind::Min => f32::INFINITY,
+            };
+            let mut data = vec![init; out_shape.numel() as usize];
+            for (lin, &v) in x.data.iter().enumerate() {
+                let coord = x.shape.delinearize(lin as u64);
+                // Map the input coordinate onto the (possibly smaller)
+                // output coordinate by dropping/zeroing reduced axes.
+                let mut oc = Vec::with_capacity(out_shape.rank());
+                for (i, &c) in coord.iter().enumerate() {
+                    if axes.contains(&i) {
+                        if out_shape.rank() == x.shape.rank() {
+                            oc.push(0); // keep_dims
+                        }
+                    } else {
+                        oc.push(c);
+                    }
+                }
+                let o = out_shape.linearize(&oc) as usize;
+                data[o] = match kind {
+                    ReduceKind::Sum | ReduceKind::Mean => data[o] + v,
+                    ReduceKind::Max => data[o].max(v),
+                    ReduceKind::Min => data[o].min(v),
+                };
+            }
+            if *kind == ReduceKind::Mean {
+                for v in &mut data {
+                    *v /= count as f32;
+                }
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Pool2d { kind, kernel, stride, padding } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let c = out_shape.delinearize(lin as u64);
+                let mut acc = if *kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                let mut seen = 0u32;
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        let iy = (c[2] * stride.0 + ky) as isize - padding.0 as isize;
+                        let ix = (c[3] * stride.1 + kx) as isize - padding.1 as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy as usize >= x.shape.dim(2)
+                            || ix as usize >= x.shape.dim(3)
+                        {
+                            continue;
+                        }
+                        let v = x.at(&[c[0], c[1], iy as usize, ix as usize]);
+                        acc = if *kind == PoolKind::Max { acc.max(v) } else { acc + v };
+                        seen += 1;
+                    }
+                }
+                *slot = if *kind == PoolKind::Avg && seen > 0 { acc / seen as f32 } else { acc };
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Unary { kind } => {
+            let x = inputs[0];
+            let data = x.data.iter().map(|&v| unary_fn(*kind, v)).collect();
+            one(TensorValue::new(x.shape.clone(), data))
+        }
+        Op::Binary { kind } => {
+            let a = inputs[0];
+            let b = inputs[1];
+            let out_shape = out_shapes[0].clone();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let coord = out_shape.delinearize(lin as u64);
+                let (x, y) = (a.at_broadcast(&coord), b.at_broadcast(&coord));
+                *slot = match kind {
+                    BinaryKind::Add => x + y,
+                    BinaryKind::Sub => x - y,
+                    BinaryKind::Mul => x * y,
+                    BinaryKind::Div => x / y,
+                    BinaryKind::Max => x.max(y),
+                };
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Concat { axis } => {
+            let out_shape = out_shapes[0].clone();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            let mut base = 0usize;
+            for part in inputs {
+                for (lin, &v) in part.data.iter().enumerate() {
+                    let mut coord = part.shape.delinearize(lin as u64);
+                    coord[*axis] += base;
+                    data[out_shape.linearize(&coord) as usize] = v;
+                }
+                base += part.shape.dim(*axis);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        // Reshape reinterprets the same row-major buffer.
+        Op::Reshape { .. } => one(TensorValue::new(out_shapes[0].clone(), inputs[0].data.clone())),
+        Op::Transpose { perm } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let oc = out_shape.delinearize(lin as u64);
+                // out[i] indexes input dim perm[i].
+                let mut ic = vec![0usize; x.shape.rank()];
+                for (i, &p) in perm.iter().enumerate() {
+                    ic[p] = oc[i];
+                }
+                *slot = x.at(&ic);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::DepthToSpace { block } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let cout = out_shape.dim(1);
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let c = out_shape.delinearize(lin as u64);
+                let (bh, bw) = (c[2] % block, c[3] % block);
+                // DCR convention: input channel = bh·(b·C') + bw·C' + c.
+                *slot = x.at(&[c[0], (bh * block + bw) * cout + c[1], c[2] / block, c[3] / block]);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::SpaceToDepth { block } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let cin = x.shape.dim(1);
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let c = out_shape.delinearize(lin as u64);
+                let blk = c[1] / cin;
+                let (bh, bw) = (blk / block, blk % block);
+                *slot = x.at(&[c[0], c[1] % cin, c[2] * block + bh, c[3] * block + bw]);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Gather { axis } => {
+            let data_t = inputs[0];
+            let idx_t = inputs[1];
+            let out_shape = out_shapes[0].clone();
+            let extent = data_t.shape.dim(*axis);
+            let ir = idx_t.shape.rank();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let oc = out_shape.delinearize(lin as u64);
+                let idx_coord = &oc[*axis..*axis + ir];
+                let raw = idx_t.at(idx_coord);
+                // Clamp: the oracle must stay total on fuzzed indices.
+                let sel = (raw.round().max(0.0) as usize).min(extent.saturating_sub(1));
+                let mut dc = Vec::with_capacity(data_t.shape.rank());
+                dc.extend_from_slice(&oc[..*axis]);
+                dc.push(sel);
+                dc.extend_from_slice(&oc[*axis + ir..]);
+                *slot = data_t.at(&dc);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Slice { axis, start, len: _ } => {
+            let x = inputs[0];
+            let out_shape = out_shapes[0].clone();
+            let mut data = vec![0f32; out_shape.numel() as usize];
+            for (lin, slot) in data.iter_mut().enumerate() {
+                let mut c = out_shape.delinearize(lin as u64);
+                c[*axis] += start;
+                *slot = x.at(&c);
+            }
+            one(TensorValue::new(out_shape, data))
+        }
+        Op::Split { axis, parts } => {
+            let x = inputs[0];
+            let step = x.shape.dim(*axis) / parts;
+            let mut outs = Vec::with_capacity(*parts);
+            for (p, out_shape) in out_shapes.into_iter().enumerate() {
+                let mut data = vec![0f32; out_shape.numel() as usize];
+                for (lin, slot) in data.iter_mut().enumerate() {
+                    let mut c = out_shape.delinearize(lin as u64);
+                    c[*axis] += p * step;
+                    *slot = x.at(&c);
+                }
+                outs.push(TensorValue::new(out_shape, data));
+            }
+            Ok(outs)
+        }
+    }
+}
+
+fn unary_fn(kind: UnaryKind, v: f32) -> f32 {
+    match kind {
+        UnaryKind::Relu => v.max(0.0),
+        // tanh-approximated GELU (the common inference-kernel form).
+        UnaryKind::Gelu => {
+            0.5 * v
+                * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)).tanh())
+        }
+        UnaryKind::Silu => v * (1.0 / (1.0 + (-v).exp())),
+        UnaryKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        UnaryKind::Tanh => v.tanh(),
+        UnaryKind::Exp => v.exp(),
+        UnaryKind::Sqrt => v.sqrt(),
+        UnaryKind::Recip => 1.0 / v,
+        UnaryKind::Neg => -v,
+        UnaryKind::Identity => v,
+    }
+}
+
+/// Mean/variance normalization over `axes` with eps 1e-5 (no learned
+/// scale/shift — the ops carry none).
+fn normalize(x: &TensorValue, axes: &[usize]) -> TensorValue {
+    const EPS: f32 = 1e-5;
+    let mut out = x.clone();
+    for_each_group(&x.shape, axes, |group| {
+        let n = group.len() as f32;
+        let mean: f32 = group.iter().map(|&i| x.data[i]).sum::<f32>() / n;
+        let var: f32 = group.iter().map(|&i| (x.data[i] - mean).powi(2)).sum::<f32>() / n;
+        let denom = (var + EPS).sqrt();
+        for &i in group {
+            out.data[i] = (x.data[i] - mean) / denom;
+        }
+    });
+    out
+}
+
+/// Calls `f` once per 1-D lane along `axis` with the linear offsets of
+/// that lane's elements.
+fn for_each_lane(shape: &Shape, axis: usize, mut f: impl FnMut(&[usize])) {
+    for_each_group(shape, &[axis], |g| f(g));
+}
+
+/// Calls `f` once per group of elements that agree on every coordinate
+/// outside `axes`, passing the group's linear offsets.
+fn for_each_group(shape: &Shape, axes: &[usize], mut f: impl FnMut(&[usize])) {
+    let numel = shape.numel() as usize;
+    let mut visited = vec![false; numel];
+    let mut group = Vec::new();
+    for lin in 0..numel {
+        if visited[lin] {
+            continue;
+        }
+        let anchor = shape.delinearize(lin as u64);
+        group.clear();
+        // Enumerate the cartesian product over the grouped axes.
+        let extents: Vec<usize> = axes.iter().map(|&a| shape.dim(a)).collect();
+        let count: usize = extents.iter().product();
+        for k in 0..count {
+            let mut rem = k;
+            let mut c = anchor.clone();
+            for (ei, &a) in axes.iter().enumerate().rev() {
+                c[a] = rem % extents[ei];
+                rem /= extents[ei];
+            }
+            let off = shape.linearize(&c) as usize;
+            visited[off] = true;
+            group.push(off);
+        }
+        f(&group);
+    }
+}
+
+/// Element of a batched matrix operand: `batch` coordinates are
+/// broadcast-aligned (trailing dims), `mat` is the `[row, col]` pair.
+fn batched_at(v: &TensorValue, batch: &[usize], mat: &[usize; 2]) -> f32 {
+    let r = v.shape.rank();
+    let vb = r - 2; // batch dims this operand actually has
+    let skip = batch.len() - vb;
+    let mut c = Vec::with_capacity(r);
+    for i in 0..vb {
+        c.push(if v.shape.dim(i) == 1 { 0 } else { batch[skip + i] });
+    }
+    c.push(mat[0]);
+    c.push(mat[1]);
+    v.at(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn val(dims: &[usize], data: Vec<f32>) -> TensorValue {
+        TensorValue::new(Shape::new(dims.to_vec()), data)
+    }
+
+    #[test]
+    fn transpose_then_inverse_is_identity() {
+        let x = val(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let t = eval_op(&Op::Transpose { perm: vec![1, 0] }, &[&x]).unwrap();
+        let back = eval_op(&Op::Transpose { perm: vec![1, 0] }, &[&t[0]]).unwrap();
+        assert_eq!(back[0], x);
+        assert_eq!(t[0].data, vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = val(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = val(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let out = eval_op(&Op::MatMul { trans_a: false, trans_b: false }, &[&a, &b]).unwrap();
+        assert_eq!(out[0].data, vec![4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_flags_agree_with_explicit_transpose() {
+        let a = val(&[3, 2], vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // [K, M]
+        let b = val(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let at = eval_op(&Op::Transpose { perm: vec![1, 0] }, &[&a]).unwrap();
+        let flagged = eval_op(&Op::MatMul { trans_a: true, trans_b: false }, &[&a, &b]).unwrap();
+        let explicit =
+            eval_op(&Op::MatMul { trans_a: false, trans_b: false }, &[&at[0], &b]).unwrap();
+        assert_eq!(flagged[0], explicit[0]);
+    }
+
+    #[test]
+    fn broadcast_binary() {
+        let a = val(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = val(&[1], vec![10.0]);
+        let out = eval_op(&Op::Binary { kind: BinaryKind::Mul }, &[&a, &s]).unwrap();
+        assert_eq!(out[0].data, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let x = val(&[2, 4], (0..8).map(|i| i as f32 * 0.3).collect());
+        let out = eval_op(&Op::Softmax { axis: 1 }, &[&x]).unwrap();
+        for row in out[0].data.chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reduce_mean_keepdims() {
+        let x = val(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out =
+            eval_op(&Op::Reduce { kind: ReduceKind::Mean, axes: vec![1], keep_dims: true }, &[&x])
+                .unwrap();
+        assert_eq!(out[0].shape.dims(), &[2, 1]);
+        assert_eq!(out[0].data, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn depth_space_inverse() {
+        let x = val(&[1, 4, 2, 2], (0..16).map(|i| i as f32).collect());
+        let d = eval_op(&Op::DepthToSpace { block: 2 }, &[&x]).unwrap();
+        let back = eval_op(&Op::SpaceToDepth { block: 2 }, &[&d[0]]).unwrap();
+        assert_eq!(back[0], x);
+    }
+
+    #[test]
+    fn gather_clamps_out_of_range() {
+        let d = val(&[3, 2], vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let idx = val(&[2], vec![1.0, 99.0]);
+        let out = eval_op(&Op::Gather { axis: 0 }, &[&d, &idx]).unwrap();
+        assert_eq!(out[0].data, vec![10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let x = val(&[2, 4], (0..8).map(|i| i as f32).collect());
+        let parts = eval_op(&Op::Split { axis: 1, parts: 2 }, &[&x]).unwrap();
+        let refs: Vec<&TensorValue> = parts.iter().collect();
+        let cat = eval_op(&Op::Concat { axis: 1 }, &refs).unwrap();
+        assert_eq!(cat[0], x);
+    }
+
+    #[test]
+    fn graph_run_is_deterministic_and_name_derived() {
+        let build = |input_name: &str| {
+            let mut b = GraphBuilder::new("det");
+            let x = b.input(input_name, &[2, 3], DType::F32);
+            let y = b.unary(x, UnaryKind::Relu);
+            b.output(y);
+            b.finish()
+        };
+        let a = run_graph(&build("x")).unwrap();
+        let b_ = run_graph(&build("x")).unwrap();
+        let c = run_graph(&build("other")).unwrap();
+        assert_eq!(a, b_);
+        assert_ne!(a, c); // values follow the tensor name
+    }
+
+    #[test]
+    fn init_overrides_seeding() {
+        let mut b = GraphBuilder::new("init");
+        let x = b.input("x", &[2], DType::F32);
+        let w = b.weight_init("w", &[2], DType::F32, vec![100.0, 200.0]);
+        let y = b.add(x, w);
+        b.output(y);
+        let out = run_graph(&b.finish()).unwrap();
+        assert!(out[0].data[0] > 90.0 && out[0].data[1] > 190.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_reassociation_and_nan() {
+        let a = val(&[2], vec![1.0000001, f32::NAN]);
+        let b = val(&[2], vec![1.0, f32::NAN]);
+        assert!(approx_eq(&a, &b, 1e-4, 1e-6));
+        let c = val(&[2], vec![2.0, 0.0]);
+        assert!(!approx_eq(&a, &c, 1e-4, 1e-6));
+    }
+
+    #[test]
+    fn instance_norm_zero_mean() {
+        let x = val(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = eval_op(&Op::InstanceNorm, &[&x]).unwrap();
+        let mean: f32 = out[0].data.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+}

@@ -35,14 +35,17 @@
 
 mod dtype;
 mod error;
+pub mod generate;
 mod graph;
+pub mod import;
+pub mod interp;
 mod layout;
 mod ops;
 mod shape;
 pub mod wire;
 
 pub use dtype::DType;
-pub use error::IrError;
+pub use error::{ImportError, IrError};
 pub use graph::{
     infer_output_shapes, Graph, GraphBuilder, Node, OpId, OpOrigin, TensorId, TensorInfo,
     TensorKind,

@@ -120,6 +120,11 @@ impl Writer {
         self.put_u64(v.to_bits());
     }
 
+    /// Appends an `f32` as its IEEE-754 bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
     /// Appends raw bytes (no length prefix).
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
@@ -176,6 +181,11 @@ impl<'a> Reader<'a> {
     /// Reads an `f64` from its bit pattern.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32()?))
     }
 
     /// Reads a sequence-length prefix, rejecting lengths that could not
@@ -292,6 +302,18 @@ impl Encode for f64 {
 impl Decode for f64 {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.get_f64()
+    }
+}
+
+impl Encode for f32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f32(*self);
+    }
+}
+
+impl Decode for f32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_f32()
     }
 }
 
@@ -791,19 +813,31 @@ impl Encode for TensorInfo {
         self.kind.encode(w);
         self.producer.encode(w);
         self.consumers.encode(w);
+        self.init.encode(w);
     }
 }
 
 impl Decode for TensorInfo {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(TensorInfo {
+        let info = TensorInfo {
             name: Decode::decode(r)?,
             shape: Decode::decode(r)?,
             dtype: Decode::decode(r)?,
             kind: Decode::decode(r)?,
             producer: Decode::decode(r)?,
             consumers: Decode::decode(r)?,
-        })
+            init: Decode::decode(r)?,
+        };
+        if let Some(init) = &info.init {
+            if init.len() as u64 != info.shape.numel() {
+                return Err(WireError::Invalid(format!(
+                    "initializer length {} does not match shape {}",
+                    init.len(),
+                    info.shape
+                )));
+            }
+        }
+        Ok(info)
     }
 }
 

@@ -113,3 +113,53 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated graphs — including weight initializers, which ride the
+    /// v2 `TensorInfo` wire layout — survive a wire round trip exactly.
+    #[test]
+    fn graphs_with_initializers_roundtrip_on_the_wire(seed in 0u64..500) {
+        use smartmem_ir::wire::{decode_from, encode_to_vec};
+        let g = smartmem_ir::generate::random_graph(seed);
+        let bytes = encode_to_vec(&g);
+        let back: smartmem_ir::Graph = decode_from(&bytes).expect("decode");
+        back.validate().expect("decoded graph invalid");
+        prop_assert_eq!(g.to_string(), back.to_string());
+        // Initializers are value-exact (bit-level f32 equality).
+        for (a, b) in g.tensors().iter().zip(back.tensors()) {
+            prop_assert_eq!(&a.name, &b.name);
+            match (&a.init, &b.init) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(x.len(), y.len());
+                    for (u, v) in x.iter().zip(y) {
+                        prop_assert_eq!(u.to_bits(), v.to_bits());
+                    }
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "init presence changed"),
+            }
+        }
+        // Re-encoding the decoded graph is byte-stable.
+        prop_assert_eq!(bytes, encode_to_vec(&back));
+    }
+
+    /// Non-finite initializers survive the wire bit-exactly too.
+    #[test]
+    fn nonfinite_inits_roundtrip(bits in 0usize..6) {
+        use smartmem_ir::wire::{decode_from, encode_to_vec};
+        use smartmem_ir::{DType, GraphBuilder, UnaryKind};
+        let v = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0, f32::MIN_POSITIVE][bits];
+        let mut b = GraphBuilder::new("nf");
+        let x = b.input("x", &[1], DType::F32);
+        let w = b.weight_init("w", &[1], DType::F32, vec![v]);
+        let s = b.add(x, w);
+        let y = b.unary(s, UnaryKind::Relu);
+        b.output(y);
+        let g = b.finish();
+        let back: smartmem_ir::Graph = decode_from(&encode_to_vec(&g)).expect("decode");
+        let got = back.tensors().iter().find(|t| t.name == "w").unwrap().init.as_ref().unwrap()[0];
+        prop_assert_eq!(got.to_bits(), v.to_bits());
+    }
+}

@@ -100,7 +100,7 @@
 //! let device = DeviceConfig::snapdragon_8gen2();
 //! let out = SmartMemPipeline::new().optimize_timed(&models::vit(1), &device).unwrap();
 //! let names: Vec<&str> = out.timings.iter().map(|t| t.pass.as_str()).collect();
-//! assert_eq!(names, ["lte", "fusion", "assemble-groups", "layout-select", "tune"]);
+//! assert_eq!(names, ["streamline", "lte", "fusion", "assemble-groups", "layout-select", "tune"]);
 //! ```
 
 pub use smartmem_baselines as baselines;

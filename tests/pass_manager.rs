@@ -40,10 +40,10 @@ const SNAPSHOTS: &[(&str, &str, StatsSnapshot)] = &[
     ("MNN", "swin_tiny", Some((436, 0, 1))),
     ("NCNN", "swin_tiny", None),
     ("TFLite", "swin_tiny", None),
-    ("TVM", "swin_tiny", Some((500, 0, 1))),
+    ("TVM", "swin_tiny", Some((475, 0, 1))),
     ("DNNFusion", "swin_tiny", Some((254, 0, 0))),
-    ("SmartMem", "swin_tiny", Some((154, 269, 0))),
-    ("TorchInductor", "swin_tiny", Some((254, 0, 0))),
+    ("SmartMem", "swin_tiny", Some((154, 244, 0))),
+    ("TorchInductor", "swin_tiny", Some((250, 0, 0))),
     ("MNN", "resnext50", Some((75, 0, 3))),
     ("NCNN", "resnext50", Some((175, 0, 0))),
     ("TFLite", "resnext50", Some((75, 0, 3))),
@@ -177,7 +177,101 @@ fn smartmem_stats_are_internally_consistent() {
             assert_eq!(s.source_ops, graph.op_count());
             assert_eq!(s.kernel_count, opt.groups.len());
             assert_eq!(s.implicit_inserted, 0, "SmartMem never inserts relayouts");
-            assert!(s.kernel_count + s.eliminated_ops + s.fused_ops >= s.source_ops);
+            assert!(
+                s.kernel_count + s.eliminated_ops + s.fused_ops + s.streamline_removed_ops
+                    >= s.source_ops
+            );
+        }
+    }
+}
+
+/// Per-pass OptStats snapshots on the checked-in import fixtures.
+///
+/// `finn_mlp` is the acceptance anchor for the streamline family: its
+/// two explicit transposes (around a relu + scalar-mul chain) must be
+/// moved together, cancelled, and never reappear — the pinned
+/// `streamline_transposes_removed == 2` below is a deliberate contract.
+#[test]
+fn fixture_snapshots_per_pass() {
+    use smartmem::ir::import::import_json;
+
+    // (fixture, source_ops, final (kernels, eliminated, fused,
+    //  streamline_removed_ops, streamline_transposes_removed),
+    //  transposes left in the optimized graph)
+    type FixtureRow =
+        (&'static str, &'static str, usize, (usize, usize, usize, usize, usize), usize);
+    const FIXTURES: &[FixtureRow] = &[
+        ("finn_mlp", include_str!("fixtures/finn_mlp.json"), 6, (2, 0, 1, 3, 2), 0),
+        (
+            "convertlayout_cnn",
+            include_str!("fixtures/convertlayout_cnn.json"),
+            8,
+            (1, 0, 2, 5, 2),
+            0,
+        ),
+        ("single_op", include_str!("fixtures/single_op.json"), 1, (1, 0, 0, 0, 0), 0),
+    ];
+
+    let device = device();
+    for &(name, src, source_ops, expected, transposes_left) in FIXTURES {
+        let graph = import_json(src).unwrap_or_else(|e| panic!("{name}: import failed: {e}"));
+        assert_eq!(graph.op_count(), source_ops, "{name}: fixture drifted");
+        let out = SmartMemPipeline::new().optimize_timed(&graph, &device).unwrap();
+
+        // Per-pass shape of the stats: streamline acts first and alone
+        // on the streamline counters; groups appear at assemble-groups.
+        let timings = &out.timings;
+        assert_eq!(timings[0].pass, "streamline");
+        assert_eq!(
+            timings[0].stats.streamline_removed_ops, expected.3,
+            "{name}: streamline removals drifted"
+        );
+        assert_eq!(
+            timings[0].stats.streamline_transposes_removed, expected.4,
+            "{name}: transpose removals drifted"
+        );
+        for t in timings {
+            assert_eq!(
+                t.stats.streamline_removed_ops, expected.3,
+                "{name}: later pass {} altered streamline counters",
+                t.pass
+            );
+        }
+
+        let s = out.optimized.stats;
+        let actual = (
+            s.kernel_count,
+            s.eliminated_ops,
+            s.fused_ops,
+            s.streamline_removed_ops,
+            s.streamline_transposes_removed,
+        );
+        assert_eq!(actual, expected, "{name}: final stats drifted");
+        let left =
+            out.optimized.graph.nodes().iter().filter(|n| n.op.mnemonic() == "Transpose").count();
+        assert_eq!(left, transposes_left, "{name}: residual transposes drifted");
+    }
+}
+
+/// The fixtures compile under every framework that supports their
+/// operator set, and no framework's rewrites grow the transpose count.
+#[test]
+fn fixtures_compile_under_all_frameworks() {
+    use smartmem::ir::import::import_json;
+    let device = device();
+    for src in [
+        include_str!("fixtures/finn_mlp.json"),
+        include_str!("fixtures/convertlayout_cnn.json"),
+        include_str!("fixtures/single_op.json"),
+    ] {
+        let graph = import_json(src).unwrap();
+        let before = graph.nodes().iter().filter(|n| n.op.mnemonic() == "Transpose").count();
+        for fw in all_frameworks() {
+            if let Ok(opt) = fw.optimize(&graph, &device) {
+                let after =
+                    opt.graph.nodes().iter().filter(|n| n.op.mnemonic() == "Transpose").count();
+                assert!(after <= before, "{} grew transposes on {}", fw.name(), graph.name());
+            }
         }
     }
 }
