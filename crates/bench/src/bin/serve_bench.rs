@@ -26,6 +26,17 @@
 //! 1 = all), and `--json PATH` (machine-readable records for CI
 //! artifacts and the `bench_diff` regression gate).
 //!
+//! Chaos/fleet mode: `--replicas N` and/or `--fault-rate R` switch the
+//! replay onto the replica [`Router`] with a seeded deterministic
+//! `FaultPlan` injecting transient execute/compile faults. With more
+//! than one replica the run kills one a third of the way through the
+//! trace and warm-restarts it (from `--cache-dir`, when given) at two
+//! thirds, then gates on the fleet conservation law: every request
+//! completes somewhere within the retry/reroute budget, zero lost. The
+//! records land under the `serve_chaos` bench name so `bench_diff` can
+//! gate `recovered_requests`/`shed_requests` without colliding with
+//! the plain run's keys.
+//!
 //! With `--json` the replay runs a *second* time with the opposite
 //! telemetry setting and emits `telemetry_overhead_pct` — the
 //! throughput cost of leaving the span recorder on, gated against
@@ -50,12 +61,13 @@ use rand::{Rng, SeedableRng};
 use smartmem_bench::render_table;
 use smartmem_serve::{
     histogram_mean, ClassDeadlines, CutPolicy, InferenceRequest, InferenceResponse, ModelSpec,
-    Priority, ServeConfig, ServeStats, Server, TelemetryConfig,
+    Priority, Router, ServeConfig, ServeStats, Server, TelemetryConfig,
 };
-use smartmem_sim::DeviceConfig;
+use smartmem_sim::{DeviceConfig, FaultKind, FaultPlan, FaultRates};
 use smartmem_telemetry::{render_chrome, Telemetry};
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct BenchOpts {
@@ -72,6 +84,8 @@ struct BenchOpts {
     json: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     sample_every: u64,
+    replicas: usize,
+    fault_rate: f64,
 }
 
 fn parse_args() -> BenchOpts {
@@ -89,6 +103,8 @@ fn parse_args() -> BenchOpts {
         json: None,
         trace_out: None,
         sample_every: 1,
+        replicas: 1,
+        fault_rate: 0.0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter();
@@ -118,6 +134,8 @@ fn parse_args() -> BenchOpts {
             "--sample-every" => {
                 opts.sample_every = value("--sample-every").parse().expect("integer")
             }
+            "--replicas" => opts.replicas = value("--replicas").parse().expect("integer"),
+            "--fault-rate" => opts.fault_rate = value("--fault-rate").parse().expect("number"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -127,6 +145,8 @@ fn parse_args() -> BenchOpts {
     );
     assert!((0.0..=1.0).contains(&opts.cancel_rate), "--cancel-rate must be in [0, 1]");
     assert!(opts.sample_every >= 1, "--sample-every must be at least 1");
+    assert!(opts.replicas >= 1, "--replicas must be at least 1");
+    assert!((0.0..=1.0).contains(&opts.fault_rate), "--fault-rate must be in [0, 1]");
     if opts.smoke {
         opts.requests = opts.requests.min(60);
         opts.rate_rps = 3000.0;
@@ -353,8 +373,300 @@ fn run_replay(opts: &BenchOpts, telemetry_on: bool, quiet: bool) -> RunOutcome {
     }
 }
 
+/// Chaos/fleet replay: the open-loop schedule routed through
+/// [`Router`] replicas under seeded transient fault injection, with a
+/// mid-trace replica kill + warm restart when more than one replica is
+/// up. Gates on zero lost requests and (at smoke) zero Interactive SLO
+/// violations, and writes `serve_chaos` bench records.
+fn run_fleet(opts: &BenchOpts) {
+    assert!(opts.cancel_rate == 0.0, "--cancel-rate is not supported in fleet mode");
+    assert!(opts.trace_out.is_none(), "--trace-out is not supported in fleet mode");
+    assert!(!opts.expect_warm, "--expect-warm is not supported in fleet mode");
+    let models = zoo(opts.smoke);
+    let model_count = models.len();
+    let device_count = devices().len();
+    let plan = (opts.fault_rate > 0.0)
+        .then(|| Arc::new(FaultPlan::new(opts.seed, FaultRates::transient(opts.fault_rate))));
+    let mut config = ServeConfig {
+        queue_capacity: opts.requests + 64,
+        max_batch: 8,
+        max_delay: Duration::from_millis(3),
+        exec_time_scale: opts.exec_time_scale,
+        cut_policy: opts.cut_policy,
+        cache_dir: opts.cache_dir.clone(),
+        fault_plan: plan.clone(),
+        ..ServeConfig::default()
+    };
+    if opts.smoke {
+        config.deadlines.interactive = Duration::from_millis(100);
+    }
+    let router = Router::start(opts.replicas, models, devices(), config);
+    println!(
+        "serve_bench (fleet): {} requests over {} replicas x {} devices \
+         (open loop, {:.0} rps, seed {}, fault rate {:.0}%)",
+        opts.requests,
+        opts.replicas,
+        device_count,
+        opts.rate_rps,
+        opts.seed,
+        opts.fault_rate * 100.0,
+    );
+
+    // --- Warmup -------------------------------------------------------
+    // One pinned request per (replica, model, device), so the replay
+    // measures steady-state serving on every replica. Tags stay
+    // globally unique — the fault oracle is tag-keyed, so the cursed
+    // set is a pure function of the seed, not the schedule.
+    let warmup_tag =
+        |r: usize, m: usize, d: usize| 1u64 << 40 | (r as u64) << 20 | (m as u64) << 10 | d as u64;
+    let restart_tag = |m: usize, d: usize| 2u64 << 40 | (m as u64) << 10 | d as u64;
+    let mut warmup_requests = 0u64;
+    if !opts.cold {
+        let warm_start = Instant::now();
+        for r in 0..router.len() {
+            let server = router.server(r).expect("replica alive at startup");
+            let tickets: Vec<_> = (0..model_count)
+                .flat_map(|m| {
+                    (0..device_count).map(move |d| {
+                        InferenceRequest::new(m).on_device(d).with_tag(warmup_tag(r, m, d))
+                    })
+                })
+                .map(|req| server.submit(req).expect("warmup submit"))
+                .collect();
+            warmup_requests += tickets.len() as u64;
+            for t in tickets {
+                let resp = t.wait();
+                assert!(resp.error.is_none(), "warmup compile failed: {:?}", resp.error);
+            }
+        }
+        println!(
+            "warmup: compiled {} (replica, model, device) artifacts in {:.2}s",
+            warmup_requests,
+            warm_start.elapsed().as_secs_f64()
+        );
+    }
+    let interactive_viol = |per_replica: &[ServeStats]| -> u64 {
+        per_replica.iter().map(|s| s.class(Priority::Interactive).slo_violations).sum()
+    };
+    let warm_viol = interactive_viol(&router.stats().per_replica);
+
+    // --- Replay with mid-trace chaos ----------------------------------
+    // Same deterministic open-loop schedule as the plain path; with
+    // more than one replica, slot 1 is killed a third of the way in
+    // (its queued requests re-route to the survivors) and restarted at
+    // two thirds (warm from the shared --cache-dir, when given).
+    let weights: Vec<f64> = (0..model_count).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut pick_model = move || {
+        let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total_weight;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        model_count - 1
+    };
+    let mut class_rng = StdRng::seed_from_u64(opts.seed ^ 0x5bf0_3635);
+    let mut pick_class = move || match class_rng.next_u64() % 100 {
+        0..=59 => Priority::Interactive,
+        60..=84 => Priority::Batch,
+        _ => Priority::BestEffort,
+    };
+    let mut arrival_rng = StdRng::seed_from_u64(opts.seed ^ 0x9e3779b97f4a7c15);
+    let mut next_gap_s = move || {
+        let u = (arrival_rng.next_u64().max(1)) as f64 / u64::MAX as f64;
+        -u.ln() / rate_nonzero(opts.rate_rps)
+    };
+    let chaos = opts.replicas > 1;
+    let victim = 1 % opts.replicas;
+    let replay_start = Instant::now();
+    let mut arrival = replay_start;
+    let mut tickets = Vec::with_capacity(opts.requests);
+    for i in 0..opts.requests {
+        if chaos && i == opts.requests / 3 {
+            assert!(router.kill(victim), "killing a live replica");
+            println!("chaos: killed replica {victim} at request {i}");
+        }
+        if chaos && i == 2 * opts.requests / 3 {
+            assert!(router.restart(victim), "restarting the killed replica");
+            println!("chaos: restarted replica {victim} at request {i}");
+            // Warm the newcomer before it takes routed traffic — it
+            // looks least-loaded and would otherwise absorb a herd of
+            // requests while still paying per-(model, device) disk
+            // decodes, exactly what an operator avoids by warming a
+            // replica before re-adding it to the rotation. BestEffort
+            // keeps any decode stall out of the gated Interactive
+            // SLO counter.
+            if !opts.cold {
+                let server = router.server(victim).expect("replica just restarted");
+                let warm: Vec<_> = (0..model_count)
+                    .flat_map(|m| {
+                        (0..device_count).map(move |d| {
+                            InferenceRequest::new(m)
+                                .on_device(d)
+                                .with_priority(Priority::BestEffort)
+                                .with_tag(restart_tag(m, d))
+                        })
+                    })
+                    .map(|req| server.submit(req).expect("restart warmup submit"))
+                    .collect();
+                warmup_requests += warm.len() as u64;
+                for t in warm {
+                    let resp = t.wait();
+                    assert!(resp.error.is_none(), "restart warmup failed: {:?}", resp.error);
+                }
+            }
+        }
+        arrival += Duration::from_secs_f64(next_gap_s());
+        if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let req =
+            InferenceRequest::new(pick_model()).with_priority(pick_class()).with_tag(i as u64);
+        tickets.push(router.submit(req).expect("submit"));
+    }
+    let responses: Vec<InferenceResponse> = tickets.into_iter().map(|t| t.wait()).collect();
+    let wall_s = replay_start.elapsed().as_secs_f64();
+
+    // Zero lost requests: despite the kill and the injected faults,
+    // every client ticket resolves as a success.
+    for r in &responses {
+        assert!(!r.cancelled, "fleet mode issues no cancels");
+        assert!(
+            r.error.is_none(),
+            "request {} lost (error after retries/reroutes): {:?}",
+            r.request_id,
+            r.error
+        );
+    }
+    let stats = router.shutdown();
+
+    // --- Report -------------------------------------------------------
+    let faults_by_kind: Vec<u64> = FaultKind::ALL
+        .iter()
+        .map(|k| stats.per_replica.iter().map(|s| s.faults[k.index()]).sum())
+        .collect();
+    let faults_total: u64 = faults_by_kind.iter().sum();
+    let summary = vec![
+        vec!["replicas".into(), format!("{}", opts.replicas)],
+        vec!["completed".into(), format!("{}", stats.completed)],
+        vec!["recovered (completed after retry)".into(), format!("{}", stats.recovered)],
+        vec!["retried".into(), format!("{}", stats.retried)],
+        vec!["shed".into(), format!("{}", stats.shed)],
+        vec!["killed by replica kill".into(), format!("{}", stats.killed)],
+        vec!["rerouted".into(), format!("{}", stats.rerouted)],
+        vec!["kills / restarts".into(), format!("{} / {}", stats.kills, stats.restarts)],
+        vec!["faults injected".into(), format!("{faults_total}")],
+        vec!["throughput (req/s)".into(), format!("{:.0}", responses.len() as f64 / wall_s)],
+    ];
+    print!("{}", render_table("serve_chaos fleet summary", &["metric", "value"], &summary));
+
+    // Machine-readable records (distinct bench name: the chaos run
+    // rides in CI next to the plain smoke without key collisions).
+    if let Some(path) = &opts.json {
+        use smartmem_bench::json::{write_json, BenchRecord};
+        let rec =
+            |metric: &str, value: f64| BenchRecord::new("serve_chaos", "fleet", metric, value);
+        let mut records = vec![
+            rec("recovered_requests", stats.recovered as f64),
+            rec("shed_requests", stats.shed as f64),
+            rec("completed", stats.completed as f64),
+            rec("retried", stats.retried as f64),
+            rec("killed_requests", stats.killed as f64),
+            rec("rerouted", stats.rerouted as f64),
+            rec("kills", stats.kills as f64),
+            rec("restarts", stats.restarts as f64),
+            rec("throughput_rps", responses.len() as f64 / wall_s),
+        ];
+        for (kind, &count) in FaultKind::ALL.iter().zip(&faults_by_kind) {
+            records.push(rec(&format!("faults.{}", kind.name()), count as f64));
+        }
+        write_json(path, &records).expect("write --json output");
+        println!("\nwrote {} records to {}", records.len(), path.display());
+    }
+
+    // --- Gates --------------------------------------------------------
+    // Fleet conservation: each generation's books balance, and every
+    // client request (and warmup) completed exactly once somewhere.
+    for (i, s) in stats.per_replica.iter().enumerate() {
+        assert_eq!(
+            s.submitted,
+            s.completed + s.failed + s.cancelled,
+            "generation {i}: conservation violated"
+        );
+    }
+    assert_eq!(
+        stats.completed,
+        opts.requests as u64 + warmup_requests,
+        "every request must complete exactly once across the fleet"
+    );
+    if chaos {
+        assert_eq!(stats.kills, 1, "exactly one replica kill");
+        assert_eq!(stats.restarts, 1, "exactly one replica restart");
+        assert_eq!(stats.rerouted, stats.killed, "every request stranded by the kill was rerouted");
+    }
+    // The fault oracle is tag-keyed, so `recovered` must equal the
+    // cursed-tag census exactly — a pure function of the seed,
+    // independent of placement, batching, kills, and thread timing.
+    if let Some(plan) = &plan {
+        let cursed = |tag: u64| {
+            plan.would_fault(FaultKind::ExecError, tag)
+                || plan.would_fault(FaultKind::CompileFault, tag)
+        };
+        let mut expected = (0..opts.requests as u64).filter(|&t| cursed(t)).count() as u64;
+        if !opts.cold {
+            for r in 0..opts.replicas {
+                for m in 0..model_count {
+                    for d in 0..device_count {
+                        if cursed(warmup_tag(r, m, d)) {
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+            if chaos {
+                for m in 0..model_count {
+                    for d in 0..device_count {
+                        if cursed(restart_tag(m, d)) {
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            stats.recovered, expected,
+            "recovered must equal the deterministic cursed-tag census"
+        );
+    }
+    // Zero Interactive SLO violations at smoke load, the same promise
+    // the plain path makes — retries and re-routes must hide inside
+    // the budget (warmup excluded: it pays the cold compiles).
+    if opts.smoke {
+        let viol = interactive_viol(&stats.per_replica) - warm_viol;
+        if viol != 0 {
+            // Ship the offenders with the failure so a red CI run
+            // explains itself.
+            for r in responses.iter().filter(|r| r.wall_ms > 100.0) {
+                eprintln!(
+                    "  slow: id={} model={} device={} wall={:.1}ms queue={:.1}ms retries={}",
+                    r.request_id, r.model, r.device, r.wall_ms, r.queue_ms, r.retries
+                );
+            }
+        }
+        assert_eq!(viol, 0, "Interactive SLO violations at smoke load: {viol}");
+    }
+    println!("\nserve_bench fleet OK ({wall_s:.2}s wall)");
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.replicas > 1 || opts.fault_rate > 0.0 {
+        run_fleet(&opts);
+        return;
+    }
     // The span recorder is on when a trace was asked for; metrics are
     // always on (single atomic ops).
     let trace_run = opts.trace_out.is_some();

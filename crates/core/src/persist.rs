@@ -46,12 +46,14 @@ use crate::pass::CompileOutput;
 use crate::pipeline::Unsupported;
 use smartmem_index::IndexMap;
 use smartmem_ir::wire::{decode_from, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
+use smartmem_sim::{FaultKind, FaultPlan};
 use std::collections::hash_map::DefaultHasher;
 use std::fs;
 use std::hash::Hasher;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Artifact-file magic.
 const MAGIC: [u8; 4] = *b"SMEM";
@@ -147,7 +149,21 @@ pub(crate) struct DiskCache {
     groups_saved_gen: AtomicU64,
     /// Unique temp-file suffix counter (plus the pid) for atomic writes.
     tmp_seq: AtomicUsize,
+    /// Optional chaos-test fault oracle: when set, payload reads and
+    /// writes consult it and may error artificially. Reads that fault
+    /// behave exactly like a corrupt file (cold compile); writes that
+    /// fault behave exactly like a full disk (artifact lost, compile
+    /// kept) — the injected failures exercise the same fail-open paths
+    /// real I/O errors take.
+    faults: OnceLock<Arc<FaultPlan>>,
+    /// Injected I/O faults so far (surfaces as `CacheStats::disk_faults`).
+    disk_faults: AtomicU64,
 }
+
+/// Site ids for the cache-I/O fault streams: reads and writes draw
+/// from independent deterministic sequences.
+const FAULT_SITE_READ: usize = 0;
+const FAULT_SITE_WRITE: usize = 1;
 
 impl DiskCache {
     /// Opens (creating if needed) a cache directory and imports the
@@ -159,6 +175,8 @@ impl DiskCache {
             memo_saved_gen: AtomicU64::new(0),
             groups_saved_gen: AtomicU64::new(0),
             tmp_seq: AtomicUsize::new(0),
+            faults: OnceLock::new(),
+            disk_faults: AtomicU64::new(0),
         };
         if let Some(payload) = cache.read_payload(&cache.memo_path()) {
             if let Ok(entries) = decode_from::<Vec<(u64, IndexMap)>>(&payload) {
@@ -172,6 +190,28 @@ impl DiskCache {
     /// The cache directory.
     pub(crate) fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Installs a fault oracle consulted by every payload read/write.
+    /// First installation wins; later calls are ignored (the cache may
+    /// be shared).
+    pub(crate) fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        let _ = self.faults.set(plan);
+    }
+
+    /// Injected disk I/O faults so far.
+    pub(crate) fn disk_fault_count(&self) -> u64 {
+        self.disk_faults.load(Ordering::Relaxed)
+    }
+
+    /// Draws from the fault oracle for one I/O `site`; counts a fault
+    /// when it fires.
+    fn io_faulted(&self, site: usize) -> bool {
+        let faulted = self.faults.get().is_some_and(|plan| plan.roll(FaultKind::CacheDirIo, site));
+        if faulted {
+            self.disk_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        faulted
     }
 
     fn artifact_path(&self, key: &ArtifactKey) -> PathBuf {
@@ -205,6 +245,9 @@ impl DiskCache {
     /// checksum mismatch — because every failure means the same thing
     /// to the caller: not cached, compile cold.
     fn read_payload(&self, path: &Path) -> Option<Vec<u8>> {
+        if self.io_faulted(FAULT_SITE_READ) {
+            return None;
+        }
         let bytes = fs::read(path).ok()?;
         if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
             return None;
@@ -230,6 +273,9 @@ impl DiskCache {
     /// an I/O error (full disk, permissions) loses the artifact but
     /// never the compilation.
     fn write_payload(&self, path: &Path, payload: &[u8]) {
+        if self.io_faulted(FAULT_SITE_WRITE) {
+            return;
+        }
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),

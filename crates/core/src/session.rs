@@ -123,6 +123,13 @@ pub struct CacheStats {
     pub group_hits: usize,
     /// Kernel groups refined cold (layout selection + GA tuning ran).
     pub group_misses: usize,
+    /// Disk-cache payload I/Os failed by an injected
+    /// [`smartmem_sim::FaultPlan`] (see
+    /// [`CompileSession::inject_disk_faults`]). Each faulted read is
+    /// also an ordinary miss (the session compiled cold); each faulted
+    /// write silently lost one artifact. Always zero outside chaos
+    /// tests.
+    pub disk_faults: usize,
 }
 
 /// Handles into [`smartmem_telemetry::global`] the session publishes
@@ -308,6 +315,19 @@ impl CompileSession {
     /// The persistent cache directory, if this session has one.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.persist.as_ref().map(DiskCache::dir)
+    }
+
+    /// Installs a chaos-test fault oracle on the persistent cache (no
+    /// effect for purely in-memory sessions). Artifact reads the plan
+    /// fails behave exactly like corrupt files — the session compiles
+    /// cold; writes it fails behave exactly like a full disk — the
+    /// artifact is lost but the compilation is kept. Injected failures
+    /// count in [`CacheStats::disk_faults`]. The first installed plan
+    /// wins; later calls are ignored.
+    pub fn inject_disk_faults(&self, plan: Arc<smartmem_sim::FaultPlan>) {
+        if let Some(disk) = &self.persist {
+            disk.set_fault_plan(plan);
+        }
     }
 
     /// Number of artifacts currently persisted on disk (0 for purely
@@ -532,6 +552,7 @@ impl CompileSession {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             group_hits: groups.hits,
             group_misses: groups.misses,
+            disk_faults: self.persist.as_ref().map_or(0, |d| d.disk_fault_count() as usize),
         }
     }
 

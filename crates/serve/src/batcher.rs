@@ -28,7 +28,7 @@
 //!    [`BatchItem::claim`]; items that refuse (already cancelled) are
 //!    returned in [`Cut::cancelled`] and never enter the batch.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Coalescing key: one batch never mixes models or devices.
@@ -120,6 +120,10 @@ pub struct Batcher<T> {
     policy: CutPolicy,
     aging_factor: f64,
     queues: HashMap<BatchKey, VecDeque<Queued<T>>>,
+    /// Devices declared dead by [`Batcher::mark_dead`]: their keys hold
+    /// no queues and [`Batcher::push`] rejects new work for them so a
+    /// request can never queue behind a device that will not pull.
+    dead: HashSet<usize>,
 }
 
 impl<T> Batcher<T> {
@@ -138,6 +142,7 @@ impl<T> Batcher<T> {
             policy: CutPolicy::Pull,
             aging_factor: 4.0,
             queues: HashMap::new(),
+            dead: HashSet::new(),
         }
     }
 
@@ -186,8 +191,65 @@ impl<T> Batcher<T> {
 
     /// Enqueues a request at the tail of its key's FIFO queue. Nothing
     /// is cut here — batches are composed when a worker pulls.
-    pub fn push(&mut self, key: BatchKey, item: T, now: Instant) {
+    ///
+    /// Pushing for a device previously declared dead by
+    /// [`Batcher::mark_dead`] is rejected, handing the item back as
+    /// `Err` so the caller can re-place it on a live device. (Before
+    /// this rejection path existed, such a push queued the request
+    /// behind a worker that would never pull — it waited forever.)
+    ///
+    /// `now` may lie in the future: a retried request is re-enqueued
+    /// with `now + backoff`, which delays its key's due time by the
+    /// backoff without needing timer machinery — the due check measures
+    /// age from `enqueued`.
+    pub fn push(&mut self, key: BatchKey, item: T, now: Instant) -> Result<(), T> {
+        if self.dead.contains(&key.device) {
+            return Err(item);
+        }
         self.queues.entry(key).or_default().push_back(Queued { item, enqueued: now });
+        Ok(())
+    }
+
+    /// Declares a device dead: every request queued for it is drained
+    /// and returned (grouped per key, FIFO within each key, keys in
+    /// ascending model order so callers re-place deterministically), and
+    /// future [`Batcher::push`]es for the device are rejected until
+    /// [`Batcher::revive`].
+    pub fn mark_dead(&mut self, device: usize) -> Vec<(BatchKey, Vec<T>)> {
+        self.dead.insert(device);
+        let mut keys: Vec<BatchKey> =
+            self.queues.keys().filter(|k| k.device == device).copied().collect();
+        keys.sort_by_key(|k| k.model);
+        keys.into_iter()
+            .map(|k| {
+                let q = self.queues.remove(&k).expect("key just listed");
+                (k, q.into_iter().map(|e| e.item).collect())
+            })
+            .collect()
+    }
+
+    /// Clears a device's dead mark (replica warm restart).
+    pub fn revive(&mut self, device: usize) {
+        self.dead.remove(&device);
+    }
+
+    /// Whether `device` is currently marked dead.
+    pub fn is_dead(&self, device: usize) -> bool {
+        self.dead.contains(&device)
+    }
+
+    /// Drains every queued request of every device (replica kill),
+    /// grouped per key — FIFO within each key, keys sorted by
+    /// (device, model) so the caller resolves them deterministically.
+    pub fn drain_all(&mut self) -> Vec<(BatchKey, Vec<T>)> {
+        let mut keys: Vec<BatchKey> = self.queues.keys().copied().collect();
+        keys.sort_by_key(|k| (k.device, k.model));
+        keys.into_iter()
+            .map(|k| {
+                let q = self.queues.remove(&k).expect("key just listed");
+                (k, q.into_iter().map(|e| e.item).collect())
+            })
+            .collect()
     }
 
     /// Removes the first queued request of `key` matching `pred`
@@ -312,6 +374,7 @@ mod tests {
     const DELAY: Duration = Duration::from_millis(4);
 
     /// Test item: deadline offset + estimate + optional cancel flag.
+    #[derive(Debug)]
     struct It {
         id: u64,
         deadline: Instant,
@@ -347,7 +410,7 @@ mod tests {
     fn idle_device_waits_out_the_latency_bound() {
         let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
-        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0);
+        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0).unwrap();
         assert!(b.pull(0, t0).is_none(), "not due yet");
         assert_eq!(b.next_due(0, t0), Some(DELAY));
         let cut = b.pull(0, t0 + DELAY).expect("due at the idle-latency bound");
@@ -360,7 +423,7 @@ mod tests {
         let mut b: Batcher<It> = Batcher::new(3, DELAY);
         let t0 = Instant::now();
         for i in 0..3 {
-            b.push(key(0, 0), it(i, t0 + DELAY), t0);
+            b.push(key(0, 0), it(i, t0 + DELAY), t0).unwrap();
         }
         assert_eq!(b.next_due(0, t0), Some(Duration::ZERO));
         let cut = b.pull(0, t0).expect("size-due");
@@ -373,7 +436,7 @@ mod tests {
         let t0 = Instant::now();
         // 20 requests trickle in at 1 ms apart while the device is busy.
         for i in 0..20 {
-            b.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i));
+            b.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i)).unwrap();
         }
         let late = t0 + Duration::from_millis(40);
         let cut = b.pull(0, late).expect("long overdue");
@@ -382,7 +445,7 @@ mod tests {
         // The fixed-deadline baseline only takes the head's window.
         let mut fixed: Batcher<It> = Batcher::new(8, DELAY).with_policy(CutPolicy::Deadline);
         for i in 0..20 {
-            fixed.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i));
+            fixed.push(key(0, 0), it(i, t0 + DELAY * 100), t0 + Duration::from_millis(i)).unwrap();
         }
         let cut = fixed.pull(0, late).expect("due");
         assert_eq!(cut.batch.items.len(), 5, "only the 4 ms window of the head (ms 0..=4)");
@@ -394,8 +457,8 @@ mod tests {
         let t0 = Instant::now();
         // Same device, two models: the long-deadline key arrived first,
         // the short-deadline key is more urgent.
-        b.push(key(0, 0), it(1, t0 + Duration::from_millis(500)), t0);
-        b.push(key(1, 0), it(2, t0 + Duration::from_millis(20)), t0);
+        b.push(key(0, 0), it(1, t0 + Duration::from_millis(500)), t0).unwrap();
+        b.push(key(1, 0), it(2, t0 + Duration::from_millis(20)), t0).unwrap();
         let now = t0 + DELAY;
         let first = b.pull(0, now).expect("both due");
         assert_eq!(first.batch.key, key(1, 0), "least slack cuts first");
@@ -408,7 +471,7 @@ mod tests {
         let mut b: Batcher<It> = Batcher::new(2, DELAY).with_aging_factor(4.0);
         let t0 = Instant::now();
         let victim_deadline = t0 + Duration::from_millis(100);
-        b.push(key(9, 0), it(999, victim_deadline), t0);
+        b.push(key(9, 0), it(999, victim_deadline), t0).unwrap();
         let mut now = t0;
         let mut hot = 0u64;
         for round in 0..200 {
@@ -416,7 +479,7 @@ mod tests {
             // Keep the hot key full (size-due) with fresh 10 ms-deadline
             // interactive traffic.
             for _ in 0..2 {
-                b.push(key(0, 0), it(hot, now + Duration::from_millis(10)), now);
+                b.push(key(0, 0), it(hot, now + Duration::from_millis(10)), now).unwrap();
                 hot += 1;
             }
             let cut = b.pull(0, now).expect("hot key is always due");
@@ -433,13 +496,14 @@ mod tests {
         let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
         let flag = Arc::new(AtomicBool::new(false));
-        b.push(key(0, 0), it(1, t0 + DELAY), t0);
+        b.push(key(0, 0), it(1, t0 + DELAY), t0).unwrap();
         b.push(
             key(0, 0),
             It { id: 2, deadline: t0 + DELAY, est_ns: 0.0, cancelled: Some(Arc::clone(&flag)) },
             t0,
-        );
-        b.push(key(0, 0), it(3, t0 + DELAY), t0);
+        )
+        .unwrap();
+        b.push(key(0, 0), it(3, t0 + DELAY), t0).unwrap();
         flag.store(true, Ordering::SeqCst);
         let cut = b.pull(0, t0 + DELAY).expect("due");
         assert_eq!(ids(&cut.batch), vec![1, 3]);
@@ -451,8 +515,8 @@ mod tests {
     fn remove_where_supports_eager_cancellation() {
         let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
-        b.push(key(0, 0), it(1, t0 + DELAY), t0);
-        b.push(key(0, 0), it(2, t0 + DELAY), t0);
+        b.push(key(0, 0), it(1, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 0), it(2, t0 + DELAY), t0).unwrap();
         let removed = b.remove_where(key(0, 0), |i| i.id == 1).expect("queued");
         assert_eq!(removed.id, 1);
         assert!(b.remove_where(key(0, 0), |i| i.id == 1).is_none(), "already removed");
@@ -465,8 +529,8 @@ mod tests {
     fn pull_any_drains_without_waiting() {
         let mut b: Batcher<It> = Batcher::new(8, DELAY);
         let t0 = Instant::now();
-        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0);
-        b.push(key(1, 1), it(2, t0 + DELAY * 10), t0);
+        b.push(key(0, 0), it(1, t0 + DELAY * 10), t0).unwrap();
+        b.push(key(1, 1), it(2, t0 + DELAY * 10), t0).unwrap();
         assert!(b.pull(0, t0).is_none(), "not due");
         let cut = b.pull_any(0, t0).expect("drain ignores the due check");
         assert_eq!(ids(&cut.batch), vec![1]);
@@ -475,12 +539,76 @@ mod tests {
     }
 
     #[test]
+    fn push_to_a_dead_device_is_rejected_not_queued_forever() {
+        // Regression: before the dead set existed, a push racing a
+        // device death queued the request behind a worker that would
+        // never pull again — it waited forever. The push must hand the
+        // item back instead.
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(0, 0), it(1, t0 + DELAY), t0).unwrap();
+        b.push(key(1, 0), it(2, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 1), it(3, t0 + DELAY), t0).unwrap();
+        let drained = b.mark_dead(0);
+        assert!(b.is_dead(0));
+        let drained_ids: Vec<(usize, Vec<u64>)> = drained
+            .iter()
+            .map(|(k, items)| (k.model, items.iter().map(|i| i.id).collect()))
+            .collect();
+        assert_eq!(drained_ids, vec![(0, vec![1]), (1, vec![2])], "drained per key, model order");
+        assert_eq!(b.pending_for(0), 0);
+        assert_eq!(b.pending_for(1), 1, "other devices keep their queues");
+        let rejected = b.push(key(0, 0), it(4, t0 + DELAY), t0).unwrap_err();
+        assert_eq!(rejected.id, 4, "the item comes back for re-placement");
+        assert_eq!(b.pending_for(0), 0, "nothing queued behind the dead device");
+        b.revive(0);
+        assert!(!b.is_dead(0));
+        b.push(key(0, 0), it(5, t0 + DELAY), t0).unwrap();
+        assert_eq!(b.pending_for(0), 1);
+    }
+
+    #[test]
+    fn future_enqueue_time_delays_the_due_check() {
+        // Retry backoff re-enqueues with `now + backoff`: the key must
+        // not become due until the backoff has elapsed.
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        let backoff = Duration::from_millis(10);
+        b.push(key(0, 0), it(1, t0 + DELAY * 100), t0 + backoff).unwrap();
+        assert!(b.pull(0, t0 + DELAY).is_none(), "backoff not elapsed");
+        assert_eq!(b.next_due(0, t0), Some(backoff + DELAY));
+        let cut = b.pull(0, t0 + backoff + DELAY).expect("due after backoff + idle delay");
+        assert_eq!(ids(&cut.batch), vec![1]);
+    }
+
+    #[test]
+    fn drain_all_empties_every_device_in_order() {
+        let mut b: Batcher<It> = Batcher::new(8, DELAY);
+        let t0 = Instant::now();
+        b.push(key(1, 1), it(1, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 0), it(2, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 1), it(3, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 0), it(4, t0 + DELAY), t0).unwrap();
+        let drained = b.drain_all();
+        let drained_ids: Vec<((usize, usize), Vec<u64>)> = drained
+            .iter()
+            .map(|(k, items)| ((k.device, k.model), items.iter().map(|i| i.id).collect()))
+            .collect();
+        assert_eq!(
+            drained_ids,
+            vec![((0, 0), vec![2, 4]), ((1, 0), vec![3]), ((1, 1), vec![1])],
+            "sorted by (device, model), FIFO within key"
+        );
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
     fn devices_pull_independently() {
         let mut b: Batcher<It> = Batcher::new(2, DELAY);
         let t0 = Instant::now();
-        b.push(key(0, 0), it(1, t0 + DELAY), t0);
-        b.push(key(0, 1), it(2, t0 + DELAY), t0);
-        b.push(key(0, 0), it(3, t0 + DELAY), t0);
+        b.push(key(0, 0), it(1, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 1), it(2, t0 + DELAY), t0).unwrap();
+        b.push(key(0, 0), it(3, t0 + DELAY), t0).unwrap();
         let cut = b.pull(0, t0).expect("device 0 size-due");
         assert_eq!(ids(&cut.batch), vec![1, 3]);
         assert!(b.pull(1, t0).is_none(), "device 1 not due yet");

@@ -90,13 +90,19 @@
 
 mod batcher;
 mod request;
+mod retry;
+mod router;
 mod scheduler;
 mod server;
 
 pub use batcher::{Batch, BatchItem, BatchKey, Batcher, Cut, CutPolicy};
-pub use request::{InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket};
+pub use request::{
+    InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket, REPLICA_KILLED,
+};
+pub use retry::{AdmissionControl, RetryDecision, RetryPolicy};
+pub use router::{Router, RouterStats, RouterTicket};
 pub use scheduler::{quick_estimate_ns, DevicePool};
 pub use server::{
     batch_exec_ms, histogram_mean, CancelHandle, ClassDeadlines, ClassStats, ServeConfig,
-    ServeStats, Server, TelemetryConfig,
+    ServeStats, Server, TelemetryConfig, FAULT_CATEGORY, RECOVERY_CATEGORY,
 };

@@ -108,12 +108,19 @@ pub struct InferenceRequest {
     pub device: Option<usize>,
     /// Priority class (default [`Priority::Interactive`]).
     pub priority: Priority,
+    /// Optional stable identity of the request across retries,
+    /// re-placements, and resubmission to another replica; defaults to
+    /// the server-assigned request id. A `FaultPlan` keys its
+    /// request-level fault decisions on this tag, so chaos harnesses
+    /// that assign globally unique tags get schedule-independent fault
+    /// sets (the curse follows the request wherever it goes).
+    pub tag: Option<u64>,
 }
 
 impl InferenceRequest {
     /// Request for `model`, scheduler-placed, `Interactive` priority.
     pub fn new(model: usize) -> Self {
-        InferenceRequest { model, device: None, priority: Priority::default() }
+        InferenceRequest { model, device: None, priority: Priority::default(), tag: None }
     }
 
     /// Pins the request to a device.
@@ -129,7 +136,19 @@ impl InferenceRequest {
         self.priority = priority;
         self
     }
+
+    /// Sets the stable fault-injection identity.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
+    }
 }
+
+/// The `error` string of responses answered because their replica was
+/// killed mid-flight. A fleet router resubmits requests failing with
+/// exactly this error to a surviving replica.
+pub const REPLICA_KILLED: &str = "replica killed";
 
 /// Completion record of one request.
 #[derive(Clone, Debug)]
@@ -162,7 +181,14 @@ pub struct InferenceResponse {
     /// Whether the compiled artifact came from the session cache (or an
     /// in-flight compilation this request waited on).
     pub compile_cache_hit: bool,
-    /// Compilation failure, if any (`None` = served).
+    /// Failed execution attempts this request survived before this
+    /// response (0 = first try). Bounded by the server's
+    /// `RetryPolicy::budget`; a successful response with `retries > 0`
+    /// is a *recovered* request.
+    pub retries: u32,
+    /// Terminal failure, if any (`None` = served). Possible values:
+    /// a compilation error message, [`REPLICA_KILLED`], or a transient
+    /// error that exhausted the retry budget.
     pub error: Option<String>,
 }
 
@@ -213,6 +239,10 @@ pub enum SubmitError {
     UnknownDevice(usize),
     /// The server is shutting down.
     ShuttingDown,
+    /// Admission control shed this request: pool slack is already
+    /// negative and the request's class is sheddable (never
+    /// `Interactive` — see `AdmissionControl`).
+    Shed,
 }
 
 impl fmt::Display for SubmitError {
@@ -222,6 +252,7 @@ impl fmt::Display for SubmitError {
             SubmitError::UnknownModel(m) => write!(f, "unknown model id {m}"),
             SubmitError::UnknownDevice(d) => write!(f, "unknown device id {d}"),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::Shed => write!(f, "shed by admission control (pool slack negative)"),
         }
     }
 }

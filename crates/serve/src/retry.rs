@@ -1,0 +1,194 @@
+//! Retry/backoff policy and admission-control shedding — the two pure
+//! decision rules behind the serve tier's graceful degradation.
+//!
+//! Both are plain functions of their inputs (no clocks, no threads), so
+//! the proptests in `tests/retry_props.rs` can state their invariants
+//! directly: a request is never retried more than `budget` times, and
+//! admission never sheds a class before every lower class sheds.
+
+use crate::request::Priority;
+use std::time::Duration;
+
+/// Retry budget and backoff schedule for transient request failures
+/// (injected or real execute/compile errors, device death while queued
+/// or claimed).
+///
+/// A request starts with `attempts = 0`. Each failed attempt increments
+/// it and asks [`RetryPolicy::decide`]; the request is re-placed and
+/// re-enqueued after the returned backoff, or answered with a terminal
+/// `failed` once the budget is exhausted. Backoff is exponential,
+/// `backoff_base × 2^(attempt−1)`, capped at `max_backoff` — enough to
+/// keep a flapping device from being hammered, short enough that a
+/// retried Interactive request can still meet a relaxed deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per request (0 = fail on first error).
+    pub budget: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 500 µs initial backoff, capped at 8 ms.
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 3,
+            backoff_base: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(8),
+        }
+    }
+}
+
+/// Outcome of one failed attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Re-place and re-enqueue after `backoff`.
+    Retry {
+        /// How long the re-enqueued request waits before becoming due.
+        backoff: Duration,
+    },
+    /// Budget exhausted: answer the request with a terminal failure.
+    Fail,
+}
+
+impl RetryPolicy {
+    /// Decision after the `failed_attempts`-th failure (1-based: pass 1
+    /// after the first failure). At most `budget` calls return
+    /// [`RetryDecision::Retry`].
+    pub fn decide(&self, failed_attempts: u32) -> RetryDecision {
+        if failed_attempts <= self.budget {
+            RetryDecision::Retry { backoff: self.backoff_for(failed_attempts) }
+        } else {
+            RetryDecision::Fail
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based):
+    /// `backoff_base × 2^(attempt−1)`, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(20);
+        self.backoff_base.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// Queue-depth-aware admission control: when the pool is so loaded that
+/// even the best-placed request would blow an Interactive deadline, new
+/// low-class work is *shed* at submission (rejected with
+/// `SubmitError::Shed`) instead of queued to fail.
+///
+/// The signal is **pool slack**: the Interactive deadline budget minus
+/// the best estimated completion time across alive devices for the
+/// incoming request (`DevicePool::best_completion_ns`). The shed order
+/// is fixed:
+///
+/// 1. `BestEffort` sheds as soon as slack goes negative;
+/// 2. `Batch` sheds only once slack is worse than `batch_grace` beyond
+///    that — so BestEffort always sheds before Batch;
+/// 3. `Interactive` is **never** shed — it is the class the shedding
+///    protects.
+///
+/// Disabled by default ([`AdmissionControl::disabled`]): enabling it is
+/// an explicit opt-in because shedding changes which requests are
+/// admitted at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Master switch; when false nothing is ever shed.
+    pub enabled: bool,
+    /// Extra negative slack tolerated for `Batch` beyond the point
+    /// where `BestEffort` sheds.
+    pub batch_grace: Duration,
+}
+
+impl AdmissionControl {
+    /// Admission control off (the default): nothing is shed.
+    pub fn disabled() -> Self {
+        AdmissionControl { enabled: false, batch_grace: Duration::from_millis(50) }
+    }
+
+    /// Admission control on with the default 50 ms batch grace.
+    pub fn enabled() -> Self {
+        AdmissionControl { enabled: true, ..AdmissionControl::disabled() }
+    }
+
+    /// Should a request of `class` be shed given `pool_slack_ns` (the
+    /// Interactive budget minus the best alive-device completion
+    /// estimate; negative = the pool is already missing Interactive
+    /// deadlines)?
+    pub fn should_shed(&self, class: Priority, pool_slack_ns: i64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        match class {
+            Priority::Interactive => false,
+            Priority::Batch => {
+                pool_slack_ns < -i64::try_from(self.batch_grace.as_nanos()).unwrap_or(i64::MAX)
+            }
+            Priority::BestEffort => pool_slack_ns < 0,
+        }
+    }
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_decisions_respect_the_budget() {
+        let policy = RetryPolicy::default();
+        let mut retries = 0;
+        for attempt in 1..20 {
+            match policy.decide(attempt) {
+                RetryDecision::Retry { .. } => retries += 1,
+                RetryDecision::Fail => break,
+            }
+        }
+        assert_eq!(retries, policy.budget);
+        let none = RetryPolicy { budget: 0, ..RetryPolicy::default() };
+        assert_eq!(none.decide(1), RetryDecision::Fail);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            budget: 10,
+            backoff_base: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(6),
+        };
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(1));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(2));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(4));
+        assert_eq!(policy.backoff_for(4), Duration::from_millis(6), "capped");
+        assert_eq!(policy.backoff_for(63), Duration::from_millis(6), "no overflow");
+    }
+
+    #[test]
+    fn shed_order_is_besteffort_then_batch_never_interactive() {
+        let ac = AdmissionControl::enabled();
+        let grace = ac.batch_grace.as_nanos() as i64;
+        // Positive slack: nobody sheds.
+        for class in Priority::ALL {
+            assert!(!ac.should_shed(class, 1));
+        }
+        // Slightly negative: only BestEffort.
+        assert!(ac.should_shed(Priority::BestEffort, -1));
+        assert!(!ac.should_shed(Priority::Batch, -1));
+        assert!(!ac.should_shed(Priority::Interactive, -1));
+        // Beyond the grace: Batch too, Interactive still never.
+        assert!(ac.should_shed(Priority::BestEffort, -grace - 1));
+        assert!(ac.should_shed(Priority::Batch, -grace - 1));
+        assert!(!ac.should_shed(Priority::Interactive, i64::MIN));
+        // Disabled: nothing sheds at any slack.
+        let off = AdmissionControl::disabled();
+        for class in Priority::ALL {
+            assert!(!off.should_shed(class, i64::MIN));
+        }
+    }
+}

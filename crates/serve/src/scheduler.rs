@@ -18,7 +18,7 @@
 
 use crate::request::{ModelSpec, Priority};
 use smartmem_sim::{roofline_gmacs, DeviceConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Conservative achieved fraction of the roofline bound (kernels do not
 /// run at peak; the tuner typically lands around half).
@@ -50,6 +50,9 @@ struct DeviceEntry {
     config: DeviceConfig,
     load_ns: AtomicU64,
     class_load_ns: [AtomicU64; 3],
+    /// Cleared when the device dies (injected fault or operator
+    /// retirement): dead devices are skipped by placement until revived.
+    alive: AtomicBool,
 }
 
 /// The scheduler's device pool: configurations plus an outstanding-work
@@ -76,6 +79,7 @@ impl DevicePool {
                     config,
                     load_ns: AtomicU64::new(0),
                     class_load_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                    alive: AtomicBool::new(true),
                 })
                 .collect(),
         }
@@ -108,6 +112,56 @@ impl DevicePool {
         self.entries[id].class_load_ns[class.index()].load(Ordering::Relaxed)
     }
 
+    /// Whether a device is alive (placeable).
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.entries[id].alive.load(Ordering::Relaxed)
+    }
+
+    /// Marks a device dead so placement skips it. Returns whether the
+    /// call transitioned it (false if already dead). The pool itself
+    /// allows killing every device — the *server* enforces keeping at
+    /// least one alive, because only it knows whether a kill is an
+    /// injected fault (suppressible) or an operator order.
+    pub fn mark_dead(&self, id: usize) -> bool {
+        self.entries[id].alive.swap(false, Ordering::Relaxed)
+    }
+
+    /// Revives a dead device (replica warm restart).
+    pub fn revive(&self, id: usize) {
+        self.entries[id].alive.store(true, Ordering::Relaxed);
+    }
+
+    /// Number of alive devices.
+    pub fn alive_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.alive.load(Ordering::Relaxed)).count()
+    }
+
+    /// Ids of the currently dead devices, ascending.
+    pub fn dead_devices(&self) -> Vec<usize> {
+        (0..self.entries.len()).filter(|&i| !self.is_alive(i)).collect()
+    }
+
+    /// Best (smallest) estimated completion time across *alive*
+    /// devices: `min(outstanding + estimate)` — the admission-control
+    /// slack probe. Falls back to all devices when none is alive.
+    pub fn best_completion_ns(&self, estimates_ns: &[f64]) -> f64 {
+        assert_eq!(estimates_ns.len(), self.entries.len(), "one estimate per device");
+        let completion =
+            |(e, &est): (&DeviceEntry, &f64)| e.load_ns.load(Ordering::Relaxed) as f64 + est;
+        let best = self
+            .entries
+            .iter()
+            .zip(estimates_ns)
+            .filter(|(e, _)| e.alive.load(Ordering::Relaxed))
+            .map(completion)
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            best
+        } else {
+            self.entries.iter().zip(estimates_ns).map(completion).fold(f64::INFINITY, f64::min)
+        }
+    }
+
     /// Places one inference: picks the device minimizing estimated
     /// completion time (outstanding work + this model's estimate) —
     /// maximizing the slack left under the request's class deadline —
@@ -121,15 +175,22 @@ impl DevicePool {
     /// Panics on an empty pool.
     pub fn place(&self, estimates_ns: &[f64], class: Priority) -> (usize, u64) {
         assert_eq!(estimates_ns.len(), self.entries.len(), "one estimate per device");
-        let (best, est) = self
-            .entries
-            .iter()
-            .zip(estimates_ns)
-            .enumerate()
-            .map(|(i, (e, &est))| (i, est, e.load_ns.load(Ordering::Relaxed) as f64 + est))
-            .min_by(|a, b| a.2.total_cmp(&b.2))
-            .map(|(i, est, _)| (i, est))
-            .expect("device pool must not be empty");
+        // Dead devices are skipped; with every device dead (the server
+        // never lets injected faults get there, but an operator might)
+        // fall back to ignoring the alive flags rather than stranding
+        // the request.
+        let candidate = |alive_only: bool| {
+            self.entries
+                .iter()
+                .zip(estimates_ns)
+                .enumerate()
+                .filter(|(_, (e, _))| !alive_only || e.alive.load(Ordering::Relaxed))
+                .map(|(i, (e, &est))| (i, est, e.load_ns.load(Ordering::Relaxed) as f64 + est))
+                .min_by(|a, b| a.2.total_cmp(&b.2))
+                .map(|(i, est, _)| (i, est))
+        };
+        let (best, est) =
+            candidate(true).or_else(|| candidate(false)).expect("device pool must not be empty");
         let charged = est.max(0.0) as u64;
         self.charge(best, charged, class);
         (best, charged)
@@ -220,6 +281,33 @@ mod tests {
         p.charge(first, 10_000_000_000, Priority::Batch);
         let (second, _) = p.place(&ests, Priority::Interactive);
         assert_ne!(first, second, "loaded device must be avoided");
+    }
+
+    #[test]
+    fn placement_skips_dead_devices_until_revived() {
+        let p = pool();
+        let s = spec();
+        let ests: Vec<f64> = (0..p.len()).map(|d| quick_estimate_ns(&s, p.device(d))).collect();
+        let (preferred, charged) = p.place(&ests, Priority::Batch);
+        p.discharge(preferred, charged, Priority::Batch);
+        assert!(p.mark_dead(preferred), "first kill transitions");
+        assert!(!p.mark_dead(preferred), "second kill is a no-op");
+        assert!(!p.is_alive(preferred));
+        assert_eq!(p.alive_count(), p.len() - 1);
+        assert_eq!(p.dead_devices(), vec![preferred]);
+        for _ in 0..8 {
+            let (d, _) = p.place(&ests, Priority::Batch);
+            assert_ne!(d, preferred, "dead device must not be placed on");
+        }
+        // The slack probe ignores the dead device too: its best
+        // completion only considers survivors.
+        let alive_best = p.best_completion_ns(&ests);
+        assert!(alive_best >= ests[preferred], "dead fastest device is excluded");
+        p.revive(preferred);
+        assert!(p.is_alive(preferred));
+        assert_eq!(p.alive_count(), p.len());
+        let (d, _) = p.place(&ests, Priority::Batch);
+        assert_eq!(d, preferred, "revived idle fast device is preferred again");
     }
 
     #[test]

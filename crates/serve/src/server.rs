@@ -11,13 +11,14 @@
 
 use crate::batcher::{Batch, BatchItem, BatchKey, Batcher, CutPolicy};
 use crate::request::{
-    InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket,
+    InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket, REPLICA_KILLED,
 };
+use crate::retry::{AdmissionControl, RetryDecision, RetryPolicy};
 use crate::scheduler::{quick_estimate_ns, DevicePool};
 use smartmem_core::{
     CacheStats, CompileSession, Framework, ModelReport, SmartMemPipeline, Unsupported,
 };
-use smartmem_sim::DeviceConfig;
+use smartmem_sim::{DeviceConfig, FaultKind, FaultPlan};
 use smartmem_telemetry::{now_ns, Counter, Histogram, Telemetry, TraceId};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -26,6 +27,13 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Telemetry category of injected-fault instant events
+/// (`fault.<kind>`, see [`FaultKind::name`]).
+pub const FAULT_CATEGORY: &str = "fault";
+/// Telemetry category of recovery-action instant events (`retry`,
+/// `retry_exhausted`, `shed`, `replica_killed`, `device_dead`).
+pub const RECOVERY_CATEGORY: &str = "recovery";
 
 /// Marginal device-time cost of each request after the first in a
 /// batch: batched execution amortizes kernel launches and re-uses the
@@ -158,6 +166,17 @@ pub struct ServeConfig {
     pub cut_policy: CutPolicy,
     /// Tracing/metrics knobs (see [`TelemetryConfig`]).
     pub telemetry: TelemetryConfig,
+    /// Deterministic fault injection (chaos testing). `None` — the
+    /// default — and an inert plan are byte-identical to a server built
+    /// before fault injection existed: no probe ever fires and no
+    /// extra work runs on the request path.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Retry budget/backoff for transiently failed requests (injected
+    /// or real execute errors, device death while queued or claimed).
+    pub retry: RetryPolicy,
+    /// Slack-based admission shedding (disabled by default; see
+    /// [`AdmissionControl`]).
+    pub admission: AdmissionControl,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +191,9 @@ impl Default for ServeConfig {
             aging_factor: 4.0,
             cut_policy: CutPolicy::Pull,
             telemetry: TelemetryConfig::default(),
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            admission: AdmissionControl::disabled(),
         }
     }
 }
@@ -182,32 +204,85 @@ impl Default for ServeConfig {
 pub struct ClassStats {
     /// Requests of this class accepted into the queue.
     pub submitted: u64,
-    /// Requests of this class executed to completion.
+    /// Requests of this class executed successfully (`error == None`).
     pub completed: u64,
+    /// Requests of this class answered with a terminal error.
+    pub failed: u64,
     /// Requests of this class cancelled before execution.
     pub cancelled: u64,
-    /// Executed requests of this class answered after their deadline
-    /// (wall clock at response time past `submission + class budget`).
+    /// Answered requests of this class past their deadline (wall clock
+    /// at response time past `submission + class budget`).
     pub slo_violations: u64,
 }
 
 /// Aggregate serving statistics (snapshot or final, from
 /// [`Server::stats`] / [`Server::shutdown`]).
+///
+/// # Request accounting taxonomy
+///
+/// Every *accepted* request resolves into exactly one of three
+/// disjoint terminal counters, so in every final snapshot
+/// `submitted == completed + failed + cancelled` — no ticket is ever
+/// lost or double-counted, even under fault injection. `rejected` and
+/// `shed` count requests that were never accepted (their tickets were
+/// never created) and live outside that sum.
+///
+/// | counter     | exact trigger                                      |
+/// |-------------|----------------------------------------------------|
+/// | `submitted` | request accepted into the bounded queue            |
+/// | `completed` | answered with `error == None` (success only)       |
+/// | `failed`    | answered with `error == Some(..)`: compile error or panic, replica killed mid-flight, or retry budget exhausted |
+/// | `cancelled` | cancel won the CAS before any worker claimed it    |
+/// | `rejected`  | `try_submit` refused: bounded queue full           |
+/// | `shed`      | admission control refused: pool slack negative     |
+///
+/// `recovered`, `retried`, `retry_exhausted`, and `killed` are
+/// *attributions*, not extra terminals: `retried` counts re-enqueue
+/// events (a request can retry several times), `recovered` counts
+/// requests that landed in `completed` after ≥ 1 failed attempt,
+/// `retry_exhausted` and `killed` count the sub-causes of `failed`.
 #[derive(Clone, Debug)]
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
-    /// Requests executed and answered (including compilation failures;
-    /// excluding cancelled requests).
+    /// Requests executed and answered successfully (`error == None`).
+    /// Disjoint from `failed` and `cancelled`.
     pub completed: u64,
     /// Requests rejected by admission control (`try_submit` on a full
     /// queue).
     pub rejected: u64,
-    /// Requests answered with a compilation error.
+    /// Requests answered with a terminal error (`error == Some(..)`):
+    /// a compilation error/panic, [`REPLICA_KILLED`], or a transient
+    /// failure that exhausted the retry budget. Disjoint from
+    /// `completed`.
     pub failed: u64,
     /// Requests cancelled before execution (answered with
     /// `cancelled == true`, never run on a device).
     pub cancelled: u64,
+    /// Requests shed at submission by [`AdmissionControl`] (answered
+    /// with `SubmitError::Shed`; no ticket was created). Always 0 with
+    /// admission control disabled (the default).
+    pub shed: u64,
+    /// Retry events: how many times a transiently failed request was
+    /// re-placed and re-enqueued. One request can contribute up to
+    /// `RetryPolicy::budget` here.
+    pub retried: u64,
+    /// Requests that completed successfully after at least one failed
+    /// attempt (a subset of `completed`).
+    pub recovered: u64,
+    /// Requests that became terminal `failed` because their retry
+    /// budget ran out (a subset of `failed`).
+    pub retry_exhausted: u64,
+    /// Requests answered [`REPLICA_KILLED`] because [`Server::kill`]
+    /// tore the replica down around them (a subset of `failed`).
+    pub killed: u64,
+    /// Injected faults that actually fired on this server, indexed by
+    /// [`FaultKind::index`]. All zero when `ServeConfig::fault_plan`
+    /// is `None` or inert.
+    pub faults: [u64; FaultKind::ALL.len()],
+    /// Devices currently marked dead (by injected death or
+    /// [`Server::retire_device`]), ascending pool ids.
+    pub dead_devices: Vec<usize>,
     /// Batches executed.
     pub batches: u64,
     /// `histogram[n-1]` = number of batches of size `n`, over all
@@ -382,6 +457,13 @@ struct Pending {
     trace: TraceId,
     /// Admission timestamp on the telemetry clock (0 when unsampled).
     submit_ns: u64,
+    /// Failed execution attempts so far (0 = never tried). Incremented
+    /// on every transient failure; bounded by `RetryPolicy::budget`.
+    attempts: u32,
+    /// Stable fault-injection identity: `InferenceRequest::tag` or the
+    /// server-assigned id. Survives retries and re-placements, so a
+    /// `FaultPlan` curse follows the request wherever it goes.
+    tag: u64,
     cell: Arc<CancelCell>,
     tx: Sender<InferenceResponse>,
 }
@@ -407,6 +489,7 @@ impl BatchItem for Pending {
 struct ClassCounters {
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     cancelled: AtomicU64,
     slo_violations: AtomicU64,
 }
@@ -416,6 +499,7 @@ impl ClassCounters {
         ClassStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             slo_violations: self.slo_violations.load(Ordering::Relaxed),
         }
@@ -428,6 +512,14 @@ struct Metrics {
     rejected: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    shed: AtomicU64,
+    retried: AtomicU64,
+    recovered: AtomicU64,
+    retry_exhausted: AtomicU64,
+    killed: AtomicU64,
+    /// Injected faults that fired, by [`FaultKind::index`]. The
+    /// cache-I/O slot is filled from the session at snapshot time.
+    faults: [AtomicU64; FaultKind::ALL.len()],
     batches: AtomicU64,
     /// `[device][size-1]` — per-device batch-size histograms.
     per_device_hist: Vec<Vec<AtomicU64>>,
@@ -470,6 +562,10 @@ impl ServeTelemetry {
 struct BatchState {
     batcher: Batcher<Pending>,
     shutdown: bool,
+    /// Set by [`Server::kill`]: the replica went down hard. Implies
+    /// `shutdown`; queued requests were answered [`REPLICA_KILLED`]
+    /// instead of drained.
+    killed: bool,
 }
 
 /// State shared by the public handle, the device workers, and every
@@ -537,6 +633,12 @@ impl Server {
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            retry_exhausted: AtomicU64::new(0),
+            killed: AtomicU64::new(0),
+            faults: Default::default(),
             batches: AtomicU64::new(0),
             per_device_hist: (0..pool.len())
                 .map(|_| (0..config.max_batch).map(|_| AtomicU64::new(0)).collect())
@@ -565,6 +667,13 @@ impl Server {
             }),
             None => CompileSession::new(),
         };
+        // Wire the fault plan into the persistent cache so cache-dir
+        // I/O faults fire inside the real read/write seams.
+        if let Some(plan) = &config.fault_plan {
+            if !plan.is_inert() {
+                session.inject_disk_faults(Arc::clone(plan));
+            }
+        }
         let batcher = Batcher::new(config.max_batch, config.max_delay)
             .with_policy(config.cut_policy)
             .with_aging_factor(config.aging_factor);
@@ -578,7 +687,7 @@ impl Server {
             config,
             metrics,
             telemetry,
-            state: Mutex::new(BatchState { batcher, shutdown: false }),
+            state: Mutex::new(BatchState { batcher, shutdown: false, killed: false }),
             work_cvs: (0..pool_len).map(|_| Condvar::new()).collect(),
             space_cv: Condvar::new(),
         });
@@ -637,35 +746,46 @@ impl Server {
 
     fn submit_inner(&self, req: InferenceRequest, block: bool) -> Result<Ticket, SubmitError> {
         let inner = &self.inner;
-        let (pending, ticket) = self.admit(req)?;
-        let (device, est, class) = (pending.device, pending.est_ns, pending.class);
-        let refuse = |err: SubmitError| {
-            inner.pool.discharge(device, est, class);
-            if err == SubmitError::QueueFull {
-                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(err)
-        };
-        let key = BatchKey { model: pending.model, device: pending.device };
+        let (mut pending, ticket) = self.admit(req)?;
+        let class = pending.class;
+        let mut device;
         {
             let mut st = inner.state.lock().expect("batch state poisoned");
             loop {
                 if st.shutdown {
-                    return refuse(SubmitError::ShuttingDown);
+                    inner.pool.discharge(pending.device, pending.est_ns, class);
+                    return Err(SubmitError::ShuttingDown);
                 }
-                if st.batcher.pending() < inner.config.queue_capacity {
-                    break;
+                if st.batcher.pending() >= inner.config.queue_capacity {
+                    if !block {
+                        inner.pool.discharge(pending.device, pending.est_ns, class);
+                        inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::QueueFull);
+                    }
+                    st = inner.space_cv.wait(st).expect("batch state poisoned");
+                    continue;
                 }
-                if !block {
-                    return refuse(SubmitError::QueueFull);
+                device = pending.device;
+                let key = BatchKey { model: pending.model, device };
+                match st.batcher.push(key, pending, Instant::now()) {
+                    Ok(()) => break,
+                    // The placed device died between admit and push:
+                    // refund the charge and re-place among the living
+                    // (the pool always keeps at least one device
+                    // alive).
+                    Err(p) => {
+                        inner.pool.discharge(p.device, p.est_ns, class);
+                        pending = p;
+                        let (d, est) = inner.pool.place(&inner.estimates[pending.model], class);
+                        pending.device = d;
+                        pending.est_ns = est;
+                    }
                 }
-                st = inner.space_cv.wait(st).expect("batch state poisoned");
             }
-            st.batcher.push(key, pending, Instant::now());
             // Counted before the lock drops: a size-due request can be
             // cut and completed the instant the lock is released, and
-            // `submitted >= completed + cancelled` must hold in every
-            // stats() snapshot.
+            // `submitted >= completed + failed + cancelled` must hold
+            // in every stats() snapshot.
             inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
             inner.metrics.per_class[class.index()].submitted.fetch_add(1, Ordering::Relaxed);
         }
@@ -679,18 +799,47 @@ impl Server {
         if req.model >= inner.models.len() {
             return Err(SubmitError::UnknownModel(req.model));
         }
-        let (device, est_ns) = match req.device {
-            Some(d) => {
-                if d >= inner.pool.len() {
-                    return Err(SubmitError::UnknownDevice(d));
+        if let Some(d) = req.device {
+            if d >= inner.pool.len() {
+                return Err(SubmitError::UnknownDevice(d));
+            }
+        }
+        // Admission shedding happens before any charge: a shed request
+        // must leave zero trace in the scheduler's accounts.
+        if inner.config.admission.enabled {
+            let best = inner.pool.best_completion_ns(&inner.estimates[req.model]);
+            let budget_ns = inner.config.deadlines.interactive.as_nanos() as f64;
+            let slack = (budget_ns - best).clamp(i64::MIN as f64, i64::MAX as f64) as i64;
+            if inner.config.admission.should_shed(req.priority, slack) {
+                inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                let tracer = &inner.telemetry.telemetry.tracer;
+                if tracer.is_enabled() {
+                    tracer.record_instant(
+                        "shed",
+                        RECOVERY_CATEGORY,
+                        TraceId::NONE,
+                        0,
+                        vec![
+                            ("class".to_string(), req.priority.index() as f64),
+                            ("slack_ns".to_string(), slack as f64),
+                        ],
+                    );
                 }
+                return Err(SubmitError::Shed);
+            }
+        }
+        let (device, est_ns) = match req.device {
+            // A device pinned dead falls back to scheduler placement —
+            // pinning is an affinity hint, not a suicide pact.
+            Some(d) if inner.pool.is_alive(d) => {
                 let est = inner.estimates[req.model][d].max(0.0) as u64;
                 inner.pool.charge(d, est, req.priority);
                 (d, est)
             }
-            None => inner.pool.place(&inner.estimates[req.model], req.priority),
+            _ => inner.pool.place(&inner.estimates[req.model], req.priority),
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tag = req.tag.unwrap_or(id);
         let (tx, rx) = mpsc::channel();
         let submitted = Instant::now();
         // The request's trace identity is minted here, at admission —
@@ -702,17 +851,29 @@ impl Server {
             Some(trace) => (trace, now_ns()),
             None => (TraceId::NONE, 0),
         };
+        // A clock-skew fault tightens the deadline by the configured
+        // skew: downstream (slack ordering, SLO accounting) sees a
+        // request whose clock disagrees with the server's.
+        let mut budget = inner.config.deadlines.budget(req.priority);
+        if let Some(plan) = &inner.config.fault_plan {
+            if plan.fault_for(FaultKind::ClockSkew, tag) {
+                budget = budget.saturating_sub(plan.skew());
+                record_fault(inner, FaultKind::ClockSkew, TraceId::NONE, 0);
+            }
+        }
         let cell = Arc::new(CancelCell { state: AtomicU8::new(QUEUED) });
         let pending = Pending {
             id,
             model: req.model,
             device,
             class: req.priority,
-            deadline: submitted + inner.config.deadlines.budget(req.priority),
+            deadline: submitted + budget,
             est_ns,
             submitted,
             trace,
             submit_ns,
+            attempts: 0,
+            tag,
             cell: Arc::clone(&cell),
             tx,
         };
@@ -739,12 +900,27 @@ impl Server {
                 *slot += count;
             }
         }
+        let cache = self.inner.session.stats();
+        let mut faults = [0u64; FaultKind::ALL.len()];
+        for (slot, counter) in faults.iter_mut().zip(&m.faults) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        // Cache-I/O faults fire inside the persist layer; surface them
+        // in the same per-kind array.
+        faults[FaultKind::CacheDirIo.index()] = cache.disk_faults as u64;
         ServeStats {
             submitted: m.submitted.load(Ordering::Relaxed),
             completed: m.completed.load(Ordering::Relaxed),
             rejected: m.rejected.load(Ordering::Relaxed),
             failed: m.failed.load(Ordering::Relaxed),
             cancelled: m.cancelled.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            retried: m.retried.load(Ordering::Relaxed),
+            recovered: m.recovered.load(Ordering::Relaxed),
+            retry_exhausted: m.retry_exhausted.load(Ordering::Relaxed),
+            killed: m.killed.load(Ordering::Relaxed),
+            faults,
+            dead_devices: self.inner.pool.dead_devices(),
             batches: m.batches.load(Ordering::Relaxed),
             batch_histogram,
             per_device_batch_histogram,
@@ -758,10 +934,93 @@ impl Server {
                 m.per_class[1].snapshot(),
                 m.per_class[2].snapshot(),
             ],
-            cache: self.inner.session.stats(),
+            cache,
             compiled: self.inner.session.len(),
             cache_dir_fallbacks: self.inner.telemetry.cache_dir_fallbacks.get(),
         }
+    }
+
+    /// Kills the replica hard: stops admission, answers every queued
+    /// request with a [`REPLICA_KILLED`] failure (counted in both
+    /// `failed` and `killed`), and lets in-flight batches finish.
+    /// Returns how many queued requests were killed. Idempotent; a
+    /// fleet router resubmits the killed requests elsewhere and can
+    /// later warm-restart a fresh replica from the shared cache dir.
+    pub fn kill(&self) -> u64 {
+        let inner = &self.inner;
+        let drained = {
+            let mut st = match inner.state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if st.killed {
+                return 0;
+            }
+            st.killed = true;
+            st.shutdown = true;
+            st.batcher.drain_all()
+        };
+        for cv in &inner.work_cvs {
+            cv.notify_all();
+        }
+        inner.space_cv.notify_all();
+        let mut n = 0;
+        for (_key, items) in drained {
+            for p in items {
+                // Adjudicate against concurrent cancels exactly like a
+                // batch cut would: claim or concede.
+                if p.claim() {
+                    respond_failed(inner, p, REPLICA_KILLED);
+                    inner.metrics.killed.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                } else {
+                    respond_cancelled(inner, p);
+                }
+            }
+        }
+        let tracer = &inner.telemetry.telemetry.tracer;
+        if tracer.is_enabled() {
+            tracer.record_instant(
+                "replica_killed",
+                RECOVERY_CATEGORY,
+                TraceId::NONE,
+                0,
+                vec![("killed".to_string(), n as f64)],
+            );
+        }
+        n
+    }
+
+    /// Whether [`Server::kill`] already ran.
+    pub fn is_killed(&self) -> bool {
+        match self.inner.state.lock() {
+            Ok(st) => st.killed,
+            Err(poisoned) => poisoned.into_inner().killed,
+        }
+    }
+
+    /// Marks a device dead and re-routes its queued requests to the
+    /// survivors — the same machinery an injected
+    /// [`FaultKind::DeviceDeath`] uses, exposed for operational
+    /// drains. Each stranded request consumes one retry attempt (it
+    /// may go terminal if its budget is already spent). Returns
+    /// `false` without side effects when `device` is out of range,
+    /// already dead, or the last one alive.
+    pub fn retire_device(&self, device: usize) -> bool {
+        let inner = &self.inner;
+        if device >= inner.pool.len() {
+            return false;
+        }
+        let Some(drained) = mark_device_dead(inner, device) else {
+            return false;
+        };
+        for (_key, items) in drained {
+            for p in items {
+                retry_or_fail(inner, p, "device retired");
+            }
+        }
+        inner.space_cv.notify_all();
+        true
     }
 
     /// Stops accepting requests, drains every queued batch, joins all
@@ -836,10 +1095,178 @@ fn respond_cancelled(inner: &Inner, p: Pending) {
         exec_ms: 0.0,
         wall_ms,
         compile_cache_hit: false,
+        retries: p.attempts,
         error: None,
     };
     // A dropped ticket just means nobody is listening.
     let _ = p.tx.send(response);
+}
+
+/// Counts one fired injected fault and records its instant event.
+fn record_fault(inner: &Inner, kind: FaultKind, trace: TraceId, lane: u64) {
+    inner.metrics.faults[kind.index()].fetch_add(1, Ordering::Relaxed);
+    let tracer = &inner.telemetry.telemetry.tracer;
+    if tracer.is_enabled() {
+        tracer.record_instant(
+            format!("fault.{}", kind.name()),
+            FAULT_CATEGORY,
+            trace,
+            lane,
+            vec![],
+        );
+    }
+}
+
+/// Refunds the scheduler charge of a terminally failed request, counts
+/// it, and resolves its ticket with an error response. The caller has
+/// already adjudicated against cancellation (the cell is CLAIMED).
+fn respond_failed(inner: &Inner, p: Pending, error: &str) {
+    inner.pool.discharge(p.device, p.est_ns, p.class);
+    let m = &inner.metrics;
+    m.failed.fetch_add(1, Ordering::Relaxed);
+    let class = &m.per_class[p.class.index()];
+    class.failed.fetch_add(1, Ordering::Relaxed);
+    if Instant::now() > p.deadline {
+        class.slo_violations.fetch_add(1, Ordering::Relaxed);
+    }
+    if p.trace != TraceId::NONE {
+        let tracer = &inner.telemetry.telemetry.tracer;
+        tracer.record_complete(
+            "queue",
+            "serve",
+            p.trace,
+            p.submit_ns,
+            now_ns().saturating_sub(p.submit_ns),
+            p.device as u64,
+            vec![],
+        );
+        tracer.record_instant("failed", "serve", p.trace, p.device as u64, vec![]);
+    }
+    let wall_ms = p.submitted.elapsed().as_secs_f64() * 1e3;
+    let response = InferenceResponse {
+        request_id: p.id,
+        completion_seq: m.completion_seq.fetch_add(1, Ordering::Relaxed),
+        model: inner.models[p.model].name.clone(),
+        device: inner.pool.device(p.device).name.clone(),
+        priority: p.class,
+        cancelled: false,
+        batch_size: 0,
+        queue_ms: wall_ms,
+        exec_ms: 0.0,
+        wall_ms,
+        compile_cache_hit: false,
+        retries: p.attempts,
+        error: Some(error.to_string()),
+    };
+    // A dropped ticket just means nobody is listening.
+    let _ = p.tx.send(response);
+}
+
+/// Routes one stranded or transiently failed request: consume a retry
+/// attempt and either re-place + re-enqueue it with backoff, or answer
+/// it terminally once the budget is spent. Works for both claimed
+/// batch members and queued items drained off a dead device; concedes
+/// to a concurrent cancel at every step (exactly one responder).
+fn retry_or_fail(inner: &Inner, mut p: Pending, error: &str) {
+    // Return a claimed request to the queued state so the next cut can
+    // claim it again (and a cancel can win again while it waits).
+    let _ = p.cell.state.compare_exchange(CLAIMED, QUEUED, Ordering::AcqRel, Ordering::Acquire);
+    if p.cell.state.load(Ordering::Acquire) == CANCELLED {
+        // Cancel won while the item was off-queue in our hands: we are
+        // the only holder, so we answer it.
+        respond_cancelled(inner, p);
+        return;
+    }
+    p.attempts += 1;
+    match inner.config.retry.decide(p.attempts) {
+        RetryDecision::Retry { backoff } => {
+            inner.metrics.retried.fetch_add(1, Ordering::Relaxed);
+            let tracer = &inner.telemetry.telemetry.tracer;
+            if tracer.is_enabled() {
+                tracer.record_instant(
+                    "retry",
+                    RECOVERY_CATEGORY,
+                    p.trace,
+                    p.device as u64,
+                    vec![
+                        ("attempt".to_string(), f64::from(p.attempts)),
+                        ("backoff_us".to_string(), backoff.as_micros() as f64),
+                    ],
+                );
+            }
+            requeue(inner, p, backoff);
+        }
+        RetryDecision::Fail => {
+            inner.metrics.retry_exhausted.fetch_add(1, Ordering::Relaxed);
+            let tracer = &inner.telemetry.telemetry.tracer;
+            if tracer.is_enabled() {
+                tracer.record_instant(
+                    "retry_exhausted",
+                    RECOVERY_CATEGORY,
+                    p.trace,
+                    p.device as u64,
+                    vec![],
+                );
+            }
+            // Final claim adjudicates against a cancel racing the
+            // QUEUED window above.
+            if p.claim() {
+                respond_failed(inner, p, error);
+            } else {
+                respond_cancelled(inner, p);
+            }
+        }
+    }
+}
+
+/// Refunds the failed placement, re-places the request among the alive
+/// devices, and re-enqueues it dated `backoff` into the future — the
+/// batcher's due check then naturally delays the next attempt. The
+/// aged `enqueued` baseline is NOT reset: starvation aging keeps
+/// counting from the original submission, so a retried request
+/// outranks fresh traffic of its class.
+fn requeue(inner: &Inner, mut p: Pending, backoff: Duration) {
+    // Refund the failed placement; `place` below charges the new one.
+    inner.pool.discharge(p.device, p.est_ns, p.class);
+    loop {
+        let (device, est) = inner.pool.place(&inner.estimates[p.model], p.class);
+        p.device = device;
+        p.est_ns = est;
+        let key = BatchKey { model: p.model, device };
+        let pushed = {
+            let mut st = inner.state.lock().expect("batch state poisoned");
+            if st.shutdown {
+                // Too late to requeue: a worker for the new device may
+                // already have drained and exited, which would strand
+                // the ticket forever. Answer it now instead (the
+                // respond path refunds the fresh charge).
+                let killed = st.killed;
+                drop(st);
+                let error = if killed { REPLICA_KILLED } else { "server shut down during retry" };
+                if p.claim() {
+                    if killed {
+                        inner.metrics.killed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    respond_failed(inner, p, error);
+                } else {
+                    respond_cancelled(inner, p);
+                }
+                return;
+            }
+            st.batcher.push(key, p, Instant::now() + backoff)
+        };
+        match pushed {
+            Ok(()) => {
+                inner.work_cvs[device].notify_all();
+                return;
+            }
+            // Lost a race with another death: refund and place again.
+            Err(item) => {
+                p = item;
+                inner.pool.discharge(p.device, p.est_ns, p.class);
+            }
+        }
+    }
 }
 
 fn worker_loop(inner: &Inner, device_id: usize) {
@@ -888,6 +1315,33 @@ fn worker_loop(inner: &Inner, device_id: usize) {
     }
 }
 
+/// Marks `device_id` dead in both the pool and the batcher, returning
+/// the drained queued requests — or `None` when the device is already
+/// dead or the last one alive (the pool must keep serving). The
+/// alive-count check and the marking happen under the batch-state
+/// lock, so two concurrent deaths cannot race past each other and
+/// leave the pool empty.
+fn mark_device_dead(inner: &Inner, device_id: usize) -> Option<Vec<(BatchKey, Vec<Pending>)>> {
+    let drained = {
+        let mut st = inner.state.lock().expect("batch state poisoned");
+        if inner.pool.alive_count() <= 1 || !inner.pool.mark_dead(device_id) {
+            return None;
+        }
+        st.batcher.mark_dead(device_id)
+    };
+    let tracer = &inner.telemetry.telemetry.tracer;
+    if tracer.is_enabled() {
+        tracer.record_instant(
+            "device_dead",
+            RECOVERY_CATEGORY,
+            TraceId::NONE,
+            device_id as u64,
+            vec![],
+        );
+    }
+    Some(drained)
+}
+
 fn execute_batch(
     inner: &Inner,
     device_id: usize,
@@ -905,6 +1359,60 @@ fn execute_batch(
     let cut_ns = if tracer.is_enabled() { now_ns() } else { 0 };
     let lane = device_id as u64;
 
+    let plan = inner.config.fault_plan.as_ref().filter(|p| !p.is_inert());
+    // Device-level probes, one roll per batch. Death routes the whole
+    // batch (and everything queued behind it) through retry and skips
+    // execution entirely; a stall just holds the device.
+    if let Some(plan) = plan {
+        if plan.roll(FaultKind::DeviceDeath, device_id) {
+            if let Some(drained) = mark_device_dead(inner, device_id) {
+                record_fault(inner, FaultKind::DeviceDeath, TraceId::NONE, lane);
+                for p in batch.items {
+                    retry_or_fail(inner, p, "device died");
+                }
+                for (_key, items) in drained {
+                    for p in items {
+                        retry_or_fail(inner, p, "device died");
+                    }
+                }
+                inner.space_cv.notify_all();
+                return;
+            }
+            // Last device standing: the death is suppressed (the pool
+            // must keep serving) and the batch executes normally.
+        }
+        if plan.roll(FaultKind::DeviceStall, device_id) {
+            record_fault(inner, FaultKind::DeviceStall, TraceId::NONE, lane);
+            std::thread::sleep(plan.stall_duration());
+        }
+    }
+
+    // Per-item injected transient faults, decided up front against the
+    // request's stable tag — and only on its first attempt, so a
+    // cursed request fails exactly once and recovers on retry
+    // (`recovered` then counts exactly the cursed tags, independent of
+    // scheduling). A compile curse preempts compilation; an exec curse
+    // fails the item after the batch runs.
+    let cursed: Vec<Option<FaultKind>> = batch
+        .items
+        .iter()
+        .map(|item| {
+            let plan = plan?;
+            if item.attempts > 0 {
+                return None;
+            }
+            if plan.fault_for(FaultKind::CompileFault, item.tag) {
+                record_fault(inner, FaultKind::CompileFault, item.trace, lane);
+                Some(FaultKind::CompileFault)
+            } else if plan.fault_for(FaultKind::ExecError, item.tag) {
+                record_fault(inner, FaultKind::ExecError, item.trace, lane);
+                Some(FaultKind::ExecError)
+            } else {
+                None
+            }
+        })
+        .collect();
+
     // Compile every request through the shared session:
     // compile-on-first-use, cache-warm (and in-flight-deduplicated)
     // thereafter. The fingerprint was precomputed at registration,
@@ -920,7 +1428,13 @@ fn execute_batch(
     let compiled: Vec<_> = batch
         .items
         .iter()
-        .map(|item| {
+        .zip(&cursed)
+        .map(|(item, curse)| {
+            // A cursed item never reaches the compiler — the injected
+            // fault preempts it.
+            if curse.is_some() {
+                return None;
+            }
             let compile_start = if item.trace != TraceId::NONE { now_ns() } else { 0 };
             let (result, cache_hit) =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -945,7 +1459,7 @@ fn execute_batch(
                     vec![("cache_hit".to_string(), f64::from(cache_hit))],
                 );
             }
-            (result, cache_hit)
+            Some((result, cache_hit))
         })
         .collect();
 
@@ -954,6 +1468,7 @@ fn execute_batch(
     // batch.
     let exec_ms = compiled
         .iter()
+        .flatten()
         .find_map(|(res, _)| res.as_ref().ok())
         .map(|output| reports.entry(model_id).or_insert_with(|| output.optimized.estimate(device)))
         .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size));
@@ -967,7 +1482,19 @@ fn execute_batch(
     if let Some(slot) = m.per_device_hist[device_id].get(size.saturating_sub(1)) {
         slot.fetch_add(1, Ordering::Relaxed);
     }
-    for (item, (result, cache_hit)) in batch.items.into_iter().zip(compiled) {
+    for ((item, outcome), curse) in batch.items.into_iter().zip(compiled).zip(cursed) {
+        // Cursed items are transient failures: consume a retry attempt
+        // and re-place them (or go terminal on an exhausted budget).
+        // Their charge travels with them — requeue/respond refunds it.
+        if let Some(kind) = curse {
+            let error = match kind {
+                FaultKind::CompileFault => "injected compile fault",
+                _ => "injected execute error",
+            };
+            retry_or_fail(inner, item, error);
+            continue;
+        }
+        let (result, cache_hit) = outcome.expect("uncursed items are compiled");
         inner.pool.discharge(device_id, item.est_ns, item.class);
         // Queue wait (submit → claim) feeds the always-on per-class
         // histograms: one atomic op, independent of span sampling.
@@ -1011,12 +1538,19 @@ fn execute_batch(
             );
         }
         let error = result.as_ref().err().map(|e| e.to_string());
+        let class = &m.per_class[item.class.index()];
+        // A compilation error is terminal (retrying cannot fix a graph
+        // the framework rejects): `failed`, disjoint from `completed`.
         if error.is_some() {
             m.failed.fetch_add(1, Ordering::Relaxed);
+            class.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            m.completed.fetch_add(1, Ordering::Relaxed);
+            class.completed.fetch_add(1, Ordering::Relaxed);
+            if item.attempts > 0 {
+                m.recovered.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        m.completed.fetch_add(1, Ordering::Relaxed);
-        let class = &m.per_class[item.class.index()];
-        class.completed.fetch_add(1, Ordering::Relaxed);
         if Instant::now() > item.deadline {
             class.slo_violations.fetch_add(1, Ordering::Relaxed);
         }
@@ -1032,6 +1566,7 @@ fn execute_batch(
             exec_ms,
             wall_ms: item.submitted.elapsed().as_secs_f64() * 1e3,
             compile_cache_hit: cache_hit,
+            retries: item.attempts,
             error,
         };
         // A dropped ticket just means nobody is listening.

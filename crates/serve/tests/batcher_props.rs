@@ -22,7 +22,7 @@ const QUEUED: u8 = 0;
 const CLAIMED: u8 = 1;
 const CANCELLED: u8 = 2;
 
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct Item {
     id: u64,
     deadline: Instant,
@@ -124,7 +124,7 @@ fn run_script(raw_events: &[u8], max_batch: usize, policy: CutPolicy) -> Run {
                 let deadline = now + Duration::from_millis([10, 100, 1000][class]);
                 let cell = Arc::new(AtomicU8::new(QUEUED));
                 let item = Item { id: run.pushed, deadline, est_ns: 0.0, cell: Arc::clone(&cell) };
-                batcher.push(key, item, now);
+                batcher.push(key, item, now).expect("push to a live device");
                 run.keys.insert(run.pushed, key);
                 live.push((run.pushed, cell, key));
                 run.pushed += 1;
@@ -236,7 +236,7 @@ proptest! {
             est_ns: 0.0,
             cell: Arc::new(AtomicU8::new(QUEUED)),
         };
-        b.push(victim_key, victim, t0);
+        b.push(victim_key, victim, t0).expect("push to a live device");
         let mut now = t0;
         let mut next_id = 0u64;
         for (round, &burst) in flood.iter().enumerate() {
@@ -249,7 +249,7 @@ proptest! {
                     est_ns: 0.0,
                     cell: Arc::new(AtomicU8::new(QUEUED)),
                 };
-                b.push(hot_key, item, now);
+                b.push(hot_key, item, now).expect("push to a live device");
                 next_id += 1;
             }
             if let Some(cut) = b.pull(0, now) {
@@ -290,7 +290,7 @@ fn cancel_racing_batch_cut_is_exactly_once() {
                     est_ns: 0.0,
                     cell: Arc::clone(cell),
                 };
-                b.push(key, item, t0);
+                b.push(key, item, t0).expect("push to a live device");
             }
             Arc::new(Mutex::new(b))
         };

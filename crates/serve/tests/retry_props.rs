@@ -1,0 +1,218 @@
+//! Property tests of the retry state machine and admission control
+//! (vendored proptest shim), at both the pure-policy level and through
+//! a real faulted server:
+//!
+//! * the retry budget is never exceeded, whatever the failure pattern;
+//! * backoff is monotone nondecreasing and capped;
+//! * a re-placed request's scheduler charge is refunded exactly once —
+//!   after every ticket resolves, every device account drains to zero
+//!   even when each request bounced through the retry path;
+//! * re-enqueued (backoff-dated) requests stay FIFO within their
+//!   (model, device) key;
+//! * admission shedding is monotone: it never sheds a class unless it
+//!   would also shed every lower class at the same slack, and it never
+//!   sheds `Interactive` at any slack.
+
+use proptest::prelude::*;
+use smartmem_ir::{DType, GraphBuilder};
+use smartmem_serve::{
+    AdmissionControl, BatchItem, BatchKey, Batcher, InferenceRequest, ModelSpec, Priority,
+    RetryDecision, RetryPolicy, ServeConfig, Server,
+};
+use smartmem_sim::{DeviceConfig, FaultPlan, FaultRates};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// However many failures arrive, at most `budget` of them turn
+    /// into retries, and the first `Fail` is final: every later
+    /// attempt count also fails.
+    #[test]
+    fn retry_budget_is_never_exceeded(budget in 0u32..6, failures in 1u32..40) {
+        let policy = RetryPolicy { budget, ..RetryPolicy::default() };
+        let mut retries = 0u32;
+        let mut failed = false;
+        for attempt in 1..=failures {
+            match policy.decide(attempt) {
+                RetryDecision::Retry { .. } => {
+                    prop_assert!(!failed, "Retry after Fail: the decision must be final");
+                    retries += 1;
+                }
+                RetryDecision::Fail => failed = true,
+            }
+        }
+        prop_assert!(retries <= budget);
+        prop_assert_eq!(retries, budget.min(failures));
+    }
+
+    /// Backoff never shrinks as attempts grow, and never exceeds the
+    /// cap — even at attempt counts that would overflow a naive shift.
+    #[test]
+    fn backoff_is_monotone_and_capped(base_us in 1u64..2000, cap_ms in 1u64..20) {
+        let policy = RetryPolicy {
+            budget: u32::MAX,
+            backoff_base: Duration::from_micros(base_us),
+            max_backoff: Duration::from_millis(cap_ms),
+        };
+        let mut prev = Duration::ZERO;
+        for attempt in [1, 2, 3, 5, 10, 31, 32, 33, 64, 1000] {
+            let b = policy.backoff_for(attempt);
+            prop_assert!(b >= prev, "backoff shrank at attempt {}", attempt);
+            prop_assert!(b <= policy.max_backoff);
+            prev = b;
+        }
+    }
+
+    /// Shedding is monotone in class (BestEffort sheds whenever Batch
+    /// does) and in slack (shedding at some slack implies shedding at
+    /// any worse slack); Interactive is never shed while lower classes
+    /// still queue — at no slack value whatsoever.
+    #[test]
+    fn admission_sheds_lower_classes_first(slack in -400_000_000i64..400_000_000,
+                                           grace_ms in 0u64..100) {
+        let ac = AdmissionControl {
+            enabled: true,
+            batch_grace: Duration::from_millis(grace_ms),
+        };
+        prop_assert!(!ac.should_shed(Priority::Interactive, slack));
+        if ac.should_shed(Priority::Batch, slack) {
+            prop_assert!(
+                ac.should_shed(Priority::BestEffort, slack),
+                "Batch shed while BestEffort admitted at slack {}", slack
+            );
+        }
+        for class in Priority::ALL {
+            if ac.should_shed(class, slack) {
+                prop_assert!(ac.should_shed(class, slack - 1), "shedding is monotone in slack");
+            }
+        }
+        let off = AdmissionControl::disabled();
+        for class in Priority::ALL {
+            prop_assert!(!off.should_shed(class, slack));
+        }
+    }
+
+    /// Through a real server with every first attempt cursed: each
+    /// request fails once, is re-placed, and completes on the retry.
+    /// The scheduler accounts must drain to zero — each bounce
+    /// refunds the stale charge exactly once — and `recovered` counts
+    /// every cursed request exactly once.
+    #[test]
+    fn recharge_is_refunded_exactly_once(n in 1u64..12, seed in 0u64..64) {
+        let rates = FaultRates { exec_error: 1.0, ..FaultRates::uniform(0.0) };
+        let config = ServeConfig {
+            fault_plan: Some(Arc::new(FaultPlan::new(seed, rates))),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(vec![toy_model()], devices(), config);
+        let tickets: Vec<_> = (0..n)
+            .map(|_| server.submit(InferenceRequest::new(0)).expect("submit"))
+            .collect();
+        for t in tickets {
+            let r = t.wait();
+            prop_assert!(r.error.is_none(), "cursed request must recover: {:?}", r.error);
+            prop_assert_eq!(r.retries, 1, "exactly one failed attempt");
+        }
+        for d in 0..server.pool().len() {
+            prop_assert_eq!(
+                server.pool().load_ns(d), 0,
+                "device {} account must drain to zero after all tickets resolve", d
+            );
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.submitted, n);
+        prop_assert_eq!(stats.completed, n);
+        prop_assert_eq!(stats.recovered, n);
+        prop_assert_eq!(stats.retried, n);
+        prop_assert_eq!(stats.retry_exhausted, 0);
+        prop_assert_eq!(stats.failed, 0);
+    }
+
+    /// With a zero retry budget the same curse goes terminal instead:
+    /// taxonomy still conserves and the accounts still drain.
+    #[test]
+    fn exhausted_budget_is_terminal_and_conserves(n in 1u64..10, seed in 0u64..64) {
+        let rates = FaultRates { exec_error: 1.0, ..FaultRates::uniform(0.0) };
+        let config = ServeConfig {
+            fault_plan: Some(Arc::new(FaultPlan::new(seed, rates))),
+            retry: RetryPolicy { budget: 0, ..RetryPolicy::default() },
+            ..ServeConfig::default()
+        };
+        let server = Server::start(vec![toy_model()], devices(), config);
+        let tickets: Vec<_> = (0..n)
+            .map(|_| server.submit(InferenceRequest::new(0)).expect("submit"))
+            .collect();
+        for t in tickets {
+            let r = t.wait();
+            prop_assert!(r.error.is_some(), "no budget: the curse is terminal");
+        }
+        for d in 0..server.pool().len() {
+            prop_assert_eq!(server.pool().load_ns(d), 0);
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.failed, n);
+        prop_assert_eq!(stats.retry_exhausted, n);
+        prop_assert_eq!(stats.completed, 0);
+        prop_assert_eq!(stats.submitted, stats.completed + stats.failed + stats.cancelled);
+    }
+
+    /// Backoff-dated re-enqueues keep FIFO within their key: items
+    /// pushed with future `enqueued` timestamps (the retry path) are
+    /// still cut in push order once due.
+    #[test]
+    fn aged_reenqueue_stays_fifo_within_key(ids in prop::collection::vec(0u8..255, 2..24),
+                                            backoff_us in 0u64..2000) {
+        let mut b: Batcher<Item> = Batcher::new(4, Duration::from_micros(100));
+        let t0 = Instant::now();
+        let key = BatchKey { model: 0, device: 0 };
+        let backoff = Duration::from_micros(backoff_us);
+        for (i, &_raw) in ids.iter().enumerate() {
+            // Interleave fresh pushes and retry-style future-dated
+            // pushes; FIFO within the key must hold regardless.
+            let when = if i % 2 == 0 { t0 } else { t0 + backoff };
+            b.push(key, Item { id: i as u64, deadline: t0 + Duration::from_secs(1) }, when)
+                .expect("push to a live device");
+        }
+        // Far enough in the future that every item is due.
+        let later = t0 + backoff + Duration::from_millis(10);
+        let mut seen = Vec::new();
+        while let Some(cut) = b.pull(0, later) {
+            seen.extend(cut.batch.items.iter().map(|i| i.id));
+        }
+        let expected: Vec<u64> = (0..ids.len() as u64).collect();
+        prop_assert_eq!(seen, expected, "cut order must match push order within the key");
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Item {
+    id: u64,
+    deadline: Instant,
+}
+
+impl BatchItem for Item {
+    fn deadline(&self) -> Instant {
+        self.deadline
+    }
+    fn est_ns(&self) -> f64 {
+        0.0
+    }
+    fn claim(&self) -> bool {
+        true
+    }
+}
+
+fn toy_model() -> ModelSpec {
+    let mut b = GraphBuilder::new("retry-toy");
+    let x = b.input("x", &[1, 16, 32], DType::F16);
+    let w = b.weight("w", &[32, 32], DType::F16);
+    let mm = b.matmul(x, w);
+    b.output(mm);
+    ModelSpec::new("retry-toy", b.finish())
+}
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![DeviceConfig::snapdragon_8gen2(), DeviceConfig::apple_m1()]
+}

@@ -172,7 +172,12 @@ fn panicking_model_fails_its_requests_without_killing_the_server() {
     }
     let stats = server.shutdown();
     assert_eq!(stats.failed, 6);
-    assert_eq!(stats.completed, 6 + server_pool_len() as u64);
+    assert_eq!(stats.completed, server_pool_len() as u64, "failed requests are not completed");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.cancelled,
+        "every accepted request resolves into exactly one terminal counter"
+    );
 }
 
 fn server_pool_len() -> usize {

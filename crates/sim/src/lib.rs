@@ -40,11 +40,13 @@
 mod cache;
 mod cost;
 mod device;
+mod fault;
 mod memory;
 mod roofline;
 
 pub use cache::{CacheConfig, CacheSim};
 pub use cost::{KernelProfile, LatencyClass, OpCost};
 pub use device::{DeviceCaps, DeviceConfig};
+pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use memory::{AfbcConfig, MemCounters, MemorySim, TextureTiling};
 pub use roofline::{roofline_gmacs, RooflinePoint};

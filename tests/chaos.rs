@@ -1,0 +1,314 @@
+//! Deterministic chaos soak of the serve tier: 50 seeds of
+//! every-fault-kind injection under concurrent submission and
+//! cancellation, checking the conservation law on every run —
+//! `submitted == completed + failed + cancelled`, no ticket lost or
+//! double-resolved, every scheduler account drained — plus the
+//! byte-identity of the zero-fault path (a `None` plan and an inert
+//! plan produce identical serving decisions) and fleet-level recovery
+//! through the router (a killed replica's queued requests complete on
+//! the survivors).
+
+use smartmem::ir::{DType, Graph, GraphBuilder};
+use smartmem::serve::{
+    AdmissionControl, InferenceRequest, ModelSpec, Priority, Router, ServeConfig, Server,
+    SubmitError,
+};
+use smartmem::sim::{DeviceConfig, FaultPlan, FaultRates};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy_graph(name: &str, width: usize) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input("x", &[1, 16, width], DType::F16);
+    let w = b.weight("w", &[width, width], DType::F16);
+    let mm = b.matmul(x, w);
+    b.output(mm);
+    b.finish()
+}
+
+fn models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::new("chaos-a", toy_graph("chaos-a", 32)),
+        ModelSpec::new("chaos-b", toy_graph("chaos-b", 48)),
+    ]
+}
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![DeviceConfig::snapdragon_8gen2(), DeviceConfig::apple_m1(), DeviceConfig::snapdragon_835()]
+}
+
+/// A scratch cache dir unique to this process and tag; removed by the
+/// caller when the run ends (no tempfile crate in the container).
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smartmem-chaos-{}-{tag}", std::process::id()))
+}
+
+/// All six fault kinds at rates aggressive enough that every soak
+/// seed injects several, but survivable within the default retry
+/// budget for most requests.
+fn soak_rates() -> FaultRates {
+    FaultRates {
+        device_stall: 0.05,
+        device_death: 0.02,
+        exec_error: 0.08,
+        compile_fault: 0.04,
+        cache_dir_io: 0.10,
+        clock_skew: 0.05,
+    }
+}
+
+/// One soak run: 3 submitter threads × 12 requests over 2 models × 3
+/// classes, every 5th request cancelled right after submission.
+/// Returns nothing — panics on any conservation violation.
+fn soak_one_seed(seed: u64) {
+    let dir = scratch_dir(&format!("soak-{seed}"));
+    let plan = Arc::new(FaultPlan::new(seed, soak_rates()).with_stall(Duration::from_micros(50)));
+    let config = ServeConfig {
+        fault_plan: Some(Arc::clone(&plan)),
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::start(models(), devices(), config));
+    const THREADS: u64 = 3;
+    const PER_THREAD: u64 = 12;
+    let (mut accepted, mut client_completed, mut client_failed, mut client_cancelled) =
+        (0u64, 0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let class = Priority::ALL[(t + i) as usize % 3];
+                        let req = InferenceRequest::new((i % 2) as usize)
+                            .with_priority(class)
+                            .with_tag(seed << 32 | t << 16 | i);
+                        let ticket = server.submit(req).expect("submit");
+                        if i % 5 == 4 {
+                            // Race a cancel against the cut; either
+                            // outcome is fine, conservation must hold.
+                            ticket.cancel_handle().cancel();
+                        }
+                        tickets.push(ticket);
+                    }
+                    let mut counts = (0u64, 0u64, 0u64); // completed, failed, cancelled
+                    for ticket in tickets {
+                        let r = ticket.wait();
+                        if r.cancelled {
+                            assert!(r.error.is_none(), "cancelled responses carry no error");
+                            counts.2 += 1;
+                        } else if r.error.is_some() {
+                            counts.1 += 1;
+                        } else {
+                            counts.0 += 1;
+                        }
+                        assert!(
+                            u64::from(r.retries) <= 3 + 1,
+                            "retry budget exceeded: {} attempts",
+                            r.retries
+                        );
+                    }
+                    counts
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c, f, x) = h.join().expect("submitter thread");
+            accepted += PER_THREAD;
+            client_completed += c;
+            client_failed += f;
+            client_cancelled += x;
+        }
+    });
+    // Every ticket resolved exactly once (wait() consumed each), and
+    // the server's books agree with the clients'.
+    for d in 0..server.pool().len() {
+        assert_eq!(
+            server.pool().load_ns(d),
+            0,
+            "seed {seed}: device {d} account must drain to zero"
+        );
+    }
+    let server = Arc::try_unwrap(server).ok().expect("all threads joined");
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, accepted, "seed {seed}");
+    assert_eq!(stats.completed, client_completed, "seed {seed}: completed mismatch");
+    assert_eq!(stats.failed, client_failed, "seed {seed}: failed mismatch");
+    assert_eq!(stats.cancelled, client_cancelled, "seed {seed}: cancelled mismatch");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.cancelled,
+        "seed {seed}: conservation violated"
+    );
+    assert!(
+        stats.recovered <= stats.retried,
+        "seed {seed}: every recovered request went through at least one retry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fifty_seed_soak_conserves_every_request() {
+    for seed in 0..50 {
+        soak_one_seed(seed);
+    }
+}
+
+/// One response's deterministic fields: request id, completion seq,
+/// model, device, batch size, cache hit, retries, error.
+type ResponseRow = (u64, u64, String, String, usize, bool, u32, Option<String>);
+
+/// The serving decisions of one sequential run: everything
+/// deterministic about each response, plus the final counters.
+#[derive(Debug, PartialEq)]
+struct RunTranscript {
+    responses: Vec<ResponseRow>,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    batch_histogram: Vec<u64>,
+    per_device_batches: Vec<u64>,
+    faults_total: u64,
+}
+
+fn sequential_run(plan: Option<Arc<FaultPlan>>) -> RunTranscript {
+    let config = ServeConfig { fault_plan: plan, ..ServeConfig::default() };
+    let server = Server::start(models(), devices(), config);
+    let mut responses = Vec::new();
+    for i in 0..24u64 {
+        let class = Priority::ALL[i as usize % 3];
+        let req = InferenceRequest::new((i % 2) as usize).with_priority(class).with_tag(i);
+        // Sequential submit + wait: the schedule is deterministic, so
+        // every placement and batching decision must be too.
+        let r = server.submit(req).expect("submit").wait();
+        responses.push((
+            r.request_id,
+            r.completion_seq,
+            r.model,
+            r.device,
+            r.batch_size,
+            r.compile_cache_hit,
+            r.retries,
+            r.error,
+        ));
+    }
+    let stats = server.shutdown();
+    RunTranscript {
+        responses,
+        submitted: stats.submitted,
+        completed: stats.completed,
+        failed: stats.failed,
+        batches: stats.batches,
+        batch_histogram: stats.batch_histogram,
+        per_device_batches: stats.per_device_batches,
+        faults_total: stats.faults.iter().sum(),
+    }
+}
+
+#[test]
+fn zero_fault_path_is_byte_identical_to_no_plan() {
+    let none = sequential_run(None);
+    let inert = sequential_run(Some(Arc::new(FaultPlan::inert())));
+    assert_eq!(none, inert, "an inert plan must not change a single serving decision");
+    assert_eq!(none.faults_total, 0);
+    assert_eq!(none.failed, 0);
+    assert_eq!(none.completed, 24);
+}
+
+#[test]
+fn killed_replica_requests_complete_on_survivors_with_warm_restart() {
+    let dir = scratch_dir("fleet");
+    let rates = FaultRates::transient(0.1);
+    let config = ServeConfig {
+        fault_plan: Some(Arc::new(FaultPlan::new(7, rates))),
+        cache_dir: Some(dir.clone()),
+        max_delay: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let router = Arc::new(Router::start(3, models(), devices(), config));
+    const N: u64 = 48;
+    std::thread::scope(|scope| {
+        let submit = {
+            let router = Arc::clone(&router);
+            scope.spawn(move || {
+                let tickets: Vec<_> = (0..N)
+                    .map(|i| {
+                        let req = InferenceRequest::new((i % 2) as usize).with_tag(1 << 40 | i);
+                        router.submit(req).expect("submit")
+                    })
+                    .collect();
+                for t in tickets {
+                    let r = t.wait();
+                    assert!(
+                        r.error.is_none(),
+                        "every client request must complete despite the kill: {:?}",
+                        r.error
+                    );
+                }
+            })
+        };
+        // Kill a replica while the workload is in flight, then bring
+        // it back — the shared cache dir warm-starts the newcomer.
+        let chaos = {
+            let router = Arc::clone(&router);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                assert!(router.kill(1));
+                std::thread::sleep(Duration::from_millis(4));
+                assert!(router.restart(1));
+            })
+        };
+        submit.join().expect("submitter");
+        chaos.join().expect("chaos thread");
+    });
+    let router = Arc::try_unwrap(router).ok().expect("threads joined");
+    let stats = router.stats();
+    assert_eq!(stats.kills, 1);
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.rerouted, stats.killed, "every killed request was rerouted");
+    // Fleet-level conservation: every generation's books balance.
+    for (i, s) in stats.per_replica.iter().enumerate() {
+        assert_eq!(
+            s.submitted,
+            s.completed + s.failed + s.cancelled,
+            "generation {i}: conservation violated"
+        );
+    }
+    // Client view: all N requests completed somewhere (asserted per
+    // response above); fleet completions say the same.
+    assert_eq!(stats.completed, N, "all client requests completed exactly once");
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_sheds_best_effort_first_and_never_interactive() {
+    // An interactive budget far below any device's estimate makes the
+    // pool slack negative from the first request: BestEffort sheds
+    // immediately, Batch only beyond its grace, Interactive never.
+    let config = ServeConfig {
+        deadlines: smartmem::serve::ClassDeadlines {
+            interactive: Duration::from_nanos(1),
+            ..Default::default()
+        },
+        admission: AdmissionControl { enabled: true, batch_grace: Duration::from_secs(1) },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(models(), devices(), config);
+    let shed = server.submit(InferenceRequest::new(0).with_priority(Priority::BestEffort));
+    assert!(matches!(shed, Err(SubmitError::Shed)), "BestEffort must shed on negative slack");
+    let batch = server.submit(InferenceRequest::new(0).with_priority(Priority::Batch));
+    assert!(batch.is_ok(), "Batch rides its grace window");
+    let interactive = server.submit(InferenceRequest::new(0).with_priority(Priority::Interactive));
+    assert!(interactive.is_ok(), "Interactive is never shed");
+    for t in [batch.unwrap(), interactive.unwrap()] {
+        assert!(t.wait().error.is_none());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+}
