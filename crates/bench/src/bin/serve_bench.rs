@@ -42,6 +42,17 @@
 //! throughput cost of leaving the span recorder on, gated against
 //! `bench/baseline.json` so instrumenting the hot path stays honest.
 //!
+//! Decode mode: `--decode` replays a mixed prefill + multi-step decode
+//! workload over the bucketed `pythia_decode` models twice — once with
+//! continuous batching (each generation re-enters the batcher one
+//! `DecodeSession` step at a time) and once with whole-request
+//! batching (one `decode_steps = n` request per generation) — at equal
+//! offered load, and gates on continuous beating whole-request
+//! tokens/s. `--fresh-cache` deletes the artifact cache directory
+//! (`--cache-dir`, default `/tmp/smartmem-cache`) before the run, so a
+//! CI cold step measures real cold compiles instead of inheriting a
+//! previous job's artifacts.
+//!
 //! The pool serves six devices — four mobile GPUs (including the
 //! AFBC-compressed Mali-G710), Apple silicon, and a server-class NPU —
 //! so placement has genuinely heterogeneous latency classes to choose
@@ -60,8 +71,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartmem_bench::render_table;
 use smartmem_serve::{
-    histogram_mean, ClassDeadlines, CutPolicy, InferenceRequest, InferenceResponse, ModelSpec,
-    Priority, Router, ServeConfig, ServeStats, Server, TelemetryConfig,
+    histogram_mean, ClassDeadlines, CutPolicy, DecodeSession, InferenceRequest, InferenceResponse,
+    ModelSpec, Priority, Router, ServeConfig, ServeStats, Server, TelemetryConfig,
 };
 use smartmem_sim::{DeviceConfig, FaultKind, FaultPlan, FaultRates};
 use smartmem_telemetry::{render_chrome, Telemetry};
@@ -86,6 +97,8 @@ struct BenchOpts {
     sample_every: u64,
     replicas: usize,
     fault_rate: f64,
+    decode: bool,
+    fresh_cache: bool,
 }
 
 fn parse_args() -> BenchOpts {
@@ -105,6 +118,8 @@ fn parse_args() -> BenchOpts {
         sample_every: 1,
         replicas: 1,
         fault_rate: 0.0,
+        decode: false,
+        fresh_cache: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.iter();
@@ -136,6 +151,8 @@ fn parse_args() -> BenchOpts {
             }
             "--replicas" => opts.replicas = value("--replicas").parse().expect("integer"),
             "--fault-rate" => opts.fault_rate = value("--fault-rate").parse().expect("number"),
+            "--decode" => opts.decode = true,
+            "--fresh-cache" => opts.fresh_cache = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -661,8 +678,279 @@ fn run_fleet(opts: &BenchOpts) {
     println!("\nserve_bench fleet OK ({wall_s:.2}s wall)");
 }
 
+/// One arm of the decode A/B: the same session + prefill workload,
+/// served either step-at-a-time or as whole `decode_steps = n`
+/// requests.
+struct DecodeArm {
+    tokens: u64,
+    wall_s: f64,
+    /// Simulated device milliseconds consumed by every post-warmup
+    /// batch (each response contributes `exec_ms / batch_size`, so
+    /// each batch is counted exactly once).
+    device_ms: f64,
+    step_wall_ms: Vec<f64>,
+    prefill_wall_ms: Vec<f64>,
+}
+
+fn run_decode_arm(
+    opts: &BenchOpts,
+    continuous: bool,
+    prompts: &[usize],
+    gens: &[usize],
+    prefill: usize,
+    prefill_rate: f64,
+) -> DecodeArm {
+    let table = smartmem_models::decode_buckets();
+    let buckets: Vec<usize> = table.buckets().to_vec();
+    let models: Vec<ModelSpec> = buckets
+        .iter()
+        .map(|&b| {
+            ModelSpec::new(format!("pythia-decode-b{b}"), smartmem_models::pythia_decode(1, b))
+        })
+        .collect();
+    let bucket_models: Vec<(usize, usize)> =
+        buckets.iter().copied().zip(0..buckets.len()).collect();
+    // One device: every request for a bucket shares a single batch
+    // key, so the arms differ only in *how* the work is batched, not
+    // in how the scheduler spread it across a pool.
+    let devices = vec![DeviceConfig::snapdragon_8gen2()];
+    let total_tokens: usize = gens.iter().sum();
+    let config = ServeConfig {
+        queue_capacity: total_tokens + prefill + 64,
+        max_batch: 8,
+        max_delay: Duration::from_millis(3),
+        // The hostage effect only manifests when the device is
+        // genuinely occupied while prefill arrives, so decode keeps a
+        // realistic device-time scale even at smoke load.
+        exec_time_scale: opts.exec_time_scale.max(0.15),
+        cut_policy: opts.cut_policy,
+        cache_dir: opts.cache_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(models, devices, config);
+
+    // Warmup: one pinned request per (bucket model, device), so the
+    // A/B measures steady-state decode serving, not cold compiles. The
+    // tentpole makes this cheap: after the first bucket, each further
+    // bucket's compile replays the shared group decisions.
+    let tickets: Vec<_> = (0..bucket_models.len())
+        .flat_map(|m| (0..server.pool().len()).map(move |d| InferenceRequest::new(m).on_device(d)))
+        .map(|req| server.submit(req).expect("decode warmup submit"))
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.error.is_none(), "decode warmup compile failed: {:?}", r.error);
+    }
+
+    let mut prefill_rng = StdRng::seed_from_u64(opts.seed ^ 0x9e3779b97f4a7c15);
+
+    let replay_start = Instant::now();
+    let mut step_wall_ms = Vec::new();
+    let mut prefill_wall_ms = Vec::with_capacity(prefill);
+    let mut device_ms = 0.0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = prompts
+            .iter()
+            .zip(gens)
+            .map(|(&prompt, &gen)| {
+                let server = &server;
+                let bucket_models = &bucket_models;
+                scope.spawn(move || {
+                    if continuous {
+                        let mut session = DecodeSession::new(server, bucket_models, prompt);
+                        let mut dev_ms = 0.0;
+                        for _ in 0..gen {
+                            let r = session.step().expect("decode step");
+                            dev_ms += r.exec_ms / r.batch_size as f64;
+                        }
+                        (session.step_wall_ms().to_vec(), dev_ms)
+                    } else {
+                        let target = prompt + gen;
+                        let model = bucket_models
+                            .iter()
+                            .find(|&&(b, _)| b >= target)
+                            .map(|&(_, m)| m)
+                            .expect("prompt + generation fits the bucket ceiling");
+                        let r = server
+                            .submit(InferenceRequest::new(model).with_decode_steps(gen as u32))
+                            .expect("whole-request submit")
+                            .wait();
+                        assert!(r.error.is_none(), "whole-request decode failed: {:?}", r.error);
+                        (vec![r.wall_ms / gen as f64; gen], r.exec_ms / r.batch_size as f64)
+                    }
+                })
+            })
+            .collect();
+        // Paced prefill arrivals ride along on the main thread — the
+        // "mixed" in mixed prefill + decode. In the whole-request arm
+        // any prefill cut into a decode batch is held hostage for all
+        // `gen` iterations; continuous batching caps the hold at one.
+        let mut arrival = Instant::now();
+        let mut tickets = Vec::with_capacity(prefill);
+        for _ in 0..prefill {
+            let u = (prefill_rng.next_u64().max(1)) as f64 / u64::MAX as f64;
+            arrival += Duration::from_secs_f64(-u.ln() / prefill_rate);
+            if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            // Uniform over the buckets, so prefill traffic genuinely
+            // shares batch keys with the decode sessions.
+            let model = (prefill_rng.next_u64() as usize) % buckets.len();
+            tickets.push(server.submit(InferenceRequest::new(model)).expect("prefill submit"));
+        }
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.error.is_none(), "prefill failed: {:?}", r.error);
+            device_ms += r.exec_ms / r.batch_size as f64;
+            prefill_wall_ms.push(r.wall_ms);
+        }
+        for h in handles {
+            let (walls, dev) = h.join().expect("decode session thread");
+            step_wall_ms.extend(walls);
+            device_ms += dev;
+        }
+    });
+    let wall_s = replay_start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.decode_tokens, total_tokens as u64,
+        "every session's every step produced a token"
+    );
+    DecodeArm { tokens: stats.decode_tokens, wall_s, device_ms, step_wall_ms, prefill_wall_ms }
+}
+
+/// The decode A/B: continuous batching vs whole-request batching over
+/// the same bucketed-Pythia workload, gated on tokens per simulated
+/// device-second (wall-clock tokens/s is reported, but the gate uses
+/// device time so it is not at the mercy of a noisy CI runner).
+fn run_decode(opts: &BenchOpts) {
+    assert!(opts.replicas == 1 && opts.fault_rate == 0.0, "--decode does not support fleet mode");
+    assert!(opts.cancel_rate == 0.0, "--cancel-rate is not supported with --decode");
+    let (sessions, max_gen, prefill) = if opts.smoke { (6, 12, 12) } else { (12, 48, 60) };
+    let prefill_rate = if opts.smoke { 200.0 } else { 300.0 };
+    // Deterministic workload shared by both arms: short prompts, long
+    // mixed-length generations — the LLM chat shape. Mixed lengths are
+    // the structural hostage: a whole-request batch holds the device
+    // for its *longest* member's steps while shorter members stopped
+    // producing tokens; continuous batching never pays that, because a
+    // finished session simply stops stepping.
+    let table = smartmem_models::decode_buckets();
+    assert!(4 + 8 + max_gen <= table.ceiling(), "generation must fit the bucket ceiling");
+    let mut workload_rng = StdRng::seed_from_u64(opts.seed ^ 0x00de_c0de);
+    let prompts: Vec<usize> =
+        (0..sessions).map(|_| 4 + (workload_rng.next_u64() as usize) % 8).collect();
+    let gens: Vec<usize> = (0..sessions)
+        .map(|_| max_gen / 2 + (workload_rng.next_u64() as usize) % (max_gen / 2 + 1))
+        .collect();
+    println!(
+        "serve_bench (decode A/B): {sessions} sessions x {}..={max_gen} tokens + {prefill} \
+         prefill over {} buckets (seed {})",
+        max_gen / 2,
+        table.buckets().len(),
+        opts.seed,
+    );
+    let cont = run_decode_arm(opts, true, &prompts, &gens, prefill, prefill_rate);
+    let whole = run_decode_arm(opts, false, &prompts, &gens, prefill, prefill_rate);
+    assert_eq!(cont.tokens, whole.tokens, "the arms must serve equal offered load");
+
+    let tps = |arm: &DecodeArm| arm.tokens as f64 / (arm.device_ms / 1e3);
+    let wall_tps = |arm: &DecodeArm| arm.tokens as f64 / arm.wall_s;
+    let sorted = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v
+    };
+    let cont_steps = sorted(cont.step_wall_ms.clone());
+    let whole_steps = sorted(whole.step_wall_ms.clone());
+    let cont_prefill = sorted(cont.prefill_wall_ms.clone());
+    let whole_prefill = sorted(whole.prefill_wall_ms.clone());
+    let cont_tps = tps(&cont);
+    let whole_tps = tps(&whole);
+    let rows = vec![
+        vec!["tokens/s (device time)".into(), format!("{cont_tps:.0}"), format!("{whole_tps:.0}")],
+        vec![
+            "tokens/s (wall)".into(),
+            format!("{:.0}", wall_tps(&cont)),
+            format!("{:.0}", wall_tps(&whole)),
+        ],
+        vec![
+            "p50 step (ms)".into(),
+            format!("{:.2}", percentile(&cont_steps, 50.0)),
+            format!("{:.2}", percentile(&whole_steps, 50.0)),
+        ],
+        vec![
+            "p99 step (ms)".into(),
+            format!("{:.2}", percentile(&cont_steps, 99.0)),
+            format!("{:.2}", percentile(&whole_steps, 99.0)),
+        ],
+        vec![
+            "p99 prefill (ms)".into(),
+            format!("{:.2}", percentile(&cont_prefill, 99.0)),
+            format!("{:.2}", percentile(&whole_prefill, 99.0)),
+        ],
+        vec![
+            "device ms / token".into(),
+            format!("{:.3}", cont.device_ms / cont.tokens as f64),
+            format!("{:.3}", whole.device_ms / whole.tokens as f64),
+        ],
+        vec!["tokens".into(), format!("{}", cont.tokens), format!("{}", whole.tokens)],
+    ];
+    print!(
+        "{}",
+        render_table(
+            "decode A/B (same workload)",
+            &["metric", "continuous", "whole-request"],
+            &rows
+        )
+    );
+
+    if let Some(path) = &opts.json {
+        use smartmem_bench::json::{write_json, BenchRecord};
+        let rec =
+            |metric: &str, value: f64| BenchRecord::new("serve_decode", "pool", metric, value);
+        let mut records = vec![
+            rec("decode.tokens_per_s", cont_tps),
+            rec("decode.p99_step_ms", percentile(&cont_steps, 99.0)),
+            rec("decode.wall_tokens_per_s", wall_tps(&cont)),
+            rec("decode.whole_tokens_per_s", whole_tps),
+            rec("decode.speedup_vs_whole", cont_tps / whole_tps),
+            rec("decode.tokens", cont.tokens as f64),
+            rec("decode.p99_prefill_ms", percentile(&cont_prefill, 99.0)),
+        ];
+        records.retain(|r| r.value.is_finite());
+        write_json(path, &records).expect("write --json output");
+        println!("\nwrote {} records to {}", records.len(), path.display());
+    }
+
+    // The A/B gate: at equal offered load, continuous batching must
+    // out-serve whole-request batching — early steps run on the small
+    // (cheap) buckets instead of paying the final bucket for every
+    // iteration, and prefill batch-mates stop being held hostage.
+    assert!(
+        cont_tps > whole_tps,
+        "continuous batching must beat whole-request tokens/s: {cont_tps:.0} vs {whole_tps:.0}"
+    );
+    println!(
+        "\nserve_bench decode OK: continuous {cont_tps:.0} tokens/s vs whole-request \
+         {whole_tps:.0} tokens/s ({:.2}x, {:.2}s + {:.2}s wall)",
+        cont_tps / whole_tps,
+        cont.wall_s,
+        whole.wall_s,
+    );
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.fresh_cache {
+        let dir = opts.cache_dir.clone().unwrap_or_else(|| PathBuf::from("/tmp/smartmem-cache"));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clear --fresh-cache dir");
+            println!("fresh cache: cleared {}", dir.display());
+        }
+    }
+    if opts.decode {
+        run_decode(&opts);
+        return;
+    }
     if opts.replicas > 1 || opts.fault_rate > 0.0 {
         run_fleet(&opts);
         return;

@@ -57,7 +57,7 @@ impl BenchRecord {
     /// regression (`false`: latencies, counts of bad events). The
     /// convention is part of the schema: name metrics accordingly.
     pub fn higher_is_better(&self) -> bool {
-        ["throughput", "gmacs", "hit_rate", "speedup", "served", "mean_batch"]
+        ["throughput", "gmacs", "hit_rate", "speedup", "served", "mean_batch", "tokens_per_s"]
             .iter()
             .any(|tag| self.metric.contains(tag))
     }
@@ -345,6 +345,8 @@ mod tests {
         assert!(BenchRecord::new("b", "d", "cache_hit_rate", 1.0).higher_is_better());
         assert!(BenchRecord::new("b", "d", "Swin.speedup_vs_mnn", 1.0).higher_is_better());
         assert!(BenchRecord::new("b", "d", "mean_batch", 1.0).higher_is_better());
+        assert!(BenchRecord::new("b", "d", "decode.tokens_per_s", 1.0).higher_is_better());
+        assert!(!BenchRecord::new("b", "d", "decode.p99_step_ms", 1.0).higher_is_better());
         assert!(!BenchRecord::new("b", "d", "Swin.latency_ms", 1.0).higher_is_better());
         assert!(!BenchRecord::new("b", "d", "p99_e2e_ms", 1.0).higher_is_better());
         assert!(!BenchRecord::new("b", "d", "batches", 1.0).higher_is_better());

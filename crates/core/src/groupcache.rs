@@ -145,17 +145,17 @@ impl Decode for GroupDecisions {
 pub fn group_content_hash(graph: &Graph, g: &KernelGroup) -> u64 {
     let mut h = DefaultHasher::new();
     let anchor = graph.node(g.anchor);
-    hash_debug_into(&mut h, &anchor.op);
+    hash_debug_into(&mut h, &graph.padded_op(&anchor.op));
     hash_debug_into(&mut h, &anchor.origin);
-    graph.tensor(anchor.outputs[0]).shape.dims().hash(&mut h);
+    graph.padded_dims(anchor.outputs[0]).hash(&mut h);
     g.members.len().hash(&mut h);
     for &m in &g.members {
         let node = graph.node(m);
-        hash_debug_into(&mut h, &node.op);
+        hash_debug_into(&mut h, &graph.padded_op(&node.op));
         hash_debug_into(&mut h, &node.origin);
     }
     let out = graph.tensor(g.output);
-    out.shape.dims().hash(&mut h);
+    graph.padded_dims(g.output).hash(&mut h);
     hash_debug_into(&mut h, &out.dtype);
     hash_debug_into(&mut h, &out.kind);
     hash_debug_into(&mut h, &g.class);
@@ -165,12 +165,18 @@ pub fn group_content_hash(graph: &Graph, g: &KernelGroup) -> u64 {
         // group (id-free).
         g.members.iter().position(|&m| m == r.member).hash(&mut h);
         r.operand_idx.hash(&mut h);
-        graph.tensor(r.logical).shape.dims().hash(&mut h);
-        // IndexExpr hashes by structural digest, so this is stable
-        // across processes and across arenas.
-        r.map.hash(&mut h);
+        graph.padded_dims(r.logical).hash(&mut h);
+        // On symbolic graphs the canonical (ceiling-padded) digest of
+        // the composed map stands in for the concrete map, so a group
+        // keeps its fingerprint when only the bound bucket changes. The
+        // concrete IndexExpr hashes by structural digest otherwise —
+        // stable across processes and across arenas either way.
+        match r.canon {
+            Some(c) => c.hash(&mut h),
+            None => r.map.hash(&mut h),
+        }
         let src = graph.tensor(r.source);
-        src.shape.dims().hash(&mut h);
+        graph.padded_dims(r.source).hash(&mut h);
         hash_debug_into(&mut h, &src.dtype);
         hash_debug_into(&mut h, &src.kind);
     }

@@ -208,7 +208,11 @@ pub(crate) fn plan_layouts(
 
     for &t in &all_tensors {
         let info = graph.tensor(t);
-        let dims = info.shape.dims().to_vec();
+        // Plan over ceiling-padded dims: on symbolic graphs every bucket
+        // then makes identical (dim-index-based) layout decisions, and
+        // texture-fit checks at the ceiling are conservative for every
+        // smaller bucket. Static graphs pad to their concrete dims.
+        let dims = graph.padded_dims(t);
         let reqs = reqs_of.get(&t).cloned().unwrap_or_default();
         primary.insert(t, layout_for(&dims, &reqs, device, level));
         let k = k_of(level);
@@ -263,13 +267,13 @@ pub(crate) fn apply_group_layouts(
         .primary
         .get(&g.output)
         .cloned()
-        .unwrap_or_else(|| layout_for(graph.tensor(g.output).shape.dims(), &[], device, level));
+        .unwrap_or_else(|| layout_for(&graph.padded_dims(g.output), &[], device, level));
     g.extra_copies = plan.extra_copies_of.get(&g.output).copied().unwrap_or(0);
     // Avoid borrowing issues: compute requirements first.
     let reqs: Vec<Vec<usize>> = g.reads.iter().map(|r| required_dims(graph, r)).collect();
     for (r, req) in g.reads.iter_mut().zip(reqs) {
         let info = graph.tensor(r.source);
-        let dims = info.shape.dims().to_vec();
+        let dims = graph.padded_dims(r.source);
         if info.kind == TensorKind::Weight && level != SelectionLevel::Default {
             // Pre-packed per consumer.
             r.layout = layout_for(&dims, &req, device, level);
@@ -308,6 +312,26 @@ pub fn select_layouts(
         apply_group_layouts(&plan, graph, g, device);
     }
     plan.stats
+}
+
+/// Layout for a decode-serving KV-cache tensor, chosen once per
+/// (model, device, bucket) by the serving tier.
+///
+/// Attention reads the cache two ways in every decode step: `QKᵀ`
+/// reduces over the head dimension (the innermost axis of a
+/// `[batch·heads, seq, head_dim]` cache) and the attention-weighted `V`
+/// product reduces over the sequence axis. Running the standard
+/// reduction-dimension selection at `k = 2` combines both requirements
+/// in a single layout on 2.5D texture memory — no redundant copy — and
+/// degrades to a sequence-major buffer on buffer-only devices. Pass the
+/// **ceiling-padded** dims ([`Graph::padded_dims`]) so the choice is
+/// valid for every bucket the cache will ever be grown to.
+pub fn kv_cache_layout(padded_dims: &[usize], device: &DeviceConfig) -> Layout {
+    let rank = padded_dims.len();
+    if rank < 2 {
+        return layout_for(padded_dims, &[], device, SelectionLevel::ReductionK2);
+    }
+    layout_for(padded_dims, &[rank - 1, rank - 2], device, SelectionLevel::ReductionK2)
 }
 
 #[cfg(test)]
@@ -435,6 +459,49 @@ mod tests {
             .expect("softmax reads through the eliminated transpose");
         // Softmax axis 1 of [64, 32] corresponds to dim 0 of [32, 64].
         assert_eq!(required_dims(&g, softmax_read), vec![0]);
+    }
+
+    #[test]
+    fn kv_cache_layout_tracks_device_capabilities() {
+        // [batch·heads, seq(ceiling), head_dim] for the Pythia decode
+        // configuration: 4 heads, 128-token ceiling, 48-wide heads.
+        let dims = [4, 128, 48];
+        let tex = kv_cache_layout(&dims, &DeviceConfig::snapdragon_8gen2());
+        assert_eq!(tex.memory_class(), MemoryClass::Texture2p5D);
+        assert!(tex.validate(3).is_ok());
+        let buf = kv_cache_layout(&dims, &DeviceConfig::tesla_v100());
+        assert_eq!(buf.memory_class(), MemoryClass::Buffer1D);
+        // Deterministic: the per-bucket serving cache may re-ask freely.
+        assert_eq!(tex, kv_cache_layout(&dims, &DeviceConfig::snapdragon_8gen2()));
+    }
+
+    #[test]
+    fn symbolic_layout_plans_are_bucket_invariant() {
+        use smartmem_ir::BucketTable;
+        let table = BucketTable::new(vec![32, 64, 128]).unwrap();
+        let build = |seq: usize| {
+            let mut b = GraphBuilder::new("sym-layout");
+            let x = b.input("x", &[1, seq, 48], DType::F16);
+            let w = b.weight("w", &[48, 64], DType::F16);
+            let mm = b.matmul(x, w);
+            let t = b.transpose(mm, &[0, 2, 1]);
+            let sm = b.softmax(t, 2);
+            b.output(sm);
+            b.finish().with_sym_dim("seq", &table, seq).unwrap()
+        };
+        let (ga, gb) = (build(40), build(100));
+        let device = DeviceConfig::snapdragon_8gen2();
+        let mut groups_a = build_groups(&ga);
+        let mut groups_b = build_groups(&gb);
+        select_layouts(&ga, &mut groups_a, &device, SelectionLevel::ReductionK2);
+        select_layouts(&gb, &mut groups_b, &device, SelectionLevel::ReductionK2);
+        assert_eq!(groups_a.len(), groups_b.len());
+        for (a, b) in groups_a.iter().zip(&groups_b) {
+            assert_eq!(a.output_layout, b.output_layout, "layouts must not depend on the bucket");
+            for (ra, rb) in a.reads.iter().zip(&b.reads) {
+                assert_eq!(ra.layout, rb.layout);
+            }
+        }
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub use combine::{combine_action, result_class, search_policy, CombineAction, Se
 pub use estimate::{GroupReport, ModelReport};
 pub use fusion::{fuse, GroupDraft};
 pub use groupcache::{group_content_hash, GroupCache, GroupCacheStats, GroupDecisions};
-pub use layout_select::{required_dims, select_layouts, RedundancyStats, SelectionLevel};
+pub use layout_select::{
+    kv_cache_layout, required_dims, select_layouts, RedundancyStats, SelectionLevel,
+};
 pub use lte::{
     eliminate, eliminate_with_options, is_eliminable, lte_memo_len, op_pullback, EdgeSource,
     LteResult,

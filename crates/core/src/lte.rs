@@ -30,6 +30,12 @@ pub struct EdgeSource {
     /// Composed coordinate map from the logical tensor's coordinates to
     /// `source`'s coordinates, if any transformation was eliminated.
     pub map: Option<IndexMap>,
+    /// Structural digest of the *canonical* composed map — the same
+    /// composition evaluated at ceiling-padded extents — for graphs with
+    /// symbolic dimensions (`None` on static graphs). Two buckets of the
+    /// same model produce identical canonical digests, which is what
+    /// lets the group cache treat a bucket change as a near-no-op.
+    pub canon: Option<u64>,
 }
 
 /// Result of the elimination pass.
@@ -46,7 +52,7 @@ pub struct LteResult {
 impl LteResult {
     /// Resolves a tensor to its materialized source and composed map.
     pub fn resolve(&self, t: TensorId) -> EdgeSource {
-        self.source_of.get(&t).cloned().unwrap_or(EdgeSource { source: t, map: None })
+        self.source_of.get(&t).cloned().unwrap_or(EdgeSource { source: t, map: None, canon: None })
     }
 }
 
@@ -214,6 +220,14 @@ pub fn eliminate_with_options(
         };
     }
 
+    // Canonical (ceiling-padded) composed maps per tensor, maintained
+    // alongside the concrete ones for graphs with symbolic dims. The
+    // canonical compositions run through the same memo with
+    // bucket-invariant fingerprints (padded shapes + padded op), so two
+    // buckets of one model genuinely share memo entries.
+    let sym = !graph.sym_dims().is_empty();
+    let mut canon_of: HashMap<TensorId, IndexMap> = HashMap::new();
+
     for node in graph.nodes() {
         let feeds_graph_output = node.outputs.iter().any(|t| graph.outputs().contains(t));
         if !is_eliminable(&node.op) || feeds_graph_output {
@@ -222,54 +236,94 @@ pub fn eliminate_with_options(
         }
         // Resolve the input through already-eliminated predecessors.
         let input = node.inputs[0];
-        let upstream =
-            source_of.get(&input).cloned().unwrap_or(EdgeSource { source: input, map: None });
+        let upstream = source_of.get(&input).cloned().unwrap_or(EdgeSource {
+            source: input,
+            map: None,
+            canon: None,
+        });
         let in_shape = graph.tensor(input).shape.dims().to_vec();
+        let canon_in = if sym { graph.padded_dims(input) } else { Vec::new() };
+        let canon_op = if sym { graph.padded_op(&node.op) } else { node.op.clone() };
         for (output_idx, &out) in node.outputs.iter().enumerate() {
             let out_shape = graph.tensor(out).shape.dims().to_vec();
-            let compose = |upstream_map: &Option<IndexMap>| {
-                let own = op_pullback(&node.op, &in_shape, &out_shape, output_idx);
-                let composed = match upstream_map {
-                    None => own,
-                    Some(m) => m.then(&own),
-                };
-                if simplify_maps && !composed.is_identity() {
-                    composed.simplify()
-                } else {
-                    composed
-                }
-            };
-            let composed = if memoize {
-                let key = compose_fingerprint(
-                    upstream.map.as_ref(),
-                    &node.op,
-                    &in_shape,
-                    &out_shape,
+            let composed = compose_one(
+                upstream.map.as_ref(),
+                &node.op,
+                &in_shape,
+                &out_shape,
+                output_idx,
+                simplify_maps,
+                memoize,
+            );
+            let canon = if sym {
+                let canon_out = graph.padded_dims(out);
+                let composed_c = compose_one(
+                    canon_of.get(&input),
+                    &canon_op,
+                    &canon_in,
+                    &canon_out,
                     output_idx,
                     simplify_maps,
+                    memoize,
                 );
-                // Probe and insert under short locks: the composition
-                // itself runs unlocked so parallel zoo compiles don't
-                // serialize behind one slow strength reduction.
-                let cached = global_memo().lock().expect("lte memo lock").map.get(&key).cloned();
-                match cached {
-                    Some(m) => m,
-                    None => {
-                        let m = compose(&upstream.map);
-                        let mut memo = global_memo().lock().expect("lte memo lock");
-                        memo.map.insert(key, m.clone());
-                        memo.generation += 1;
-                        m
-                    }
-                }
+                let mut h = DefaultHasher::new();
+                composed_c.hash(&mut h);
+                let digest = h.finish();
+                canon_of.insert(out, composed_c);
+                Some(digest)
             } else {
-                compose(&upstream.map)
+                None
             };
-            source_of.insert(out, EdgeSource { source: upstream.source, map: Some(composed) });
+            source_of
+                .insert(out, EdgeSource { source: upstream.source, map: Some(composed), canon });
         }
         eliminated.push(node.id);
     }
     LteResult { kept, eliminated, source_of }
+}
+
+/// Composes (and optionally simplifies) one pull-back onto an upstream
+/// map, through the process-wide memo when `memoize` is set. Probe and
+/// insert run under short locks: the composition itself runs unlocked
+/// so parallel zoo compiles don't serialize behind one slow strength
+/// reduction.
+#[allow(clippy::too_many_arguments)]
+fn compose_one(
+    upstream: Option<&IndexMap>,
+    op: &Op,
+    in_shape: &[usize],
+    out_shape: &[usize],
+    output_idx: usize,
+    simplify_maps: bool,
+    memoize: bool,
+) -> IndexMap {
+    let compose = || {
+        let own = op_pullback(op, in_shape, out_shape, output_idx);
+        let composed = match upstream {
+            None => own,
+            Some(m) => m.then(&own),
+        };
+        if simplify_maps && !composed.is_identity() {
+            composed.simplify()
+        } else {
+            composed
+        }
+    };
+    if !memoize {
+        return compose();
+    }
+    let key = compose_fingerprint(upstream, op, in_shape, out_shape, output_idx, simplify_maps);
+    let cached = global_memo().lock().expect("lte memo lock").map.get(&key).cloned();
+    match cached {
+        Some(m) => m,
+        None => {
+            let m = compose();
+            let mut memo = global_memo().lock().expect("lte memo lock");
+            memo.map.insert(key, m.clone());
+            memo.generation += 1;
+            m
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +441,38 @@ mod tests {
                 assert_eq!(src.map, p.map, "maps diverge for tensor {t:?}");
             }
         }
+    }
+
+    #[test]
+    fn canonical_digests_are_bucket_invariant() {
+        // The same decoder-ish chain instantiated at two sequence
+        // lengths of one bucket table: concrete maps differ, canonical
+        // digests must be identical edge-for-edge.
+        let build = |seq: usize| {
+            let mut b = GraphBuilder::new("sym-lte");
+            let x = b.input("x", &[1, seq, 24], DType::F16);
+            let w = b.weight("w", &[24, 24], DType::F16);
+            let h = b.matmul(x, w);
+            let r = b.reshape(h, &[1, seq, 4, 6]);
+            let t = b.transpose(r, &[0, 2, 1, 3]);
+            let gelu = b.unary(t, UnaryKind::Gelu);
+            b.output(gelu);
+            let table = smartmem_ir::BucketTable::new(vec![32, 64, 128]).unwrap();
+            b.finish().with_sym_dim("seq", &table, seq).unwrap()
+        };
+        let (ga, gb) = (build(48), build(96));
+        let (ra, rb) = (eliminate(&ga, true, true), eliminate(&gb, true, true));
+        assert_eq!(ra.eliminated.len(), 2);
+        let gelu_a = ga.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
+        let gelu_b = gb.nodes().iter().find(|n| n.op.mnemonic() == "Unary").unwrap();
+        let sa = ra.resolve(gelu_a.inputs[0]);
+        let sb = rb.resolve(gelu_b.inputs[0]);
+        assert_ne!(sa.map, sb.map, "concrete maps embed the bound extent");
+        assert_eq!(sa.canon, sb.canon, "canonical digests must be shared across buckets");
+        assert!(sa.canon.is_some());
+        // Static graphs carry no canonical digest.
+        let st = eliminate(&chain_graph(), true, true);
+        assert!(st.source_of.values().all(|e| e.canon.is_none()));
     }
 
     #[test]

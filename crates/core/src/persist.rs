@@ -5,7 +5,8 @@
 //! applies that principle to compilation itself but forgets everything
 //! at process exit. This module adds the next level of the hierarchy:
 //! every cold compile is written through to
-//! `<cache-dir>/art-<graph>-<device>-<sequence>.smem`, and a later
+//! `<cache-dir>/art-<graph>-<device>-<sequence>-<bucket>.smem`, and a
+//! later
 //! session (same process or a restart) serves the same key by decoding
 //! the artifact instead of re-running the pass sequence.
 //!
@@ -58,8 +59,9 @@ use std::sync::{Arc, OnceLock};
 /// Artifact-file magic.
 const MAGIC: [u8; 4] = *b"SMEM";
 /// Current format version. Bump on any change to the wire encoding of
-/// the persisted types.
-const VERSION: u32 = 2;
+/// the persisted types. v3: symbolic-dim metadata on graphs and the
+/// canonical map digest on `EdgeRead`.
+const VERSION: u32 = 3;
 /// Header length: magic + version + probe + length + checksum.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 
@@ -128,12 +130,17 @@ fn decode_result(payload: &[u8]) -> Result<Result<CompileOutput, Unsupported>, W
 }
 
 /// Key of one persisted artifact — mirrors the session's in-memory
-/// cache key (graph/device fingerprints + pass-sequence id).
+/// cache key (graph/device fingerprints + pass-sequence id + shape
+/// bucket). The bucket is derivable from the graph fingerprint but kept
+/// explicit so per-bucket artifacts of one symbolic model are
+/// first-class: visible in the filename, and a new bucket can never
+/// alias an existing artifact.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct ArtifactKey {
     pub graph: u64,
     pub device: u64,
     pub sequence: u64,
+    pub bucket: u64,
 }
 
 /// Handle on one cache directory.
@@ -215,8 +222,10 @@ impl DiskCache {
     }
 
     fn artifact_path(&self, key: &ArtifactKey) -> PathBuf {
-        self.dir
-            .join(format!("art-{:016x}-{:016x}-{:016x}.smem", key.graph, key.device, key.sequence))
+        self.dir.join(format!(
+            "art-{:016x}-{:016x}-{:016x}-{:016x}.smem",
+            key.graph, key.device, key.sequence, key.bucket
+        ))
     }
 
     fn memo_path(&self) -> PathBuf {

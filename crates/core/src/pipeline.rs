@@ -35,6 +35,11 @@ pub struct EdgeRead {
     pub operand_idx: usize,
     /// Physical layout the read uses (set by layout selection).
     pub layout: Layout,
+    /// Canonical (bucket-invariant) digest of the composed map for
+    /// graphs with symbolic dimensions; `None` on static graphs. Group
+    /// content hashing prefers this over the concrete map so
+    /// structurally identical groups hash identically across buckets.
+    pub canon: Option<u64>,
 }
 
 /// One fused kernel.
@@ -136,6 +141,7 @@ impl Encode for EdgeRead {
         self.member.encode(w);
         self.operand_idx.encode(w);
         self.layout.encode(w);
+        self.canon.encode(w);
     }
 }
 
@@ -148,6 +154,7 @@ impl Decode for EdgeRead {
             member: Decode::decode(r)?,
             operand_idx: Decode::decode(r)?,
             layout: Decode::decode(r)?,
+            canon: Decode::decode(r)?,
         })
     }
 }
@@ -577,6 +584,7 @@ pub fn assemble_groups(graph: &Graph, lte: &LteResult, drafts: &[GroupDraft]) ->
                         member,
                         operand_idx,
                         layout: Layout::row_major(rank),
+                        canon: resolved.canon,
                     });
                 }
             }

@@ -88,11 +88,22 @@ struct CacheKey {
     graph: u64,
     device: u64,
     sequence: u64,
+    /// [`Graph::sym_bucket`] — `0` for static graphs, a digest of the
+    /// bound shape buckets for symbolic ones. Redundant with the graph
+    /// fingerprint (the Debug rendering covers the bound values) but
+    /// explicit, so the per-bucket artifacts of a bucketed decode model
+    /// can never alias each other.
+    bucket: u64,
 }
 
 impl CacheKey {
     fn artifact(&self) -> ArtifactKey {
-        ArtifactKey { graph: self.graph, device: self.device, sequence: self.sequence }
+        ArtifactKey {
+            graph: self.graph,
+            device: self.device,
+            sequence: self.sequence,
+            bucket: self.bucket,
+        }
     }
 }
 
@@ -380,6 +391,7 @@ impl CompileSession {
             graph: graph_fp,
             device: device_fingerprint(device),
             sequence: manager.sequence_id(),
+            bucket: graph.sym_bucket(),
         };
         let flight = {
             let mut cache = self.cache.lock().expect("cache lock");
@@ -743,6 +755,43 @@ mod tests {
             flat.iter().any(|(n, _)| n.starts_with("compile.pass.") && n.ends_with("_ns.count")),
             "per-pass timing histograms flatten for the bench exporter"
         );
+    }
+
+    #[test]
+    fn bucket_change_replays_every_group() {
+        use smartmem_ir::BucketTable;
+        // The tentpole contract of shape bucketing: a symbolic model
+        // compiled at a second bucket is a whole-artifact miss (the
+        // padded iteration space really differs) but a *group-cache
+        // near-no-op* — every kernel group's content hash, layout
+        // context and tuning context are ceiling-padded and therefore
+        // bucket-invariant, so all of them replay. Exact counts, not
+        // bounds: one regressed group would hide in a `>=`.
+        let table = BucketTable::new(vec![32, 64, 128]).unwrap();
+        let build = |seq: usize| {
+            let mut b = GraphBuilder::new("sym-decode");
+            let x = b.input("x", &[1, seq, 32], DType::F16);
+            let w = b.weight("w", &[32, 32], DType::F16);
+            let mm = b.matmul(x, w);
+            let t = b.transpose(mm, &[0, 2, 1]);
+            let sm = b.softmax(t, 2);
+            let mm2 = b.matmul(sm, mm);
+            b.output(mm2);
+            b.finish().with_sym_dim("seq", &table, seq).unwrap()
+        };
+        let session = CompileSession::new();
+        let device = DeviceConfig::snapdragon_8gen2();
+        let fw = SmartMemPipeline::new();
+        session.compile(&fw, &build(48), &device).unwrap(); // bucket 64
+        let cold = session.stats();
+        assert_eq!(cold.group_hits, 0, "first bucket compiles cold");
+        let groups = cold.group_misses;
+        assert!(groups > 0, "the model must produce kernel groups");
+        session.compile(&fw, &build(100), &device).unwrap(); // bucket 128
+        let stats = session.stats();
+        assert_eq!(stats.misses, 2, "each bucket owns one artifact");
+        assert_eq!(stats.group_hits, groups, "every shared group replays across the bucket change");
+        assert_eq!(stats.group_misses, groups, "no group re-refines at the new bucket");
     }
 
     #[test]

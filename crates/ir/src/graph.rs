@@ -6,7 +6,9 @@ use crate::dtype::DType;
 use crate::error::IrError;
 use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
 use crate::shape::Shape;
+use crate::sym::{BucketTable, SymDim};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a tensor within one [`Graph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -83,17 +85,50 @@ pub struct Node {
     pub origin: OpOrigin,
 }
 
+/// One tensor axis bound to a symbolic dimension: `tensor`'s `axis`
+/// carries the extent of `sym_dims[dim]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SymAxis {
+    /// The tensor carrying the symbolic extent.
+    pub tensor: TensorId,
+    /// The axis index within that tensor's shape.
+    pub axis: usize,
+    /// Index into [`Graph::sym_dims`].
+    pub dim: usize,
+}
+
 /// An immutable computational graph in topological order.
 ///
 /// Construct through [`GraphBuilder`]; node order is a valid topological
 /// order by construction.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Graph {
     name: String,
     nodes: Vec<Node>,
     tensors: Vec<TensorInfo>,
     inputs: Vec<TensorId>,
     outputs: Vec<TensorId>,
+    sym_dims: Vec<SymDim>,
+    sym_axes: Vec<SymAxis>,
+}
+
+// Hand-written so that graphs without symbolic dimensions render
+// exactly as the pre-sym derive did: the compile session fingerprints
+// graphs by their `Debug` rendering, and static graphs must keep their
+// fingerprints (and on-disk artifacts) across this change.
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Graph");
+        d.field("name", &self.name)
+            .field("nodes", &self.nodes)
+            .field("tensors", &self.tensors)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs);
+        if !self.sym_dims.is_empty() {
+            d.field("sym_dims", &self.sym_dims).field("sym_axes", &self.sym_axes);
+        }
+        d.finish()
+    }
 }
 
 impl Graph {
@@ -107,7 +142,42 @@ impl Graph {
         inputs: Vec<TensorId>,
         outputs: Vec<TensorId>,
     ) -> Graph {
-        Graph { name, nodes, tensors, inputs, outputs }
+        Graph { name, nodes, tensors, inputs, outputs, sym_dims: Vec::new(), sym_axes: Vec::new() }
+    }
+
+    /// Restores decoded symbolic-dimension metadata (wire codec only).
+    /// Performs the structural checks the codec needs: indices in
+    /// bounds, recorded extents matching the bound values, axes sorted.
+    pub(crate) fn attach_sym_parts(
+        &mut self,
+        sym_dims: Vec<SymDim>,
+        sym_axes: Vec<SymAxis>,
+    ) -> Result<(), IrError> {
+        for a in &sym_axes {
+            if a.tensor.0 as usize >= self.tensors.len() {
+                return Err(IrError::UnknownTensor(a.tensor.0));
+            }
+            let shape = &self.tensors[a.tensor.0 as usize].shape;
+            if a.axis >= shape.rank() {
+                return Err(IrError::AxisOutOfRange { axis: a.axis, rank: shape.rank() });
+            }
+            let dim = sym_dims
+                .get(a.dim)
+                .ok_or_else(|| IrError::Shape(format!("sym axis references dim {}", a.dim)))?;
+            if shape.dim(a.axis) != dim.value {
+                return Err(IrError::Shape(format!(
+                    "sym axis extent {} does not match bound value {}",
+                    shape.dim(a.axis),
+                    dim.value
+                )));
+            }
+        }
+        if sym_axes.windows(2).any(|w| (w[0].tensor, w[0].axis) >= (w[1].tensor, w[1].axis)) {
+            return Err(IrError::Shape("sym axes must be sorted and unique".into()));
+        }
+        self.sym_dims = sym_dims;
+        self.sym_axes = sym_axes;
+        Ok(())
     }
 
     /// Graph name (the model name for zoo graphs).
@@ -199,6 +269,145 @@ impl Graph {
     /// `DepthToSpace`, `SpaceToDepth`) — the third column of Table 1.
     pub fn layout_transform_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.op.is_layout_transform()).count()
+    }
+
+    /// Binds a symbolic dimension: every tensor axis currently carrying
+    /// extent `value` is recorded as symbolic, then the graph is
+    /// re-inferred with all recorded axes raised to the table ceiling
+    /// to prove it stays shape-consistent at every bucket.
+    ///
+    /// The match is by extent, so pick a bound value distinct from
+    /// every structural extent in the model (decoder builders choose
+    /// sequence lengths that collide with nothing else). `Reshape`
+    /// targets mentioning `value` are padded alongside the axes;
+    /// operators that genuinely consume the extent (slicing a symbolic
+    /// axis, concatenating along it) fail validation and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] when `value` is zero, exceeds the table
+    /// ceiling, matches no tensor axis, duplicates an existing binding,
+    /// or the ceiling-padded graph fails shape inference.
+    pub fn with_sym_dim(
+        mut self,
+        name: impl Into<String>,
+        table: &BucketTable,
+        value: usize,
+    ) -> Result<Graph, IrError> {
+        let name = name.into();
+        if value == 0 || value > table.ceiling() {
+            return Err(IrError::Shape(format!(
+                "sym value {value} outside bucket range 1..={}",
+                table.ceiling()
+            )));
+        }
+        if self.sym_dims.iter().any(|d| d.name == name) {
+            return Err(IrError::Shape(format!("sym dim `{name}` already bound")));
+        }
+        let dim = self.sym_dims.len();
+        let mut axes = Vec::new();
+        for (i, t) in self.tensors.iter().enumerate() {
+            for (axis, &e) in t.shape.dims().iter().enumerate() {
+                let id = TensorId(i as u32);
+                let claimed = self.sym_axes.iter().any(|a| a.tensor == id && a.axis == axis);
+                if e == value && !claimed {
+                    axes.push(SymAxis { tensor: id, axis, dim });
+                }
+            }
+        }
+        if axes.is_empty() {
+            return Err(IrError::Shape(format!("no tensor axis carries sym extent {value}")));
+        }
+        self.sym_dims.push(SymDim { name, table: table.clone(), value });
+        self.sym_axes.extend(axes);
+        self.sym_axes.sort_by_key(|a| (a.tensor, a.axis));
+        self.validate_sym()?;
+        Ok(self)
+    }
+
+    /// The symbolic dimensions bound in this graph (empty for the
+    /// static zoo).
+    pub fn sym_dims(&self) -> &[SymDim] {
+        &self.sym_dims
+    }
+
+    /// The recorded symbolic axes, sorted by `(tensor, axis)`.
+    pub fn sym_axes(&self) -> &[SymAxis] {
+        &self.sym_axes
+    }
+
+    /// The tensor's dims with every symbolic axis raised to its bucket
+    /// ceiling — identical to the logical dims for static graphs. The
+    /// optimizer hashes and plans over these, which is what makes
+    /// group-cache and LTE-memo entries bucket-invariant.
+    pub fn padded_dims(&self, t: TensorId) -> Vec<usize> {
+        let mut dims = self.tensor(t).shape.dims().to_vec();
+        for a in &self.sym_axes {
+            if a.tensor == t {
+                dims[a.axis] = self.sym_dims[a.dim].padded();
+            }
+        }
+        dims
+    }
+
+    /// 64-bit fingerprint of the bound buckets: 0 for static graphs,
+    /// otherwise a nonzero hash of every `(name, bucket)` binding. The
+    /// compile session keys artifacts by this — one artifact per
+    /// bucket, shared group cache across them.
+    pub fn sym_bucket(&self) -> u64 {
+        if self.sym_dims.is_empty() {
+            return 0;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for d in &self.sym_dims {
+            d.name.hash(&mut h);
+            d.bucket().hash(&mut h);
+        }
+        h.finish() | 1
+    }
+
+    /// An operator with `Reshape` target extents equal to a bound sym
+    /// value raised to that dimension's ceiling (other operators carry
+    /// no symbolic extents in their attributes). Identity for static
+    /// graphs. The optimizer fingerprints canonical (bucket-invariant)
+    /// index-map compositions by this, so two buckets of the same model
+    /// hash the same `Reshape` the same way.
+    pub fn padded_op(&self, op: &Op) -> Op {
+        match op {
+            Op::Reshape { shape } => Op::Reshape {
+                shape: shape
+                    .iter()
+                    .map(|&e| match self.sym_dims.iter().find(|d| d.value == e) {
+                        Some(d) => d.padded(),
+                        None => e,
+                    })
+                    .collect(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Proves the graph remains shape-consistent with every symbolic
+    /// axis at its ceiling: re-runs shape inference over padded input
+    /// dims and requires the results to equal the padded output dims.
+    fn validate_sym(&self) -> Result<(), IrError> {
+        for n in &self.nodes {
+            let padded_in: Vec<Shape> =
+                n.inputs.iter().map(|&t| Shape::new(self.padded_dims(t))).collect();
+            let refs: Vec<&Shape> = padded_in.iter().collect();
+            let got = infer_output_shapes(&self.padded_op(&n.op), &refs)?;
+            for (&out, shape) in n.outputs.iter().zip(&got) {
+                if shape.dims() != self.padded_dims(out).as_slice() {
+                    return Err(IrError::Shape(format!(
+                        "op {} is not symbolic-safe: padded inference gives {shape}, \
+                         recorded axes give {:?}",
+                        n.name,
+                        self.padded_dims(out)
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Validates internal invariants (reference integrity, topological
@@ -1043,5 +1252,76 @@ mod tests {
         let text = g.to_string();
         assert!(text.contains("Conv2d"));
         assert!(text.contains("Transpose"));
+    }
+
+    /// A tiny decoder-shaped graph: seq flows through a reshape that
+    /// splits heads, a transpose, attention-like matmuls and a softmax.
+    fn sym_graph(seq: usize) -> Graph {
+        let mut b = GraphBuilder::new("sym");
+        let x = b.input("x", &[1, seq, 24], DType::F16);
+        let w = b.weight("w", &[24, 24], DType::F16);
+        let h = b.matmul(x, w);
+        let hh = b.reshape(h, &[1, seq, 4, 6]);
+        let ht = b.transpose(hh, &[0, 2, 1, 3]);
+        let scores = b.matmul_t(ht, ht, false, true);
+        let sm = b.softmax(scores, 3);
+        let ctx = b.matmul(sm, ht);
+        b.output(ctx);
+        b.finish()
+    }
+
+    #[test]
+    fn with_sym_dim_records_axes_and_validates() {
+        let table = crate::sym::BucketTable::new(vec![32, 64, 128]).unwrap();
+        let g = sym_graph(48).with_sym_dim("seq", &table, 48).unwrap();
+        assert_eq!(g.sym_dims().len(), 1);
+        assert_eq!(g.sym_dims()[0].bucket(), 64);
+        assert!(!g.sym_axes().is_empty());
+        // The input's seq axis pads to the ceiling; static axes don't.
+        let x = g.inputs()[0];
+        assert_eq!(g.padded_dims(x), vec![1, 128, 24]);
+        assert_ne!(g.sym_bucket(), 0);
+    }
+
+    #[test]
+    fn padded_dims_share_across_buckets() {
+        let table = crate::sym::BucketTable::new(vec![32, 64, 128]).unwrap();
+        let a = sym_graph(48).with_sym_dim("seq", &table, 48).unwrap();
+        let b = sym_graph(96).with_sym_dim("seq", &table, 96).unwrap();
+        assert_eq!(a.tensors().len(), b.tensors().len());
+        for i in 0..a.tensors().len() {
+            let t = TensorId(i as u32);
+            assert_eq!(a.padded_dims(t), b.padded_dims(t), "padded dims are bucket-invariant");
+        }
+        assert_ne!(a.sym_bucket(), b.sym_bucket(), "different buckets key different artifacts");
+    }
+
+    #[test]
+    fn sym_rejects_unsafe_ops_and_bad_values() {
+        let table = crate::sym::BucketTable::new(vec![32, 64]).unwrap();
+        // Slicing the symbolic axis consumes the extent: rejected.
+        let mut b = GraphBuilder::new("bad");
+        let x = b.input("x", &[1, 48, 8], DType::F16);
+        let s = b.slice(x, 1, 0, 48);
+        b.output(s);
+        assert!(b.finish().with_sym_dim("seq", &table, 48).is_err());
+        // Out-of-range and unmatched values are rejected up front.
+        assert!(sym_graph(48).with_sym_dim("seq", &table, 65).is_err());
+        assert!(sym_graph(48).with_sym_dim("seq", &table, 0).is_err());
+        assert!(sym_graph(48).with_sym_dim("seq", &table, 47).is_err());
+        // Duplicate binding names are rejected.
+        let g = sym_graph(48).with_sym_dim("seq", &table, 48).unwrap();
+        assert!(g.with_sym_dim("seq", &table, 24).is_err());
+    }
+
+    #[test]
+    fn static_debug_rendering_unchanged_by_sym_fields() {
+        // The session fingerprints graphs by Debug rendering; static
+        // graphs must render without any sym fields.
+        let text = format!("{:?}", mini_graph());
+        assert!(!text.contains("sym_dims"));
+        let table = crate::sym::BucketTable::new(vec![64]).unwrap();
+        let sym = sym_graph(64).with_sym_dim("seq", &table, 64).unwrap();
+        assert!(format!("{sym:?}").contains("sym_dims"));
     }
 }

@@ -43,6 +43,7 @@ use crate::dtype::DType;
 use crate::error::ImportError;
 use crate::graph::{Graph, GraphBuilder, TensorKind};
 use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
+use crate::sym::BucketTable;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
@@ -731,7 +732,25 @@ pub fn import_json(src: &str) -> Result<Graph, ImportError> {
         let id = *ids.get(oname).ok_or_else(|| ImportError::UnknownTensor(oname.to_string()))?;
         b.output(id);
     }
-    Ok(b.finish())
+    let mut g = b.finish();
+
+    // Pass 5: optional symbolic dimensions. Axes are re-derived by
+    // `with_sym_dim` (deterministically), so the JSON form carries only
+    // the bindings.
+    if let Some(syms) = opt_field(&root, "sym_dims") {
+        for s in as_arr(syms, "sym_dims")? {
+            if !matches!(s, Json::Obj(_)) {
+                return Err(bad("sym_dims", "an array of sym-dim objects"));
+            }
+            let sname = as_str(req_field(s, "sym_dim", "name")?, "name")?.to_string();
+            let buckets = usize_vec(req_field(s, "sym_dim", "buckets")?, "buckets")?;
+            let value = as_usize(req_field(s, "sym_dim", "value")?, "value")?;
+            let table = BucketTable::new(buckets)
+                .map_err(|_| bad("buckets", "a strictly increasing list of positive extents"))?;
+            g = g.with_sym_dim(sname, &table, value)?;
+        }
+    }
+    Ok(g)
 }
 
 /// Operand dtype agreement: multi-input compute ops require matching
@@ -936,7 +955,23 @@ pub fn export_json(g: &Graph) -> String {
     let _ = writeln!(out, "  ],");
     let onames: Vec<String> =
         g.outputs().iter().map(|&t| format!("\"{}\"", esc(&g.tensor(t).name))).collect();
-    let _ = writeln!(out, "  \"outputs\": [{}]", onames.join(", "));
+    if g.sym_dims().is_empty() {
+        let _ = writeln!(out, "  \"outputs\": [{}]", onames.join(", "));
+    } else {
+        let _ = writeln!(out, "  \"outputs\": [{}],", onames.join(", "));
+        let _ = writeln!(out, "  \"sym_dims\": [");
+        for (i, d) in g.sym_dims().iter().enumerate() {
+            let comma = if i + 1 == g.sym_dims().len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"buckets\": {}, \"value\": {}}}{comma}",
+                esc(&d.name),
+                usize_list(d.table.buckets()),
+                d.value
+            );
+        }
+        let _ = writeln!(out, "  ]");
+    }
     let _ = writeln!(out, "}}");
     out
 }
@@ -1073,6 +1108,37 @@ mod tests {
         let g2 = import_json(&export_json(&g)).unwrap();
         let w2 = g2.tensors().iter().find(|t| t.name == "w").unwrap();
         assert_eq!(w2.init.as_ref().unwrap()[0], f32::INFINITY);
+    }
+
+    #[test]
+    fn sym_dims_roundtrip_byte_identically() {
+        let mut b = GraphBuilder::new("sym-json");
+        let x = b.input("x", &[1, 48, 24], DType::F16);
+        let w = b.weight("w", &[24, 24], DType::F16);
+        let m = b.matmul(x, w);
+        b.output(m);
+        let table = crate::sym::BucketTable::new(vec![32, 64, 128]).unwrap();
+        let g = b.finish().with_sym_dim("seq", &table, 48).unwrap();
+        let text = export_json(&g);
+        assert!(text.contains("\"sym_dims\""));
+        let g2 = import_json(&text).unwrap();
+        assert_eq!(export_json(&g2), text, "sym export must be byte-stable");
+        assert_eq!(g2.sym_dims(), g.sym_dims());
+        assert_eq!(g2.sym_axes(), g.sym_axes());
+    }
+
+    #[test]
+    fn bad_sym_dims_are_typed_errors() {
+        let decreasing = r#"{
+          "tensors": [{"name": "x", "kind": "input", "shape": [1, 48], "dtype": "f32"}],
+          "ops": [{"kind": "unary", "f": "relu", "inputs": ["x"], "outputs": ["y"]}],
+          "outputs": ["y"],
+          "sym_dims": [{"name": "seq", "buckets": [64, 32], "value": 48}]
+        }"#;
+        assert!(matches!(import_json(decreasing), Err(ImportError::BadField { .. })));
+        let unmatched =
+            decreasing.replace("[64, 32]", "[32, 64]").replace("\"value\": 48", "\"value\": 7");
+        assert!(matches!(import_json(&unmatched), Err(ImportError::Graph(_))));
     }
 
     #[test]

@@ -42,14 +42,16 @@ pub mod interp;
 mod layout;
 mod ops;
 mod shape;
+pub mod sym;
 pub mod wire;
 
 pub use dtype::DType;
 pub use error::{ImportError, IrError};
 pub use graph::{
-    infer_output_shapes, Graph, GraphBuilder, Node, OpId, OpOrigin, TensorId, TensorInfo,
+    infer_output_shapes, Graph, GraphBuilder, Node, OpId, OpOrigin, SymAxis, TensorId, TensorInfo,
     TensorKind,
 };
 pub use layout::{Layout, MemoryClass, PhysicalAddress, TexturePlacement};
 pub use ops::{BinaryKind, Op, OpCategory, PoolKind, ReduceKind, UnaryKind};
 pub use shape::Shape;
+pub use sym::{BucketTable, SymDim};

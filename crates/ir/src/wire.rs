@@ -27,10 +27,11 @@
 //! ```
 
 use crate::dtype::DType;
-use crate::graph::{Graph, Node, OpId, OpOrigin, TensorId, TensorInfo, TensorKind};
+use crate::graph::{Graph, Node, OpId, OpOrigin, SymAxis, TensorId, TensorInfo, TensorKind};
 use crate::layout::{Layout, TexturePlacement};
 use crate::ops::{BinaryKind, Op, PoolKind, ReduceKind, UnaryKind};
 use crate::shape::Shape;
+use crate::sym::{BucketTable, SymDim};
 use std::error::Error;
 use std::fmt;
 
@@ -865,6 +866,55 @@ impl Decode for Node {
     }
 }
 
+impl Encode for BucketTable {
+    fn encode(&self, w: &mut Writer) {
+        self.buckets().to_vec().encode(w);
+    }
+}
+
+impl Decode for BucketTable {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let buckets = Vec::<usize>::decode(r)?;
+        BucketTable::new(buckets).map_err(|e| WireError::Invalid(format!("bucket table: {e}")))
+    }
+}
+
+impl Encode for SymDim {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.table.encode(w);
+        self.value.encode(w);
+    }
+}
+
+impl Decode for SymDim {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SymDim {
+            name: Decode::decode(r)?,
+            table: Decode::decode(r)?,
+            value: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SymAxis {
+    fn encode(&self, w: &mut Writer) {
+        self.tensor.encode(w);
+        self.axis.encode(w);
+        self.dim.encode(w);
+    }
+}
+
+impl Decode for SymAxis {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SymAxis {
+            tensor: Decode::decode(r)?,
+            axis: Decode::decode(r)?,
+            dim: Decode::decode(r)?,
+        })
+    }
+}
+
 impl Encode for Graph {
     fn encode(&self, w: &mut Writer) {
         self.name().encode(w);
@@ -872,6 +922,8 @@ impl Encode for Graph {
         self.tensors().encode(w);
         self.inputs().encode(w);
         self.outputs().encode(w);
+        self.sym_dims().to_vec().encode(w);
+        self.sym_axes().to_vec().encode(w);
     }
 }
 
@@ -900,10 +952,15 @@ impl Decode for Graph {
         if inputs.iter().chain(outputs.iter()).any(|t| t.0 as usize >= tensors.len()) {
             return bad("graph io references unknown tensor");
         }
-        let graph = Graph::from_wire_parts(name, nodes, tensors, inputs, outputs);
+        let mut graph = Graph::from_wire_parts(name, nodes, tensors, inputs, outputs);
         graph
             .validate()
             .map_err(|e| WireError::Invalid(format!("decoded graph fails validation: {e}")))?;
+        let sym_dims = Vec::<SymDim>::decode(r)?;
+        let sym_axes = Vec::<SymAxis>::decode(r)?;
+        graph
+            .attach_sym_parts(sym_dims, sym_axes)
+            .map_err(|e| WireError::Invalid(format!("decoded graph sym metadata: {e}")))?;
         Ok(graph)
     }
 }
@@ -974,6 +1031,42 @@ mod tests {
         let g = b.finish();
         let back: Graph = roundtrip(&g);
         assert_eq!(format!("{g:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn sym_graph_roundtrip_preserves_debug_identity() {
+        let mut b = GraphBuilder::new("wire-sym");
+        let x = b.input("x", &[1, 48, 24], DType::F16);
+        let wt = b.weight("w", &[24, 24], DType::F16);
+        let m = b.matmul(x, wt);
+        b.output(m);
+        let table = BucketTable::new(vec![32, 64, 128]).unwrap();
+        let g = b.finish().with_sym_dim("seq", &table, 48).unwrap();
+        let back: Graph = roundtrip(&g);
+        assert_eq!(format!("{g:?}"), format!("{back:?}"));
+        assert_eq!(back.sym_dims(), g.sym_dims());
+        assert_eq!(back.sym_axes(), g.sym_axes());
+    }
+
+    #[test]
+    fn doctored_sym_metadata_is_rejected() {
+        let mut b = GraphBuilder::new("wire-sym-bad");
+        let x = b.input("x", &[1, 48, 24], DType::F16);
+        let y = b.unary(x, UnaryKind::Relu);
+        b.output(y);
+        let g = b.finish();
+        let mut w = Writer::new();
+        g.name().to_string().encode(&mut w);
+        g.nodes().to_vec().encode(&mut w);
+        g.tensors().to_vec().encode(&mut w);
+        g.inputs().to_vec().encode(&mut w);
+        g.outputs().to_vec().encode(&mut w);
+        let table = BucketTable::new(vec![64]).unwrap();
+        vec![SymDim { name: "seq".into(), table, value: 48 }].encode(&mut w);
+        // Axis extent (24) does not match the bound value (48).
+        vec![SymAxis { tensor: TensorId(0), axis: 2, dim: 0 }].encode(&mut w);
+        let err = decode_from::<Graph>(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::Invalid(_)), "got {err:?}");
     }
 
     #[test]

@@ -145,6 +145,76 @@ proptest! {
         prop_assert_eq!(bytes, encode_to_vec(&back));
     }
 
+    /// Bucket rounding is total, monotone and idempotent over arbitrary
+    /// strictly-increasing tables, and always lands on a bucket (or the
+    /// saturating ceiling for out-of-range extents).
+    #[test]
+    fn bucket_rounding_is_monotone_and_idempotent(
+        raw in prop::collection::vec(1usize..200, 1..6),
+        a in 0usize..250,
+        b in 0usize..250,
+    ) {
+        use smartmem_ir::BucketTable;
+        let mut buckets = raw.clone();
+        buckets.sort_unstable();
+        buckets.dedup();
+        let table = BucketTable::new(buckets).expect("sorted deduped list validates");
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            table.round_up(lo) <= table.round_up(hi),
+            "rounding not monotone: {} -> {}, {} -> {}",
+            lo, table.round_up(lo), hi, table.round_up(hi)
+        );
+        for n in [lo, hi] {
+            let r = table.round_up(n);
+            prop_assert!(table.contains(r), "round_up({n}) = {r} is not a bucket");
+            prop_assert_eq!(table.round_up(r), r, "rounding not idempotent at {}", r);
+            if n <= table.ceiling() {
+                prop_assert!(r >= n, "in-range extent {n} shrank to {r}");
+            } else {
+                prop_assert_eq!(r, table.ceiling(), "out-of-range {} must saturate", n);
+            }
+        }
+    }
+
+    /// A graph carrying a bound symbolic dimension survives both codecs
+    /// byte-identically: wire encode → decode → re-encode is stable,
+    /// and JSON export → import → re-export is stable, with the bucket
+    /// table and binding intact.
+    #[test]
+    fn sym_graphs_roundtrip_wire_and_json(max_pow in 2u32..7, raw_seq in 1usize..64) {
+        use smartmem_ir::import::{export_json, import_json};
+        use smartmem_ir::wire::{decode_from, encode_to_vec};
+        use smartmem_ir::{BucketTable, DType, GraphBuilder};
+        let table = BucketTable::powers_of_two(1 << max_pow);
+        let seq = (raw_seq % table.ceiling()).max(1);
+        if seq == 5 || seq == 48 {
+            // Collides with a fixed extent: the binding would claim the
+            // batch/head axes too. Legal, but not the shape under test.
+            return Ok(());
+        }
+        let mut b = GraphBuilder::new("sym_rt");
+        let x = b.input("x", &[5, seq, 48], DType::F16);
+        let w = b.weight("w", &[48, 48], DType::F16);
+        let y = b.matmul(x, w);
+        b.output(y);
+        let g = b.finish().with_sym_dim("seq", &table, seq).expect("binding validates");
+
+        let bytes = encode_to_vec(&g);
+        let back: smartmem_ir::Graph = decode_from(&bytes).expect("wire decode");
+        back.validate().expect("decoded graph invalid");
+        prop_assert_eq!(&bytes, &encode_to_vec(&back), "wire re-encode not byte-stable");
+        prop_assert_eq!(back.sym_dims(), g.sym_dims());
+        prop_assert_eq!(back.sym_axes(), g.sym_axes());
+        prop_assert_eq!(back.sym_dims()[0].bucket(), table.round_up(seq));
+
+        let json = export_json(&g);
+        let back_json = import_json(&json).expect("json import");
+        prop_assert_eq!(&json, &export_json(&back_json), "json re-export not byte-stable");
+        prop_assert_eq!(back_json.sym_dims(), g.sym_dims());
+        prop_assert_eq!(back_json.sym_axes(), g.sym_axes());
+    }
+
     /// Non-finite initializers survive the wire bit-exactly too.
     #[test]
     fn nonfinite_inits_roundtrip(bits in 0usize..6) {

@@ -3,7 +3,9 @@
 //! Pythia decoder-only LLM.
 
 use crate::blocks::{cls_head, conv_bn_act, linear, mha, mlp, transformer_block};
-use smartmem_ir::{BinaryKind, DType, Graph, GraphBuilder, ReduceKind, TensorId, UnaryKind};
+use smartmem_ir::{
+    BinaryKind, BucketTable, DType, Graph, GraphBuilder, ReduceKind, TensorId, UnaryKind,
+};
 
 /// EfficientViT (Cai et al.): conv stem, MBConv stages, and lite
 /// multi-scale linear attention in the late stages.
@@ -355,6 +357,80 @@ pub fn pythia(batch: usize) -> Graph {
     b.finish()
 }
 
+/// The decode bucket table shared by [`pythia_decode`], the serve tier
+/// and `serve_bench --decode`: sequence lengths compile at 16, 32, 64
+/// or 128 tokens.
+pub fn decode_buckets() -> BucketTable {
+    BucketTable::new(vec![16, 32, 64, 128]).expect("static table is valid")
+}
+
+/// A scaled-down Pythia decoder bound to a **symbolic** sequence
+/// dimension: 2 blocks, hidden 192, 4 heads — small enough that the
+/// serve tier can compile one artifact per bucket in a test, while
+/// keeping every structural idiom of [`pythia`] (fused QKV
+/// reshape/transpose/split, RoPE slice/neg/concat, causal mask,
+/// parallel attention + MLP).
+///
+/// `seq` is the bound sequence length and must round into
+/// [`decode_buckets`]; every hidden extent is chosen to never collide
+/// with a bucket value, so the symbolic binding is unambiguous.
+///
+/// # Panics
+///
+/// Panics if `seq` is zero or exceeds the bucket ceiling.
+pub fn pythia_decode(batch: usize, seq: usize) -> Graph {
+    let table = decode_buckets();
+    let dim = 192usize;
+    let heads = 4usize;
+    let hd = dim / heads; // 48
+    let vocab = 1000usize;
+    let mut b = GraphBuilder::new(format!("pythia-decode-s{seq}"));
+    let ids = b.input("token_ids", &[batch, seq], DType::I32);
+    let etable = b.weight("embeddings", &[vocab, dim], DType::F16);
+    let mut cur = b.gather(etable, ids, 0);
+    for blk in 0..2 {
+        let name = format!("blk{blk}");
+        let n1 = b.layer_norm(cur, vec![2]);
+        let qkv = linear(&mut b, n1, dim, 3 * dim, &format!("{name}.qkv"));
+        let r = b.reshape(qkv, &[batch, seq, 3, heads, hd]);
+        let t = b.transpose(r, &[2, 0, 3, 1, 4]);
+        let parts = b.split(t, 0, 3);
+        let q = b.reshape(parts[0], &[batch * heads, seq, hd]);
+        let k = b.reshape(parts[1], &[batch * heads, seq, hd]);
+        let v = b.reshape(parts[2], &[batch * heads, seq, hd]);
+        let rope = |b: &mut GraphBuilder, x: TensorId, name: &str| -> TensorId {
+            let first = b.slice(x, 2, 0, hd / 2);
+            let second = b.slice(x, 2, hd / 2, hd / 2);
+            let neg = b.unary(second, UnaryKind::Neg);
+            let rotated = b.concat(&[neg, first], 2);
+            let cos = b.weight(format!("{name}.cos"), &[seq, hd], DType::F16);
+            let sin = b.weight(format!("{name}.sin"), &[seq, hd], DType::F16);
+            let xc = b.binary(x, cos, BinaryKind::Mul);
+            let xs = b.binary(rotated, sin, BinaryKind::Mul);
+            b.add(xc, xs)
+        };
+        let qr = rope(&mut b, q, &format!("{name}.ropeq"));
+        let kr = rope(&mut b, k, &format!("{name}.ropek"));
+        let attn = b.matmul_t(qr, kr, false, true);
+        let mask = b.weight(format!("{name}.mask"), &[seq, seq], DType::F16);
+        let masked = b.add(attn, mask);
+        let p = b.softmax(masked, 2);
+        let o = b.matmul(p, v);
+        let r2 = b.reshape(o, &[batch, heads, seq, hd]);
+        let t2 = b.transpose(r2, &[0, 2, 1, 3]);
+        let r3 = b.reshape(t2, &[batch, seq, dim]);
+        let proj = linear(&mut b, r3, dim, dim, &format!("{name}.dense"));
+        let n2 = b.layer_norm(cur, vec![2]);
+        let m = mlp(&mut b, n2, dim, 4 * dim, &format!("{name}.mlp"));
+        let s = b.add(proj, m);
+        cur = b.add(cur, s);
+    }
+    let n = b.layer_norm(cur, vec![2]);
+    let logits = linear(&mut b, n, dim, vocab, "lm_head");
+    b.output(logits);
+    b.finish().with_sym_dim("seq", &table, seq).expect("decode builder is symbolic-safe")
+}
+
 /// ViT-style classification head re-export used by hybrid models.
 #[allow(unused)]
 fn _keep_cls_head_linked() {
@@ -367,6 +443,26 @@ mod tests {
 
     fn gmacs(g: &Graph) -> f64 {
         g.total_macs() as f64 / 1e9
+    }
+
+    #[test]
+    fn pythia_decode_is_symbolic_per_bucket() {
+        for &seq in decode_buckets().buckets() {
+            let g = pythia_decode(1, seq);
+            assert_eq!(g.sym_dims().len(), 1);
+            assert_eq!(g.sym_dims()[0].bucket(), seq);
+            assert!(g.validate().is_ok());
+        }
+        // Off-bucket lengths round up.
+        assert_eq!(pythia_decode(1, 40).sym_dims()[0].bucket(), 64);
+        // Padded dims are bucket-invariant across instantiations.
+        let a = pythia_decode(1, 16);
+        let b = pythia_decode(1, 128);
+        assert_eq!(a.tensors().len(), b.tensors().len());
+        for i in 0..a.tensors().len() {
+            let t = smartmem_ir::TensorId(i as u32);
+            assert_eq!(a.padded_dims(t), b.padded_dims(t));
+        }
     }
 
     #[test]

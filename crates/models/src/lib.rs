@@ -36,7 +36,10 @@ pub use blocks::{
     stripe_reverse, transformer_block, window_partition, window_reverse,
 };
 pub use convnets::{convnext, fst, regnet, resnet50, resnext50, yolo_v8};
-pub use hybrid::{conformer, efficientvit, pythia, sd_text_encoder, sd_unet, sd_vae_decoder};
+pub use hybrid::{
+    conformer, decode_buckets, efficientvit, pythia, pythia_decode, sd_text_encoder, sd_unet,
+    sd_vae_decoder,
+};
 pub use transformers::{
     autoformer, biformer, crossformer, cswin, flattenformer, smtformer, swin_tiny, vit,
 };

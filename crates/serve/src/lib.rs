@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod decode;
 mod request;
 mod retry;
 mod router;
@@ -96,6 +97,7 @@ mod scheduler;
 mod server;
 
 pub use batcher::{Batch, BatchItem, BatchKey, Batcher, Cut, CutPolicy};
+pub use decode::{DecodeError, DecodeSession};
 pub use request::{
     InferenceRequest, InferenceResponse, ModelSpec, Priority, SubmitError, Ticket, REPLICA_KILLED,
 };

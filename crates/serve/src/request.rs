@@ -115,12 +115,29 @@ pub struct InferenceRequest {
     /// that assign globally unique tags get schedule-independent fault
     /// sets (the curse follows the request wherever it goes).
     pub tag: Option<u64>,
+    /// Autoregressive decode iterations this request runs on the device
+    /// (`0` = an ordinary single-shot inference, the default). A
+    /// request with `decode_steps = n ≥ 1` is a *decode* request: its
+    /// placement estimate is charged `n×`, its batch holds the device
+    /// for `n` iterations, and each iteration produces one token
+    /// (counted in `ServeStats::decode_tokens`). Continuous batching
+    /// submits `decode_steps = 1` per step through a
+    /// [`crate::DecodeSession`]; whole-request batching submits the
+    /// entire generation as one `decode_steps = n` request — and holds
+    /// every batch-mate hostage for all `n` iterations.
+    pub decode_steps: u32,
 }
 
 impl InferenceRequest {
     /// Request for `model`, scheduler-placed, `Interactive` priority.
     pub fn new(model: usize) -> Self {
-        InferenceRequest { model, device: None, priority: Priority::default(), tag: None }
+        InferenceRequest {
+            model,
+            device: None,
+            priority: Priority::default(),
+            tag: None,
+            decode_steps: 0,
+        }
     }
 
     /// Pins the request to a device.
@@ -141,6 +158,14 @@ impl InferenceRequest {
     #[must_use]
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = Some(tag);
+        self
+    }
+
+    /// Marks this as a decode request of `steps` autoregressive
+    /// iterations (see [`InferenceRequest::decode_steps`]).
+    #[must_use]
+    pub fn with_decode_steps(mut self, steps: u32) -> Self {
+        self.decode_steps = steps;
         self
     }
 }

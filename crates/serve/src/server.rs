@@ -18,6 +18,7 @@ use crate::scheduler::{quick_estimate_ns, DevicePool};
 use smartmem_core::{
     CacheStats, CompileSession, Framework, ModelReport, SmartMemPipeline, Unsupported,
 };
+use smartmem_ir::{Graph, Layout, Op, TensorId};
 use smartmem_sim::{DeviceConfig, FaultKind, FaultPlan};
 use smartmem_telemetry::{now_ns, Counter, Histogram, Telemetry, TraceId};
 use std::collections::HashMap;
@@ -45,6 +46,37 @@ const BATCH_MARGINAL: f64 = 0.85;
 /// the single-inference latency.
 pub fn batch_exec_ms(single_ms: f64, n: usize) -> f64 {
     single_ms * (1.0 + BATCH_MARGINAL * n.saturating_sub(1) as f64)
+}
+
+/// Places a request whose estimate row is scaled by `scale` (the decode
+/// step count) without mutating the shared row. `scale == 1.0` is the
+/// common single-shot path and skips the allocation.
+fn place_scaled(
+    pool: &DevicePool,
+    estimates_ns: &[f64],
+    scale: f64,
+    class: Priority,
+) -> (usize, u64) {
+    if scale <= 1.0 {
+        return pool.place(estimates_ns, class);
+    }
+    let scaled: Vec<f64> = estimates_ns.iter().map(|e| e * scale).collect();
+    pool.place(&scaled, class)
+}
+
+/// The KV-cache tensor of a decode graph: the `K` operand of the first
+/// `QKᵀ` attention matmul (`MatMul { trans_b: true }`) whose operand
+/// carries a symbolic sequence axis. `None` when the graph is static
+/// or has no such matmul.
+fn kv_tensor(graph: &Graph) -> Option<TensorId> {
+    let sym: Vec<TensorId> = graph.sym_axes().iter().map(|a| a.tensor).collect();
+    graph.nodes().iter().find_map(|node| match node.op {
+        Op::MatMul { trans_b: true, .. } => {
+            let k = *node.inputs.get(1)?;
+            sym.contains(&k).then_some(k)
+        }
+        _ => None,
+    })
 }
 
 /// Per-class latency budgets: a request admitted at `t` under class `c`
@@ -285,6 +317,21 @@ pub struct ServeStats {
     pub dead_devices: Vec<usize>,
     /// Batches executed.
     pub batches: u64,
+    /// Decode iterations executed at device granularity: per batch
+    /// containing at least one decode request, the largest
+    /// `decode_steps` among its members (whole-request batching holds
+    /// the device — and every batch-mate — for that many iterations;
+    /// continuous batching contributes 1 per step batch).
+    pub decode_steps: u64,
+    /// Tokens generated by successfully completed decode requests (one
+    /// token per request per decode step). Divide by wall time for the
+    /// serving-level tokens-per-second figure.
+    pub decode_tokens: u64,
+    /// KV-cache layouts chosen so far — one per (model, device) pair
+    /// that asked ([`Server::kv_cache_layout`]); per-bucket decode
+    /// models register separately, so this counts (model, device,
+    /// bucket) selections.
+    pub kv_layouts: usize,
     /// `histogram[n-1]` = number of batches of size `n`, over all
     /// devices.
     pub batch_histogram: Vec<u64>,
@@ -464,6 +511,11 @@ struct Pending {
     /// server-assigned id. Survives retries and re-placements, so a
     /// `FaultPlan` curse follows the request wherever it goes.
     tag: u64,
+    /// Decode iterations ([`InferenceRequest::decode_steps`]; `0` = an
+    /// ordinary inference). `est_ns` already includes the `×steps`
+    /// charge; the batch executor multiplies device time by the largest
+    /// step count in the batch.
+    steps: u32,
     cell: Arc<CancelCell>,
     tx: Sender<InferenceResponse>,
 }
@@ -521,6 +573,13 @@ struct Metrics {
     /// cache-I/O slot is filled from the session at snapshot time.
     faults: [AtomicU64; FaultKind::ALL.len()],
     batches: AtomicU64,
+    /// Device-level decode iterations executed (per batch, the largest
+    /// step count among its members — the time the device actually
+    /// spent iterating).
+    decode_steps: AtomicU64,
+    /// Tokens generated by successful decode requests (one per request
+    /// per step).
+    decode_tokens: AtomicU64,
     /// `[device][size-1]` — per-device batch-size histograms.
     per_device_hist: Vec<Vec<AtomicU64>>,
     per_device_batches: Vec<AtomicU64>,
@@ -580,6 +639,11 @@ struct Inner {
     config: ServeConfig,
     metrics: Metrics,
     telemetry: ServeTelemetry,
+    /// KV-cache layouts, chosen once per (model, device) through the
+    /// capability-aware layout-select machinery and memoized (each
+    /// shape bucket of a decode model is its own registered model, so
+    /// the memo is per (model, device, bucket)).
+    kv_layouts: Mutex<HashMap<(usize, usize), Layout>>,
     state: Mutex<BatchState>,
     /// Wakes one device's worker (indexed by device id): new work
     /// pushed for it, or shutdown. Per-device condvars keep a
@@ -640,6 +704,8 @@ impl Server {
             killed: AtomicU64::new(0),
             faults: Default::default(),
             batches: AtomicU64::new(0),
+            decode_steps: AtomicU64::new(0),
+            decode_tokens: AtomicU64::new(0),
             per_device_hist: (0..pool.len())
                 .map(|_| (0..config.max_batch).map(|_| AtomicU64::new(0)).collect())
                 .collect(),
@@ -687,6 +753,7 @@ impl Server {
             config,
             metrics,
             telemetry,
+            kv_layouts: Mutex::new(HashMap::new()),
             state: Mutex::new(BatchState { batcher, shutdown: false, killed: false }),
             work_cvs: (0..pool_len).map(|_| Condvar::new()).collect(),
             space_cv: Condvar::new(),
@@ -776,7 +843,13 @@ impl Server {
                     Err(p) => {
                         inner.pool.discharge(p.device, p.est_ns, class);
                         pending = p;
-                        let (d, est) = inner.pool.place(&inner.estimates[pending.model], class);
+                        let scale = f64::from(pending.steps.max(1));
+                        let (d, est) = place_scaled(
+                            &inner.pool,
+                            &inner.estimates[pending.model],
+                            scale,
+                            class,
+                        );
                         pending.device = d;
                         pending.est_ns = est;
                     }
@@ -828,15 +901,19 @@ impl Server {
                 return Err(SubmitError::Shed);
             }
         }
+        // A decode request occupies the device for `steps` iterations,
+        // so its placement charge — and therefore the batcher's slack —
+        // scales with the step count.
+        let steps_charge = f64::from(req.decode_steps.max(1));
         let (device, est_ns) = match req.device {
             // A device pinned dead falls back to scheduler placement —
             // pinning is an affinity hint, not a suicide pact.
             Some(d) if inner.pool.is_alive(d) => {
-                let est = inner.estimates[req.model][d].max(0.0) as u64;
+                let est = (inner.estimates[req.model][d] * steps_charge).max(0.0) as u64;
                 inner.pool.charge(d, est, req.priority);
                 (d, est)
             }
-            _ => inner.pool.place(&inner.estimates[req.model], req.priority),
+            _ => place_scaled(&inner.pool, &inner.estimates[req.model], steps_charge, req.priority),
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let tag = req.tag.unwrap_or(id);
@@ -874,6 +951,7 @@ impl Server {
             submit_ns,
             attempts: 0,
             tag,
+            steps: req.decode_steps,
             cell: Arc::clone(&cell),
             tx,
         };
@@ -922,6 +1000,9 @@ impl Server {
             faults,
             dead_devices: self.inner.pool.dead_devices(),
             batches: m.batches.load(Ordering::Relaxed),
+            decode_steps: m.decode_steps.load(Ordering::Relaxed),
+            decode_tokens: m.decode_tokens.load(Ordering::Relaxed),
+            kv_layouts: self.inner.kv_layouts.lock().expect("kv layout lock").len(),
             batch_histogram,
             per_device_batch_histogram,
             per_device_batches: m
@@ -938,6 +1019,33 @@ impl Server {
             compiled: self.inner.session.len(),
             cache_dir_fallbacks: self.inner.telemetry.cache_dir_fallbacks.get(),
         }
+    }
+
+    /// The layout the serving tier uses for `model`'s KV cache on
+    /// `device`, chosen once per (model, device) by the
+    /// `DeviceCaps`-aware reduction-layout machinery and memoized —
+    /// every decode step of every session then reads the cache through
+    /// the same layout, which is the whole point: the bucket padding
+    /// makes the choice stable across sequence lengths. Returns `None`
+    /// for out-of-range ids and for static graphs (no symbolic
+    /// sequence axis means no KV cache to lay out). Registering each
+    /// bucket of a model as its own server model makes the memo
+    /// effectively per (model, device, bucket).
+    pub fn kv_cache_layout(&self, model: usize, device: usize) -> Option<Layout> {
+        let inner = &self.inner;
+        if model >= inner.models.len() || device >= inner.pool.len() {
+            return None;
+        }
+        if let Some(layout) = inner.kv_layouts.lock().expect("kv layout lock").get(&(model, device))
+        {
+            return Some(layout.clone());
+        }
+        let graph = &inner.models[model].graph;
+        let kv = kv_tensor(graph)?;
+        let layout =
+            smartmem_core::kv_cache_layout(&graph.padded_dims(kv), inner.pool.device(device));
+        inner.kv_layouts.lock().expect("kv layout lock").insert((model, device), layout.clone());
+        Some(layout)
     }
 
     /// Kills the replica hard: stops admission, answers every queued
@@ -1228,8 +1336,9 @@ fn retry_or_fail(inner: &Inner, mut p: Pending, error: &str) {
 fn requeue(inner: &Inner, mut p: Pending, backoff: Duration) {
     // Refund the failed placement; `place` below charges the new one.
     inner.pool.discharge(p.device, p.est_ns, p.class);
+    let scale = f64::from(p.steps.max(1));
     loop {
-        let (device, est) = inner.pool.place(&inner.estimates[p.model], p.class);
+        let (device, est) = place_scaled(&inner.pool, &inner.estimates[p.model], scale, p.class);
         p.device = device;
         p.est_ns = est;
         let key = BatchKey { model: p.model, device };
@@ -1466,12 +1575,18 @@ fn execute_batch(
     // The sampled-trace latency estimate is much cheaper than
     // compilation but still worth paying once per model, not per
     // batch.
+    //
+    // The batch runs one device iteration per decode step of its
+    // *longest* decode member — every batch-mate is held hostage for
+    // all of them. This is exactly the cost continuous batching avoids
+    // by re-submitting one step at a time.
+    let iters = batch.items.iter().map(|i| i.steps.max(1)).max().unwrap_or(1);
     let exec_ms = compiled
         .iter()
         .flatten()
         .find_map(|(res, _)| res.as_ref().ok())
         .map(|output| reports.entry(model_id).or_insert_with(|| output.optimized.estimate(device)))
-        .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size));
+        .map_or(0.0, |r| batch_exec_ms(r.latency_ms, size) * f64::from(iters));
     if inner.config.exec_time_scale > 0.0 && exec_ms > 0.0 {
         std::thread::sleep(Duration::from_secs_f64(exec_ms * inner.config.exec_time_scale / 1e3));
     }
@@ -1481,6 +1596,9 @@ fn execute_batch(
     m.per_device_batches[device_id].fetch_add(1, Ordering::Relaxed);
     if let Some(slot) = m.per_device_hist[device_id].get(size.saturating_sub(1)) {
         slot.fetch_add(1, Ordering::Relaxed);
+    }
+    if batch.items.iter().any(|i| i.steps > 0) {
+        m.decode_steps.fetch_add(u64::from(iters), Ordering::Relaxed);
     }
     for ((item, outcome), curse) in batch.items.into_iter().zip(compiled).zip(cursed) {
         // Cursed items are transient failures: consume a retry attempt
@@ -1547,6 +1665,9 @@ fn execute_batch(
         } else {
             m.completed.fetch_add(1, Ordering::Relaxed);
             class.completed.fetch_add(1, Ordering::Relaxed);
+            if item.steps > 0 {
+                m.decode_tokens.fetch_add(u64::from(item.steps), Ordering::Relaxed);
+            }
             if item.attempts > 0 {
                 m.recovered.fetch_add(1, Ordering::Relaxed);
             }
